@@ -1,0 +1,6 @@
+"""A4 — ablation: memcpy model vs hop-distance vs STREAM as predictors."""
+
+
+def test_ablation_baselines(run_paper_experiment):
+    result = run_paper_experiment("a4")
+    assert result.data["errors"]["iomodel"] < result.data["errors"]["hop-distance"]

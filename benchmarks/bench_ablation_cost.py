@@ -1,0 +1,6 @@
+"""A3 — ablation: characterization cost reduction via representatives."""
+
+
+def test_ablation_cost(run_paper_experiment):
+    result = run_paper_experiment("a3")
+    assert result.data["cost_reduction"] >= 0.5

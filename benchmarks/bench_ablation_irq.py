@@ -1,0 +1,6 @@
+"""A5 — ablation: the node-6-beats-node-7 effect follows IRQ placement."""
+
+
+def test_ablation_irq(run_paper_experiment):
+    result = run_paper_experiment("a5")
+    assert result.data["tuned"][6] > result.data["tuned"][7]

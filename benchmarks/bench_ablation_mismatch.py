@@ -1,0 +1,6 @@
+"""A2 — ablation: STREAM models vs the memcpy model as I/O predictors."""
+
+
+def test_ablation_mismatch(run_paper_experiment):
+    result = run_paper_experiment("a2")
+    assert result.data["iomodel_read"] > result.data["stream_cpu_centric"]

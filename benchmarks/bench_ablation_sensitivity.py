@@ -1,0 +1,6 @@
+"""A6 — ablation: classes are emergent fabric properties."""
+
+
+def test_ablation_sensitivity(run_paper_experiment):
+    result = run_paper_experiment("a6")
+    assert result.data["base_write"] != result.data["repaired_write"]

@@ -1,0 +1,5 @@
+"""A1 — ablation: hop-distance topology inference fails on the host."""
+
+
+def test_ablation_topology_inference(run_paper_experiment):
+    run_paper_experiment("a1")

@@ -1,0 +1,6 @@
+"""EQ1 — the Eq. 1 worked example (predicted vs measured mixture)."""
+
+
+def test_eq1_prediction(run_paper_experiment):
+    result = run_paper_experiment("eq1")
+    assert result.data["relative_error"] <= 0.06

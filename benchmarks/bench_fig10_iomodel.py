@@ -1,0 +1,6 @@
+"""F10 — Fig. 10: the proposed memcpy I/O performance model (Algorithm 1)."""
+
+
+def test_fig10_iomodel(run_paper_experiment):
+    result = run_paper_experiment("f10")
+    assert set(result.data) == {"write", "read"}

@@ -1,0 +1,6 @@
+"""F3 — Fig. 3: the 8x8 STREAM Copy bandwidth matrix."""
+
+
+def test_fig3_stream_matrix(run_paper_experiment):
+    result = run_paper_experiment("f3")
+    assert result.data["asymmetry"] > 0.05

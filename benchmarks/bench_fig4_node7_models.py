@@ -1,0 +1,6 @@
+"""F4 — Fig. 4: CPU-centric and memory-centric STREAM models of node 7."""
+
+
+def test_fig4_node7_models(run_paper_experiment):
+    result = run_paper_experiment("f4")
+    assert set(result.data) == {"cpu_centric", "memory_centric"}

@@ -1,0 +1,6 @@
+"""F5 — Fig. 5: TCP send/receive vs streams and NUMA binding."""
+
+
+def test_fig5_tcp(run_paper_experiment):
+    result = run_paper_experiment("f5")
+    assert set(result.data) == {"send", "recv"}

@@ -1,0 +1,6 @@
+"""F6 — Fig. 6: RDMA_WRITE / RDMA_READ vs streams and NUMA binding."""
+
+
+def test_fig6_rdma(run_paper_experiment):
+    result = run_paper_experiment("f6")
+    assert set(result.data) == {"write", "read"}

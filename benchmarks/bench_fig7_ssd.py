@@ -1,0 +1,6 @@
+"""F7 — Fig. 7: SSD array bandwidth vs processes and NUMA binding."""
+
+
+def test_fig7_ssd(run_paper_experiment):
+    result = run_paper_experiment("f7")
+    assert set(result.data) == {"write", "read"}

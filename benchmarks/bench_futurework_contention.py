@@ -1,0 +1,6 @@
+"""FW2 — future work: locality vs contention across concurrent devices."""
+
+
+def test_futurework_contention(run_paper_experiment):
+    result = run_paper_experiment("fw2")
+    assert result.data["gain"] > 0.70

@@ -1,0 +1,6 @@
+"""FW1 — future work: online placement and migration policies."""
+
+
+def test_futurework_migration(run_paper_experiment):
+    result = run_paper_experiment("fw1")
+    assert result.data["class-spread"] < result.data["local"]

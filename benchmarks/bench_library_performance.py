@@ -1,0 +1,99 @@
+"""Library-internals performance benchmarks.
+
+Unlike the paper-artifact benches (single deterministic rounds), these
+measure the hot paths of the library itself across rounds — the numbers
+a contributor watches when touching the solver, the router, or
+Algorithm 1.  Machine sizes scale to a 32-node host (the paper's
+largest Table I configuration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.stream import StreamBenchmark
+from repro.core.iomodel import IOModelBuilder
+from repro.flows.flow import Flow
+from repro.flows.maxmin import maxmin_allocate
+from repro.flows.network import FlowNetwork
+from repro.rng import RngRegistry
+from repro.routing.table import RoutingTable
+from repro.topology.builders import hp_blade_32n, reference_host, scaled_host
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def blade():
+    return hp_blade_32n()
+
+
+@pytest.fixture(scope="module")
+def big_host():
+    return scaled_host(16)  # 32 nodes with credit asymmetries
+
+
+def test_perf_maxmin_200_flows(benchmark):
+    """Water-filling with 200 flows over 40 shared resources."""
+    resources = {f"r{i}": 10.0 + i for i in range(40)}
+    flows = [
+        Flow(
+            name=f"f{i}",
+            resources=tuple(f"r{(i + k) % 40}" for k in range(3)),
+            demand_gbps=1.0 + (i % 7),
+        )
+        for i in range(200)
+    ]
+    rates = benchmark(maxmin_allocate, flows, resources)
+    assert len(rates) == 200
+
+
+def test_perf_flow_simulation_50_staggered(benchmark):
+    """Time-domain simulation: 50 staggered finite flows, one bottleneck."""
+    flows = [
+        Flow(name=f"f{i}", resources=("dev",), demand_gbps=5.0,
+             size_bytes=float((i % 5 + 1) * GB), start_s=0.5 * i)
+        for i in range(50)
+    ]
+    network = FlowNetwork({"dev": 22.0})
+    outcomes = benchmark(network.simulate, flows)
+    assert len(outcomes) == 50
+
+
+def test_perf_routing_all_pairs_32_nodes(benchmark, blade):
+    """Static route computation for every (pair, plane) of a 32-node host."""
+
+    def route_everything():
+        table = RoutingTable(blade.links)
+        count = 0
+        for plane in ("pio", "dma"):
+            for src in blade.node_ids:
+                for dst in blade.node_ids:
+                    if src != dst:
+                        table.route(plane, src, dst)
+                        count += 1
+        return count
+
+    assert benchmark(route_everything) == 2 * 32 * 31
+
+
+def test_perf_stream_matrix_reference(benchmark):
+    """The Fig. 3 protocol end to end (64 cells x 100 runs)."""
+    host = reference_host(with_devices=False)
+
+    def measure():
+        return StreamBenchmark(host, registry=RngRegistry(), runs=100).matrix()
+
+    matrix = benchmark(measure)
+    assert matrix.values.shape == (8, 8)
+
+
+def test_perf_iomodel_32_nodes(benchmark, big_host):
+    """Algorithm 1 (both modes) on a 32-node asymmetric host."""
+
+    def characterise():
+        builder = IOModelBuilder(big_host, registry=RngRegistry(), runs=25)
+        return builder.build_both(0)
+
+    write_model, read_model = benchmark(characterise)
+    assert write_model.n_classes >= 2
+    assert read_model.n_classes >= 2

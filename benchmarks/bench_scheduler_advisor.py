@@ -1,0 +1,6 @@
+"""S1 — scheduler application: spread vs all-local placement."""
+
+
+def test_scheduler_advisor(run_paper_experiment):
+    result = run_paper_experiment("s1")
+    assert result.data["gain"] > 0.05

@@ -1,0 +1,6 @@
+"""T1 — Table I: NUMA factors of four server configurations."""
+
+
+def test_table1_numa_factor(run_paper_experiment):
+    result = run_paper_experiment("t1")
+    assert len(result.data) == 4

@@ -1,0 +1,9 @@
+"""T2/T3 — configuration tables (Table II hardware, Table III fio params)."""
+
+
+def test_table2_server_configuration(run_paper_experiment):
+    run_paper_experiment("t2")
+
+
+def test_table3_network_parameters(run_paper_experiment):
+    run_paper_experiment("t3")

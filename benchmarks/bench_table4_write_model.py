@@ -1,0 +1,8 @@
+"""T4 — Table IV: device-write model validated against TCP/RDMA/SSD."""
+
+
+def test_table4_write_model(run_paper_experiment):
+    result = run_paper_experiment("t4")
+    assert set(result.data["measurements"]) == {
+        "TCP sender", "RDMA_WRITE", "SSD write"
+    }

@@ -1,0 +1,8 @@
+"""T5 — Table V: device-read model validated against TCP/RDMA/SSD."""
+
+
+def test_table5_read_model(run_paper_experiment):
+    result = run_paper_experiment("t5")
+    assert set(result.data["measurements"]) == {
+        "TCP receiver", "RDMA_READ", "SSD read"
+    }

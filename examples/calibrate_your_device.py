@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Calibrate your own device model from your own measurements.
+
+The shipped profiles reproduce the paper's hardware.  A downstream user
+with a different adapter closes the loop like this:
+
+1. measure a per-node fio sweep against the real device (here: a
+   simulated 'foreign' adapter the shipped calibration never saw);
+2. fit a deficit response curve to (DMA path, measured bandwidth)
+   pairs (`repro.devices.fit`);
+3. wrap the fit in an `EngineProfile`, attach it to the machine model,
+   and check that the *model's* predictions now match the device;
+4. pin the numbers in a `RunLog` so any future drift — firmware,
+   kernel, cables — shows up as a regression.
+
+Run:  python examples/calibrate_your_device.py
+"""
+
+from repro.bench import FioJob, FioRunner
+from repro.bench.runlog import RunLog
+from repro.devices import EngineProfile, IrqModel, Nic, PcieLink, ResponseCurve
+from repro.devices.fit import fit_engine_profile, fit_response_curve
+from repro.devices.standard import attach_device
+from repro.rng import DEFAULT_SEED, RngRegistry
+from repro.topology.builders import reference_host
+
+def foreign_adapter(node: int = 7) -> Nic:
+    """The 'real hardware': a 56 Gbit adapter with an unknown curve."""
+    return Nic(
+        name="unknown-56g",
+        node_id=node,
+        pcie=PcieLink(gen=3, lanes=8),
+        engines={
+            "rdma_write": EngineProfile(
+                name="rdma_write",
+                curve=ResponseCurve(cap_gbps=50.0, path_ref_gbps=51.2,
+                                    beta=0.05, gamma=1.8),
+                per_stream_cap_gbps=48.0,
+                sigma=0.004,
+            ),
+        },
+        irq=IrqModel(irq_node=node),
+    )
+
+def main() -> None:
+    # --- 1. measure the foreign device ------------------------------------
+    machine = reference_host(with_devices=False)
+    attach_device(machine, "nic", foreign_adapter())
+    runner = FioRunner(machine, RngRegistry())
+    sweep = {
+        n: runner.run(
+            FioJob(name=f"cal-{n}", engine="rdma", rw="write",
+                   numjobs=4, cpunodebind=n)
+        ).aggregate_gbps
+        for n in machine.node_ids
+    }
+    print("measured RDMA_WRITE sweep:",
+          {n: round(v, 1) for n, v in sweep.items()})
+
+    # --- 2. fit the curve --------------------------------------------------
+    paths = {n: machine.dma_path_gbps(n, 7) for n in machine.node_ids}
+    fit = fit_response_curve(paths, sweep, path_ref_gbps=51.2)
+    print(f"\nfitted curve: {fit.render()}")
+    print("(ground truth: cap=50.00 beta=0.05 gamma=1.800)")
+
+    # --- 3. a ready-to-attach profile & prediction check -------------------
+    profile = fit_engine_profile(
+        machine, 7, "write", sweep, name="rdma_write",
+        path_ref_gbps=51.2, per_stream_cap_gbps=48.0, sigma=0.004,
+    )
+    print("\nprediction check (fitted model vs fresh measurements):")
+    for node in (6, 0, 2):
+        predicted = profile.curve.value(paths[node])
+        measured = runner.run(
+            FioJob(name=f"cal2-{node}", engine="rdma", rw="write",
+                   numjobs=4, cpunodebind=node),
+            run_idx=1,
+        ).aggregate_gbps
+        err = abs(predicted - measured) / measured
+        print(f"  node {node}: predicted {predicted:5.1f}, fresh measurement "
+              f"{measured:5.1f} ({100 * err:.1f} % off)")
+
+    # --- 4. pin the numbers ------------------------------------------------
+    log = RunLog("/tmp/repro-calibration.jsonl")
+    for node, gbps in sweep.items():
+        log.record(f"rdma:write/node{node}", gbps,
+                   machine=machine.name, seed=DEFAULT_SEED)
+    print(f"\n{len(sweep)} baseline records pinned in {log.path}; re-run the "
+          f"sweep after any change and `RunLog.compare` flags drifts.")
+
+
+if __name__ == "__main__":
+    main()

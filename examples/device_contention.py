@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Cross-device contention: when two well-modelled jobs collide.
+
+The paper models one device at a time.  Real data-intensive hosts run
+the NIC and the SSDs together — a data-transfer node simultaneously
+receives from the network and writes to flash.  This example shows the
+fabric deciding the outcome:
+
+* placed naively (both jobs' buffers on node 2), the NIC and SSD
+  writes *share* the starved 2->7 request direction and collapse to its
+  26.6 Gbps;
+* placed with the class model (one job per healthy class-2 node), they
+  run at full speed simultaneously;
+* the traffic counters point at the guilty link either way.
+
+Run:  python examples/device_contention.py
+"""
+
+from repro import reference_host
+from repro.bench.concurrent import ConcurrentRunner
+from repro.bench.jobfile import FioJob
+from repro.core import IOModelBuilder
+
+def jobs_from(nic_node: int, ssd_node: int):
+    """A NIC bulk send and an SSD ingest, 4 streams each."""
+    return [
+        FioJob(name="nic-send", engine="rdma", rw="write", numjobs=4,
+               cpunodebind=nic_node),
+        FioJob(name="ssd-ingest", engine="libaio", rw="write", numjobs=4,
+               cpunodebind=ssd_node),
+    ]
+
+def main() -> None:
+    host = reference_host()
+    runner = ConcurrentRunner(host)
+
+    print("=" * 72)
+    print("1. Naive placement: both jobs' buffers on node 2")
+    print("=" * 72)
+    naive = runner.run(jobs_from(2, 2))
+    print(naive.render())
+    print(f"  total: {naive.total_gbps:.1f} Gbps")
+
+    print()
+    print("=" * 72)
+    print("2. Model-driven placement: one healthy class-2 node per job")
+    print("=" * 72)
+    model = IOModelBuilder(host).build(7, "write")
+    class2 = model.class_by_rank(2).node_ids
+    print(f"write class 2 nodes: {class2} — give the NIC {class2[0]} "
+          f"and the SSD {class2[-1]}")
+    placed = runner.run(jobs_from(class2[0], class2[-1]))
+    print(placed.render())
+    print(f"  total: {placed.total_gbps:.1f} Gbps")
+
+    gain = placed.total_gbps / naive.total_gbps - 1
+    print(f"\nmodel-driven placement moves {100 * gain:.0f} % more data "
+          f"in the same wall-clock — and the counters show why: the "
+          f"naive run pins link-dma:2>7 at 100 %.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Multi-user aggregate prediction (Eq. 1) across many mixtures.
+
+The paper validates Eq. 1 on one 50/50 RDMA_READ mixture.  A downstream
+user wants to know how far the model can be pushed, so this example
+sweeps:
+
+* every 4-stream class mixture of RDMA_READ (the paper's case),
+* TCP receive and SSD read mixtures (different protocols),
+* 8-stream mixtures (more concurrency),
+
+and prints a predicted-vs-measured table with relative errors.
+
+Run:  python examples/multiuser_prediction.py
+"""
+
+import itertools
+
+from repro import reference_host
+from repro.bench import FioJob, FioRunner
+from repro.core import IOModelBuilder, MixturePredictor
+
+def sweep(runner, host, engine: str, rw: str) -> dict[int, float]:
+    """Per-node single-class baselines for one operation."""
+    job = FioJob(name=f"mu-{engine}-{rw}", engine=engine, rw=rw, numjobs=4)
+    return {
+        node: runner.run(job.with_node(node)).aggregate_gbps
+        for node in host.node_ids
+    }
+
+def main() -> None:
+    host = reference_host()
+    runner = FioRunner(host)
+    read_model = IOModelBuilder(host).build(7, "read")
+
+    operations = {
+        "rdma:read": sweep(runner, host, "rdma", "read"),
+        "tcp:recv": sweep(runner, host, "tcp", "recv"),
+        "libaio:read": sweep(runner, host, "libaio", "read"),
+    }
+
+    # One representative node per class, so mixtures span classes.
+    reps = read_model.representative_nodes()
+    print(f"class representatives: {reps}\n")
+
+    header = f"{'operation':14s}{'streams':>22s}{'predicted':>11s}{'measured':>10s}{'error':>8s}"
+    print(header)
+    print("-" * len(header))
+
+    worst = 0.0
+    for op_name, values in operations.items():
+        engine, rw = op_name.split(":")
+        predictor = MixturePredictor(read_model, values)
+        mixtures = [
+            tuple(sorted(combo))
+            for combo in itertools.combinations_with_replacement(reps, 4)
+            if len(set(combo)) > 1  # true mixtures only
+        ]
+        # Add one 8-stream mixture for concurrency stress.
+        mixtures.append(tuple(sorted(reps * 2)))
+        for streams in mixtures:
+            predicted = predictor.predict_streams(streams)
+            measured = runner.run(
+                FioJob(
+                    name=f"mu-{op_name}-{'-'.join(map(str, streams))}",
+                    engine=engine,
+                    rw=rw,
+                    numjobs=len(streams),
+                    stream_nodes=streams,
+                )
+            ).aggregate_gbps
+            error = abs(predicted - measured) / measured
+            worst = max(worst, error)
+            print(
+                f"{op_name:14s}{str(streams):>22s}{predicted:>10.2f} "
+                f"{measured:>9.2f} {100 * error:>6.1f}%"
+            )
+    print(f"\nworst relative error: {100 * worst:.1f} % "
+          f"(paper's single data point: 3.1 %)")
+
+
+if __name__ == "__main__":
+    main()

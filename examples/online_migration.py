@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Online placement and migration of I/O streams (the §VI future work).
+
+A multi-user arrival process of bulk RDMA_WRITE streams hits the node-7
+NIC.  Four controllers compete:
+
+* ``local``         — Linux default: every stream on the device node;
+* ``random``        — affinity roulette;
+* ``class-spread``  — admission-time placement from the memcpy model;
+* ``class-migrate`` — streams arrive local (unmodified applications)
+                      and get migrated per the model every epoch, paying
+                      a stall per move.
+
+The sweep varies arrival pressure, showing where model-driven placement
+pays and how much of it migration can recover after the fact.
+
+Run:  python examples/online_migration.py
+"""
+
+from repro import reference_host
+from repro.core import IOModelBuilder, OnlineSimulator, OnlineWorkload
+from repro.rng import RngRegistry
+
+def main() -> None:
+    host = reference_host()
+    model = IOModelBuilder(host).build(7, "write")
+    print(f"placement model: classes "
+          f"{[sorted(c.node_ids) for c in model.classes]}\n")
+
+    for rate in (0.05, 0.12, 0.25):
+        registry = RngRegistry().child(f"rate{rate}")
+        workload = OnlineWorkload(registry, rate_per_s=rate)
+        jobs = workload.generate(60, label=f"r{rate}")
+        simulator = OnlineSimulator(host, model, registry=registry.child("sim"))
+        outcomes = simulator.compare(jobs)
+
+        local = outcomes["local"].mean_completion_s
+        print(f"arrival rate {rate}/s (60 streams, ~40 GB each):")
+        for policy in ("local", "random", "class-spread", "class-migrate"):
+            outcome = outcomes[policy]
+            gain = local / outcome.mean_completion_s - 1
+            print(f"  {outcome.render()}  ({100 * gain:+.1f} % vs local)")
+        print()
+
+    print(
+        "reading: under light load random placement squanders bandwidth "
+        "on class-3 nodes while the model-driven policies stay near "
+        "optimal; at moderate queueing pressure class-spread wins "
+        "clearly and migration recovers most of that win for naively "
+        "placed workloads.  Under extreme pressure the trade-off the "
+        "paper closes with appears in the data: spreading over *more* "
+        "(worse) nodes can beat spreading over fewer good ones, because "
+        "oversubscription costs more than class penalty — 'tradeoffs "
+        "between data locality and resource contention' (§VI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

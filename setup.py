@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs on offline machines without `wheel`.
+
+``pip install -e . --no-use-pep517`` uses this; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

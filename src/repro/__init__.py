@@ -1,0 +1,73 @@
+"""repro — reproduction of the ICPP 2013 NUMA I/O bandwidth paper.
+
+The library has three layers:
+
+1. **Substrate** — a flow-level NUMA machine simulator: topology
+   (:mod:`repro.topology`), interconnect and routing
+   (:mod:`repro.interconnect`, :mod:`repro.routing`), memory and OS
+   models (:mod:`repro.memory`, :mod:`repro.osmodel`), PCIe devices
+   (:mod:`repro.devices`), and max-min flow contention
+   (:mod:`repro.flows`).
+2. **Benchmarks** — STREAM and a fio-like runner (:mod:`repro.bench`)
+   that execute against the substrate exactly the way the paper ran them
+   against hardware.
+3. **The paper's contribution** — :mod:`repro.core`: Algorithm 1
+   (memcpy-based I/O characterization), class models (Tables IV/V), the
+   Eq. 1 mixture predictor, and the placement advisor.
+
+Quickstart::
+
+    from repro import reference_host, IOModelBuilder
+
+    host = reference_host()
+    model = IOModelBuilder(host).build(target_node=7, mode="write")
+    print(model.render())
+"""
+
+from repro.rng import DEFAULT_SEED, RngRegistry
+from repro.topology.builders import (
+    amd_4s8n,
+    amd_8s8n,
+    hp_blade_32n,
+    intel_4s4n,
+    magny_cours_4p,
+    parametric_machine,
+    reference_host,
+)
+from repro.topology.machine import Machine, MachineParams, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SEED",
+    "RngRegistry",
+    "Machine",
+    "MachineParams",
+    "Relation",
+    "reference_host",
+    "magny_cours_4p",
+    "intel_4s4n",
+    "amd_4s8n",
+    "amd_8s8n",
+    "hp_blade_32n",
+    "parametric_machine",
+]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports of the higher layers (keeps import time low)."""
+    lazy = {
+        "IOModelBuilder": ("repro.core.iomodel", "IOModelBuilder"),
+        "IOPerformanceModel": ("repro.core.model", "IOPerformanceModel"),
+        "MixturePredictor": ("repro.core.predictor", "MixturePredictor"),
+        "PlacementAdvisor": ("repro.core.scheduler_advisor", "PlacementAdvisor"),
+        "StreamBenchmark": ("repro.bench.stream", "StreamBenchmark"),
+        "FioRunner": ("repro.bench.fio", "FioRunner"),
+        "FioJob": ("repro.bench.jobfile", "FioJob"),
+    }
+    if name in lazy:
+        module_name, attr = lazy[name]
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

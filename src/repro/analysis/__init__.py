@@ -1,0 +1,37 @@
+"""Analysis layer: NUMA factors, topology inference, mismatch metrics.
+
+These modules implement the paper's *arguments* — the quantitative
+demonstrations in §I, §IV — as reusable analyses:
+
+* :mod:`~repro.analysis.numa_factor` — Table I's latency ratios;
+* :mod:`~repro.analysis.topology_inference` — the §IV-A negative result
+  (hop distance cannot explain the STREAM matrix);
+* :mod:`~repro.analysis.mismatch` — the §IV-B mismatch between STREAM
+  models and I/O measurements, including the RDMA_READ rank reversal;
+* :mod:`~repro.analysis.report` — text rendering of every paper table
+  and figure series.
+"""
+
+from repro.analysis.baselines import (
+    hop_distance_model,
+    model_from_values,
+    stream_cost_model,
+)
+from repro.analysis.mismatch import MismatchReport, mismatch_report
+from repro.analysis.numa_factor import numa_factor, table1
+from repro.analysis.planner import AttachmentScore, DeviceAttachmentPlanner
+from repro.analysis.topology_inference import InferenceReport, infer_topology
+
+__all__ = [
+    "numa_factor",
+    "table1",
+    "InferenceReport",
+    "infer_topology",
+    "MismatchReport",
+    "mismatch_report",
+    "hop_distance_model",
+    "stream_cost_model",
+    "model_from_values",
+    "AttachmentScore",
+    "DeviceAttachmentPlanner",
+]

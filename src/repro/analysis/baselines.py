@@ -1,0 +1,93 @@
+"""Baseline NUMA cost models the paper argues against.
+
+Two families of prior art, each reduced to a per-node score map that
+plugs into the same classification / prediction machinery as the
+memcpy model, so the comparison is apples to apples:
+
+* :func:`hop_distance_model` — the SLIT/hop-count heuristic behind the
+  schedulers of [10]-[12]: fewer hops, better score.
+* :func:`stream_cost_model` — the cbench approach of McCormick et al.
+  [18]/[27]: build the cost model from STREAM measurements (the
+  CPU-centric or memory-centric row/column of the device node).
+
+The a4 ablation classifies nodes under each model, predicts measured
+I/O with Eq. 1 on top of each, and shows the memcpy model dominating —
+the paper's central claim, quantified.
+"""
+
+from __future__ import annotations
+
+from repro.bench.stream import StreamBenchmark
+from repro.core.classify import classify_nodes
+from repro.core.model import IOPerformanceModel
+from repro.errors import ModelError
+from repro.rng import RngRegistry
+from repro.topology.distance import hop_matrix
+from repro.topology.machine import Machine
+
+__all__ = ["hop_distance_model", "stream_cost_model", "model_from_values"]
+
+
+def hop_distance_model(machine: Machine, target_node: int) -> dict[int, float]:
+    """Per-node scores under the hop-distance hypothesis.
+
+    Converted to a pseudo-bandwidth (higher = better) as ``1 / (1 + h)``
+    scaled to a nominal 50 Gbps so the numbers sit in the same range as
+    real models; only the *ordering* is meaningful, which is all the
+    hop-distance heuristic ever claimed.
+    """
+    if target_node not in machine.node_ids:
+        raise ModelError(f"unknown target node {target_node}")
+    hops = hop_matrix(machine)
+    index = {n: i for i, n in enumerate(machine.node_ids)}
+    t = index[target_node]
+    return {
+        n: 50.0 / (1.0 + float(hops[index[n], t])) for n in machine.node_ids
+    }
+
+
+def stream_cost_model(
+    machine: Machine,
+    target_node: int,
+    mode: str,
+    registry: RngRegistry | None = None,
+    runs: int = 100,
+) -> dict[int, float]:
+    """cbench-style STREAM cost model of the device node.
+
+    ``mode="write"`` uses the memory-centric column (every node pushing
+    toward the device node's memory); ``mode="read"`` the CPU-centric
+    row — the closest STREAM analogue of each I/O direction.
+    """
+    if mode not in ("write", "read"):
+        raise ModelError(f"mode must be 'write' or 'read', got {mode!r}")
+    bench = StreamBenchmark(machine, registry=registry or RngRegistry(), runs=runs)
+    if mode == "write":
+        return bench.memory_centric(target_node)
+    return bench.cpu_centric(target_node)
+
+
+def model_from_values(
+    machine: Machine,
+    target_node: int,
+    mode: str,
+    values: dict[int, float],
+    label: str,
+    rel_gap: float = 0.08,
+) -> IOPerformanceModel:
+    """Wrap any per-node score map in the standard model object.
+
+    This is what makes baselines directly comparable: they get the same
+    local/neighbour rule, the same gap clustering, and work with the
+    same :class:`~repro.core.predictor.MixturePredictor`.
+    """
+    classes = classify_nodes(values, machine, target_node, rel_gap=rel_gap)
+    return IOPerformanceModel(
+        machine_name=f"{machine.name}[{label}]",
+        target_node=target_node,
+        mode=mode,
+        values=dict(values),
+        classes=classes,
+        threads=machine.cores_per_node(),
+        runs=1,
+    )

@@ -1,0 +1,138 @@
+"""STREAM-model vs I/O-measurement mismatch (§IV-B).
+
+Quantifies the paper's central negative result: the STREAM-derived
+CPU-centric and memory-centric models of the device node mis-predict
+I/O bandwidth orderings, while the memcpy model predicts them.  The
+flagship instance: STREAM ranks nodes {0, 1} 43-88 % *above* {2, 3},
+but RDMA_READ measures {0, 1} 15-18.4 % *below* {2, 3}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.validation import rank_correlation
+from repro.errors import ModelError
+
+__all__ = ["GroupComparison", "MismatchReport", "mismatch_report", "group_ratio"]
+
+
+def group_ratio(
+    values: Mapping[int, float], group_a: tuple[int, ...], group_b: tuple[int, ...]
+) -> float:
+    """mean(values over A) / mean(values over B)."""
+    missing = [n for n in (*group_a, *group_b) if n not in values]
+    if missing:
+        raise ModelError(f"values missing for nodes {missing}")
+    a = float(np.mean([values[n] for n in group_a]))
+    b = float(np.mean([values[n] for n in group_b]))
+    if b <= 0:
+        raise ModelError("group B mean must be positive")
+    return a / b
+
+
+@dataclass(frozen=True)
+class GroupComparison:
+    """The {0,1}-vs-{2,3} style comparison under one model/operation."""
+
+    label: str
+    ratio: float  # mean(group A) / mean(group B)
+
+    @property
+    def a_wins(self) -> bool:
+        """True when group A outperforms group B."""
+        return self.ratio > 1.0
+
+
+@dataclass(frozen=True)
+class MismatchReport:
+    """Correlations of each candidate model against measured operations."""
+
+    #: model name -> operation name -> Spearman rho.
+    correlations: dict[str, dict[str, float]]
+    #: model/operation label -> {0,1} vs {2,3} comparison.
+    group_checks: dict[str, GroupComparison]
+
+    def mean_rho(self, model: str) -> float:
+        """Average correlation of one model across all operations."""
+        if model not in self.correlations:
+            raise ModelError(f"no model named {model!r} in report")
+        return float(np.mean(list(self.correlations[model].values())))
+
+    def best_model(self) -> str:
+        """The model with the highest mean correlation (the paper's
+        claim: the memcpy model)."""
+        return max(self.correlations, key=self.mean_rho)
+
+    def reversal_demonstrated(self, stream_model: str, operation: str) -> bool:
+        """True when the STREAM model ranks A over B but the operation
+        ranks B over A (or vice versa)."""
+        key_model = f"{stream_model}"
+        key_op = f"{operation}"
+        if key_model not in self.group_checks or key_op not in self.group_checks:
+            raise ModelError(
+                f"group checks missing for {stream_model!r} or {operation!r}"
+            )
+        return (
+            self.group_checks[key_model].a_wins
+            != self.group_checks[key_op].a_wins
+        )
+
+    def render(self) -> str:
+        """Correlation table plus the group-ratio checks."""
+        operations = sorted({op for ops in self.correlations.values() for op in ops})
+        width = 14
+        lines = ["Model-vs-measurement rank correlations (Spearman rho):"]
+        lines.append("model".ljust(18) + "".join(op.rjust(width) for op in operations)
+                     + "mean".rjust(width))
+        for model in sorted(self.correlations, key=self.mean_rho, reverse=True):
+            cells = "".join(
+                f"{self.correlations[model].get(op, float('nan')):+.3f}".rjust(width)
+                for op in operations
+            )
+            lines.append(model.ljust(18) + cells + f"{self.mean_rho(model):+.3f}".rjust(width))
+        lines.append("Group ratios (mean{0,1} / mean{2,3} unless labelled):")
+        for label, check in sorted(self.group_checks.items()):
+            lines.append(
+                f"  {label:24s} ratio {check.ratio:.2f} "
+                f"({'A over B' if check.a_wins else 'B over A'})"
+            )
+        return "\n".join(lines)
+
+
+def mismatch_report(
+    models: Mapping[str, Mapping[int, float]],
+    operations: Mapping[str, Mapping[int, float]],
+    group_a: tuple[int, ...] = (0, 1),
+    group_b: tuple[int, ...] = (2, 3),
+) -> MismatchReport:
+    """Cross-correlate candidate models against measured operations.
+
+    Parameters
+    ----------
+    models:
+        Candidate per-node models (e.g. ``{"cpu_centric": ...,
+        "memory_centric": ..., "iomodel_read": ...}``).
+    operations:
+        Measured per-node I/O bandwidths (e.g. RDMA_READ node sweep).
+    group_a, group_b:
+        Node groups for the ratio checks (the paper's {0,1} vs {2,3}).
+    """
+    if not models or not operations:
+        raise ModelError("need at least one model and one operation")
+    correlations = {
+        model_name: {
+            op_name: rank_correlation(model_vals, op_vals)
+            for op_name, op_vals in operations.items()
+        }
+        for model_name, model_vals in models.items()
+    }
+    group_checks = {}
+    for name, values in {**models, **operations}.items():
+        group_checks[name] = GroupComparison(
+            label=name, ratio=group_ratio(values, group_a, group_b)
+        )
+    return MismatchReport(correlations=correlations, group_checks=group_checks)

@@ -1,0 +1,66 @@
+"""NUMA factor: remote versus local access latency (the paper's Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.machine import Machine
+
+__all__ = ["numa_factor", "latency_matrix", "Table1Row", "table1"]
+
+
+def latency_matrix(machine: Machine) -> np.ndarray:
+    """Idle load-to-use latencies (seconds) for every (cpu, mem) pair."""
+    ids = machine.node_ids
+    out = np.zeros((len(ids), len(ids)))
+    for i, a in enumerate(ids):
+        for j, b in enumerate(ids):
+            out[i, j] = machine.pio_round_trip_s(a, b)
+    return out
+
+
+def numa_factor(machine: Machine) -> float:
+    """Mean remote latency over mean local latency.
+
+    Table I's definition: "the ratio between remote access latency
+    versus local one", averaged over every remote pair.
+    """
+    if machine.n_nodes < 2:
+        raise TopologyError(
+            f"NUMA factor needs >= 2 nodes; {machine.name!r} has {machine.n_nodes}"
+        )
+    lat = latency_matrix(machine)
+    local = np.diag(lat).mean()
+    n = lat.shape[0]
+    off_diag = lat[~np.eye(n, dtype=bool)]
+    return float(off_diag.mean() / local)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One Table I row: a server type and its NUMA factors."""
+
+    label: str
+    measured: float
+    paper: float
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / paper."""
+        return abs(self.measured - self.paper) / self.paper
+
+
+def table1() -> list[Table1Row]:
+    """Reproduce Table I over the four builder machines."""
+    from repro.topology.builders import TABLE1_BUILDERS
+
+    rows = []
+    for label, (builder, paper_value) in TABLE1_BUILDERS.items():
+        machine = builder()
+        rows.append(
+            Table1Row(label=label, measured=numa_factor(machine), paper=paper_value)
+        )
+    return rows

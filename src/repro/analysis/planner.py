@@ -1,0 +1,113 @@
+"""Device-attachment planning: where should the adapter go?
+
+The paper characterises a host whose devices already sit behind node 7.
+The inverse question — *given* this fabric, which node should the next
+adapter attach to? — falls out of the same machinery: for a candidate
+attachment node ``k``, the expected multi-user bandwidth under uniform
+load is Eq. 1 with uniform class fractions, i.e. the mean DMA-path
+bandwidth between every node and ``k``.  The planner scores every
+candidate analytically (no benchmarking needed at planning time) and
+explains each score with its class structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import classify_nodes
+from repro.errors import ModelError
+from repro.topology.machine import Machine
+
+__all__ = ["AttachmentScore", "DeviceAttachmentPlanner"]
+
+
+@dataclass(frozen=True)
+class AttachmentScore:
+    """One candidate attachment node's expected performance."""
+
+    node: int
+    write_mean_gbps: float  # uniform multi-user device-write expectation
+    read_mean_gbps: float
+    write_worst_gbps: float  # the node a pessimal tenant would see
+    read_worst_gbps: float
+    combined_gbps: float
+
+    def render(self) -> str:
+        """One summary line."""
+        return (
+            f"node {self.node}: combined {self.combined_gbps:6.1f} Gbps "
+            f"(write mean {self.write_mean_gbps:.1f} / worst "
+            f"{self.write_worst_gbps:.1f}; read mean {self.read_mean_gbps:.1f} "
+            f"/ worst {self.read_worst_gbps:.1f})"
+        )
+
+
+class DeviceAttachmentPlanner:
+    """Rank a machine's nodes as device attachment points.
+
+    Parameters
+    ----------
+    machine:
+        The host (devices not required).
+    write_weight:
+        Fraction of the expected workload that is device-write traffic;
+        the rest is device-read.
+    """
+
+    def __init__(self, machine: Machine, write_weight: float = 0.5) -> None:
+        if not 0 <= write_weight <= 1:
+            raise ModelError(f"write_weight must be in [0, 1], got {write_weight}")
+        self.machine = machine
+        self.write_weight = write_weight
+
+    def score(self, node: int) -> AttachmentScore:
+        """Score one candidate attachment node."""
+        machine = self.machine
+        if node not in machine.node_ids:
+            raise ModelError(f"unknown node {node}")
+        writes = [machine.dma_path_gbps(i, node) for i in machine.node_ids]
+        reads = [machine.dma_path_gbps(node, i) for i in machine.node_ids]
+        write_mean = float(np.mean(writes))
+        read_mean = float(np.mean(reads))
+        combined = self.write_weight * write_mean + (1 - self.write_weight) * read_mean
+        return AttachmentScore(
+            node=node,
+            write_mean_gbps=write_mean,
+            read_mean_gbps=read_mean,
+            write_worst_gbps=min(writes),
+            read_worst_gbps=min(reads),
+            combined_gbps=combined,
+        )
+
+    def rank(self) -> list[AttachmentScore]:
+        """All candidates, best first (ties to the lower node id)."""
+        scores = [self.score(node) for node in self.machine.node_ids]
+        scores.sort(key=lambda s: (-s.combined_gbps, s.node))
+        return scores
+
+    def best(self) -> AttachmentScore:
+        """The recommended attachment node."""
+        return self.rank()[0]
+
+    def classes_for(self, node: int, mode: str) -> tuple:
+        """The class structure a device at ``node`` would induce."""
+        if mode == "write":
+            values = {i: self.machine.dma_path_gbps(i, node)
+                      for i in self.machine.node_ids}
+        elif mode == "read":
+            values = {i: self.machine.dma_path_gbps(node, i)
+                      for i in self.machine.node_ids}
+        else:
+            raise ModelError(f"mode must be 'write' or 'read', got {mode!r}")
+        return classify_nodes(values, self.machine, node)
+
+    def render(self) -> str:
+        """The full ranking."""
+        lines = [
+            f"device attachment ranking for {self.machine.name!r} "
+            f"(write weight {self.write_weight:.0%}):"
+        ]
+        lines += ["  " + s.render() for s in self.rank()]
+        return "\n".join(lines)

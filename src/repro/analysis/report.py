@@ -1,0 +1,91 @@
+"""Text rendering of the paper's tables and figure series.
+
+Every artifact the benchmark harness regenerates has a renderer here, so
+``repro-numa experiment <id>`` and the pytest benches print directly
+comparable output, and EXPERIMENTS.md is produced from one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.numa_factor import Table1Row
+from repro.bench.jobfile import NETWORK_TEST_DEFAULTS
+from repro.topology.machine import Machine
+from repro.units import GB, KiB
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_series",
+    "render_node_sweep",
+]
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Table I: NUMA factor of different server configurations."""
+    lines = ["TABLE I — NUMA factor of different server configurations"]
+    lines.append(f"{'Server type':32s}{'measured':>10s}{'paper':>8s}{'err':>7s}")
+    for row in rows:
+        lines.append(
+            f"{row.label:32s}{row.measured:>10.2f}{row.paper:>8.1f}"
+            f"{100 * row.relative_error:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(machine: Machine) -> str:
+    """Table II: configuration of the server under test."""
+    nic = machine.devices.get("nic")
+    ssd = machine.devices.get("ssd")
+    rows = [
+        ("Machine model", machine.params.description or machine.name),
+        ("CPU cores/NUMA nodes", f"{machine.n_cores}/{machine.n_nodes}"),
+        ("Memory", f"{sum(machine.node(n).memory_bytes for n in machine.node_ids) // 2**30} GiB"),
+        ("Last level cache (LLC)", f"{machine.params.llc_bytes // 10**6} MB per die"),
+    ]
+    if nic is not None:
+        rows.append(("Network interface", str(nic)))
+    if ssd is not None:
+        rows.append(("SSD drives", str(ssd)))
+    lines = ["TABLE II — configuration of the server"]
+    lines += [f"  {label:28s} {value}" for label, value in rows]
+    return "\n".join(lines)
+
+
+def render_table3() -> str:
+    """Table III: parameters for network I/O tests."""
+    d = NETWORK_TEST_DEFAULTS
+    lines = ["TABLE III — parameters for network I/O tests (TCP and RDMA)"]
+    lines.append(f"  Data size per test process    {d['size_bytes'] // GB} GB")
+    lines.append(f"  TCP variant                   {d['tcp_variant']}")
+    lines.append(f"  IO block size                 {d['blocksize'] // KiB} KiB")
+    lines.append(f"  Ethernet frame size           {d['frame_bytes']}")
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, series: Mapping[int, Mapping[int, float]], x_label: str = "streams"
+) -> str:
+    """A Fig. 5/6/7-style family of curves: node -> x -> Gbps."""
+    xs = sorted({x for curve in series.values() for x in curve})
+    width = 10
+    lines = [title]
+    lines.append("node".ljust(8) + "".join(f"{x_label}={x}".rjust(width) for x in xs))
+    for node in sorted(series):
+        cells = "".join(
+            (f"{series[node][x]:.2f}" if x in series[node] else "-").rjust(width)
+            for x in xs
+        )
+        lines.append(f"{node}".ljust(8) + cells)
+    return "\n".join(lines)
+
+
+def render_node_sweep(title: str, values: Mapping[int, float]) -> str:
+    """A single per-node bandwidth sweep (Fig. 4/10 panels)."""
+    lines = [title]
+    for node in sorted(values):
+        bar = "#" * int(round(values[node]))
+        lines.append(f"  node {node}: {values[node]:6.2f} Gbps {bar}")
+    return "\n".join(lines)

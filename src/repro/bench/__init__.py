@@ -1,0 +1,38 @@
+"""Benchmarks: STREAM and the fio-like I/O runner.
+
+These reproduce the paper's measurement *protocols* against the
+simulator substrate:
+
+* :class:`~repro.bench.stream.StreamBenchmark` — §III-B1: four kernels,
+  arrays >= 4x LLC, threads pinned per node via ``numactl``, max of 100
+  runs reported.
+* :class:`~repro.bench.fio.FioRunner` — §III-B2: job-driven I/O with
+  ``tcp``, ``rdma_*``, ``libaio`` and ``memcpy`` engines, 400 GB per
+  stream, aggregate average reported.
+"""
+
+from repro.bench.concurrent import ConcurrentResult, ConcurrentRunner
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob, parse_jobfile, write_jobfile
+from repro.bench.latency import LatencyBenchmark
+from repro.bench.numademo import Numademo
+from repro.bench.results import BandwidthMatrix, JobResult, Measurement
+from repro.bench.runlog import RunLog, RunRecord
+from repro.bench.stream import StreamBenchmark
+
+__all__ = [
+    "ConcurrentResult",
+    "ConcurrentRunner",
+    "FioRunner",
+    "FioJob",
+    "parse_jobfile",
+    "write_jobfile",
+    "LatencyBenchmark",
+    "Numademo",
+    "BandwidthMatrix",
+    "JobResult",
+    "Measurement",
+    "RunLog",
+    "RunRecord",
+    "StreamBenchmark",
+]

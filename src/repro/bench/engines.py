@@ -1,0 +1,353 @@
+"""fio I/O engines executing against the simulator.
+
+Two engine families:
+
+* :class:`DeviceIOEngine` — ``tcp``/``rdma``/``libaio`` jobs against an
+  attached device.  Per-stream service combines the device's calibrated
+  NUMA response curve, round-robin DMA service, per-stream protocol CPU
+  cost, IRQ-locality penalty, class-mixture derating, and seeded noise;
+  streams then share the device through the max-min flow network.
+* :class:`MemcpyEngine` — the paper's Algorithm 1 primitive: bulk copy
+  threads between two nodes' memories on the DMA plane, contending on
+  controllers and fabric links.  **No device state is consulted** —
+  that is the whole point of the methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.jobfile import FioJob
+from repro.bench.results import JobResult
+from repro.errors import BenchmarkError
+from repro.flows.flow import Flow
+from repro.flows.network import FlowNetwork
+from repro.interconnect.planes import PLANE_DMA
+from repro.memory.allocator import PageAllocator
+from repro.memory.controller import MemoryController, controller_capacities
+from repro.memory.policy import MemBinding
+from repro.osmodel.noise import NoiseModel
+from repro.osmodel.process import SimTask, TaskBinding
+from repro.osmodel.scheduler import CpuScheduler
+from repro.topology.machine import Machine
+
+__all__ = [
+    "DeviceIOEngine",
+    "MemcpyEngine",
+    "link_resource",
+    "link_capacities",
+    "bulk_copy_gbps",
+    "device_service_levels",
+    "OVERSUBSCRIPTION_EXPONENT",
+]
+
+#: Throughput exponent for node oversubscription: a stream on a node
+#: running ``m`` streams over ``c`` cores keeps ``(c/m) ** exp`` of its
+#: service level.  Mild on purpose — the paper's Figs. 5-7 stay near
+#: peak at 16 streams but "contention ... introduce[s] some unexpected
+#: behavior", and §V-B's all-local binding loses to spreading.
+OVERSUBSCRIPTION_EXPONENT = 0.07
+
+
+def device_service_levels(
+    machine: Machine,
+    device,
+    profile,
+    placements,
+    direction: str,
+) -> list[float]:
+    """NUMA-limited service level of each stream against one device.
+
+    Combines the device's calibrated response to the stream's DMA path,
+    the IRQ-locality factor, and the node-oversubscription derating.
+    Shared by the fio engine and the online placement simulator.
+    """
+    streams_on_node: dict[int, int] = {}
+    for p in placements:
+        streams_on_node[p.cpu_node] = streams_on_node.get(p.cpu_node, 0) + 1
+    levels = []
+    for p in placements:
+        if direction == "write":
+            path = machine.dma_path_gbps(p.mem_node, device.node_id)
+        else:
+            path = machine.dma_path_gbps(device.node_id, p.mem_node)
+        level = profile.curve.value(path)
+        level *= device.irq.factor(p.cpu_node, profile.irq_sensitivity)
+        cores = machine.node(p.cpu_node).n_cores
+        m = streams_on_node[p.cpu_node]
+        if m > cores:
+            level *= (cores / m) ** OVERSUBSCRIPTION_EXPONENT
+        levels.append(level)
+    return levels
+
+
+def bulk_copy_gbps(machine: Machine, src: int, dst: int, threads: int) -> float:
+    """Noise-free aggregate bandwidth of ``threads`` bulk copies src -> dst.
+
+    The deterministic core of :class:`MemcpyEngine`: per-thread DMA-style
+    contexts contending on both controllers and every link of the
+    DMA-plane route.  Algorithm 1 samples this with noise; tests and the
+    analytic layers use it directly.
+    """
+    if threads < 1:
+        raise BenchmarkError(f"need >= 1 copy thread, got {threads}")
+    capacities = {**controller_capacities(machine), **link_capacities(machine)}
+    src_ctrl = MemoryController(src, 0, 0).dma_resource
+    dst_ctrl = MemoryController(dst, 0, 0).dma_resource
+    resources = [src_ctrl]
+    if dst_ctrl != src_ctrl:
+        resources.append(dst_ctrl)
+    if src != dst:
+        for link in machine.path(PLANE_DMA, src, dst).links:
+            resources.append(link_resource(*link.ends))
+    flows = [
+        Flow(
+            name=f"copy/t{i}",
+            resources=tuple(resources),
+            demand_gbps=machine.params.dma_per_thread_gbps,
+        )
+        for i in range(threads)
+    ]
+    rates = FlowNetwork(capacities).rates(flows)
+    return sum(rates.values())
+
+
+def link_resource(src: int, dst: int) -> str:
+    """Stable flow-resource name for a directed fabric link (DMA plane)."""
+    return f"link-dma:{src}>{dst}"
+
+
+def link_capacities(machine: Machine) -> dict[str, float]:
+    """DMA capacities of every directed link, keyed by resource name."""
+    return {
+        link_resource(src, dst): link.dma_gbps
+        for (src, dst), link in machine.links.items()
+    }
+
+
+@dataclass(frozen=True)
+class StreamPlacement:
+    """Where one stream runs and where its buffers landed."""
+
+    cpu_node: int
+    mem_node: int
+
+
+def resolve_placements(
+    machine: Machine,
+    allocator: PageAllocator,
+    job: FioJob,
+) -> tuple[list[StreamPlacement], list]:
+    """Pin the job's streams and allocate their I/O buffers.
+
+    Buffers follow the paper's protocol: local-preferred from the pinned
+    node (Linux default) unless the job carries an explicit ``membind``.
+    Returns placements plus the allocations (caller releases them).
+    """
+    scheduler = CpuScheduler(machine, allow_oversubscribe=True)
+    placements: list[StreamPlacement] = []
+    allocations = []
+    binding = (
+        MemBinding.bind(job.membind) if job.membind is not None else MemBinding.local()
+    )
+    for i in range(job.numjobs):
+        cpu_bind = (
+            job.stream_nodes[i] if job.stream_nodes is not None else job.cpunodebind
+        )
+        task = scheduler.place(
+            SimTask(
+                name=f"{job.name}/{i}",
+                threads=1,
+                binding=TaskBinding(cpu_node=cpu_bind, mem=binding),
+            )
+        )
+        cpu_node = scheduler.node_of(task.name)
+        buffer_bytes = job.blocksize * job.iodepth
+        allocation = allocator.allocate(buffer_bytes, cpu_node=cpu_node, binding=binding)
+        allocations.append(allocation)
+        placements.append(
+            StreamPlacement(cpu_node=cpu_node, mem_node=allocation.home_node())
+        )
+    return placements, allocations
+
+
+class DeviceIOEngine:
+    """tcp / rdma / libaio jobs against an attached PCIe device."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def run(self, job: FioJob, rng: np.random.Generator) -> JobResult:
+        """Execute ``job`` once and return its result."""
+        device = self.machine.devices.get(job.device)
+        if device is None:
+            raise BenchmarkError(
+                f"job {job.name!r} needs device {job.device!r}, but "
+                f"{self.machine.name!r} has {sorted(self.machine.devices)}"
+            )
+        profile = device.engine(job.profile_name)
+        if job.engine == "libaio" and job.iodepth < device.min_iodepth:
+            raise BenchmarkError(
+                f"job {job.name!r}: iodepth {job.iodepth} cannot keep "
+                f"{device.name!r} saturated (needs >= {device.min_iodepth})"
+            )
+
+        allocator = PageAllocator(self.machine)
+        placements, allocations = resolve_placements(self.machine, allocator, job)
+        try:
+            return self._simulate(job, device, profile, placements, rng)
+        finally:
+            for allocation in allocations:
+                allocator.release(allocation)
+
+    def _simulate(self, job, device, profile, placements, rng) -> JobResult:
+        machine = self.machine
+        noise = NoiseModel(rng)
+        n = len(placements)
+
+        # NUMA-limited service level of each stream's placement, scaled
+        # by per-request amortisation away from the 128 KiB reference.
+        bs_factor = profile.blocksize_factor(job.blocksize)
+        base = [
+            level * bs_factor
+            for level in device_service_levels(
+                machine, device, profile, placements, job.direction
+            )
+        ]
+
+        # Round-robin DMA service: each of n streams sees base/ways.
+        service = device.dma.per_stream_caps(base)
+
+        # Protocol CPU cost: streams sharing a node split its cores.
+        cpu_caps = [float("inf")] * n
+        if profile.cpu_gbps_per_stream is not None:
+            on_node: dict[int, int] = {}
+            for p in placements:
+                on_node[p.cpu_node] = on_node.get(p.cpu_node, 0) + 1
+            for i, p in enumerate(placements):
+                cores = machine.node(p.cpu_node).n_cores
+                share = min(1.0, cores / on_node[p.cpu_node])
+                cpu_caps[i] = profile.cpu_gbps_per_stream * share
+
+        # Mixture derating: the DMA engine bouncing between NUMA classes.
+        groups: dict[float, int] = {}
+        for level in base:
+            key = round(level, 1)
+            groups[key] = groups.get(key, 0) + 1
+        mix = device.dma.mixture_factor(list(groups.values()), profile.mix_coef)
+
+        sigma = profile.sigma if n < profile.crowd_threshold else profile.crowd_sigma
+        stream_noise = noise.factors(sigma, n)
+        agg_noise = noise.factor(sigma)
+
+        resource = f"dev:{device.name}:{job.direction}"
+        per_cap = [s if profile.per_stream_cap_gbps is None
+                   else min(s, profile.per_stream_cap_gbps) for s in service]
+        time_based = job.runtime_s is not None
+        flows = [
+            Flow(
+                name=f"{job.name}/{i}",
+                resources=(resource,),
+                demand_gbps=min(per_cap[i], cpu_caps[i]) * mix * float(stream_noise[i]),
+                size_bytes=None if time_based else float(job.size_bytes),
+            )
+            for i in range(n)
+        ]
+        # The DMA engine time-slices across streams and each slice runs
+        # at that stream's path-limited rate, so the device's aggregate
+        # ceiling is the stream-weighted MEAN of the service levels —
+        # the physical basis of the paper's Eq. 1.
+        agg_cap = sum(base) / len(base)
+        network = FlowNetwork({resource: agg_cap * mix * agg_noise})
+        if time_based:
+            # fio time_based: constant rates for runtime seconds.
+            rates = network.rates(flows)
+            per_stream = dict(rates)
+            duration = float(job.runtime_s)
+        else:
+            outcomes = network.simulate(flows)
+            # fio reports the sum of per-job bandwidths (each job:
+            # size/time), not total bytes over the busy interval.
+            per_stream = {name: o.avg_gbps for name, o in outcomes.items()}
+            duration = max(o.finish_s for o in outcomes.values())
+        return JobResult(
+            job_name=job.name,
+            engine=f"{job.engine}:{job.rw}",
+            streams=tuple((p.cpu_node, p.mem_node) for p in placements),
+            per_stream_gbps=per_stream,
+            aggregate_gbps=sum(per_stream.values()),
+            duration_s=duration,
+            tags={"device": device.name, "direction": job.direction, "mix": mix},
+        )
+
+
+class MemcpyEngine:
+    """Algorithm 1's primitive: bulk DMA-plane copies between two nodes.
+
+    ``rw="write"`` copies from ``cpunodebind``'s memory into the target
+    node's memory (simulating the device pulling host data);
+    ``rw="read"`` copies target -> ``cpunodebind`` (device pushing to the
+    host).  Copy threads are bound to the target node per Algorithm 1,
+    which on the DMA plane costs them nothing — exactly the engine-
+    offload behaviour the methodology imitates.
+    """
+
+    #: Run-to-run noise of a bulk copy measurement.
+    sigma = 0.012
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def run(self, job: FioJob, rng: np.random.Generator) -> JobResult:
+        """Execute ``job`` once and return its result."""
+        if job.cpunodebind is None:
+            raise BenchmarkError(f"memcpy job {job.name!r} requires cpunodebind")
+        other = job.cpunodebind
+        target = job.target_node
+        for node in (other, target):
+            if node not in self.machine.node_ids:
+                raise BenchmarkError(f"memcpy job {job.name!r}: unknown node {node}")
+        if job.rw == "write":
+            src, dst = other, target
+        else:
+            src, dst = target, other
+
+        machine = self.machine
+        noise = NoiseModel(rng)
+        capacities = {**controller_capacities(machine), **link_capacities(machine)}
+
+        src_ctrl = MemoryController(src, 0, 0).dma_resource
+        dst_ctrl = MemoryController(dst, 0, 0).dma_resource
+        resources = [src_ctrl]
+        if dst_ctrl != src_ctrl:
+            resources.append(dst_ctrl)
+        if src != dst:
+            for link in machine.path(PLANE_DMA, src, dst).links:
+                resources.append(link_resource(*link.ends))
+
+        per_thread_noise = noise.factors(self.sigma, job.numjobs)
+        flows = [
+            Flow(
+                name=f"{job.name}/t{i}",
+                resources=tuple(resources),
+                demand_gbps=machine.params.dma_per_thread_gbps
+                * float(per_thread_noise[i]),
+                size_bytes=float(job.size_bytes),
+            )
+            for i in range(job.numjobs)
+        ]
+        network = FlowNetwork(capacities)
+        outcomes = network.simulate(flows)
+        aggregate = sum(o.avg_gbps for o in outcomes.values()) * noise.factor(self.sigma)
+        duration = max(o.finish_s for o in outcomes.values())
+        return JobResult(
+            job_name=job.name,
+            engine=f"memcpy:{job.rw}",
+            streams=tuple((target, other) for _ in range(job.numjobs)),
+            per_stream_gbps={name: o.avg_gbps for name, o in outcomes.items()},
+            aggregate_gbps=aggregate,
+            duration_s=duration,
+            tags={"src": src, "dst": dst, "target": target},
+        )

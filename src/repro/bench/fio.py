@@ -1,0 +1,59 @@
+"""The fio-like benchmark runner."""
+
+from __future__ import annotations
+
+from repro.bench.engines import DeviceIOEngine, MemcpyEngine
+from repro.bench.jobfile import FioJob
+from repro.bench.results import JobResult
+from repro.rng import RngRegistry
+from repro.topology.machine import Machine
+
+__all__ = ["FioRunner"]
+
+
+class FioRunner:
+    """Execute fio jobs against a machine.
+
+    Parameters
+    ----------
+    machine:
+        The host (with devices attached for tcp/rdma/libaio jobs).
+    registry:
+        Seeded RNG registry; each (job, run index) gets its own stream,
+        so results are reproducible and independent of execution order.
+    """
+
+    def __init__(self, machine: Machine, registry: RngRegistry | None = None) -> None:
+        self.machine = machine
+        self.registry = registry or RngRegistry()
+        self._device_engine = DeviceIOEngine(machine)
+        self._memcpy_engine = MemcpyEngine(machine)
+
+    def run(self, job: FioJob, run_idx: int = 0) -> JobResult:
+        """Run one job once."""
+        rng = self.registry.stream(f"fio/{job.engine}/{job.name}/run{run_idx}")
+        if job.engine == "memcpy":
+            return self._memcpy_engine.run(job, rng)
+        return self._device_engine.run(job, rng)
+
+    def run_jobs(self, jobs, run_idx: int = 0) -> list[JobResult]:
+        """Run a list of jobs (a parsed job file) sequentially."""
+        return [self.run(job, run_idx) for job in jobs]
+
+    # --- sweep helpers (the paper's experimental grids) -------------------
+    def sweep_nodes(self, job: FioJob, nodes=None, run_idx: int = 0) -> dict[int, JobResult]:
+        """Run ``job`` once per CPU-node binding (Figs. 5-7 x-axis)."""
+        nodes = tuple(nodes) if nodes is not None else self.machine.node_ids
+        return {node: self.run(job.with_node(node), run_idx) for node in nodes}
+
+    def sweep_numjobs(self, job: FioJob, counts, run_idx: int = 0) -> dict[int, JobResult]:
+        """Run ``job`` once per concurrency level (Figs. 5-7 series)."""
+        return {int(n): self.run(job.with_numjobs(int(n)), run_idx) for n in counts}
+
+    def grid(self, job: FioJob, nodes=None, counts=(1, 2, 4, 8, 16), run_idx: int = 0):
+        """Full (node x streams) grid: node -> streams -> JobResult."""
+        nodes = tuple(nodes) if nodes is not None else self.machine.node_ids
+        return {
+            node: self.sweep_numjobs(job.with_node(node), counts, run_idx)
+            for node in nodes
+        }

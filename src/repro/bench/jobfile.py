@@ -1,0 +1,294 @@
+"""fio job specifications, programmatic and ini-format.
+
+The paper drives every I/O experiment through fio job descriptions
+(Table III fixes the network defaults: 400 GB per process, 128 KiB
+blocks, cubic TCP, 9000-byte frames).  :class:`FioJob` is the validated
+programmatic form; :func:`parse_jobfile` accepts the familiar ini
+syntax::
+
+    [global]
+    bs=128k
+    size=400g
+
+    [send-from-node5]
+    ioengine=tcp
+    rw=send
+    numjobs=4
+    cpunodebind=5
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.errors import BenchmarkError
+from repro.units import GB, KiB
+
+__all__ = [
+    "FioJob",
+    "parse_jobfile",
+    "write_jobfile",
+    "parse_size",
+    "format_size",
+    "NETWORK_TEST_DEFAULTS",
+]
+
+#: Table III: parameters for network I/O tests.
+NETWORK_TEST_DEFAULTS = {
+    "size_bytes": 400 * GB,
+    "tcp_variant": "cubic",
+    "blocksize": 128 * KiB,
+    "frame_bytes": 9000,
+}
+
+#: Engine -> directions it accepts.
+_ENGINE_DIRECTIONS = {
+    "tcp": ("send", "recv"),
+    "rdma": ("write", "read", "send"),
+    "libaio": ("write", "read"),
+    "memcpy": ("write", "read"),
+}
+
+#: Engine -> device slot it drives on the machine.
+_ENGINE_DEVICE = {
+    "tcp": "nic",
+    "rdma": "nic",
+    "libaio": "ssd",
+    "memcpy": None,
+}
+
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)([kmgt]?)b?$", re.IGNORECASE)
+
+
+def parse_size(text: str) -> int:
+    """Parse fio-style sizes: ``128k``, ``400g``, ``4096``."""
+    match = _SIZE_RE.match(text.strip())
+    if not match:
+        raise BenchmarkError(f"cannot parse size {text!r}")
+    value = float(match.group(1))
+    scale = {"": 1, "k": 1024, "m": 1024**2, "g": 1000**3, "t": 1000**4}[
+        match.group(2).lower()
+    ]
+    return int(value * scale)
+
+
+@dataclass(frozen=True)
+class FioJob:
+    """A validated fio job.
+
+    Parameters
+    ----------
+    name:
+        Job (and result) name.
+    engine:
+        ``tcp``, ``rdma``, ``libaio`` or ``memcpy``.
+    rw:
+        Direction, engine-dependent (see ``_ENGINE_DIRECTIONS``).  For
+        network engines the convention follows the paper: ``send``/
+        ``write`` move host data *to* the device (Table IV), ``recv``/
+        ``read`` move device data to the host (Table V).
+    numjobs:
+        Concurrent streams/processes.
+    cpunodebind:
+        NUMA node the processes are pinned to (``None``: scheduler
+        picks).  Buffers are allocated local-preferred from this node
+        unless ``membind`` overrides.
+    membind:
+        Optional explicit buffer node.
+    stream_nodes:
+        Per-stream CPU nodes for *mixed* placements (the paper's Eq. 1
+        validation runs two streams from node 2 and two from node 0).
+        Length must equal ``numjobs``; overrides ``cpunodebind``.
+    runtime_s:
+        fio's ``time_based`` mode: run each stream for this many seconds
+        instead of transferring ``size_bytes`` (which is then ignored).
+    target_node:
+        ``memcpy`` engine only: the device-attached node being
+        characterised (Algorithm 1's ``k``).
+    """
+
+    name: str
+    engine: str
+    rw: str
+    numjobs: int = 1
+    blocksize: int = 128 * KiB
+    iodepth: int = 16
+    size_bytes: int = 400 * GB
+    cpunodebind: int | None = None
+    membind: int | None = None
+    stream_nodes: tuple[int, ...] | None = None
+    runtime_s: float | None = None
+    device: str | None = None
+    target_node: int | None = None
+    tcp_variant: str = "cubic"
+    frame_bytes: int = 9000
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINE_DIRECTIONS:
+            raise BenchmarkError(
+                f"job {self.name!r}: unknown engine {self.engine!r}; "
+                f"choose from {sorted(_ENGINE_DIRECTIONS)}"
+            )
+        if self.rw not in _ENGINE_DIRECTIONS[self.engine]:
+            raise BenchmarkError(
+                f"job {self.name!r}: engine {self.engine!r} does not support "
+                f"rw={self.rw!r} (accepts {_ENGINE_DIRECTIONS[self.engine]})"
+            )
+        if self.numjobs < 1:
+            raise BenchmarkError(f"job {self.name!r}: numjobs must be >= 1")
+        if self.blocksize <= 0 or self.size_bytes <= 0:
+            raise BenchmarkError(f"job {self.name!r}: sizes must be positive")
+        if self.iodepth < 1:
+            raise BenchmarkError(f"job {self.name!r}: iodepth must be >= 1")
+        if self.size_bytes < self.blocksize:
+            raise BenchmarkError(f"job {self.name!r}: size smaller than one block")
+        if self.stream_nodes is not None and len(self.stream_nodes) != self.numjobs:
+            raise BenchmarkError(
+                f"job {self.name!r}: stream_nodes lists {len(self.stream_nodes)} "
+                f"nodes for numjobs={self.numjobs}"
+            )
+        if self.runtime_s is not None and self.runtime_s <= 0:
+            raise BenchmarkError(f"job {self.name!r}: runtime must be positive")
+        if self.engine == "memcpy":
+            if self.target_node is None:
+                raise BenchmarkError(
+                    f"job {self.name!r}: memcpy engine requires target_node"
+                )
+        elif self.device is None:
+            object.__setattr__(self, "device", _ENGINE_DEVICE[self.engine])
+
+    @property
+    def profile_name(self) -> str:
+        """The device engine-profile key this job drives."""
+        if self.engine == "tcp":
+            return f"tcp_{self.rw}"
+        if self.engine == "rdma":
+            return f"rdma_{self.rw}"
+        if self.engine == "libaio":
+            return f"libaio_{self.rw}"
+        raise BenchmarkError(f"memcpy jobs have no device profile ({self.name!r})")
+
+    @property
+    def direction(self) -> str:
+        """``write`` (host -> device) or ``read`` (device -> host)."""
+        if self.engine == "tcp":
+            return "write" if self.rw == "send" else "read"
+        if self.rw == "send":
+            return "write"
+        return self.rw
+
+    def with_node(self, node: int) -> "FioJob":
+        """Copy of this job pinned to ``node`` (sweep helper)."""
+        return replace(self, cpunodebind=node, name=f"{self.name}@n{node}")
+
+    def with_numjobs(self, n: int) -> "FioJob":
+        """Copy of this job with ``n`` streams (sweep helper)."""
+        return replace(self, numjobs=n, name=f"{self.name}x{n}")
+
+
+def parse_jobfile(text: str) -> list[FioJob]:
+    """Parse an ini-style fio job file into :class:`FioJob` objects."""
+    sections: list[tuple[str, dict[str, str]]] = []
+    current: dict[str, str] | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = {}
+            sections.append((line[1:-1].strip(), current))
+            continue
+        if current is None:
+            raise BenchmarkError(f"job file: option {line!r} before any section")
+        if "=" not in line:
+            raise BenchmarkError(f"job file: cannot parse option {line!r}")
+        key, value = (part.strip() for part in line.split("=", 1))
+        current[key] = value
+
+    global_opts: dict[str, str] = {}
+    jobs: list[FioJob] = []
+    for name, opts in sections:
+        if name == "global":
+            global_opts.update(opts)
+            continue
+        merged = {**global_opts, **opts}
+        jobs.append(_job_from_options(name, merged))
+    if not jobs:
+        raise BenchmarkError("job file defines no jobs")
+    return jobs
+
+
+def format_size(n: int) -> str:
+    """Render a byte count in fio's compact notation (inverse of
+    :func:`parse_size` for exact multiples)."""
+    if n % 1000**3 == 0 and n >= 1000**3:
+        return f"{n // 1000**3}g"
+    if n % 1024**2 == 0 and n >= 1024**2:
+        return f"{n // 1024**2}m"
+    if n % 1024 == 0 and n >= 1024:
+        return f"{n // 1024}k"
+    return str(n)
+
+
+def write_jobfile(jobs: list[FioJob]) -> str:
+    """Render jobs back to ini text (round-trips through
+    :func:`parse_jobfile`)."""
+    if not jobs:
+        raise BenchmarkError("no jobs to write")
+    sections = []
+    for job in jobs:
+        lines = [f"[{job.name}]"]
+        lines.append(f"ioengine={job.engine}")
+        lines.append(f"rw={job.rw}")
+        lines.append(f"numjobs={job.numjobs}")
+        lines.append(f"bs={format_size(job.blocksize)}")
+        lines.append(f"iodepth={job.iodepth}")
+        lines.append(f"size={format_size(job.size_bytes)}")
+        if job.runtime_s is not None:
+            lines.append(f"runtime={job.runtime_s:g}")
+        if job.cpunodebind is not None:
+            lines.append(f"cpunodebind={job.cpunodebind}")
+        if job.membind is not None:
+            lines.append(f"membind={job.membind}")
+        if job.device is not None and job.engine != "memcpy":
+            lines.append(f"device={job.device}")
+        if job.target_node is not None:
+            lines.append(f"target_node={job.target_node}")
+        for key, value in sorted(job.extra.items()):
+            lines.append(f"{key}={value}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) + "\n"
+
+
+def _job_from_options(name: str, opts: dict[str, str]) -> FioJob:
+    known: dict = {"name": name}
+    for key, value in opts.items():
+        if key == "ioengine":
+            known["engine"] = value
+        elif key == "rw":
+            known["rw"] = value
+        elif key == "numjobs":
+            known["numjobs"] = int(value)
+        elif key == "bs":
+            known["blocksize"] = parse_size(value)
+        elif key == "iodepth":
+            known["iodepth"] = int(value)
+        elif key == "size":
+            known["size_bytes"] = parse_size(value)
+        elif key == "runtime":
+            known["runtime_s"] = float(value)
+        elif key == "cpunodebind":
+            known["cpunodebind"] = int(value)
+        elif key == "membind":
+            known["membind"] = int(value)
+        elif key == "device":
+            known["device"] = value
+        elif key == "target_node":
+            known["target_node"] = int(value)
+        else:
+            known.setdefault("extra", {})[key] = value
+    if "engine" not in known or "rw" not in known:
+        raise BenchmarkError(f"job {name!r}: ioengine and rw are required")
+    return FioJob(**known)

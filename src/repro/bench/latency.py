@@ -1,0 +1,107 @@
+"""Memory-latency benchmark (``lat_mem_rd`` style).
+
+A dependent-load pointer chase over an array far larger than the LLC:
+every access pays the full load-to-use latency of its (CPU node, memory
+node) pair.  This is the measurement behind Table I's NUMA factors —
+the analytic :func:`repro.analysis.numa_factor.numa_factor` computes the
+model value; this benchmark *measures* it the way a tool would, noise
+and all, so the two can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.results import Measurement
+from repro.errors import BenchmarkError
+from repro.memory.allocator import PageAllocator
+from repro.memory.policy import MemBinding
+from repro.osmodel.noise import NoiseModel
+from repro.rng import RngRegistry
+from repro.topology.machine import Machine
+from repro.units import MiB, NS
+
+__all__ = ["LatencyBenchmark", "measured_numa_factor"]
+
+
+class LatencyBenchmark:
+    """Pointer-chase latency across NUMA bindings.
+
+    Parameters
+    ----------
+    machine:
+        Host under test.
+    registry:
+        Seeded RNG registry.
+    runs:
+        Repetitions per pair; the mean is reported (latency benchmarks
+        average, unlike STREAM's max — jitter is part of the signal).
+    array_bytes:
+        Chase footprint; must dwarf the LLC or the chase stays cached.
+    sigma:
+        Per-run multiplicative noise.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        registry: RngRegistry | None = None,
+        runs: int = 25,
+        array_bytes: int = 64 * MiB,
+        sigma: float = 0.015,
+    ) -> None:
+        if runs < 1:
+            raise BenchmarkError(f"runs must be >= 1, got {runs}")
+        min_bytes = 4 * machine.params.llc_bytes
+        if array_bytes < min_bytes:
+            raise BenchmarkError(
+                f"chase array must be >= 4x LLC = {min_bytes} bytes to defeat "
+                f"caching, got {array_bytes}"
+            )
+        self.machine = machine
+        self.registry = registry or RngRegistry()
+        self.runs = runs
+        self.array_bytes = array_bytes
+        self.sigma = sigma
+
+    def measure(self, cpu_node: int, mem_node: int) -> Measurement:
+        """Load-to-use latency (in **nanoseconds**) for one binding."""
+        allocator = PageAllocator(self.machine)
+        allocation = allocator.allocate(
+            self.array_bytes, cpu_node=cpu_node, binding=MemBinding.bind(mem_node)
+        )
+        try:
+            base_ns = self.machine.pio_round_trip_s(cpu_node, mem_node) / NS
+            noise = NoiseModel(
+                self.registry.stream(f"latency/cpu{cpu_node}-mem{mem_node}")
+            )
+            samples = base_ns * noise.factors(self.sigma, self.runs)
+            return Measurement.from_samples(samples, protocol="mean")
+        finally:
+            allocator.release(allocation)
+
+    def matrix(self) -> np.ndarray:
+        """All-pairs latency matrix in nanoseconds."""
+        ids = self.machine.node_ids
+        out = np.zeros((len(ids), len(ids)))
+        for i, cpu in enumerate(ids):
+            for j, mem in enumerate(ids):
+                out[i, j] = self.measure(cpu, mem).value
+        return out
+
+    def numa_factor(self) -> float:
+        """Measured NUMA factor: mean remote latency over mean local."""
+        lat = self.matrix()
+        n = lat.shape[0]
+        if n < 2:
+            raise BenchmarkError("NUMA factor needs >= 2 nodes")
+        local = float(np.diag(lat).mean())
+        remote = float(lat[~np.eye(n, dtype=bool)].mean())
+        return remote / local
+
+
+def measured_numa_factor(
+    machine: Machine, registry: RngRegistry | None = None, runs: int = 10
+) -> float:
+    """Convenience wrapper: one measured NUMA factor for ``machine``."""
+    return LatencyBenchmark(machine, registry=registry, runs=runs).numa_factor()

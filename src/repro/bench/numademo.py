@@ -1,0 +1,173 @@
+"""The ``numademo`` benchmark (§II-B), plus the paper's ``iomodel`` module.
+
+Linux's ``numademo`` shows the effect of affinity policies (local,
+remote, interleave) across seven test modules — ``memset``, ``memcpy``,
+a pointer chase, and the four STREAM kernels.  The paper extends the
+package with its ``iomodel`` module (§V-B); this class mirrors that
+layout so the extension lands where the paper put it.
+
+Module models (all on the PIO plane — numademo is CPU-driven):
+
+* ``memset``   — write-only stream: no read traffic to fetch, so it runs
+  ~25 % above STREAM Copy on the same binding;
+* ``memcpy``   — glibc copy loop: STREAM-Copy-like;
+* ``ptrchase`` — dependent loads: pure latency, one line per round trip
+  per core;
+* ``stream-*`` — the four STREAM kernels.
+"""
+
+from __future__ import annotations
+
+from repro.bench.stream import STREAM_KERNELS
+from repro.errors import BenchmarkError
+from repro.memory.policy import AllocPolicy, MemBinding
+from repro.osmodel.noise import NoiseModel
+from repro.rng import RngRegistry
+from repro.topology.distance import hop_matrix
+from repro.topology.machine import Machine
+from repro.units import CACHE_LINE, bytes_per_s_to_gbps
+
+__all__ = ["Numademo", "NUMADEMO_MODULES", "NUMADEMO_POLICIES"]
+
+#: The seven numademo test modules.
+NUMADEMO_MODULES = (
+    "memset",
+    "memcpy",
+    "ptrchase",
+    "stream-copy",
+    "stream-scale",
+    "stream-add",
+    "stream-triad",
+)
+
+#: Affinity policies numademo sweeps.
+NUMADEMO_POLICIES = ("local", "remote", "interleave")
+
+#: memset writes without reading: throughput factor over STREAM Copy.
+_MEMSET_FACTOR = 1.25
+#: glibc memcpy tracks STREAM Copy closely.
+_MEMCPY_FACTOR = 1.02
+
+
+class Numademo:
+    """Run the numademo module/policy grid against one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        registry: RngRegistry | None = None,
+        sigma: float = 0.01,
+    ) -> None:
+        self.machine = machine
+        self.registry = registry or RngRegistry()
+        self.sigma = sigma
+        self._hops = hop_matrix(machine)
+        self._index = {n: i for i, n in enumerate(machine.node_ids)}
+
+    # --- policy -> memory placement ------------------------------------
+    def _remote_node(self, cpu_node: int) -> int:
+        """numademo's 'remote' case: the hop-farthest node (lowest id wins)."""
+        i = self._index[cpu_node]
+        return max(
+            self.machine.node_ids,
+            key=lambda n: (self._hops[i, self._index[n]], -n),
+        )
+
+    def binding_for(self, policy: str, cpu_node: int) -> MemBinding:
+        """The memory binding a policy implies for a benchmark on ``cpu_node``."""
+        if policy == "local":
+            return MemBinding.bind(cpu_node)
+        if policy == "remote":
+            return MemBinding.bind(self._remote_node(cpu_node))
+        if policy == "interleave":
+            return MemBinding.interleave(*self.machine.node_ids)
+        raise BenchmarkError(
+            f"unknown numademo policy {policy!r}; choose from {NUMADEMO_POLICIES}"
+        )
+
+    # --- module throughput models ---------------------------------------
+    def _stream_rate(self, cpu_node: int, mem_node: int, kernel: str) -> float:
+        base = self.machine.pio_stream_gbps(cpu_node, mem_node)
+        return base * STREAM_KERNELS[kernel]
+
+    def _memset_rate(self, cpu_node: int, mem_node: int) -> float:
+        return self._stream_rate(cpu_node, mem_node, "copy") * _MEMSET_FACTOR
+
+    def _memcpy_rate(self, cpu_node: int, mem_node: int) -> float:
+        return self._stream_rate(cpu_node, mem_node, "copy") * _MEMCPY_FACTOR
+
+    def _ptrchase_rate(self, cpu_node: int, mem_node: int) -> float:
+        """Dependent loads: one cache line per round trip per core."""
+        latency = self.machine.pio_round_trip_s(cpu_node, mem_node)
+        threads = self.machine.node(cpu_node).n_cores
+        return bytes_per_s_to_gbps(threads * CACHE_LINE / latency)
+
+    def _module_rate(self, module: str, cpu_node: int, mem_node: int) -> float:
+        if module == "memset":
+            return self._memset_rate(cpu_node, mem_node)
+        if module == "memcpy":
+            return self._memcpy_rate(cpu_node, mem_node)
+        if module == "ptrchase":
+            return self._ptrchase_rate(cpu_node, mem_node)
+        if module.startswith("stream-"):
+            kernel = module.split("-", 1)[1]
+            if kernel in STREAM_KERNELS:
+                return self._stream_rate(cpu_node, mem_node, kernel)
+        raise BenchmarkError(
+            f"unknown numademo module {module!r}; choose from {NUMADEMO_MODULES}"
+        )
+
+    # --- public API --------------------------------------------------------
+    def run_module(self, module: str, policy: str, cpu_node: int) -> float:
+        """One (module, policy) cell of the numademo table, in Gbps."""
+        if cpu_node not in self.machine.node_ids:
+            raise BenchmarkError(f"unknown node {cpu_node}")
+        binding = self.binding_for(policy, cpu_node)
+        if binding.policy is AllocPolicy.INTERLEAVE:
+            # Round-robin pages: time per byte averages over the nodes,
+            # i.e. the harmonic mean of per-node rates.
+            rates = [
+                self._module_rate(module, cpu_node, mem) for mem in binding.nodes
+            ]
+            value = len(rates) / sum(1.0 / r for r in rates)
+        else:
+            value = self._module_rate(module, cpu_node, binding.nodes[0])
+        noise = NoiseModel(
+            self.registry.stream(f"numademo/{module}/{policy}/n{cpu_node}")
+        )
+        return value * noise.factor(self.sigma)
+
+    def run_all(self, cpu_node: int) -> dict[str, dict[str, float]]:
+        """The full module x policy grid for one CPU node."""
+        return {
+            module: {
+                policy: self.run_module(module, policy, cpu_node)
+                for policy in NUMADEMO_POLICIES
+            }
+            for module in NUMADEMO_MODULES
+        }
+
+    def iomodel(self, target_node: int, mode: str):
+        """The paper's added module: Algorithm 1 under the numademo roof."""
+        # Imported here: repro.core builds on repro.bench, so a module-level
+        # import would be circular.
+        from repro.core.iomodel import IOModelBuilder
+
+        builder = IOModelBuilder(self.machine, registry=self.registry.child("iomodel"))
+        return builder.build(target_node, mode)
+
+    def render(self, cpu_node: int) -> str:
+        """numademo-style text table for one node."""
+        grid = self.run_all(cpu_node)
+        width = 12
+        lines = [f"numademo on node {cpu_node} (Gbps)"]
+        lines.append(
+            "module".ljust(14)
+            + "".join(p.rjust(width) for p in NUMADEMO_POLICIES)
+        )
+        for module in NUMADEMO_MODULES:
+            cells = "".join(
+                f"{grid[module][p]:.2f}".rjust(width) for p in NUMADEMO_POLICIES
+            )
+            lines.append(module.ljust(14) + cells)
+        return "\n".join(lines)

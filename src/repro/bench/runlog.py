@@ -1,0 +1,165 @@
+"""Persistent benchmark run log with regression detection.
+
+The HPC guide's advice — track performance across time, asv-style —
+applied to this library's own measurements: a JSON-lines file of
+benchmark results, tagged with machine/seed context, plus a comparator
+that flags drifts beyond a tolerance.  Typical uses:
+
+* pin the calibrated reference numbers and fail CI if a refactor moves
+  them;
+* track a real host's characterisation over firmware updates (the
+  library's results are deterministic, so any drift is a real change).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.bench.results import JobResult
+from repro.errors import BenchmarkError
+
+__all__ = ["RunRecord", "RunLog", "Regression"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One logged measurement."""
+
+    key: str  # e.g. "rdma:write/node5/numjobs4"
+    gbps: float
+    machine: str
+    seed: int
+    tags: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One JSON line."""
+        return json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "key": self.key,
+                "gbps": self.gbps,
+                "machine": self.machine,
+                "seed": self.seed,
+                "tags": self.tags,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        try:
+            data = json.loads(line)
+            if data.get("format_version") != _FORMAT_VERSION:
+                raise BenchmarkError(
+                    f"unsupported run-log format {data.get('format_version')!r}"
+                )
+            return cls(
+                key=data["key"],
+                gbps=float(data["gbps"]),
+                machine=data["machine"],
+                seed=int(data["seed"]),
+                tags=data.get("tags", {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchmarkError(f"malformed run-log line: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Regression:
+    """A key whose value moved beyond tolerance between two logs."""
+
+    key: str
+    old_gbps: float
+    new_gbps: float
+
+    @property
+    def relative_change(self) -> float:
+        """Signed relative change new vs old."""
+        return (self.new_gbps - self.old_gbps) / self.old_gbps
+
+    def render(self) -> str:
+        """One-line description."""
+        direction = "regressed" if self.relative_change < 0 else "improved"
+        return (
+            f"{self.key}: {self.old_gbps:.2f} -> {self.new_gbps:.2f} Gbps "
+            f"({100 * self.relative_change:+.1f} %, {direction})"
+        )
+
+
+class RunLog:
+    """Append-only JSON-lines result store."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def record(self, key: str, gbps: float, machine: str, seed: int,
+               tags: Mapping | None = None) -> RunRecord:
+        """Append one measurement."""
+        if gbps <= 0:
+            raise BenchmarkError(f"bandwidth must be positive, got {gbps!r}")
+        record = RunRecord(key=key, gbps=float(gbps), machine=machine,
+                           seed=seed, tags=dict(tags or {}))
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+        return record
+
+    def record_job(self, result: JobResult, machine: str, seed: int) -> RunRecord:
+        """Append a fio :class:`JobResult` under a canonical key."""
+        nodes = ",".join(str(n) for n, _m in result.streams)
+        key = f"{result.engine}/nodes{nodes}/numjobs{result.numjobs}"
+        return self.record(key, result.aggregate_gbps, machine, seed)
+
+    def load(self) -> list[RunRecord]:
+        """All records, in append order."""
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(RunRecord.from_json(line))
+        return records
+
+    def latest(self) -> dict[str, RunRecord]:
+        """The most recent record per key."""
+        out: dict[str, RunRecord] = {}
+        for record in self.load():
+            out[record.key] = record
+        return out
+
+    def compare(
+        self, other: "RunLog" | Iterable[RunRecord], tolerance: float = 0.05
+    ) -> list[Regression]:
+        """Keys whose latest values differ beyond ``tolerance``.
+
+        ``other`` is the *new* log; ``self`` holds the baseline.
+        Keys missing on either side are ignored (they are additions or
+        removals, not drifts).
+        """
+        if not 0 < tolerance < 1:
+            raise BenchmarkError(f"tolerance must be in (0, 1), got {tolerance}")
+        baseline = self.latest()
+        if isinstance(other, RunLog):
+            fresh = other.latest()
+        else:
+            fresh = {}
+            for record in other:
+                fresh[record.key] = record
+        drifts = []
+        for key, old in baseline.items():
+            new = fresh.get(key)
+            if new is None:
+                continue
+            change = abs(new.gbps - old.gbps) / old.gbps
+            if change > tolerance:
+                drifts.append(
+                    Regression(key=key, old_gbps=old.gbps, new_gbps=new.gbps)
+                )
+        drifts.sort(key=lambda r: abs(r.relative_change), reverse=True)
+        return drifts

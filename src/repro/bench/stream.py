@@ -1,0 +1,154 @@
+"""The STREAM benchmark against the simulator.
+
+Reproduces §III-B1/§IV-A faithfully:
+
+* four kernels (Copy/Scale/Add/Triad) that "exhibit a similar
+  performance on modern machines" — modelled as small multiplicative
+  factors on the PIO capacity model;
+* arrays at least four times the LLC (validated; the paper computes
+  20 MB / 2,621,440 elements for the 5 MB Opteron LLC);
+* one thread per core of the pinned node, ``numactl`` static binding
+  for both CPU and memory;
+* each configuration run ``runs`` times, the **maximum** reported.
+
+Buffers are genuinely allocated through the page allocator with a hard
+BIND, so a node without enough free memory fails the way ``mbind``
+would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.results import BandwidthMatrix, Measurement
+from repro.errors import BenchmarkError
+from repro.memory.allocator import PageAllocator
+from repro.memory.policy import MemBinding
+from repro.osmodel.noise import NoiseModel
+from repro.rng import RngRegistry
+from repro.topology.machine import Machine
+
+__all__ = ["StreamBenchmark", "STREAM_KERNELS"]
+
+#: Kernel -> throughput factor relative to Copy.  STREAM's four kernels
+#: differ by arithmetic intensity and array count; on the modelled
+#: platforms they land within ~2 % of each other (§III-B1).
+STREAM_KERNELS = {
+    "copy": 1.0,
+    "scale": 0.985,
+    "add": 1.015,
+    "triad": 1.005,
+}
+
+
+class StreamBenchmark:
+    """STREAM with ``numactl``-style node binding.
+
+    Parameters
+    ----------
+    machine:
+        The host under test.
+    registry:
+        Seeded RNG registry (defaults to the library default seed).
+    runs:
+        Repetitions per configuration; the paper uses 100 and reports
+        the max.
+    kernel:
+        One of :data:`STREAM_KERNELS`.
+    array_bytes:
+        Size of each array; defaults to exactly 4x LLC and must be at
+        least that (STREAM's cache-defeat rule).
+    sigma:
+        Run-to-run lognormal noise.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        registry: RngRegistry | None = None,
+        runs: int = 100,
+        kernel: str = "copy",
+        array_bytes: int | None = None,
+        sigma: float = 0.008,
+    ) -> None:
+        if kernel not in STREAM_KERNELS:
+            raise BenchmarkError(
+                f"unknown STREAM kernel {kernel!r}; pick from {sorted(STREAM_KERNELS)}"
+            )
+        if runs < 1:
+            raise BenchmarkError(f"runs must be >= 1, got {runs}")
+        min_bytes = 4 * machine.params.llc_bytes
+        self.array_bytes = array_bytes if array_bytes is not None else min_bytes
+        if self.array_bytes < min_bytes:
+            raise BenchmarkError(
+                f"STREAM arrays must be >= 4x LLC = {min_bytes} bytes to defeat "
+                f"caching; got {self.array_bytes}"
+            )
+        self.machine = machine
+        self.registry = registry or RngRegistry()
+        self.runs = runs
+        self.kernel = kernel
+        self.sigma = sigma
+
+    @property
+    def array_elements(self) -> int:
+        """Array length in 8-byte elements (the paper quotes 2,621,440)."""
+        return self.array_bytes // 8
+
+    def _arrays_needed(self) -> int:
+        """Copy/Scale touch 2 arrays, Add/Triad touch 3."""
+        return 2 if self.kernel in ("copy", "scale") else 3
+
+    def measure(
+        self, cpu_node: int, mem_node: int, threads: int | None = None
+    ) -> Measurement:
+        """Benchmark one (CPU node, MEM node) binding.
+
+        Allocates the kernel's arrays on ``mem_node`` with a hard BIND
+        (mirroring ``numactl --membind``), runs the kernel ``runs``
+        times, and reports the maximum.
+        """
+        if threads is None:
+            threads = self.machine.node(cpu_node).n_cores
+        allocator = PageAllocator(self.machine)
+        footprint = self._arrays_needed() * self.array_bytes * threads
+        allocation = allocator.allocate(
+            footprint, cpu_node=cpu_node, binding=MemBinding.bind(mem_node)
+        )
+        try:
+            base = self.machine.pio_stream_gbps(cpu_node, mem_node, threads)
+            base *= STREAM_KERNELS[self.kernel]
+            noise = NoiseModel(
+                self.registry.stream(
+                    f"stream/{self.kernel}/cpu{cpu_node}-mem{mem_node}-t{threads}"
+                )
+            )
+            samples = base * noise.factors(self.sigma, self.runs)
+            return Measurement.from_samples(samples, protocol="max")
+        finally:
+            allocator.release(allocation)
+
+    def matrix(self, threads: int | None = None) -> BandwidthMatrix:
+        """The full N x N characterization (the paper's Fig. 3)."""
+        ids = self.machine.node_ids
+        values = np.zeros((len(ids), len(ids)))
+        for i, cpu in enumerate(ids):
+            for j, mem in enumerate(ids):
+                values[i, j] = self.measure(cpu, mem, threads).gbps
+        return BandwidthMatrix(
+            node_ids=ids,
+            values=values,
+            label=f"STREAM {self.kernel} (max of {self.runs} runs, Gbps)",
+        )
+
+    def cpu_centric(self, node: int, threads: int | None = None) -> dict[int, float]:
+        """Fig. 4(a): STREAM on ``node`` accessing data on every node."""
+        return {
+            mem: self.measure(node, mem, threads).gbps for mem in self.machine.node_ids
+        }
+
+    def memory_centric(self, node: int, threads: int | None = None) -> dict[int, float]:
+        """Fig. 4(b): data on ``node`` accessed from every node."""
+        return {
+            cpu: self.measure(cpu, node, threads).gbps for cpu in self.machine.node_ids
+        }

@@ -1,0 +1,333 @@
+"""Subcommand implementations for ``repro-numa``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import render_node_sweep
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob, parse_jobfile
+from repro.bench.stream import StreamBenchmark
+from repro.core.characterize import HostCharacterizer
+from repro.core.iomodel import IOModelBuilder
+from repro.core.predictor import MixturePredictor
+from repro.core.scheduler_advisor import PlacementAdvisor
+from repro.errors import ReproError
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.sweeps import operation_sweep
+from repro.memory.allocator import PageAllocator
+from repro.memory.policy import MemBinding
+from repro.osmodel.numactl import Numactl
+from repro.rng import RngRegistry
+from repro.topology import builders
+from repro.topology.hwloc import render_links, render_machine
+from repro.units import MiB
+
+__all__ = [
+    "cmd_hardware",
+    "cmd_stream",
+    "cmd_fio",
+    "cmd_iomodel",
+    "cmd_predict",
+    "cmd_advise",
+    "cmd_experiment",
+    "cmd_numastat",
+]
+
+_MACHINES = {
+    "reference": builders.reference_host,
+    "magny-cours-a": lambda: builders.magny_cours_4p("a"),
+    "magny-cours-b": lambda: builders.magny_cours_4p("b"),
+    "magny-cours-c": lambda: builders.magny_cours_4p("c"),
+    "magny-cours-d": lambda: builders.magny_cours_4p("d"),
+    "intel-4s4n": builders.intel_4s4n,
+    "amd-4s8n": builders.amd_4s8n,
+    "amd-8s8n": builders.amd_8s8n,
+    "hp-blade-32n": builders.hp_blade_32n,
+}
+
+
+def _machine(args: argparse.Namespace):
+    return _MACHINES[args.machine]()
+
+
+def _registry(args: argparse.Namespace) -> RngRegistry:
+    return RngRegistry(args.seed) if args.seed is not None else RngRegistry()
+
+
+def cmd_hardware(args: argparse.Namespace) -> int:
+    """``repro-numa hardware``."""
+    machine = _machine(args)
+    print(render_machine(machine))
+    print()
+    print(Numactl(machine).hardware())
+    if args.links:
+        print()
+        print(render_links(machine))
+    if getattr(args, "audit", False):
+        from repro.topology.audit import render_port_budget
+
+        print()
+        print(render_port_budget(machine))
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """``repro-numa stream``."""
+    machine = _machine(args)
+    bench = StreamBenchmark(
+        machine, registry=_registry(args), runs=args.runs, kernel=args.kernel
+    )
+    if args.cpu is None:
+        print(bench.matrix().render())
+        return 0
+    if args.mem is None:
+        raise ReproError("--mem is required with --cpu")
+    measurement = bench.measure(args.cpu, args.mem)
+    print(
+        f"STREAM {args.kernel} CPU{args.cpu}->MEM{args.mem}: "
+        f"{measurement.gbps:.2f} Gbps (max of {measurement.runs} runs, "
+        f"spread {measurement.spread:.2f})"
+    )
+    return 0
+
+
+def cmd_fio(args: argparse.Namespace) -> int:
+    """``repro-numa fio``."""
+    machine = _machine(args)
+    runner = FioRunner(machine, registry=_registry(args))
+    if args.jobfile:
+        with open(args.jobfile, "r", encoding="utf-8") as handle:
+            jobs = parse_jobfile(handle.read())
+    else:
+        if not args.engine or not args.rw:
+            raise ReproError("either --jobfile or both --engine and --rw are required")
+        jobs = [
+            FioJob(
+                name=f"cli-{args.engine}-{args.rw}",
+                engine=args.engine,
+                rw=args.rw,
+                numjobs=args.numjobs,
+                cpunodebind=args.node,
+                target_node=args.target,
+            )
+        ]
+    for result in runner.run_jobs(jobs):
+        print(result.render())
+    return 0
+
+
+def cmd_iomodel(args: argparse.Namespace) -> int:
+    """``repro-numa iomodel`` (the paper's numademo extension)."""
+    machine = _machine(args)
+    if args.mode == "both":
+        characterizer = HostCharacterizer(
+            machine, registry=_registry(args), runs=args.runs
+        )
+        print(characterizer.characterize(args.target).render())
+    else:
+        builder = IOModelBuilder(machine, registry=_registry(args), runs=args.runs)
+        model = builder.build(args.target, args.mode)
+        print(model.render())
+        print()
+        print(render_node_sweep(f"per-node memcpy {args.mode} bandwidth", model.values))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """``repro-numa predict``."""
+    machine = _machine(args)
+    registry = _registry(args)
+    try:
+        stream_nodes = tuple(int(tok) for tok in args.streams.split(",") if tok.strip())
+    except ValueError as exc:
+        raise ReproError(f"cannot parse --streams {args.streams!r}") from exc
+    direction = "read" if args.rw in ("read", "recv") else "write"
+    model = IOModelBuilder(machine, registry=registry).build(args.target, direction)
+    runner = FioRunner(machine, registry=registry)
+    sweep = operation_sweep(runner, args.engine, args.rw, numjobs=4)
+    predictor = MixturePredictor(model, sweep)
+    predicted = predictor.predict_streams(stream_nodes)
+    print(f"Eq. 1 prediction for streams {stream_nodes}: {predicted:.3f} Gbps")
+    if args.measure:
+        job = FioJob(
+            name="cli-mixture",
+            engine=args.engine,
+            rw=args.rw,
+            numjobs=len(stream_nodes),
+            stream_nodes=stream_nodes,
+        )
+        measured = runner.run(job).aggregate_gbps
+        print(predictor.validate(measured, stream_nodes).render())
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """``repro-numa advise``."""
+    machine = _machine(args)
+    registry = _registry(args)
+    direction = "read" if args.rw in ("read", "recv") else "write"
+    model = IOModelBuilder(machine, registry=registry).build(args.target, direction)
+    runner = FioRunner(machine, registry=registry)
+    sweep = operation_sweep(runner, args.engine, args.rw, numjobs=4)
+    advisor = PlacementAdvisor(machine, model, sweep)
+    plan = advisor.advise(args.tasks)
+    print(plan.render())
+    if args.compare:
+        naive = advisor.naive_plan(args.tasks)
+        for tag, p in (("spread", plan), ("all-local", naive)):
+            job = FioJob(
+                name=f"cli-advise-{tag}",
+                engine=args.engine,
+                rw=args.rw,
+                numjobs=p.n_tasks,
+                stream_nodes=tuple(p.stream_nodes()),
+            )
+            print(f"{tag}: {runner.run(job).aggregate_gbps:.2f} Gbps")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro-numa experiment``."""
+    if not args.id:
+        for exp_id, title in list_experiments().items():
+            print(f"{exp_id:5s} {title}")
+        return 0
+    if args.id == "all":
+        return _run_all_experiments(args)
+    result = run_experiment(args.id, quick=args.quick)
+    print(result.render())
+    if getattr(args, "json_path", None):
+        import json
+
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "exp_id": result.exp_id,
+                    "title": result.title,
+                    "passed": result.passed,
+                    "data": result.data,
+                    "checks": [
+                        {"name": c.name, "ok": c.ok, "detail": c.detail}
+                        for c in result.checks
+                    ],
+                },
+                handle,
+                indent=2,
+                default=str,
+            )
+    return 0 if result.passed else 1
+
+
+def _run_all_experiments(args: argparse.Namespace) -> int:
+    """``repro-numa experiment all [--outdir DIR]``."""
+    import pathlib
+
+    from repro.experiments import EXPERIMENTS
+
+    outdir = pathlib.Path(args.outdir) if args.outdir else None
+    if outdir is not None:
+        outdir.mkdir(parents=True, exist_ok=True)
+    failed = []
+    for exp_id in EXPERIMENTS:
+        result = run_experiment(exp_id, quick=args.quick)
+        status = "PASS" if result.passed else "FAIL"
+        print(f"{exp_id:5s} {status}  {result.title}")
+        if not result.passed:
+            failed.append(exp_id)
+            for check in result.failed_checks():
+                print(f"      {check.render()}")
+        if outdir is not None:
+            (outdir / f"{exp_id}.txt").write_text(
+                result.render() + "\n", encoding="utf-8"
+            )
+    if outdir is not None:
+        print(f"artifacts written to {outdir}/")
+    if failed:
+        print(f"failed: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``repro-numa plan``: rank device attachment points."""
+    from repro.analysis.planner import DeviceAttachmentPlanner
+
+    planner = DeviceAttachmentPlanner(_machine(args), write_weight=args.write_weight)
+    print(planner.render())
+    best = planner.best()
+    print(f"recommendation: attach at node {best.node}")
+    return 0
+
+
+def cmd_numademo(args: argparse.Namespace) -> int:
+    """``repro-numa numademo``: seven modules x three policies."""
+    from repro.bench.numademo import Numademo
+
+    machine = _machine(args)
+    demo = Numademo(machine, registry=_registry(args))
+    print(demo.render(args.node))
+    return 0
+
+
+def cmd_online(args: argparse.Namespace) -> int:
+    """``repro-numa online``: compare online placement policies."""
+    from repro.core.iomodel import IOModelBuilder
+    from repro.core.migration import OnlineSimulator, OnlineWorkload
+    from repro.core.traces import load_trace, save_trace
+
+    machine = _machine(args)
+    registry = _registry(args)
+    model = IOModelBuilder(machine, registry=registry).build(args.target, "write")
+    if getattr(args, "trace", None):
+        jobs = load_trace(args.trace)
+        print(f"replaying {len(jobs)} streams from {args.trace}")
+    else:
+        workload = OnlineWorkload(registry.child("cli"), rate_per_s=args.rate)
+        jobs = workload.generate(args.streams, label="cli")
+    if getattr(args, "save_trace", None):
+        save_trace(jobs, args.save_trace)
+        print(f"workload saved to {args.save_trace}")
+    simulator = OnlineSimulator(machine, model, registry=registry.child("sim"))
+    for outcome in simulator.compare(jobs).values():
+        print(outcome.render())
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """``repro-numa export``: machine description as JSON on stdout."""
+    import json
+
+    from repro.topology.serialize import machine_to_dict
+
+    print(json.dumps(machine_to_dict(_machine(args)), indent=2))
+    return 0
+
+
+def cmd_concurrent(args: argparse.Namespace) -> int:
+    """``repro-numa concurrent``: a job file's jobs, all at once."""
+    from repro.bench.concurrent import ConcurrentRunner
+
+    machine = _machine(args)
+    with open(args.jobfile, "r", encoding="utf-8") as handle:
+        jobs = parse_jobfile(handle.read())
+    result = ConcurrentRunner(machine, _registry(args)).run(jobs)
+    print(result.render())
+    print(f"total: {result.total_gbps:.2f} Gbps")
+    return 0
+
+
+def cmd_numastat(args: argparse.Namespace) -> int:
+    """``repro-numa numastat``: counters after a small demo workload."""
+    machine = _machine(args)
+    allocator = PageAllocator(machine)
+    # A little demo traffic: one local-preferred, one bound, one interleave.
+    first = machine.node_ids[0]
+    last = machine.node_ids[-1]
+    allocator.allocate(64 * MiB, cpu_node=first)
+    allocator.allocate(64 * MiB, cpu_node=first, binding=MemBinding.bind(last))
+    allocator.allocate(
+        64 * MiB, cpu_node=first, binding=MemBinding.interleave(*machine.node_ids)
+    )
+    print(allocator.stats.render())
+    return 0

@@ -1,0 +1,158 @@
+"""``repro-numa`` entry point and argument wiring."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli import commands
+from repro.errors import ReproError
+
+__all__ = ["build_parser", "main"]
+
+#: Machines selectable with ``--machine``.
+MACHINE_CHOICES = (
+    "reference",
+    "magny-cours-a",
+    "magny-cours-b",
+    "magny-cours-c",
+    "magny-cours-d",
+    "intel-4s4n",
+    "amd-4s8n",
+    "amd-8s8n",
+    "hp-blade-32n",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-numa",
+        description=(
+            "NUMA I/O bandwidth characterisation (ICPP 2013 reproduction): "
+            "a simulated NUMA host, the paper's benchmarks, and its "
+            "memcpy-based I/O performance-model methodology."
+        ),
+    )
+    parser.add_argument(
+        "--machine",
+        default="reference",
+        choices=MACHINE_CHOICES,
+        help="host to operate on (default: the calibrated reference host)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment RNG seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("hardware", help="numactl --hardware plus the fabric links")
+    p.add_argument("--links", action="store_true", help="include the directed link table")
+    p.add_argument("--audit", action="store_true",
+                   help="include the G34 HT port-budget audit")
+    p.set_defaults(func=commands.cmd_hardware)
+
+    p = sub.add_parser("stream", help="run the STREAM benchmark")
+    p.add_argument("--cpu", type=int, help="CPU node (omit for the full matrix)")
+    p.add_argument("--mem", type=int, help="memory node (with --cpu)")
+    p.add_argument("--kernel", default="copy",
+                   choices=("copy", "scale", "add", "triad"))
+    p.add_argument("--runs", type=int, default=100)
+    p.set_defaults(func=commands.cmd_stream)
+
+    p = sub.add_parser("fio", help="run fio jobs")
+    p.add_argument("--jobfile", help="ini-format job file path")
+    p.add_argument("--engine", choices=("tcp", "rdma", "libaio", "memcpy"))
+    p.add_argument("--rw", help="direction (send/recv/write/read)")
+    p.add_argument("--numjobs", type=int, default=4)
+    p.add_argument("--node", type=int, help="cpunodebind")
+    p.add_argument("--target", type=int, help="memcpy target node")
+    p.set_defaults(func=commands.cmd_fio)
+
+    p = sub.add_parser("iomodel", help="Algorithm 1: memcpy I/O performance model")
+    p.add_argument("--target", type=int, default=7, help="device-attached node")
+    p.add_argument("--mode", default="both", choices=("write", "read", "both"))
+    p.add_argument("--runs", type=int, default=100)
+    p.set_defaults(func=commands.cmd_iomodel)
+
+    p = sub.add_parser("predict", help="Eq. 1 mixture prediction")
+    p.add_argument("--target", type=int, default=7)
+    p.add_argument("--engine", default="rdma", choices=("tcp", "rdma", "libaio"))
+    p.add_argument("--rw", default="read")
+    p.add_argument(
+        "--streams",
+        required=True,
+        help="comma-separated source node per stream, e.g. 2,2,0,0",
+    )
+    p.add_argument("--measure", action="store_true",
+                   help="also run the mixture and report the error")
+    p.set_defaults(func=commands.cmd_predict)
+
+    p = sub.add_parser("advise", help="class-aware placement advice")
+    p.add_argument("--target", type=int, default=7)
+    p.add_argument("--engine", default="rdma", choices=("tcp", "rdma", "libaio"))
+    p.add_argument("--rw", default="write")
+    p.add_argument("--tasks", type=int, default=16)
+    p.add_argument("--compare", action="store_true",
+                   help="measure the spread plan against all-local binding")
+    p.set_defaults(func=commands.cmd_advise)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", nargs="?",
+                   help="experiment id, or 'all' (omit to list)")
+    p.add_argument("--quick", action="store_true", help="reduced run counts")
+    p.add_argument("--json", dest="json_path",
+                   help="also write the structured result data to this file")
+    p.add_argument("--outdir",
+                   help="with 'all': write each artifact to <outdir>/<id>.txt")
+    p.set_defaults(func=commands.cmd_experiment)
+
+    p = sub.add_parser("plan", help="rank nodes as device attachment points")
+    p.add_argument("--write-weight", type=float, default=0.5,
+                   help="fraction of expected traffic that is device-write")
+    p.set_defaults(func=commands.cmd_plan)
+
+    p = sub.add_parser("numastat", help="allocation counters after a demo workload")
+    p.set_defaults(func=commands.cmd_numastat)
+
+    p = sub.add_parser("numademo", help="the numademo module x policy grid")
+    p.add_argument("--node", type=int, default=0, help="CPU node to run on")
+    p.set_defaults(func=commands.cmd_numademo)
+
+    p = sub.add_parser(
+        "online", help="online placement/migration policy comparison"
+    )
+    p.add_argument("--target", type=int, default=7)
+    p.add_argument("--streams", type=int, default=40)
+    p.add_argument("--rate", type=float, default=0.1,
+                   help="stream arrivals per second")
+    p.add_argument("--trace", help="replay a workload trace instead of generating")
+    p.add_argument("--save-trace", dest="save_trace",
+                   help="save the generated workload to this trace file")
+    p.set_defaults(func=commands.cmd_online)
+
+    p = sub.add_parser("export", help="dump the machine description as JSON")
+    p.set_defaults(func=commands.cmd_export)
+
+    p = sub.add_parser(
+        "concurrent",
+        help="run a job file's jobs simultaneously with traffic counters",
+    )
+    p.add_argument("jobfile", help="ini-format fio job file")
+    p.set_defaults(func=commands.cmd_concurrent)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Two-host transfers: the paper's Fig. 2 testbed.
+
+The network experiments (§IV-B1/2) run between two identical hosts
+connected back to back over 40 GbE; the paper varies the NUMA binding
+on the *sender* side and on the *receiver* side separately, keeping the
+far end well tuned.  The single-host fio engines bake the "far end well
+tuned" assumption into their calibrated profiles; this package lifts it:
+a :class:`~repro.cluster.twohost.TwoHostSystem` composes a sender-side
+service level, a receiver-side service level, and the wire, so both
+ends' placements (and both ends' interrupt and oversubscription
+effects) matter at once.
+"""
+
+from repro.cluster.fabric import SwitchedCluster, Transfer, TransferOutcome
+from repro.cluster.link import EthernetLink
+from repro.cluster.twohost import NetJob, TwoHostSystem
+
+__all__ = [
+    "EthernetLink",
+    "TwoHostSystem",
+    "NetJob",
+    "SwitchedCluster",
+    "Transfer",
+    "TransferOutcome",
+]

@@ -1,0 +1,44 @@
+"""The inter-host cable."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.units import US
+
+__all__ = ["EthernetLink"]
+
+
+@dataclass(frozen=True)
+class EthernetLink:
+    """A point-to-point Ethernet link between two hosts.
+
+    Defaults describe the paper's testbed: 40 GbE back to back,
+    ~0.005 ms RTT (§III-A), 9000-byte frames (Table III).  The usable
+    payload rate accounts for Ethernet framing at the configured MTU.
+    """
+
+    raw_gbps: float = 40.0
+    rtt_s: float = 5 * US
+    frame_bytes: int = 9000
+
+    def __post_init__(self) -> None:
+        if self.raw_gbps <= 0:
+            raise DeviceError(f"link rate must be positive, got {self.raw_gbps!r}")
+        if self.rtt_s < 0:
+            raise DeviceError(f"negative RTT: {self.rtt_s!r}")
+        if self.frame_bytes < 576:
+            raise DeviceError(f"implausible frame size {self.frame_bytes!r}")
+
+    @property
+    def payload_gbps(self) -> float:
+        """Rate after per-frame overhead (preamble+header+FCS+IFG ~ 42 B)."""
+        overhead = 42
+        return self.raw_gbps * self.frame_bytes / (self.frame_bytes + overhead)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.raw_gbps:.0f} GbE, MTU {self.frame_bytes}, "
+            f"RTT {self.rtt_s * 1e6:.1f} us"
+        )

@@ -1,0 +1,214 @@
+"""End-to-end transfers across two hosts.
+
+Each stream's service is the minimum of three stages, each computed by
+the machinery already validated on one host:
+
+* the **sender-side** level — the write-direction engine profile against
+  the sender host's NUMA placement (what Table IV models);
+* the **receiver-side** level — the read-direction profile against the
+  receiver host's placement (Table V);
+* the **wire** — the Ethernet payload rate shared max-min by all
+  streams.
+
+With the far end optimally placed, the min() reduces to the one-sided
+values the single-host engines were calibrated on, so the Figs. 5/6
+sweeps are unchanged; with *both* ends mis-placed the composition shows
+what the paper's one-sided sweeps cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.engines import StreamPlacement, device_service_levels
+from repro.bench.results import JobResult
+from repro.cluster.link import EthernetLink
+from repro.errors import BenchmarkError
+from repro.flows.flow import Flow
+from repro.flows.network import FlowNetwork
+from repro.osmodel.noise import NoiseModel
+from repro.rng import RngRegistry
+from repro.topology.machine import Machine
+from repro.units import GB
+
+__all__ = ["NetJob", "TwoHostSystem"]
+
+#: Engine name -> (sender-side profile, receiver-side profile).
+_ENGINE_PROFILES = {
+    "tcp": ("tcp_send", "tcp_recv"),
+    "rdma": ("rdma_write", "rdma_read"),
+}
+
+
+@dataclass(frozen=True)
+class NetJob:
+    """A cross-host transfer job.
+
+    ``sender_node`` / ``receiver_node`` of ``None`` mean "well tuned":
+    the system picks the best placement on that side, reproducing the
+    paper's protocol of varying one side at a time.
+    """
+
+    name: str
+    engine: str = "tcp"
+    numjobs: int = 4
+    sender_node: int | None = None
+    receiver_node: int | None = None
+    size_bytes: float = 400 * GB
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINE_PROFILES:
+            raise BenchmarkError(
+                f"job {self.name!r}: unknown network engine {self.engine!r}; "
+                f"choose from {sorted(_ENGINE_PROFILES)}"
+            )
+        if self.numjobs < 1:
+            raise BenchmarkError(f"job {self.name!r}: numjobs must be >= 1")
+        if self.size_bytes <= 0:
+            raise BenchmarkError(f"job {self.name!r}: size must be positive")
+
+
+class TwoHostSystem:
+    """Two NIC-equipped hosts joined by one cable."""
+
+    def __init__(
+        self,
+        sender: Machine,
+        receiver: Machine,
+        link: EthernetLink | None = None,
+        registry: RngRegistry | None = None,
+        nic_name: str = "nic",
+    ) -> None:
+        for role, machine in (("sender", sender), ("receiver", receiver)):
+            if nic_name not in machine.devices:
+                raise BenchmarkError(
+                    f"{role} machine {machine.name!r} has no device {nic_name!r}"
+                )
+        self.sender = sender
+        self.receiver = receiver
+        self.link = link or EthernetLink()
+        self.registry = registry or RngRegistry()
+        self.nic_name = nic_name
+
+    # --- placement helpers ----------------------------------------------
+    def _levels(self, machine: Machine, profile_name: str, node: int,
+                numjobs: int, direction: str) -> list[float]:
+        nic = machine.devices[self.nic_name]
+        profile = nic.engine(profile_name)
+        placements = [
+            StreamPlacement(cpu_node=node, mem_node=node) for _ in range(numjobs)
+        ]
+        return device_service_levels(machine, nic, profile, placements, direction)
+
+    def best_node(self, machine: Machine, profile_name: str, direction: str) -> int:
+        """The well-tuned placement on one side (single-stream level)."""
+        def level(node: int) -> float:
+            return self._levels(machine, profile_name, node, 1, direction)[0]
+
+        return max(machine.node_ids, key=lambda n: (level(n), -n))
+
+    # --- execution -----------------------------------------------------------
+    def run(self, job: NetJob, run_idx: int = 0) -> JobResult:
+        """Transfer ``job`` sender -> receiver and report fio-style results."""
+        send_profile, recv_profile = _ENGINE_PROFILES[job.engine]
+        sender_node = (
+            job.sender_node
+            if job.sender_node is not None
+            else self.best_node(self.sender, send_profile, "write")
+        )
+        receiver_node = (
+            job.receiver_node
+            if job.receiver_node is not None
+            else self.best_node(self.receiver, recv_profile, "read")
+        )
+        for machine, node, role in (
+            (self.sender, sender_node, "sender"),
+            (self.receiver, receiver_node, "receiver"),
+        ):
+            if node not in machine.node_ids:
+                raise BenchmarkError(
+                    f"job {job.name!r}: unknown {role} node {node}"
+                )
+
+        n = job.numjobs
+        send_levels = self._levels(self.sender, send_profile, sender_node, n, "write")
+        recv_levels = self._levels(self.receiver, recv_profile, receiver_node, n, "read")
+        levels = [min(s, r) for s, r in zip(send_levels, recv_levels)]
+
+        sender_nic = self.sender.devices[self.nic_name]
+        profile = sender_nic.engine(send_profile)
+        service = sender_nic.dma.per_stream_caps(levels)
+        cpu_cap = float("inf")
+        if profile.cpu_gbps_per_stream is not None:
+            cores = self.sender.node(sender_node).n_cores
+            cpu_cap = profile.cpu_gbps_per_stream * min(1.0, cores / n)
+        per_cap = [
+            min(s,
+                profile.per_stream_cap_gbps or float("inf"),
+                cpu_cap)
+            for s in service
+        ]
+
+        noise = NoiseModel(
+            self.registry.stream(f"twohost/{job.engine}/{job.name}/run{run_idx}")
+        )
+        sigma = profile.sigma if n < profile.crowd_threshold else profile.crowd_sigma
+        stream_noise = noise.factors(sigma, n)
+
+        wire = "wire"
+        device = f"pipeline:{job.engine}"
+        agg_cap = sum(levels) / len(levels)
+        flows = [
+            Flow(
+                name=f"{job.name}/{i}",
+                resources=(device, wire),
+                demand_gbps=per_cap[i] * float(stream_noise[i]),
+                size_bytes=float(job.size_bytes),
+            )
+            for i in range(n)
+        ]
+        network = FlowNetwork(
+            {device: agg_cap * noise.factor(sigma), wire: self.link.payload_gbps}
+        )
+        outcomes = network.simulate(flows)
+        aggregate = sum(o.avg_gbps for o in outcomes.values())
+        return JobResult(
+            job_name=job.name,
+            engine=f"{job.engine}:twohost",
+            streams=tuple((sender_node, receiver_node) for _ in range(n)),
+            per_stream_gbps={name: o.avg_gbps for name, o in outcomes.items()},
+            aggregate_gbps=aggregate,
+            duration_s=max(o.finish_s for o in outcomes.values()),
+            tags={
+                "sender_node": sender_node,
+                "receiver_node": receiver_node,
+                "link": str(self.link),
+            },
+        )
+
+    def sweep_sender(self, job: NetJob, nodes=None, run_idx: int = 0):
+        """Fig. 5(a)/6(a) protocol: vary the sender, receiver well tuned."""
+        nodes = tuple(nodes) if nodes is not None else self.sender.node_ids
+        return {
+            node: self.run(
+                NetJob(name=f"{job.name}@s{node}", engine=job.engine,
+                       numjobs=job.numjobs, sender_node=node,
+                       receiver_node=job.receiver_node,
+                       size_bytes=job.size_bytes),
+                run_idx,
+            )
+            for node in nodes
+        }
+
+    def sweep_receiver(self, job: NetJob, nodes=None, run_idx: int = 0):
+        """Fig. 5(b)/6(b) protocol: vary the receiver, sender well tuned."""
+        nodes = tuple(nodes) if nodes is not None else self.receiver.node_ids
+        return {
+            node: self.run(
+                NetJob(name=f"{job.name}@r{node}", engine=job.engine,
+                       numjobs=job.numjobs, sender_node=job.sender_node,
+                       receiver_node=node, size_bytes=job.size_bytes),
+                run_idx,
+            )
+            for node in nodes
+        }

@@ -1,0 +1,135 @@
+"""Algorithm 1: NUMA I/O performance modelling with memory semantics.
+
+The paper's methodology, line for line:
+
+1. ``n <- numa_num_configured_nodes()``
+2. ``m <- numa_num_configured_cores() / n`` parallel copy threads
+3. for every node ``i``: allocate ``memsrc``/``memsnk`` per mode
+   (write: src on ``i``, sink on the target ``k``; read: the reverse),
+4. bind the copy threads to node ``k`` (simulating the device's DMA
+   engine), copy 100 times, record the **average** bandwidth,
+5. emit the device write/read performance model for node ``k``.
+
+No I/O device is touched: the model is built purely from memory-to-
+memory bulk copies, and validated elsewhere against real (simulated)
+TCP/RDMA/SSD runs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.engines import bulk_copy_gbps
+from repro.bench.results import Measurement
+from repro.core.classify import classify_nodes
+from repro.core.model import IOPerformanceModel
+from repro.errors import ModelError
+from repro.memory.allocator import PageAllocator
+from repro.osmodel import libnuma
+from repro.osmodel.noise import NoiseModel
+from repro.rng import RngRegistry
+from repro.topology.machine import Machine
+from repro.units import MiB
+
+__all__ = ["IOModelBuilder"]
+
+
+class IOModelBuilder:
+    """Build device write/read performance models per Algorithm 1.
+
+    Parameters
+    ----------
+    machine:
+        Host under characterisation.
+    registry:
+        Seeded RNG registry for measurement noise.
+    runs:
+        Copies per thread; the algorithm records their average (100 in
+        the paper).
+    buffer_bytes:
+        Per-thread copy buffer; must dwarf the LLC like STREAM's arrays.
+    rel_gap:
+        Class-splitting threshold passed to
+        :func:`~repro.core.classify.classify_nodes`.
+    sigma:
+        Per-run measurement noise.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        registry: RngRegistry | None = None,
+        runs: int = 100,
+        buffer_bytes: int = 64 * MiB,
+        rel_gap: float = 0.08,
+        sigma: float = 0.012,
+    ) -> None:
+        if runs < 1:
+            raise ModelError(f"runs must be >= 1, got {runs}")
+        if buffer_bytes < 4 * machine.params.llc_bytes:
+            raise ModelError(
+                f"copy buffers must be >= 4x LLC ({4 * machine.params.llc_bytes} "
+                f"bytes) to defeat caching, got {buffer_bytes}"
+            )
+        self.machine = machine
+        self.registry = registry or RngRegistry()
+        self.runs = runs
+        self.buffer_bytes = buffer_bytes
+        self.rel_gap = rel_gap
+        self.sigma = sigma
+
+    def threads_per_node(self) -> int:
+        """Algorithm 1 line 2: cores divided by nodes."""
+        n = libnuma.numa_num_configured_nodes(self.machine)
+        return libnuma.numa_num_configured_cpus(self.machine) // n
+
+    def measure_pair(self, other_node: int, target_node: int, mode: str) -> Measurement:
+        """One (node ``i``, target ``k``) probe: m threads, ``runs`` copies.
+
+        Buffers are genuinely allocated on their nodes (lines 5-10) so a
+        node without memory fails like ``numa_alloc_onnode`` would.
+        """
+        if mode not in ("write", "read"):
+            raise ModelError(f"mode must be 'write' or 'read', got {mode!r}")
+        machine = self.machine
+        m = self.threads_per_node()
+        allocator = PageAllocator(machine)
+        src_node, dst_node = (
+            (other_node, target_node) if mode == "write" else (target_node, other_node)
+        )
+        src = libnuma.numa_alloc_onnode(allocator, m * self.buffer_bytes, src_node)
+        snk = libnuma.numa_alloc_onnode(allocator, m * self.buffer_bytes, dst_node)
+        try:
+            libnuma.numa_run_on_node(machine, target_node)  # bind copy threads to k
+            base = bulk_copy_gbps(machine, src_node, dst_node, threads=m)
+            noise = NoiseModel(
+                self.registry.stream(
+                    f"iomodel/{mode}/k{target_node}-i{other_node}-m{m}"
+                )
+            )
+            samples = base * noise.factors(self.sigma, self.runs)
+            return Measurement.from_samples(samples, protocol="mean")
+        finally:
+            libnuma.numa_free(allocator, snk)
+            libnuma.numa_free(allocator, src)
+
+    def build(self, target_node: int, mode: str) -> IOPerformanceModel:
+        """The full Algorithm 1 loop over every node ``i``."""
+        machine = self.machine
+        if target_node not in machine.node_ids:
+            raise ModelError(f"unknown target node {target_node}")
+        values = {
+            i: self.measure_pair(i, target_node, mode).gbps for i in machine.node_ids
+        }
+        classes = classify_nodes(values, machine, target_node, rel_gap=self.rel_gap)
+        return IOPerformanceModel(
+            machine_name=machine.name,
+            target_node=target_node,
+            mode=mode,
+            values=values,
+            classes=classes,
+            threads=self.threads_per_node(),
+            runs=self.runs,
+        )
+
+    def build_both(self, target_node: int) -> tuple[IOPerformanceModel, IOPerformanceModel]:
+        """Write and read models for one target (the Fig. 10 pair)."""
+        return self.build(target_node, "write"), self.build(target_node, "read")

@@ -1,0 +1,385 @@
+"""Online placement and migration of parallel I/O streams.
+
+The paper's first future-work item (§VI): "mechanisms of placing and
+migrating parallel I/O threads for data-intensive applications based on
+the result of our characterization methodology."  This module builds
+that mechanism on top of the class model:
+
+* :class:`OnlineWorkload` — a seeded multi-user arrival process of
+  finite I/O streams hitting one device;
+* placement policies — ``local`` (everything on the device node),
+  ``random``, ``class-spread`` (least-loaded node of the equivalent
+  classes, the §V-B advice applied online), and ``class-migrate``
+  (streams *arrive* with the naive local placement — the Linux default
+  an unmodified application gets — and the controller migrates them off
+  oversubscribed or lower-class nodes at each epoch; this is the
+  "migrating parallel I/O threads" mechanism of §VI applied to
+  unmodified workloads);
+* :class:`OnlineSimulator` — an event-driven run (arrivals, completions,
+  migration epochs) whose instantaneous rates come from the same
+  service-level model as the fio engines, so policies are compared on
+  the exact physics the benchmarks validated.
+
+Migration is not free: a migrated stream pays ``migration_cost_s`` of
+stalled transfer (page unmap/copy/remap), so the policy must earn its
+moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.engines import StreamPlacement, device_service_levels
+from repro.errors import ModelError, SimulationError
+from repro.flows.flow import Flow
+from repro.flows.maxmin import maxmin_allocate
+from repro.core.model import IOPerformanceModel
+from repro.core.scheduler_advisor import PlacementAdvisor
+from repro.rng import RngRegistry
+from repro.topology.machine import Machine
+from repro.units import GB, gbps, gbps_to_bytes_per_s
+
+__all__ = [
+    "StreamJob",
+    "OnlineWorkload",
+    "PolicyOutcome",
+    "OnlineSimulator",
+    "POLICIES",
+]
+
+#: Policy names accepted by :meth:`OnlineSimulator.run`.
+POLICIES = ("local", "random", "class-spread", "class-migrate")
+
+
+@dataclass
+class StreamJob:
+    """One finite I/O stream in the online workload."""
+
+    name: str
+    arrival_s: float
+    size_bytes: float
+    direction: str = "write"
+    #: Assigned by the policy at arrival (and possibly re-assigned).
+    node: int | None = None
+    remaining_bytes: float = field(init=False)
+    start_s: float | None = None
+    finish_s: float | None = None
+    migrations: int = 0
+    #: Simulated time at which the stream may transfer again (migration stall).
+    stalled_until_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ModelError(f"stream {self.name!r}: size must be positive")
+        if self.direction not in ("write", "read"):
+            raise ModelError(f"stream {self.name!r}: bad direction {self.direction!r}")
+        self.remaining_bytes = float(self.size_bytes)
+
+
+class OnlineWorkload:
+    """Seeded multi-user arrival process.
+
+    Poisson arrivals at ``rate_per_s``; sizes lognormal around
+    ``mean_size_bytes``; direction drawn from ``write_fraction``.
+    """
+
+    def __init__(
+        self,
+        registry: RngRegistry | None = None,
+        rate_per_s: float = 0.05,
+        mean_size_bytes: float = 40 * GB,
+        size_sigma: float = 0.35,
+        write_fraction: float = 1.0,
+    ) -> None:
+        if rate_per_s <= 0 or mean_size_bytes <= 0:
+            raise ModelError("workload rate and size must be positive")
+        if not 0 <= write_fraction <= 1:
+            raise ModelError("write_fraction must be in [0, 1]")
+        self.registry = registry or RngRegistry()
+        self.rate_per_s = rate_per_s
+        self.mean_size_bytes = mean_size_bytes
+        self.size_sigma = size_sigma
+        self.write_fraction = write_fraction
+
+    def generate(self, n_streams: int, label: str = "wl") -> list[StreamJob]:
+        """``n_streams`` jobs with seeded arrivals and sizes."""
+        if n_streams < 1:
+            raise ModelError("need at least one stream")
+        rng = self.registry.stream(f"workload/{label}")
+        arrivals = np.cumsum(rng.exponential(1.0 / self.rate_per_s, n_streams))
+        sizes = self.mean_size_bytes * np.exp(
+            rng.normal(-0.5 * self.size_sigma**2, self.size_sigma, n_streams)
+        )
+        directions = np.where(
+            rng.random(n_streams) < self.write_fraction, "write", "read"
+        )
+        return [
+            StreamJob(
+                name=f"{label}/{i}",
+                arrival_s=float(arrivals[i]),
+                size_bytes=float(sizes[i]),
+                direction=str(directions[i]),
+            )
+            for i in range(n_streams)
+        ]
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Result of one policy over one workload."""
+
+    policy: str
+    mean_completion_s: float
+    p95_completion_s: float
+    makespan_s: float
+    aggregate_gbps: float
+    migrations: int
+    per_stream_completion_s: dict[str, float]
+
+    def render(self) -> str:
+        """One summary line."""
+        return (
+            f"{self.policy:14s} mean {self.mean_completion_s:8.1f} s, "
+            f"p95 {self.p95_completion_s:8.1f} s, aggregate "
+            f"{self.aggregate_gbps:5.2f} Gbps, {self.migrations} migrations"
+        )
+
+
+class OnlineSimulator:
+    """Event-driven online placement simulation against one device.
+
+    Parameters
+    ----------
+    machine:
+        Host with the target device attached.
+    model:
+        The memcpy class model of the device's node (drives the
+        class-aware policies; ``local``/``random`` ignore it).
+    device_name / engine:
+        Which device and protocol family streams use; write-direction
+        streams get the family's write profile and read-direction
+        streams its read profile.
+    tolerance:
+        Class-equivalence tolerance for the advisor.
+    epoch_s:
+        Migration-policy re-evaluation period.
+    migration_cost_s:
+        Transfer stall paid per migrated stream.
+    """
+
+    #: Protocol family -> per-direction device profile names.
+    ENGINE_PROFILES = {
+        "rdma": {"write": "rdma_write", "read": "rdma_read"},
+        "tcp": {"write": "tcp_send", "read": "tcp_recv"},
+        "libaio": {"write": "libaio_write", "read": "libaio_read"},
+    }
+
+    def __init__(
+        self,
+        machine: Machine,
+        model: IOPerformanceModel,
+        device_name: str = "nic",
+        engine: str = "rdma",
+        registry: RngRegistry | None = None,
+        tolerance: float = 0.05,
+        epoch_s: float = 20.0,
+        migration_cost_s: float = 0.5,
+    ) -> None:
+        device = machine.devices.get(device_name)
+        if device is None:
+            raise ModelError(
+                f"machine {machine.name!r} has no device {device_name!r}"
+            )
+        if engine not in self.ENGINE_PROFILES:
+            raise ModelError(
+                f"unknown engine {engine!r}; choose from "
+                f"{sorted(self.ENGINE_PROFILES)}"
+            )
+        self.machine = machine
+        self.model = model
+        self.device = device
+        self.profiles = {
+            direction: device.engine(name)
+            for direction, name in self.ENGINE_PROFILES[engine].items()
+        }
+        #: Write-side profile drives stream caps / noise defaults.
+        self.profile = self.profiles["write"]
+        self.registry = registry or RngRegistry()
+        self.advisor = PlacementAdvisor(machine, model, tolerance=tolerance)
+        self.epoch_s = epoch_s
+        self.migration_cost_s = migration_cost_s
+        # Candidate nodes for the class-aware policies, best class first.
+        self._candidates = list(self.advisor.candidate_nodes())
+
+    # --- placement decisions ---------------------------------------------
+    def _load(self, active: list[StreamJob]) -> dict[int, int]:
+        load = {n: 0 for n in self.machine.node_ids}
+        for job in active:
+            if job.node is not None:
+                load[job.node] += 1
+        return load
+
+    def _place(self, policy: str, job: StreamJob, active: list[StreamJob],
+               rng: np.random.Generator) -> int:
+        if policy in ("local", "class-migrate"):
+            # class-migrate models unmodified applications: they arrive
+            # with the kernel's local-preferred placement and only the
+            # migration controller moves them later.
+            return self.device.node_id
+        if policy == "random":
+            return int(rng.choice(self.machine.node_ids))
+        # class-spread: least-loaded candidate node at admission.
+        load = self._load(active)
+        return min(self._candidates, key=lambda n: (load[n], n))
+
+    def _plan_migrations(self, now: float, active: list[StreamJob]) -> int:
+        """class-migrate epochs: drain oversubscribed/non-candidate nodes."""
+        load = self._load(active)
+        moved = 0
+        for job in sorted(active, key=lambda j: j.name):
+            if job.node is None:
+                continue
+            cores = self.machine.node(job.node).n_cores
+            over = load[job.node] > cores
+            off_class = job.node not in self._candidates
+            if not (over or off_class):
+                continue
+            target = min(self._candidates, key=lambda n: (load[n], n))
+            has_room = load[target] < self.machine.node(target).n_cores
+            if target != job.node and (off_class or has_room):
+                load[job.node] -= 1
+                load[target] += 1
+                job.node = target
+                job.migrations += 1
+                job.stalled_until_s = max(job.stalled_until_s, now) + self.migration_cost_s
+                moved += 1
+        return moved
+
+    # --- rate computation ---------------------------------------------------
+    def _rates(self, now: float, active: list[StreamJob]) -> dict[str, float]:
+        running = [j for j in active if j.stalled_until_s <= now]
+        if not running:
+            return {}
+        placements = [
+            StreamPlacement(cpu_node=j.node, mem_node=j.node) for j in running
+        ]
+        # Direction mixes are legal; compute level vectors per direction
+        # once and pick each stream's entry from its own direction.
+        directions = {j.direction for j in running}
+        by_direction = {
+            d: device_service_levels(
+                self.machine, self.device, self.profiles[d], placements, d
+            )
+            for d in directions
+        }
+        levels = [by_direction[j.direction][i] for i, j in enumerate(running)]
+        n = len(running)
+        ways = max(1.0, n / self.device.dma.contexts)
+        resource = f"dev:{self.device.name}"
+        flows = []
+        for j, level in zip(running, levels):
+            profile = self.profiles[j.direction]
+            demand = level / ways
+            if profile.per_stream_cap_gbps is not None:
+                demand = min(demand, profile.per_stream_cap_gbps)
+            if profile.cpu_gbps_per_stream is not None:
+                demand = min(demand, profile.cpu_gbps_per_stream)
+            flows.append(Flow(name=j.name, resources=(resource,), demand_gbps=demand))
+        agg = sum(levels) / len(levels)
+        return maxmin_allocate(flows, {resource: agg})
+
+    # --- the event loop ---------------------------------------------------
+    def run(self, jobs: list[StreamJob], policy: str) -> PolicyOutcome:
+        """Simulate one policy over (fresh copies of) ``jobs``."""
+        if policy not in POLICIES:
+            raise ModelError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        rng = self.registry.stream(f"online/{policy}")
+        pending = sorted(
+            (StreamJob(name=j.name, arrival_s=j.arrival_s,
+                       size_bytes=j.size_bytes, direction=j.direction)
+             for j in jobs),
+            key=lambda j: (j.arrival_s, j.name),
+        )
+        active: list[StreamJob] = []
+        done: list[StreamJob] = []
+        now = 0.0
+        next_epoch = self.epoch_s
+        migrations = 0
+        guard = 0
+
+        while pending or active:
+            guard += 1
+            if guard > 200_000:  # pragma: no cover - safety valve
+                raise SimulationError("online simulation failed to converge")
+            # Admit arrivals due now.
+            while pending and pending[0].arrival_s <= now + 1e-12:
+                job = pending.pop(0)
+                job.node = self._place(policy, job, active, rng)
+                job.start_s = now
+                active.append(job)
+            if not active:
+                now = pending[0].arrival_s
+                continue
+
+            # Process any migration epochs that are due (idle jumps can
+            # skip several at once).
+            if policy == "class-migrate":
+                while now >= next_epoch - 1e-12:
+                    migrations += self._plan_migrations(now, active)
+                    next_epoch += self.epoch_s
+
+            rates = self._rates(now, active)
+            horizon = float("inf")
+            if pending:
+                horizon = min(horizon, pending[0].arrival_s - now)
+            if policy == "class-migrate":
+                horizon = min(horizon, next_epoch - now)
+            for job in active:
+                if job.stalled_until_s > now:
+                    horizon = min(horizon, job.stalled_until_s - now)
+                elif job.name in rates and rates[job.name] > 0:
+                    horizon = min(
+                        horizon,
+                        job.remaining_bytes
+                        / gbps_to_bytes_per_s(rates[job.name]),
+                    )
+            if horizon == float("inf") or horizon < 0:
+                raise SimulationError("no progress horizon in online simulation")
+
+            for job in active:
+                if job.name in rates and job.stalled_until_s <= now:
+                    job.remaining_bytes -= (
+                        gbps_to_bytes_per_s(rates[job.name]) * horizon
+                    )
+            now += horizon
+
+            still = []
+            for job in active:
+                if job.remaining_bytes <= max(1.0, 1e-9 * job.size_bytes):
+                    job.finish_s = now
+                    done.append(job)
+                else:
+                    still.append(job)
+            active = still
+
+        completions = {
+            j.name: j.finish_s - j.arrival_s for j in done  # type: ignore[operator]
+        }
+        times = np.array(sorted(completions.values()))
+        total_bytes = sum(j.size_bytes for j in done)
+        makespan = max(j.finish_s for j in done) - min(j.arrival_s for j in done)
+        return PolicyOutcome(
+            policy=policy,
+            mean_completion_s=float(times.mean()),
+            p95_completion_s=float(np.percentile(times, 95)),
+            makespan_s=makespan,
+            aggregate_gbps=gbps(total_bytes, makespan),
+            migrations=migrations + sum(j.migrations for j in done),
+            per_stream_completion_s=completions,
+        )
+
+    def compare(self, jobs: list[StreamJob], policies=POLICIES) -> dict[str, PolicyOutcome]:
+        """Run several policies over the same workload."""
+        return {policy: self.run(jobs, policy) for policy in policies}

@@ -1,0 +1,114 @@
+"""Eq. 1: multi-user aggregate bandwidth prediction.
+
+    BW_io = sum_i alpha_i% x BW_i
+
+where ``BW_i`` is the average bandwidth of performance class ``i`` (for
+the *operation being predicted*) and ``alpha_i`` the fraction of
+data-access streams coming from class ``i``.  The paper validates this
+on a 50/50 RDMA_READ mixture from nodes 2 (class 2) and 0 (class 3):
+predicted 20.017 Gbps vs 19.415 measured — 3.1 % relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.model import IOPerformanceModel
+from repro.errors import ModelError
+
+__all__ = ["MixturePredictor", "PredictionReport"]
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Predicted vs measured aggregate, with the paper's error metric."""
+
+    predicted_gbps: float
+    measured_gbps: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|predicted - measured| / measured`` (the paper's epsilon)."""
+        return abs(self.predicted_gbps - self.measured_gbps) / self.measured_gbps
+
+    def render(self) -> str:
+        """One-line summary."""
+        return (
+            f"predicted {self.predicted_gbps:.3f} Gbps, measured "
+            f"{self.measured_gbps:.3f} Gbps, relative error "
+            f"{100 * self.relative_error:.1f} %"
+        )
+
+
+class MixturePredictor:
+    """Predict multi-user aggregates from a class model.
+
+    Parameters
+    ----------
+    model:
+        The memcpy-derived class structure (which nodes share a class).
+    operation_values:
+        Per-node measured bandwidth of the operation being predicted
+        (e.g. an RDMA_READ node sweep).  ``BW_i`` is the mean of each
+        class's nodes under this operation — exactly the 'Avg' cells of
+        Tables IV/V.
+    """
+
+    def __init__(
+        self,
+        model: IOPerformanceModel,
+        operation_values: Mapping[int, float],
+    ) -> None:
+        missing = [n for n in model.values if n not in operation_values]
+        if missing:
+            raise ModelError(f"operation values missing for nodes {missing}")
+        self.model = model
+        self.operation_values = dict(operation_values)
+        self._class_avg = {
+            cls.rank: float(np.mean([operation_values[n] for n in cls.node_ids]))
+            for cls in model.classes
+        }
+
+    def class_avg(self, rank: int) -> float:
+        """``BW_i`` for class ``rank`` under the operation."""
+        try:
+            return self._class_avg[rank]
+        except KeyError as exc:
+            raise ModelError(f"model has no class {rank}") from exc
+
+    def predict_fractions(self, alpha: Mapping[int, float]) -> float:
+        """Eq. 1 with explicit class fractions (rank -> alpha_i)."""
+        total = sum(alpha.values())
+        if total <= 0:
+            raise ModelError("class fractions must sum to a positive value")
+        return sum(
+            (share / total) * self.class_avg(rank) for rank, share in alpha.items()
+        )
+
+    def predict_streams(self, stream_nodes: Iterable[int]) -> float:
+        """Eq. 1 with one entry per stream, mapped through the classes.
+
+        This is the paper's usage: "two processes transfer data from
+        node 2 ... and two other processes access from node 0" becomes
+        ``predict_streams([2, 2, 0, 0])``.
+        """
+        nodes = list(stream_nodes)
+        if not nodes:
+            raise ModelError("need at least one stream")
+        alpha: dict[int, float] = {}
+        for node in nodes:
+            rank = self.model.class_of(node).rank
+            alpha[rank] = alpha.get(rank, 0.0) + 1.0
+        return self.predict_fractions(alpha)
+
+    def validate(self, measured_gbps: float, stream_nodes: Iterable[int]) -> PredictionReport:
+        """Compare a prediction against a measured aggregate."""
+        if measured_gbps <= 0:
+            raise ModelError(f"measured aggregate must be positive, got {measured_gbps}")
+        return PredictionReport(
+            predicted_gbps=self.predict_streams(stream_nodes),
+            measured_gbps=measured_gbps,
+        )

@@ -1,0 +1,158 @@
+"""Placement advice from the class model (§V-B, third application).
+
+"Instead of allocating all application processes to node 7 only, we can
+evenly split the task processes among all nodes in class 1 and class 2"
+— the advisor finds the classes whose performance is within a tolerance
+of the best, spreads tasks round-robin across their nodes (respecting
+core counts), and can quantify the win against the naive all-local
+binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.model import IOPerformanceModel
+from repro.errors import ModelError
+from repro.topology.machine import Machine
+
+__all__ = ["PlacementPlan", "PlacementAdvisor"]
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Tasks per node, plus the classes the advisor drew from."""
+
+    tasks_per_node: dict[int, int]
+    classes_used: tuple[int, ...]
+
+    @property
+    def n_tasks(self) -> int:
+        """Total tasks placed."""
+        return sum(self.tasks_per_node.values())
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """Nodes receiving at least one task."""
+        return tuple(sorted(n for n, c in self.tasks_per_node.items() if c))
+
+    def stream_nodes(self) -> list[int]:
+        """Flat per-stream node list (for predictors and runners)."""
+        out: list[int] = []
+        for node in sorted(self.tasks_per_node):
+            out.extend([node] * self.tasks_per_node[node])
+        return out
+
+    def render(self) -> str:
+        """Human-readable placement."""
+        body = ", ".join(
+            f"node {n}: {c}" for n, c in sorted(self.tasks_per_node.items()) if c
+        )
+        return f"{self.n_tasks} tasks over classes {self.classes_used}: {body}"
+
+
+class PlacementAdvisor:
+    """Spread I/O tasks across performance-equivalent classes.
+
+    Parameters
+    ----------
+    machine:
+        The host (for core counts).
+    model:
+        The memcpy class model of the device's node.
+    operation_values:
+        Optional per-node measured bandwidths of the operation being
+        scheduled; class equivalence is judged on these when given
+        (the paper judges RDMA_WRITE classes 1 and 2 "almost identical"
+        on the RDMA_WRITE numbers, not the memcpy ones), else on the
+        model's own values.
+    tolerance:
+        Classes within ``tolerance`` (relative) of the best class's
+        average are considered equivalent.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        model: IOPerformanceModel,
+        operation_values: Mapping[int, float] | None = None,
+        tolerance: float = 0.05,
+    ) -> None:
+        if not 0 <= tolerance < 1:
+            raise ModelError(f"tolerance must be in [0, 1), got {tolerance}")
+        self.machine = machine
+        self.model = model
+        self.tolerance = tolerance
+        values = dict(operation_values) if operation_values else dict(model.values)
+        missing = [n for n in model.values if n not in values]
+        if missing:
+            raise ModelError(f"operation values missing for nodes {missing}")
+        self._class_avg = {
+            cls.rank: float(np.mean([values[n] for n in cls.node_ids]))
+            for cls in model.classes
+        }
+
+    def equivalent_classes(self) -> tuple[int, ...]:
+        """Ranks of the classes within tolerance of the best class."""
+        best = max(self._class_avg.values())
+        return tuple(
+            rank
+            for rank, avg in sorted(self._class_avg.items())
+            if (best - avg) / best <= self.tolerance
+        )
+
+    def candidate_nodes(self) -> tuple[int, ...]:
+        """Nodes of every equivalent class, best class first."""
+        ranks = set(self.equivalent_classes())
+        nodes: list[int] = []
+        for cls in sorted(self.model.classes, key=lambda c: -self._class_avg[c.rank]):
+            if cls.rank in ranks:
+                nodes.extend(cls.node_ids)
+        return tuple(nodes)
+
+    def advise(self, n_tasks: int, avoid_irq_node: bool = False) -> PlacementPlan:
+        """Spread ``n_tasks`` round-robin over the equivalent classes.
+
+        ``avoid_irq_node`` skips the device-local node while alternatives
+        exist (it pays the interrupt-handling penalty, §IV-B1).
+        """
+        if n_tasks < 1:
+            raise ModelError(f"n_tasks must be >= 1, got {n_tasks}")
+        nodes = list(self.candidate_nodes())
+        if avoid_irq_node and len(nodes) > 1:
+            nodes = [n for n in nodes if n != self.model.target_node]
+        capacity = {n: self.machine.node(n).n_cores for n in nodes}
+        placement = {n: 0 for n in nodes}
+        remaining = n_tasks
+        # Fill by rounds so load stays even, honouring core counts first.
+        while remaining:
+            progressed = False
+            for node in nodes:
+                if remaining == 0:
+                    break
+                if placement[node] < capacity[node]:
+                    placement[node] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                # All cores occupied; keep spreading evenly (oversubscribe).
+                for node in nodes:
+                    if remaining == 0:
+                        break
+                    placement[node] += 1
+                    remaining -= 1
+        return PlacementPlan(
+            tasks_per_node=placement, classes_used=self.equivalent_classes()
+        )
+
+    def naive_plan(self, n_tasks: int) -> PlacementPlan:
+        """The baseline the paper argues against: everything on the local node."""
+        if n_tasks < 1:
+            raise ModelError(f"n_tasks must be >= 1, got {n_tasks}")
+        return PlacementPlan(
+            tasks_per_node={self.model.target_node: n_tasks},
+            classes_used=(1,),
+        )

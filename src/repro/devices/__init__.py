@@ -1,0 +1,35 @@
+"""PCIe devices: NICs, SSDs, their DMA engines and interrupts.
+
+Devices attach to a NUMA node (via that node's I/O hub) and expose
+*engine profiles* — calibrated response curves mapping the DMA-plane
+path bandwidth between a buffer's node and the device's node to the
+bandwidth an I/O protocol achieves over that placement.  The curves are
+phenomenological on purpose: the paper's position is that device-level
+behaviour cannot be derived from topology and must be measured; our
+curves are fitted to the paper's Tables IV/V measurements, and the
+*methodology under test* (Algorithm 1) never reads them — it only sees
+memcpy bandwidth.
+"""
+
+from repro.devices.dma import DmaEngine
+from repro.devices.fit import CurveFit, fit_engine_profile, fit_response_curve
+from repro.devices.interrupts import IrqModel
+from repro.devices.nic import Nic
+from repro.devices.pcie import PcieLink
+from repro.devices.response import EngineProfile, ResponseCurve
+from repro.devices.ssd import SsdArray
+from repro.devices.standard import attach_reference_devices
+
+__all__ = [
+    "DmaEngine",
+    "IrqModel",
+    "Nic",
+    "PcieLink",
+    "EngineProfile",
+    "ResponseCurve",
+    "SsdArray",
+    "attach_reference_devices",
+    "CurveFit",
+    "fit_response_curve",
+    "fit_engine_profile",
+]

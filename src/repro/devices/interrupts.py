@@ -1,0 +1,44 @@
+"""Interrupt routing model.
+
+The paper pins every device interrupt to the device's local node
+(§III-B2), then observes the consequence: benchmark processes on that
+node contend with IRQ handling and often lose to the neighbouring node
+(§IV-B1).  :class:`IrqModel` captures this as a per-engine throughput
+factor applied to streams whose CPU node is the IRQ node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+__all__ = ["IrqModel"]
+
+
+@dataclass(frozen=True)
+class IrqModel:
+    """Where a device's interrupts are handled.
+
+    Parameters
+    ----------
+    irq_node:
+        NUMA node whose cores service this device's interrupts (the
+        device-local node under the paper's tuning).
+    """
+
+    irq_node: int
+
+    def __post_init__(self) -> None:
+        if self.irq_node < 0:
+            raise DeviceError(f"invalid IRQ node {self.irq_node!r}")
+
+    def factor(self, cpu_node: int, sensitivity: float) -> float:
+        """Throughput factor for a stream running on ``cpu_node``.
+
+        ``sensitivity`` is the engine's ``irq_sensitivity`` (1.0 for
+        offloaded protocols, below 1.0 for CPU-heavy ones).
+        """
+        if not 0 < sensitivity <= 1:
+            raise DeviceError(f"sensitivity must be in (0, 1], got {sensitivity!r}")
+        return sensitivity if cpu_node == self.irq_node else 1.0

@@ -1,0 +1,79 @@
+"""Network interface card model (TCP onload + RDMA offload engines)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.dma import DmaEngine
+from repro.devices.interrupts import IrqModel
+from repro.devices.pcie import PcieLink
+from repro.devices.response import EngineProfile
+from repro.errors import DeviceError
+
+__all__ = ["Nic"]
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A high-speed RoCE-capable Ethernet adapter.
+
+    Parameters
+    ----------
+    name:
+        Device name (e.g. ``"mlx-connectx3"``).
+    node_id:
+        NUMA node whose I/O hub the adapter hangs off.
+    pcie:
+        PCIe attachment (Gen 2 x8 on the reference host -> 32 Gbps).
+    engines:
+        Direction profiles keyed by engine name: ``tcp_send``,
+        ``tcp_recv``, ``rdma_write``, ``rdma_read``, ``rdma_send``.
+    irq:
+        Interrupt placement (device-local per the paper's tuning).
+    """
+
+    name: str
+    node_id: int
+    pcie: PcieLink
+    engines: dict[str, EngineProfile]
+    irq: IrqModel = field(default=None)  # type: ignore[assignment]
+    dma: DmaEngine = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.irq is None:
+            object.__setattr__(self, "irq", IrqModel(irq_node=self.node_id))
+        if self.dma is None:
+            object.__setattr__(self, "dma", DmaEngine(max_gbps=self.pcie.data_gbps))
+        if not self.engines:
+            raise DeviceError(f"NIC {self.name!r} has no engine profiles")
+        for engine_name, profile in self.engines.items():
+            if profile.curve.cap_gbps > self.pcie.data_gbps + 1e-9:
+                raise DeviceError(
+                    f"NIC {self.name!r} engine {engine_name!r} caps at "
+                    f"{profile.curve.cap_gbps} Gbps, above its PCIe limit "
+                    f"{self.pcie.data_gbps} Gbps"
+                )
+
+    def engine(self, name: str) -> EngineProfile:
+        """The profile for engine ``name``; raises on unknown engines."""
+        try:
+            return self.engines[name]
+        except KeyError as exc:
+            raise DeviceError(
+                f"NIC {self.name!r} has no engine {name!r}; "
+                f"available: {sorted(self.engines)}"
+            ) from exc
+
+    #: Direction of each engine relative to the device: ``write`` moves
+    #: host memory -> device (Table IV), ``read`` moves device -> host
+    #: memory (Table V).
+    ENGINE_DIRECTION = {
+        "tcp_send": "write",
+        "tcp_recv": "read",
+        "rdma_write": "write",
+        "rdma_read": "read",
+        "rdma_send": "write",
+    }
+
+    def __str__(self) -> str:
+        return f"NIC {self.name} on node {self.node_id}, {self.pcie}"

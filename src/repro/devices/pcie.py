@@ -1,0 +1,46 @@
+"""PCIe link description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.units import pcie_data_gbps
+
+__all__ = ["PcieLink"]
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """A PCIe attachment: generation and lane count.
+
+    The paper's NIC sits on Gen 2 x8: 40 Gbps raw, 32 Gbps after the
+    8b/10b encoding — the hard ceiling it quotes when arguing its 25 Gbps
+    TCP peak is "very close to the theoretical performance limit".
+    """
+
+    gen: int = 2
+    lanes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.lanes not in (1, 2, 4, 8, 16, 32):
+            raise DeviceError(f"invalid PCIe lane count {self.lanes!r}")
+        # Delegate generation validation (raises ValueError on bad gen).
+        try:
+            pcie_data_gbps(self.lanes, self.gen)
+        except ValueError as exc:
+            raise DeviceError(str(exc)) from exc
+
+    @property
+    def raw_gbps(self) -> float:
+        """Wire rate before encoding overhead."""
+        per_lane = {1: 2.5, 2: 5.0, 3: 8.0}[self.gen]
+        return self.lanes * per_lane
+
+    @property
+    def data_gbps(self) -> float:
+        """Usable data bandwidth after encoding overhead."""
+        return pcie_data_gbps(self.lanes, self.gen)
+
+    def __str__(self) -> str:
+        return f"PCIe Gen{self.gen} x{self.lanes} ({self.data_gbps:.1f} Gbps data)"

@@ -1,0 +1,90 @@
+"""PCIe SSD array model (the paper's two LSI Nytro WarpDrive cards)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.dma import DmaEngine
+from repro.devices.interrupts import IrqModel
+from repro.devices.pcie import PcieLink
+from repro.devices.response import EngineProfile
+from repro.errors import DeviceError
+
+__all__ = ["SsdArray"]
+
+
+@dataclass(frozen=True)
+class SsdArray:
+    """One or more PCIe flash cards benchmarked as a unit.
+
+    The paper drives both cards simultaneously with at least two
+    processes, kernel-bypass libaio at iodepth 16, so the array's DMA
+    engine exposes ``n_cards`` parallel contexts.
+
+    Parameters
+    ----------
+    name:
+        Array name.
+    node_id:
+        NUMA node whose I/O hub the cards hang off.
+    pcie:
+        Per-card PCIe attachment.
+    n_cards:
+        Cards in the array.
+    engines:
+        Profiles keyed by ``libaio_write`` / ``libaio_read``.
+    min_iodepth:
+        Queue depth below which a card cannot stay saturated; the
+        benchmark layer validates jobs against it (the paper uses 16).
+    """
+
+    name: str
+    node_id: int
+    pcie: PcieLink
+    engines: dict[str, EngineProfile]
+    n_cards: int = 2
+    min_iodepth: int = 4
+    irq: IrqModel = field(default=None)  # type: ignore[assignment]
+    dma: DmaEngine = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n_cards < 1:
+            raise DeviceError(f"SSD array {self.name!r} needs >= 1 card")
+        if self.irq is None:
+            object.__setattr__(self, "irq", IrqModel(irq_node=self.node_id))
+        if self.dma is None:
+            object.__setattr__(
+                self,
+                "dma",
+                DmaEngine(max_gbps=self.n_cards * self.pcie.data_gbps, contexts=self.n_cards),
+            )
+        if not self.engines:
+            raise DeviceError(f"SSD array {self.name!r} has no engine profiles")
+        aggregate_limit = self.n_cards * self.pcie.data_gbps
+        for engine_name, profile in self.engines.items():
+            if profile.curve.cap_gbps > aggregate_limit + 1e-9:
+                raise DeviceError(
+                    f"SSD array {self.name!r} engine {engine_name!r} caps at "
+                    f"{profile.curve.cap_gbps} Gbps, above the array PCIe limit "
+                    f"{aggregate_limit} Gbps"
+                )
+
+    def engine(self, name: str) -> EngineProfile:
+        """The profile for engine ``name``; raises on unknown engines."""
+        try:
+            return self.engines[name]
+        except KeyError as exc:
+            raise DeviceError(
+                f"SSD array {self.name!r} has no engine {name!r}; "
+                f"available: {sorted(self.engines)}"
+            ) from exc
+
+    ENGINE_DIRECTION = {
+        "libaio_write": "write",
+        "libaio_read": "read",
+    }
+
+    def __str__(self) -> str:
+        return (
+            f"SSD array {self.name}: {self.n_cards} x {self.pcie} on node {self.node_id}"
+        )

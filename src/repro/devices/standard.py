@@ -1,0 +1,156 @@
+"""The reference host's devices, calibrated to the paper's measurements.
+
+Curve-fit provenance (all targets from Tables IV and V; ``path`` values
+are the DMA-plane bandwidths the calibrated fabric yields):
+
+=============  =====  =====  ========================================
+engine         dir    cap    fit targets (path -> Gbps)
+=============  =====  =====  ========================================
+tcp_send       write  20.5   44.5 -> 20.4, 26.6 -> 16.2
+tcp_recv       read   21.4   40.4 -> 20.6, 27.9 -> 14.4
+rdma_write     write  23.3   44.5 -> 23.2, 26.6 -> 17.1
+rdma_read      read   22.0   40.4 -> 18.3, 27.9 -> 16.1
+libaio_write   write  29.0   44.5 -> 28.5, 26.6 -> 18.0
+libaio_read    read   34.7   40.4 -> 30.1, 27.9 -> 18.5
+=============  =====  =====  ========================================
+
+Write-direction curves anchor ``path_ref`` at 51.2 Gbps (the class-1
+write level); read-direction curves anchor at 47.0 Gbps — the *minimum*
+class-1 read path — so nodes 6 and {2, 3} sit flat at the cap exactly as
+the paper measures (RDMA_READ: 22.0-22.0 for both classes).
+
+``beta``/``gamma`` solve the two fit targets exactly:
+``gamma = ln(d2_target_ratio) / ln(d2/d1)``, ``beta = drop1 / d1**gamma``.
+"""
+
+from __future__ import annotations
+
+from repro.devices.interrupts import IrqModel
+from repro.devices.nic import Nic
+from repro.devices.pcie import PcieLink
+from repro.devices.response import EngineProfile, ResponseCurve
+from repro.devices.ssd import SsdArray
+from repro.errors import DeviceError
+
+__all__ = ["reference_nic", "reference_ssd_array", "attach_reference_devices"]
+
+#: DMA path reference for write-direction curves (class-1 write level).
+_WRITE_REF = 51.2
+#: DMA path reference for read-direction curves (class-1 read floor).
+_READ_REF = 47.0
+
+#: Protocol-processing throughput of one TCP stream's CPU share (Gbps);
+#: makes aggregate TCP grow until ~4 streams (Fig. 5) then plateau.
+_TCP_CPU_PER_STREAM = 6.9
+#: Throughput retained by CPU-heavy engines when running on the IRQ node;
+#: reproduces "node 6 beats node 7" (§IV-B1).
+_TCP_IRQ_SENSITIVITY = 0.966
+
+
+def reference_nic(node_id: int = 7, irq_node: int | None = None) -> Nic:
+    """The ConnectX-3 40 GbE RoCE adapter of Table II (PCIe Gen2 x8).
+
+    ``irq_node`` defaults to the device-local node (the paper's §III-B2
+    tuning); the IRQ-redirection ablation passes something else.
+    """
+    engines = {
+        "tcp_send": EngineProfile(
+            name="tcp_send",
+            curve=ResponseCurve(cap_gbps=20.5, path_ref_gbps=_WRITE_REF,
+                                beta=4.087e-4, gamma=2.8917),
+            cpu_gbps_per_stream=_TCP_CPU_PER_STREAM,
+            irq_sensitivity=_TCP_IRQ_SENSITIVITY,
+            sigma=0.012,
+            crowd_sigma=0.035,
+        ),
+        "tcp_recv": EngineProfile(
+            name="tcp_recv",
+            curve=ResponseCurve(cap_gbps=21.4, path_ref_gbps=_READ_REF,
+                                beta=0.0170, gamma=2.0415),
+            cpu_gbps_per_stream=_TCP_CPU_PER_STREAM,
+            irq_sensitivity=_TCP_IRQ_SENSITIVITY,
+            sigma=0.012,
+            crowd_sigma=0.035,
+        ),
+        # RDMA offloads protocol processing to the adapter: no per-stream
+        # CPU term, tiny run-to-run noise ("more stable than TCP", §IV-B2).
+        "rdma_write": EngineProfile(
+            name="rdma_write",
+            curve=ResponseCurve(cap_gbps=23.3, path_ref_gbps=_WRITE_REF,
+                                beta=2.393e-4, gamma=3.1730),
+            per_stream_cap_gbps=22.5,
+            sigma=0.002,
+            crowd_sigma=0.004,
+        ),
+        "rdma_read": EngineProfile(
+            name="rdma_read",
+            curve=ResponseCurve(cap_gbps=22.0, path_ref_gbps=_READ_REF,
+                                beta=1.614, gamma=0.4393),
+            per_stream_cap_gbps=21.5,
+            sigma=0.002,
+            crowd_sigma=0.004,
+        ),
+        "rdma_send": EngineProfile(
+            name="rdma_send",
+            curve=ResponseCurve(cap_gbps=23.0, path_ref_gbps=_WRITE_REF,
+                                beta=2.393e-4, gamma=3.1730),
+            per_stream_cap_gbps=22.2,
+            sigma=0.002,
+            crowd_sigma=0.004,
+        ),
+    }
+    return Nic(
+        name="mlx-connectx3",
+        node_id=node_id,
+        pcie=PcieLink(gen=2, lanes=8),
+        engines=engines,
+        irq=IrqModel(irq_node=node_id if irq_node is None else irq_node),
+    )
+
+
+def reference_ssd_array(node_id: int = 7) -> SsdArray:
+    """The two LSI Nytro WarpDrive cards of Table II, driven as one array."""
+    engines = {
+        "libaio_write": EngineProfile(
+            name="libaio_write",
+            curve=ResponseCurve(cap_gbps=29.0, path_ref_gbps=_WRITE_REF,
+                                beta=1.587e-3, gamma=2.756),
+            irq_sensitivity=0.99,
+            sigma=0.008,
+            crowd_sigma=0.02,
+        ),
+        "libaio_read": EngineProfile(
+            name="libaio_read",
+            curve=ResponseCurve(cap_gbps=34.7, path_ref_gbps=_READ_REF,
+                                beta=0.4922, gamma=1.1847),
+            sigma=0.006,
+            crowd_sigma=0.02,
+        ),
+    }
+    return SsdArray(
+        name="lsi-nytro-array",
+        node_id=node_id,
+        pcie=PcieLink(gen=2, lanes=8),
+        engines=engines,
+        n_cards=2,
+        min_iodepth=4,
+        irq=IrqModel(irq_node=node_id),
+    )
+
+
+def attach_device(machine, name: str, device) -> None:
+    """Attach ``device`` to ``machine`` under ``name``, validating its node."""
+    if device.node_id not in machine.node_ids:
+        raise DeviceError(
+            f"device {name!r} attaches to node {device.node_id}, "
+            f"which {machine.name!r} does not have"
+        )
+    if name in machine.devices:
+        raise DeviceError(f"machine {machine.name!r} already has a device {name!r}")
+    machine.devices[name] = device
+
+
+def attach_reference_devices(machine, io_node: int = 7) -> None:
+    """Attach the Table II NIC and SSD array to ``io_node`` (default 7)."""
+    attach_device(machine, "nic", reference_nic(io_node))
+    attach_device(machine, "ssd", reference_ssd_array(io_node))

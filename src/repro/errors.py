@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+Sub-types mirror the major subsystems; they carry enough context in their
+message to diagnose a mis-configured machine description or benchmark job
+without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A machine description is inconsistent (unknown node, bad link, ...)."""
+
+
+class RoutingError(ReproError):
+    """No route exists for a requested (source, destination, plane) triple."""
+
+
+class AllocationError(ReproError):
+    """A memory allocation could not be satisfied under the active policy."""
+
+
+class AffinityError(ReproError):
+    """A CPU or memory binding request referenced an invalid resource."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine or flow network reached an invalid state."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark job specification is invalid or a run failed."""
+
+
+class ModelError(ReproError):
+    """An I/O performance model is malformed or used inconsistently."""
+
+
+class DeviceError(ReproError):
+    """A PCIe device description or operation is invalid."""

@@ -1,0 +1,113 @@
+"""A4 — predictor shoot-out: memcpy model vs hop distance vs STREAM.
+
+The paper dismisses hop distance (§I-A) and STREAM cost models (§IV-B)
+qualitatively; this ablation quantifies the gap on a level playing
+field.  Each candidate cost model is wrapped in the *same* class /
+Eq. 1 machinery, then judged on:
+
+1. rank correlation with measured RDMA_READ bandwidth, and
+2. mean Eq. 1 prediction error over every two-class 4-stream mixture.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.analysis.baselines import (
+    hop_distance_model,
+    model_from_values,
+    stream_cost_model,
+)
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.core.iomodel import IOModelBuilder
+from repro.core.predictor import MixturePredictor
+from repro.core.validation import rank_correlation
+from repro.experiments.common import IO_NODE, check, default_machine, default_registry
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.sweeps import operation_sweep
+
+TITLE = "Ablation: Eq. 1 on memcpy vs hop-distance vs STREAM cost models"
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Compare the three cost models as RDMA_READ predictors."""
+    m = default_machine(machine)
+    registry = default_registry(registry)
+    runs = 10 if quick else 100
+
+    candidates = {
+        "iomodel": IOModelBuilder(m, registry=registry, runs=runs)
+        .build(IO_NODE, "read")
+        .values,
+        "hop-distance": hop_distance_model(m, IO_NODE),
+        "stream": stream_cost_model(m, IO_NODE, "read",
+                                    registry=registry.child("a4"), runs=runs),
+    }
+    runner = FioRunner(m, registry=registry)
+    measured = operation_sweep(runner, "rdma", "read", numjobs=4)
+
+    correlations = {
+        name: rank_correlation(values, measured)
+        for name, values in candidates.items()
+    }
+
+    # Eq. 1 over one FIXED mixture set (pairs spanning the true classes),
+    # so every candidate is judged on identical workloads.
+    probe_nodes = (0, 2, 4, 6)
+    mixtures = [(a, a, b, b) for a, b in itertools.combinations(probe_nodes, 2)]
+    measured_mix = {
+        streams: runner.run(
+            FioJob(
+                name=f"a4-{streams[0]}{streams[2]}", engine="rdma", rw="read",
+                numjobs=4, stream_nodes=streams,
+            )
+        ).aggregate_gbps
+        for streams in mixtures
+    }
+    errors: dict[str, float] = {}
+    for name, values in candidates.items():
+        model = model_from_values(m, IO_NODE, "read", values, label=name)
+        predictor = MixturePredictor(model, measured)
+        per_mixture = [
+            abs(predictor.predict_streams(streams) - measured_mix[streams])
+            / measured_mix[streams]
+            for streams in mixtures
+        ]
+        errors[name] = float(np.mean(per_mixture))
+
+    checks = (
+        check(
+            "memcpy model has the highest rank correlation",
+            correlations["iomodel"] >= max(correlations.values()) - 1e-9,
+            ", ".join(f"{k}: {v:+.3f}" for k, v in sorted(correlations.items())),
+        ),
+        check(
+            "hop distance is a poor read predictor (rho < 0.6)",
+            correlations["hop-distance"] < 0.6,
+            f"rho = {correlations['hop-distance']:+.3f}",
+        ),
+        check(
+            "memcpy classes give the lowest Eq. 1 mixture error",
+            errors["iomodel"] <= min(errors.values()) + 1e-9,
+            ", ".join(f"{k}: {100 * v:.1f} %" for k, v in sorted(errors.items())),
+        ),
+        check(
+            "memcpy Eq. 1 error under 6 %",
+            errors["iomodel"] < 0.06,
+            f"{100 * errors['iomodel']:.1f} %",
+        ),
+    )
+    lines = ["candidate cost models vs measured RDMA_READ:"]
+    for name in sorted(candidates):
+        lines.append(
+            f"  {name:14s} rho={correlations[name]:+.3f}  "
+            f"Eq.1 mixture error {100 * errors[name]:5.1f} %"
+        )
+    return ExperimentResult(
+        exp_id="a4", title=TITLE, text="\n".join(lines),
+        data={"correlations": correlations, "errors": errors},
+        checks=checks,
+    )

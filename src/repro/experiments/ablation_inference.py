@@ -1,0 +1,69 @@
+"""A1 — §IV-A negative result: topology is not inferable from STREAM.
+
+The paper tries to derive its host's topology from the STREAM matrix
+under the hop-distance hypothesis and fails: the matrix is asymmetric
+and matches none of the published Fig. 1 variants.  We run the same
+inference and require it to come out inconclusive — while confirming
+that on a *clean* machine (one of the variants itself, no credit
+asymmetries) the method does work, so the failure is informative.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.topology_inference import infer_topology
+from repro.bench.stream import StreamBenchmark
+from repro.experiments.common import check, default_machine, default_registry
+from repro.experiments.registry import ExperimentResult
+from repro.topology.builders import magny_cours_4p
+
+TITLE = "Ablation: hop-distance topology inference fails on the real host"
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Inference on the reference host (fails) and on a clean variant (works)."""
+    m = default_machine(machine)
+    registry = default_registry(registry)
+    runs = 10 if quick else 100
+
+    host_matrix = StreamBenchmark(m, registry=registry, runs=runs).matrix()
+    host_report = infer_topology(host_matrix)
+
+    clean = magny_cours_4p("a")
+    clean_matrix = StreamBenchmark(clean, registry=registry.child("clean"),
+                                   runs=runs).matrix()
+    clean_report = infer_topology(clean_matrix)
+
+    checks = (
+        check(
+            "reference host: inference is INCONCLUSIVE (paper's finding)",
+            not host_report.conclusive(),
+            f"best candidate {host_report.best.name} "
+            f"rho={host_report.best.spearman_rho:.3f}, "
+            f"asymmetry {100 * host_report.asymmetry:.1f} %",
+        ),
+        check(
+            "reference host matrix violates symmetric-metric assumption",
+            not host_report.metric_consistent,
+        ),
+        check(
+            "control: on a clean variant-a machine the right topology "
+            "scores best",
+            clean_report.best.name == "magny-cours-4p-a",
+            f"best {clean_report.best.name} rho={clean_report.best.spearman_rho:.3f}",
+        ),
+    )
+    text = "\n\n".join(
+        [
+            "Reference host:\n" + host_report.render(),
+            "Control (clean variant-a machine):\n" + clean_report.render(),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="a1", title=TITLE, text=text,
+        data={
+            "host_best_rho": host_report.best.spearman_rho,
+            "host_asymmetry": host_report.asymmetry,
+            "clean_best": clean_report.best.name,
+        },
+        checks=checks,
+    )

@@ -1,0 +1,107 @@
+"""A6 — calibration sensitivity: do the classes come from the fabric?
+
+DESIGN.md commits to class structure *emerging* from the link
+description rather than being painted on.  Two probes:
+
+1. **Robustness** — jitter every link's DMA credit by ±4 %: the class
+   structure of both node-7 models must not change (measurement-scale
+   perturbations don't flip the model).
+2. **Causality** — repair the single starved direction behind each
+   anomaly (2->7 request credits; 7->4 response credits): the
+   corresponding class must dissolve.  If the classes were hard-coded
+   anywhere downstream, this knob would do nothing.
+"""
+
+from __future__ import annotations
+
+from repro.core.iomodel import IOModelBuilder
+from repro.experiments.common import IO_NODE, check, default_registry
+from repro.experiments.registry import ExperimentResult
+from repro.rng import RngRegistry
+from repro.topology.builders import reference_host
+from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+TITLE = "Ablation: class structure is an emergent property of the fabric"
+
+
+def _classes(machine, registry: RngRegistry, mode: str, runs: int):
+    model = IOModelBuilder(machine, registry=registry, runs=runs).build(IO_NODE, mode)
+    return [sorted(c.node_ids) for c in model.classes]
+
+
+def _perturb_credits(data: dict, factor_fn) -> dict:
+    for entry in data["links"]:
+        entry["dma_credit"] = min(1.0, entry["dma_credit"] * factor_fn(entry))
+    return data
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Jitter and repair the fabric; watch the classes respond."""
+    registry = default_registry(registry)
+    runs = 5 if quick else 50
+    base = reference_host(with_devices=False)
+    base_write = _classes(base, registry, "write", runs)
+    base_read = _classes(base, registry, "read", runs)
+
+    # --- robustness: +/-4 % credit jitter --------------------------------
+    rng = registry.stream("a6/jitter")
+    jittered_data = _perturb_credits(
+        machine_to_dict(base),
+        lambda entry: float(1.0 + rng.uniform(-0.04, 0.04)),
+    )
+    jittered = machine_from_dict(jittered_data)
+    jit_write = _classes(jittered, registry.child("jit"), "write", runs)
+    jit_read = _classes(jittered, registry.child("jit"), "read", runs)
+
+    # --- causality: repair the starved 2->7 request direction ------------
+    repaired_23 = machine_to_dict(base)
+    for entry in repaired_23["links"]:
+        if entry["src"] == 2 and entry["dst"] == 7:
+            entry["dma_credit"] = 0.87  # like the healthy 0->7 direction
+    rep23_write = _classes(
+        machine_from_dict(repaired_23), registry.child("r23"), "write", runs
+    )
+
+    # --- causality: repair the starved 7->4 response direction -----------
+    repaired_4 = machine_to_dict(base)
+    for entry in repaired_4["links"]:
+        if entry["src"] == 7 and entry["dst"] == 4:
+            entry["dma_credit"] = 0.79  # like the healthy 7->0 direction
+    rep4_read = _classes(
+        machine_from_dict(repaired_4), registry.child("r4"), "read", runs
+    )
+
+    checks = (
+        check("4 % credit jitter leaves the write classes intact",
+              jit_write == base_write, f"{jit_write}"),
+        check("4 % credit jitter leaves the read classes intact",
+              jit_read == base_read, f"{jit_read}"),
+        check(
+            "repairing 2->7 credits dissolves write class 3 "
+            "(nodes {2,3} join class 2)",
+            rep23_write == [[6, 7], [0, 1, 2, 3, 4, 5]],
+            f"{rep23_write}",
+        ),
+        check(
+            "repairing 7->4 credits removes the read-class-4 outlier",
+            [4] not in rep4_read and len(rep4_read) == len(base_read) - 1,
+            f"{rep4_read}",
+        ),
+    )
+    lines = [
+        f"baseline write classes: {base_write}",
+        f"baseline read classes:  {base_read}",
+        f"jittered (+/-4 %):      {jit_write} / {jit_read}",
+        f"2->7 repaired (write):  {rep23_write}",
+        f"7->4 repaired (read):   {rep4_read}",
+    ]
+    return ExperimentResult(
+        exp_id="a6", title=TITLE, text="\n".join(lines),
+        data={
+            "base_write": base_write,
+            "base_read": base_read,
+            "repaired_write": rep23_write,
+            "repaired_read": rep4_read,
+        },
+        checks=checks,
+    )

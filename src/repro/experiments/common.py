@@ -1,0 +1,66 @@
+"""Shared helpers for experiment runners."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import Check
+from repro.rng import RngRegistry
+from repro.topology.builders import reference_host
+from repro.topology.machine import Machine
+
+__all__ = [
+    "default_machine",
+    "default_registry",
+    "check_close",
+    "check_order",
+    "check",
+    "IO_NODE",
+]
+
+#: The device-attached node on the reference host (paper: node 7).
+IO_NODE = 7
+
+
+def default_machine(machine: Machine | None) -> Machine:
+    """Use the supplied machine or build the reference host."""
+    return machine if machine is not None else reference_host()
+
+
+def default_registry(registry: RngRegistry | None) -> RngRegistry:
+    """Use the supplied registry or the library-default seed."""
+    return registry if registry is not None else RngRegistry()
+
+
+def check(name: str, ok: bool, detail: str = "") -> Check:
+    """Plain boolean check."""
+    return Check(name=name, ok=bool(ok), detail=detail)
+
+
+def check_close(name: str, measured: float, paper: float, rel_tol: float) -> Check:
+    """Measured within ``rel_tol`` (relative) of the paper's value."""
+    err = abs(measured - paper) / abs(paper)
+    return Check(
+        name=name,
+        ok=err <= rel_tol,
+        detail=f"measured {measured:.2f} vs paper {paper:.2f} ({100 * err:.1f} % off, "
+        f"tol {100 * rel_tol:.0f} %)",
+    )
+
+
+def check_order(name: str, values: dict[int, float], expected_desc: list[list[int]],
+                tolerance: float = 0.02) -> Check:
+    """Groups listed first must outperform groups listed later (on means).
+
+    ``tolerance`` forgives group-mean inversions below this relative
+    margin.
+    """
+    import numpy as np
+
+    means = [float(np.mean([values[n] for n in group])) for group in expected_desc]
+    ok = all(
+        later <= earlier * (1 + tolerance)
+        for earlier, later in zip(means, means[1:])
+    )
+    detail = " > ".join(
+        f"{group}:{mean:.1f}" for group, mean in zip(expected_desc, means)
+    )
+    return Check(name=name, ok=ok, detail=detail)

@@ -1,0 +1,52 @@
+"""T2/T3 — configuration tables (server hardware, network test params)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table2, render_table3
+from repro.bench.jobfile import NETWORK_TEST_DEFAULTS
+from repro.experiments.common import check, default_machine
+from repro.experiments.registry import ExperimentResult
+from repro.units import GB, KiB
+
+TITLE = "Tables II/III: testbed and benchmark configuration"
+TITLE_RUN_TABLE2 = "Table II: configuration of the AMD 4P server"
+TITLE_RUN_TABLE3 = "Table III: parameters for network I/O tests"
+
+
+def run_table2(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Render Table II and verify the reference host matches it."""
+    m = default_machine(machine)
+    nic = m.devices.get("nic")
+    checks = (
+        check("32 cores / 8 NUMA nodes", m.n_cores == 32 and m.n_nodes == 8,
+              f"{m.n_cores} cores, {m.n_nodes} nodes"),
+        check("32 GB memory total",
+              sum(m.node(n).memory_bytes for n in m.node_ids) == 32 * 2**30),
+        check("5 MB LLC per die", m.params.llc_bytes == 5_000_000),
+        check("NIC on PCIe Gen2 x8 (32 Gbps data)",
+              nic is not None and abs(nic.pcie.data_gbps - 32.0) < 1e-9),
+        check("two SSD cards attached",
+              "ssd" in m.devices and m.devices["ssd"].n_cards == 2),
+        check("all PCIe devices on node 7",
+              all(d.node_id == 7 for d in m.devices.values())),
+    )
+    return ExperimentResult(
+        exp_id="t2", title="Table II: configuration of the AMD 4P server",
+        text=render_table2(m), data={"nodes": m.n_nodes, "cores": m.n_cores},
+        checks=checks,
+    )
+
+
+def run_table3(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Render Table III and verify the fio defaults match it."""
+    d = NETWORK_TEST_DEFAULTS
+    checks = (
+        check("400 GB per test process", d["size_bytes"] == 400 * GB),
+        check("cubic TCP", d["tcp_variant"] == "cubic"),
+        check("128 KiB blocks", d["blocksize"] == 128 * KiB),
+        check("9000-byte frames", d["frame_bytes"] == 9000),
+    )
+    return ExperimentResult(
+        exp_id="t3", title="Table III: parameters for network I/O tests",
+        text=render_table3(), data=dict(d), checks=checks,
+    )

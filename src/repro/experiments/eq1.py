@@ -1,0 +1,85 @@
+"""EQ1 — the Eq. 1 worked example (§V-B).
+
+Two RDMA_READ streams from node 2 (class 2) plus two from node 0
+(class 3).  The paper predicts 20.017 Gbps from the class averages,
+measures 19.415 Gbps, and reports 3.1 % relative error.  We re-run the
+whole pipeline: model -> class averages -> prediction -> mixed fio run.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.core.iomodel import IOModelBuilder
+from repro.core.predictor import MixturePredictor
+from repro.experiments import paper_values
+from repro.experiments.common import (
+    IO_NODE,
+    check,
+    check_close,
+    default_machine,
+    default_registry,
+)
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.sweeps import operation_sweep
+
+TITLE = "Eq. 1: multi-user aggregate bandwidth prediction (RDMA_READ mixture)"
+
+MIX_NODES = (2, 2, 0, 0)
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Predict and measure the paper's 50/50 class mixture."""
+    m = default_machine(machine)
+    registry = default_registry(registry)
+    model = IOModelBuilder(m, registry=registry, runs=10 if quick else 100).build(
+        IO_NODE, "read"
+    )
+    runner = FioRunner(m, registry=registry)
+    rdma_read = operation_sweep(runner, "rdma", "read", numjobs=4)
+    predictor = MixturePredictor(model, rdma_read)
+
+    mixed = runner.run(
+        FioJob(
+            name="eq1-mixture",
+            engine="rdma",
+            rw="read",
+            numjobs=len(MIX_NODES),
+            stream_nodes=MIX_NODES,
+        )
+    )
+    report = predictor.validate(mixed.aggregate_gbps, MIX_NODES)
+
+    ex = paper_values.EQ1_EXAMPLE
+    class2 = predictor.class_avg(model.class_of(2).rank)
+    class3 = predictor.class_avg(model.class_of(0).rank)
+    checks = (
+        check_close("class average of node 2's class", class2, ex["class2_avg"], 0.05),
+        check_close("class average of node 0's class", class3, ex["class3_avg"], 0.05),
+        check_close("predicted aggregate", report.predicted_gbps, ex["predicted"], 0.05),
+        check_close("measured aggregate", report.measured_gbps, ex["measured"], 0.05),
+        check(
+            "relative error within the paper's ballpark (<= 6 %)",
+            report.relative_error <= 0.06,
+            f"{100 * report.relative_error:.1f} % (paper: 3.1 %)",
+        ),
+    )
+    text = "\n".join(
+        [
+            f"streams: {MIX_NODES} (class "
+            f"{model.class_of(2).rank} x2 + class {model.class_of(0).rank} x2)",
+            f"BW_class2 = {class2:.3f} Gbps, BW_class3 = {class3:.3f} Gbps",
+            report.render(),
+            f"paper: predicted {ex['predicted']}, measured {ex['measured']}, "
+            f"error {100 * ex['relative_error']:.1f} %",
+        ]
+    )
+    return ExperimentResult(
+        exp_id="eq1", title=TITLE, text=text,
+        data={
+            "predicted": report.predicted_gbps,
+            "measured": report.measured_gbps,
+            "relative_error": report.relative_error,
+        },
+        checks=checks,
+    )

@@ -1,0 +1,60 @@
+"""F10 — Fig. 10: the proposed memcpy model of node 7 (Algorithm 1).
+
+The methodology under test: build the device write/read performance
+models *without touching any device*, and verify their class structure
+matches Tables IV/V (classes and averages).
+"""
+
+from __future__ import annotations
+
+from repro.core.iomodel import IOModelBuilder
+from repro.experiments import paper_values
+from repro.experiments.common import (
+    IO_NODE,
+    check,
+    check_close,
+    default_machine,
+    default_registry,
+)
+from repro.experiments.registry import ExperimentResult
+
+TITLE = "Fig. 10: proposed memcpy-based I/O performance model of node 7"
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Run Algorithm 1 for both modes and check classes + averages."""
+    m = default_machine(machine)
+    builder = IOModelBuilder(m, registry=default_registry(registry),
+                             runs=10 if quick else 100)
+    write_model, read_model = builder.build_both(IO_NODE)
+
+    checks = [
+        check(
+            "write classes = {6,7} > {0,1,4,5} > {2,3}",
+            [sorted(c.node_ids) for c in write_model.classes]
+            == paper_values.TABLE4_CLASSES,
+            f"got {[sorted(c.node_ids) for c in write_model.classes]}",
+        ),
+        check(
+            "read classes = {6,7} > {2,3} > {0,1,5} > {4}",
+            [sorted(c.node_ids) for c in read_model.classes]
+            == paper_values.TABLE5_CLASSES,
+            f"got {[sorted(c.node_ids) for c in read_model.classes]}",
+        ),
+    ]
+    for model, paper_avgs, label in (
+        (write_model, paper_values.TABLE4_AVG["memcpy"], "write"),
+        (read_model, paper_values.TABLE5_AVG["memcpy"], "read"),
+    ):
+        for cls, paper_avg in zip(model.classes, paper_avgs):
+            checks.append(
+                check_close(
+                    f"{label} class {cls.rank} average", cls.avg, paper_avg, 0.10
+                )
+            )
+    text = "\n\n".join([write_model.render(), read_model.render()])
+    return ExperimentResult(
+        exp_id="f10", title=TITLE, text=text,
+        data={"write": write_model.values, "read": read_model.values},
+        checks=tuple(checks),
+    )

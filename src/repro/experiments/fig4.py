@@ -1,0 +1,62 @@
+"""F4 — Fig. 4: CPU-centric and memory-centric STREAM models of node 7.
+
+Plus the §IV-B2 quantitative claim: in the CPU-centric model, nodes
+{0,1} outperform {2,3} by 43-88 %.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mismatch import group_ratio
+from repro.analysis.report import render_node_sweep
+from repro.bench.stream import StreamBenchmark
+from repro.experiments import paper_values
+from repro.experiments.common import IO_NODE, check, default_machine, default_registry
+from repro.experiments.registry import ExperimentResult
+
+TITLE = "Fig. 4: STREAM CPU-centric and memory-centric models of node 7"
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Row/column 7 of the STREAM matrix plus the {0,1}/{2,3} ratios."""
+    m = default_machine(machine)
+    bench = StreamBenchmark(m, registry=default_registry(registry),
+                            runs=10 if quick else 100)
+    cpu_centric = bench.cpu_centric(IO_NODE)
+    memory_centric = bench.memory_centric(IO_NODE)
+
+    facts = paper_values.STREAM_FACTS
+    ratios = [
+        cpu_centric[a] / cpu_centric[b] for a in (0, 1) for b in (2, 3)
+    ]
+    lo, hi = facts["ratio_01_over_23_min"], facts["ratio_01_over_23_max"]
+    # Allow a small margin around the paper's [1.43, 1.88] band.
+    in_band = all(lo * 0.93 <= r <= hi * 1.07 for r in ratios)
+
+    checks = (
+        check("CPU-centric: {0,1} beat {2,3} by 43-88 %", in_band,
+              f"pairwise ratios {[round(r, 2) for r in ratios]}"),
+        check("memory-centric: {0,1} beat {2,3}",
+              group_ratio(memory_centric, (0, 1), (2, 3)) > 1.0),
+        check("memory-centric: node 4 is the worst non-class-1 node",
+              min(((n, v) for n, v in memory_centric.items() if n not in (6, 7)),
+                  key=lambda kv: kv[1])[0] == 4),
+        check("both models: local best, neighbour second",
+              cpu_centric[7] > cpu_centric[6] > max(cpu_centric[n] for n in range(6))
+              and memory_centric[7] > memory_centric[6]
+              > max(memory_centric[n] for n in range(6))),
+    )
+    text = "\n\n".join(
+        [
+            render_node_sweep("(a) CPU centric: STREAM on node 7, data on node N",
+                              cpu_centric),
+            render_node_sweep("(b) memory centric: data on node 7, STREAM on node N",
+                              memory_centric),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="f4",
+        title=TITLE,
+        text=text,
+        data={"cpu_centric": cpu_centric, "memory_centric": memory_centric},
+        checks=checks,
+    )

@@ -1,0 +1,84 @@
+"""F5 — Fig. 5: TCP send/receive bandwidth vs concurrent streams.
+
+Shape facts (§IV-B1): aggregate grows with streams until four parallel
+streams, then plateaus with contention jitter; peak stays within the
+PCIe-derated protocol budget; nodes {2,3} underperform on send; node 4
+is the clear loser on receive; and binding to the device-local node 7 is
+often *not* the best choice — node 6 wins in many configurations
+(interrupt handling lives on node 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_series
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.experiments.common import check, default_machine, default_registry
+from repro.experiments.registry import ExperimentResult
+
+TITLE = "Fig. 5: TCP bandwidth vs streams and NUMA binding"
+
+STREAM_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """TCP send/recv (node x streams) grids with shape checks."""
+    m = default_machine(machine)
+    runner = FioRunner(m, registry=default_registry(registry))
+    counts = (1, 4, 16) if quick else STREAM_COUNTS
+
+    grids = {}
+    for rw in ("send", "recv"):
+        base = FioJob(name=f"fig5-{rw}", engine="tcp", rw=rw, numjobs=1)
+        grid = runner.grid(base, counts=counts)
+        grids[rw] = {
+            node: {n: res.aggregate_gbps for n, res in per_count.items()}
+            for node, per_count in grid.items()
+        }
+
+    send, recv = grids["send"], grids["recv"]
+    grows = all(
+        send[node][1] < send[node][2] < send[node][4]
+        for node in m.node_ids
+        if {1, 2, 4} <= set(counts)
+    ) if not quick else all(send[node][1] < send[node][4] for node in m.node_ids)
+    peak = max(v for curve in send.values() for v in curve.values())
+    node6_wins = sum(
+        1 for n_streams in counts if send[6][n_streams] >= send[7][n_streams]
+    )
+    send_23 = np.mean([send[n][4] for n in (2, 3)]) if 4 in counts else np.mean(
+        [send[n][counts[-1]] for n in (2, 3)]
+    )
+    send_others = np.mean([send[n][4 if 4 in counts else counts[-1]]
+                           for n in (0, 1, 4, 5)])
+    recv_4 = min(recv[4][c] for c in counts if c >= 4)
+    recv_rest_min = min(
+        recv[n][c] for n in m.node_ids if n != 4 for c in counts if c >= 4
+    )
+
+    checks = (
+        check("bandwidth grows until 4 parallel streams", grows),
+        check("peak within the 32 Gbps PCIe budget and above 19 Gbps",
+              19.0 <= peak <= 26.0, f"peak {peak:.1f} Gbps"),
+        check("node 6 matches or beats local node 7 in most stream counts",
+              node6_wins >= len(counts) - 1,
+              f"node 6 wins {node6_wins}/{len(counts)}"),
+        check("send: nodes {2,3} trail the other remotes by >10 %",
+              send_23 < 0.9 * send_others,
+              f"{send_23:.1f} vs {send_others:.1f} Gbps"),
+        check("receive: node 4 is the worst binding",
+              recv_4 < recv_rest_min,
+              f"node4 {recv_4:.1f} vs others' min {recv_rest_min:.1f} Gbps"),
+    )
+    text = "\n\n".join(
+        [
+            render_series("(a) TCP send (data to the NIC)", send),
+            render_series("(b) TCP receive (data from the NIC)", recv),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="f5", title=TITLE, text=text,
+        data={"send": send, "recv": recv}, checks=checks,
+    )

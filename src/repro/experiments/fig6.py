@@ -1,0 +1,85 @@
+"""F6 — Fig. 6: RDMA_WRITE / RDMA_READ bandwidth per NUMA binding.
+
+Shape facts (§IV-B2): RDMA is markedly more stable than TCP (offloaded
+protocol processing); RDMA_WRITE follows the write-model classes with
+classes 1 and 2 nearly identical; RDMA_READ *reverses* the STREAM
+ordering — nodes {0,1} measure 15-18.4 % below {2,3}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.mismatch import group_ratio
+from repro.analysis.report import render_series
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.experiments.common import check, default_machine, default_registry
+from repro.experiments.registry import ExperimentResult
+
+TITLE = "Fig. 6: RDMA bandwidth vs streams and NUMA binding"
+
+STREAM_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """RDMA write/read grids plus the rank-reversal check."""
+    m = default_machine(machine)
+    runner = FioRunner(m, registry=default_registry(registry))
+    counts = (1, 2, 4) if quick else STREAM_COUNTS
+
+    grids = {}
+    for engine, rw in (("rdma", "write"), ("rdma", "read"), ("tcp", "send")):
+        base = FioJob(name=f"fig6-{engine}-{rw}", engine=engine, rw=rw, numjobs=1)
+        grid = runner.grid(base, counts=counts)
+        grids[f"{engine}_{rw}"] = {
+            node: {n: res.aggregate_gbps for n, res in per_count.items()}
+            for node, per_count in grid.items()
+        }
+    write, read = grids["rdma_write"], grids["rdma_read"]
+    tcp = grids["tcp_send"]
+
+    # Stability: relative spread across stream counts, per node.
+    def spread(curves: dict[int, dict[int, float]]) -> float:
+        rels = []
+        for node, curve in curves.items():
+            vals = [curve[c] for c in counts if c >= 2]
+            if len(vals) < 2:
+                vals = [curve[c] for c in counts]
+            rels.append((max(vals) - min(vals)) / max(vals))
+        return float(np.mean(rels))
+
+    at = 4 if 4 in counts else counts[-1]
+    read_sweep = {n: read[n][at] for n in m.node_ids}
+    ratio = group_ratio(read_sweep, (0, 1), (2, 3))
+    deficit = 1.0 - ratio  # paper: 15 - 18.4 %
+
+    write_c1 = np.mean([write[n][at] for n in (6, 7)])
+    write_c2 = np.mean([write[n][at] for n in (0, 1, 4, 5)])
+    write_c3 = np.mean([write[n][at] for n in (2, 3)])
+
+    rdma_spread = max(spread(write), spread(read))
+    checks = (
+        check("RDMA markedly stabler than TCP (the paper's claim)",
+              rdma_spread < 0.12 and rdma_spread < 0.5 * spread(tcp),
+              f"rdma {100 * rdma_spread:.1f} % vs tcp {100 * spread(tcp):.1f} %"),
+        check("RDMA_WRITE: classes 1 and 2 nearly identical (within 6 %)",
+              abs(write_c1 - write_c2) / write_c1 < 0.06,
+              f"{write_c1:.1f} vs {write_c2:.1f} Gbps"),
+        check("RDMA_WRITE: class 3 ({2,3}) well below (>20 %)",
+              write_c3 < 0.8 * write_c2,
+              f"{write_c3:.1f} vs {write_c2:.1f} Gbps"),
+        check("RDMA_READ reversal: {0,1} 15-18.4 % below {2,3}",
+              0.10 <= deficit <= 0.25,
+              f"measured deficit {100 * deficit:.1f} %"),
+    )
+    text = "\n\n".join(
+        [
+            render_series("(a) RDMA_WRITE", write),
+            render_series("(b) RDMA_READ", read),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="f6", title=TITLE, text=text,
+        data={"write": write, "read": read}, checks=checks,
+    )

@@ -1,0 +1,72 @@
+"""F7 — Fig. 7: PCIe SSD read/write bandwidth per NUMA binding.
+
+Protocol per §IV-B3: kernel-bypass libaio, iodepth 16, 128 KiB blocks,
+both cards driven together so at least two processes run.  Shape facts:
+write follows the Table IV classes, read the Table V classes; read peaks
+above write; node 4 is the read outlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_series
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.experiments.common import check, default_machine, default_registry
+from repro.experiments.registry import ExperimentResult
+
+TITLE = "Fig. 7: SSD array bandwidth vs processes and NUMA binding"
+
+PROCESS_COUNTS = (2, 4, 8, 16)
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """libaio write/read grids against the two-card array."""
+    m = default_machine(machine)
+    runner = FioRunner(m, registry=default_registry(registry))
+    counts = (2, 8) if quick else PROCESS_COUNTS
+
+    grids = {}
+    for rw in ("write", "read"):
+        base = FioJob(name=f"fig7-{rw}", engine="libaio", rw=rw, numjobs=2, iodepth=16)
+        grid = runner.grid(base, counts=counts)
+        grids[rw] = {
+            node: {n: res.aggregate_gbps for n, res in per_count.items()}
+            for node, per_count in grid.items()
+        }
+    write, read = grids["write"], grids["read"]
+    at = counts[0]
+
+    write_c2 = np.mean([write[n][at] for n in (0, 1, 4, 5)])
+    write_c3 = np.mean([write[n][at] for n in (2, 3)])
+    read_peak = max(v for curve in read.values() for v in curve.values())
+    write_peak = max(v for curve in write.values() for v in curve.values())
+    read_4 = read[4][at]
+    read_c3 = np.mean([read[n][at] for n in (0, 1, 5)])
+
+    checks = (
+        check("read peak exceeds write peak",
+              read_peak > write_peak,
+              f"read {read_peak:.1f} vs write {write_peak:.1f} Gbps"),
+        check("write: nodes {2,3} trail the other remotes by >25 %",
+              write_c3 < 0.75 * write_c2,
+              f"{write_c3:.1f} vs {write_c2:.1f} Gbps"),
+        check("read: node 4 trails {0,1,5} by >25 %",
+              read_4 < 0.75 * read_c3,
+              f"{read_4:.1f} vs {read_c3:.1f} Gbps"),
+        check("two processes already saturate the two cards "
+              "(more processes never help beyond noise)",
+              all(max(write[n].values()) <= 1.05 * write[n][counts[0]]
+                  for n in m.node_ids)),
+    )
+    text = "\n\n".join(
+        [
+            render_series("(a) SSD write", write, x_label="procs"),
+            render_series("(b) SSD read", read, x_label="procs"),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="f7", title=TITLE, text=text,
+        data={"write": write, "read": read}, checks=checks,
+    )

@@ -1,0 +1,83 @@
+"""FW1 — the paper's future work #1: online placement and migration.
+
+§VI: "we will continue working on the mechanisms of placing and
+migrating parallel I/O threads for data-intensive applications based on
+the result of our characterization methodology."  This experiment runs
+that mechanism over a seeded multi-user RDMA_WRITE arrival process:
+
+* ``local`` — every stream on the device node (Linux default + naive
+  locality);
+* ``random`` — affinity roulette;
+* ``class-spread`` — model-driven admission placement (§V-B online);
+* ``class-migrate`` — streams arrive local (unmodified applications),
+  the controller migrates them per the class model, paying a stall per
+  move.
+"""
+
+from __future__ import annotations
+
+from repro.core.iomodel import IOModelBuilder
+from repro.core.migration import OnlineSimulator, OnlineWorkload
+from repro.experiments.common import IO_NODE, check, default_machine, default_registry
+from repro.experiments.registry import ExperimentResult
+
+TITLE = "Future work: online placement and migration of parallel I/O streams"
+
+N_STREAMS = 60
+ARRIVAL_RATE = 0.12  # streams per second: enough pressure to queue
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Compare the four online policies on one workload."""
+    m = default_machine(machine)
+    registry = default_registry(registry)
+    model = IOModelBuilder(m, registry=registry, runs=10 if quick else 100).build(
+        IO_NODE, "write"
+    )
+    # Quick mode uses fewer streams, so it raises the arrival rate to
+    # keep enough queueing pressure for the policies to differ.
+    rate = 0.2 if quick else ARRIVAL_RATE
+    workload = OnlineWorkload(registry.child("fw1"), rate_per_s=rate)
+    jobs = workload.generate(30 if quick else N_STREAMS)
+    simulator = OnlineSimulator(m, model, registry=registry.child("sim"))
+    outcomes = simulator.compare(jobs)
+
+    local = outcomes["local"]
+    spread = outcomes["class-spread"]
+    migrate = outcomes["class-migrate"]
+    spread_gain = local.mean_completion_s / spread.mean_completion_s - 1
+    migrate_gain = local.mean_completion_s / migrate.mean_completion_s - 1
+
+    checks = (
+        check(
+            "class-spread beats all-local on mean completion time (>4 %)",
+            spread_gain > 0.04,
+            f"{local.mean_completion_s:.1f} s -> {spread.mean_completion_s:.1f} s "
+            f"(+{100 * spread_gain:.1f} %)",
+        ),
+        check(
+            "class-spread is the best policy overall",
+            spread.mean_completion_s
+            <= min(o.mean_completion_s for o in outcomes.values()) + 1e-9,
+        ),
+        check(
+            "migration recovers most of the gap for unmodified apps",
+            migrate.mean_completion_s < local.mean_completion_s
+            and migrate_gain > 0.5 * spread_gain,
+            f"migrate +{100 * migrate_gain:.1f} % vs spread +{100 * spread_gain:.1f} %",
+        ),
+        check(
+            "the migration controller actually migrates (and not wildly)",
+            0 < migrate.migrations <= 3 * len(jobs),
+            f"{migrate.migrations} migrations over {len(jobs)} streams",
+        ),
+    )
+    lines = [f"{len(jobs)} RDMA_WRITE streams, Poisson arrivals "
+             f"({rate}/s), per-stream sizes ~40 GB:"]
+    for policy in ("local", "random", "class-spread", "class-migrate"):
+        lines.append("  " + outcomes[policy].render())
+    return ExperimentResult(
+        exp_id="fw1", title=TITLE, text="\n".join(lines),
+        data={p: o.mean_completion_s for p, o in outcomes.items()},
+        checks=checks,
+    )

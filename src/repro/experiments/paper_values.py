@@ -1,0 +1,66 @@
+"""The paper's reported numbers, transcribed once.
+
+Every experiment and test compares against these constants, so the
+provenance of each target is auditable in one place.  Units: Gbps.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_NUMA_FACTORS",
+    "TABLE4_CLASSES",
+    "TABLE4_AVG",
+    "TABLE5_CLASSES",
+    "TABLE5_AVG",
+    "STREAM_FACTS",
+    "EQ1_EXAMPLE",
+]
+
+#: Table I — server type -> NUMA factor.
+TABLE1_NUMA_FACTORS = {
+    "Intel 4 sockets/4 nodes": 1.5,
+    "AMD 4 sockets/8 nodes": 2.7,
+    "AMD 8 sockets/8 nodes": 2.8,
+    "HP blade system 32 nodes": 5.5,
+}
+
+#: Table IV — device-write classes (node sets, best first).
+TABLE4_CLASSES = [[6, 7], [0, 1, 4, 5], [2, 3]]
+
+#: Table IV — per-operation class averages (best class first).
+TABLE4_AVG = {
+    "memcpy": [51.2, 44.5, 26.6],
+    "tcp_send": [20.3, 20.4, 16.2],
+    "rdma_write": [23.3, 23.2, 17.1],
+    "ssd_write": [28.8, 28.5, 18.0],
+}
+
+#: Table V — device-read classes (node sets, best first).
+TABLE5_CLASSES = [[6, 7], [2, 3], [0, 1, 5], [4]]
+
+#: Table V — per-operation class averages (best class first).
+TABLE5_AVG = {
+    "memcpy": [49.1, 48.6, 40.4, 27.9],
+    "tcp_recv": [21.2, 20.0, 20.6, 14.4],
+    "rdma_read": [22.0, 22.0, 18.3, 16.1],
+    "ssd_read": [34.7, 33.1, 30.1, 18.5],
+}
+
+#: §IV-A prose facts about the STREAM matrix (Fig. 3).
+STREAM_FACTS = {
+    # Quoted values.
+    "cpu7_mem4": 21.34,
+    "cpu4_mem7": 18.45,
+    # CPU-centric model: nodes {0,1} beat {2,3} by 43-88 % (§IV-B2).
+    "ratio_01_over_23_min": 1.43,
+    "ratio_01_over_23_max": 1.88,
+}
+
+#: §V-B Eq. 1 worked example (RDMA_READ, 2 streams node 2 + 2 node 0).
+EQ1_EXAMPLE = {
+    "class2_avg": 21.998,  # node 2's class
+    "class3_avg": 18.036,  # node 0's class
+    "predicted": 20.017,
+    "measured": 19.415,
+    "relative_error": 0.031,
+}

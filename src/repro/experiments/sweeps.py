@@ -1,0 +1,41 @@
+"""Shared node-sweep helpers for the table experiments."""
+
+from __future__ import annotations
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.topology.machine import Machine
+
+__all__ = ["operation_sweep", "WRITE_OPERATIONS", "READ_OPERATIONS"]
+
+#: Table IV measured operations: label -> (engine, rw, numjobs).
+WRITE_OPERATIONS = {
+    "TCP sender": ("tcp", "send", 4),
+    "RDMA_WRITE": ("rdma", "write", 4),
+    "SSD write": ("libaio", "write", 4),
+}
+
+#: Table V measured operations.
+READ_OPERATIONS = {
+    "TCP receiver": ("tcp", "recv", 4),
+    "RDMA_READ": ("rdma", "read", 4),
+    "SSD read": ("libaio", "read", 4),
+}
+
+
+def operation_sweep(
+    runner: FioRunner,
+    engine: str,
+    rw: str,
+    numjobs: int = 4,
+    nodes=None,
+    name: str | None = None,
+) -> dict[int, float]:
+    """Per-node aggregate bandwidth for one operation (Figs. 5-7 slices)."""
+    machine: Machine = runner.machine
+    nodes = tuple(nodes) if nodes is not None else machine.node_ids
+    job = FioJob(
+        name=name or f"sweep-{engine}-{rw}", engine=engine, rw=rw, numjobs=numjobs
+    )
+    results = runner.sweep_nodes(job, nodes)
+    return {node: res.aggregate_gbps for node, res in results.items()}

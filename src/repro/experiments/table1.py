@@ -1,0 +1,29 @@
+"""T1 — Table I: NUMA factor of four server configurations."""
+
+from __future__ import annotations
+
+from repro.analysis.numa_factor import table1
+from repro.analysis.report import render_table1
+from repro.experiments.common import check_close
+from repro.experiments.registry import ExperimentResult
+
+TITLE = "Table I: NUMA factor of different server configurations"
+
+#: Tolerance for the latency-model calibration.
+REL_TOL = 0.10
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Build the four machines, measure factors, compare to Table I."""
+    rows = table1()
+    checks = tuple(
+        check_close(f"NUMA factor: {row.label}", row.measured, row.paper, REL_TOL)
+        for row in rows
+    )
+    return ExperimentResult(
+        exp_id="t1",
+        title=TITLE,
+        text=render_table1(rows),
+        data={row.label: row.measured for row in rows},
+        checks=checks,
+    )

@@ -1,0 +1,79 @@
+"""T4 — Table IV: the device-*write* performance model, validated.
+
+Builds the memcpy write model (Algorithm 1), measures TCP send /
+RDMA_WRITE / SSD write per node, folds the measurements into the model's
+classes, and checks per-class averages against the paper's cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.fio import FioRunner
+from repro.core.iomodel import IOModelBuilder
+from repro.core.model import ModelTable
+from repro.core.validation import class_ordering_holds
+from repro.experiments import paper_values
+from repro.experiments.common import (
+    IO_NODE,
+    check,
+    check_close,
+    default_machine,
+    default_registry,
+)
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.sweeps import WRITE_OPERATIONS, operation_sweep
+
+TITLE = "Table IV: NUMA I/O bandwidth performance model for device write"
+
+#: Operation label -> paper_values key.
+_PAPER_KEYS = {
+    "TCP sender": "tcp_send",
+    "RDMA_WRITE": "rdma_write",
+    "SSD write": "ssd_write",
+}
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Build + validate Table IV."""
+    m = default_machine(machine)
+    registry = default_registry(registry)
+    builder = IOModelBuilder(m, registry=registry, runs=10 if quick else 100)
+    model = builder.build(IO_NODE, "write")
+    runner = FioRunner(m, registry=registry)
+
+    measurements = {
+        label: operation_sweep(runner, engine, rw, numjobs)
+        for label, (engine, rw, numjobs) in WRITE_OPERATIONS.items()
+    }
+    table = ModelTable.from_measurements(model, measurements)
+
+    checks = [
+        check(
+            "classes match Table IV",
+            [sorted(c.node_ids) for c in model.classes] == paper_values.TABLE4_CLASSES,
+            f"got {[sorted(c.node_ids) for c in model.classes]}",
+        )
+    ]
+    for cls, paper_avg in zip(model.classes, paper_values.TABLE4_AVG["memcpy"]):
+        checks.append(
+            check_close(f"memcpy class {cls.rank} avg", cls.avg, paper_avg, 0.10)
+        )
+    for label, per_node in measurements.items():
+        paper_avgs = paper_values.TABLE4_AVG[_PAPER_KEYS[label]]
+        for cls, paper_avg in zip(model.classes, paper_avgs):
+            measured = float(np.mean([per_node[n] for n in cls.node_ids]))
+            checks.append(
+                check_close(f"{label} class {cls.rank} avg", measured, paper_avg, 0.10)
+            )
+        checks.append(
+            check(
+                f"{label}: class ordering holds",
+                class_ordering_holds(model, per_node, tolerance=0.06),
+            )
+        )
+    return ExperimentResult(
+        exp_id="t4", title=TITLE, text=table.render(),
+        data={"model": model.values, "measurements": measurements},
+        checks=tuple(checks),
+    )

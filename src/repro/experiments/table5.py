@@ -1,0 +1,99 @@
+"""T5 — Table V: the device-*read* performance model, validated.
+
+Same protocol as Table IV for the read direction (TCP receive,
+RDMA_READ, SSD read).  The paper's own table contains a small class-2/3
+inversion for the TCP receiver (20.0 vs 20.6 Gbps), so the ordering
+check carries the matching tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.fio import FioRunner
+from repro.core.iomodel import IOModelBuilder
+from repro.core.model import ModelTable
+from repro.core.validation import class_ordering_holds
+from repro.experiments import paper_values
+from repro.experiments.common import (
+    IO_NODE,
+    check,
+    check_close,
+    default_machine,
+    default_registry,
+)
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.sweeps import READ_OPERATIONS, operation_sweep
+
+TITLE = "Table V: NUMA I/O bandwidth performance model for device read"
+
+_PAPER_KEYS = {
+    "TCP receiver": "tcp_recv",
+    "RDMA_READ": "rdma_read",
+    "SSD read": "ssd_read",
+}
+
+#: Per-operation tolerance on class averages.  The TCP receiver row is
+#: the noisiest in the paper itself (its classes 2/3 invert there), so
+#: it gets a wider band; the offloaded protocols are tight.
+_AVG_TOL = {
+    "TCP receiver": 0.12,
+    "RDMA_READ": 0.10,
+    "SSD read": 0.10,
+}
+
+
+def run(machine=None, registry=None, quick: bool = False) -> ExperimentResult:
+    """Build + validate Table V."""
+    m = default_machine(machine)
+    registry = default_registry(registry)
+    builder = IOModelBuilder(m, registry=registry, runs=10 if quick else 100)
+    model = builder.build(IO_NODE, "read")
+    runner = FioRunner(m, registry=registry)
+
+    measurements = {
+        label: operation_sweep(runner, engine, rw, numjobs)
+        for label, (engine, rw, numjobs) in READ_OPERATIONS.items()
+    }
+    table = ModelTable.from_measurements(model, measurements)
+
+    checks = [
+        check(
+            "classes match Table V",
+            [sorted(c.node_ids) for c in model.classes] == paper_values.TABLE5_CLASSES,
+            f"got {[sorted(c.node_ids) for c in model.classes]}",
+        )
+    ]
+    for cls, paper_avg in zip(model.classes, paper_values.TABLE5_AVG["memcpy"]):
+        checks.append(
+            check_close(f"memcpy class {cls.rank} avg", cls.avg, paper_avg, 0.10)
+        )
+    for label, per_node in measurements.items():
+        paper_avgs = paper_values.TABLE5_AVG[_PAPER_KEYS[label]]
+        for cls, paper_avg in zip(model.classes, paper_avgs):
+            measured = float(np.mean([per_node[n] for n in cls.node_ids]))
+            checks.append(
+                check_close(
+                    f"{label} class {cls.rank} avg",
+                    measured,
+                    paper_avg,
+                    _AVG_TOL[label],
+                )
+            )
+        checks.append(
+            check(
+                f"{label}: class ordering holds",
+                class_ordering_holds(model, per_node, tolerance=0.08),
+            )
+        )
+    # The paper's flagship: RDMA_READ ranks {2,3} ABOVE {0,1}.
+    rdma = measurements["RDMA_READ"]
+    reversal = float(np.mean([rdma[n] for n in (2, 3)])) > float(
+        np.mean([rdma[n] for n in (0, 1)])
+    )
+    checks.append(check("RDMA_READ ranks {2,3} above {0,1} (STREAM reversal)", reversal))
+    return ExperimentResult(
+        exp_id="t5", title=TITLE, text=table.render(),
+        data={"model": model.values, "measurements": measurements},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,19 @@
+"""Flow-level bandwidth sharing.
+
+All contention in the simulator — streams sharing a NIC, copy threads
+sharing a memory controller, DMA traffic sharing an HT link — reduces to
+*max-min fair* sharing of capacitated resources, the standard flow-level
+abstraction for long-lived bulk transfers.
+
+:func:`~repro.flows.maxmin.maxmin_allocate` solves one allocation;
+:class:`~repro.flows.network.FlowNetwork` advances a set of finite-size
+flows through time, recomputing the allocation at every arrival or
+completion, and reports per-flow completion times and average bandwidth
+— exactly the quantity ``fio`` reports for the paper's 400-GB streams.
+"""
+
+from repro.flows.flow import Flow
+from repro.flows.maxmin import maxmin_allocate
+from repro.flows.network import FlowNetwork, FlowOutcome
+
+__all__ = ["Flow", "maxmin_allocate", "FlowNetwork", "FlowOutcome"]

@@ -1,0 +1,50 @@
+"""Flow records for the max-min solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["Flow"]
+
+
+@dataclass
+class Flow:
+    """A bulk transfer demanding bandwidth through a set of resources.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within one allocation problem.
+    resources:
+        Names of the capacitated resources this flow traverses (links,
+        controllers, device ports, CPU budgets).  Order is irrelevant.
+    demand_gbps:
+        Per-flow rate ceiling (``inf`` for elastic flows).  Use this for
+        per-stream caps such as a TCP stack's per-connection limit or a
+        DMA engine's per-context service share.
+    size_bytes:
+        Remaining bytes for time-domain simulation (``None`` for pure
+        rate allocation).
+    weight:
+        Max-min weight (2.0 receives twice the fair share of 1.0).
+    """
+
+    name: str
+    resources: tuple[str, ...]
+    demand_gbps: float = float("inf")
+    size_bytes: float | None = None
+    weight: float = 1.0
+    start_s: float = 0.0
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.demand_gbps <= 0:
+            raise SimulationError(f"flow {self.name!r}: demand must be positive")
+        if self.weight <= 0:
+            raise SimulationError(f"flow {self.name!r}: weight must be positive")
+        if self.size_bytes is not None and self.size_bytes <= 0:
+            raise SimulationError(f"flow {self.name!r}: size must be positive")
+        if len(set(self.resources)) != len(self.resources):
+            raise SimulationError(f"flow {self.name!r} lists a resource twice")

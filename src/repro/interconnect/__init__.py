@@ -1,0 +1,29 @@
+"""The coherent fabric: HyperTransport links and traffic planes.
+
+The paper's central empirical fact is that the *same physical fabric*
+shows different effective topologies to different traffic classes:
+
+* **PIO traffic** (CPU load/store streams, i.e. what STREAM measures) is
+  bounded by round-trip latency times per-core outstanding requests, and
+  follows the coherent request/response routing.
+* **DMA/bulk traffic** (device DMA, and bulk non-temporal ``memcpy``,
+  which is what the paper's Algorithm 1 exploits) is bounded by link
+  width x transfer rate x buffer credits, and may be routed differently
+  (AMD BKDG routing registers are per virtual channel).
+
+This package models a **directed** link with independent parameters for
+the two planes, so both behaviours coexist on one machine description.
+"""
+
+from repro.interconnect.link import DirectedLink, LinkKind, link_pair
+from repro.interconnect.planes import PLANE_DMA, PLANE_PIO, Plane, validate_plane
+
+__all__ = [
+    "DirectedLink",
+    "LinkKind",
+    "link_pair",
+    "PLANE_DMA",
+    "PLANE_PIO",
+    "Plane",
+    "validate_plane",
+]

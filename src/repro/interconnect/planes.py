@@ -1,0 +1,36 @@
+"""Traffic plane identifiers.
+
+A *plane* names a traffic class with its own routing table and link
+efficiency model.  The library ships two:
+
+``PLANE_PIO``
+    CPU-initiated load/store streams (STREAM benchmark, ordinary
+    application memory access).  Latency-bound per core; follows the
+    coherent-fabric routing.
+
+``PLANE_DMA``
+    Bulk transfers: device DMA and streaming/non-temporal ``memcpy``.
+    Credit/width-bound; may follow different routing registers.
+
+Separating the planes is the mechanism by which the paper's headline
+mismatch (STREAM ranks node sets one way, I/O benchmarks another) emerges
+in the simulator rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+
+Plane = str
+
+PLANE_PIO: Plane = "pio"
+PLANE_DMA: Plane = "dma"
+
+ALL_PLANES: tuple[Plane, ...] = (PLANE_PIO, PLANE_DMA)
+
+
+def validate_plane(plane: str) -> Plane:
+    """Return ``plane`` if it names a known traffic plane, else raise."""
+    if plane not in ALL_PLANES:
+        raise RoutingError(f"unknown traffic plane {plane!r}; expected one of {ALL_PLANES}")
+    return plane

@@ -1,0 +1,22 @@
+"""Memory system: allocation policies, page accounting, numastat.
+
+Models the Linux NUMA memory behaviour the paper's experiments depend
+on: the *local-preferred* default policy (§II-B), explicit binding and
+interleaving (what ``numactl``/``libnuma`` configure), per-node free
+memory (node 0's OS-resident anomaly), and the allocation counters
+``numastat`` reports.
+"""
+
+from repro.memory.allocator import Allocation, PageAllocator
+from repro.memory.controller import MemoryController
+from repro.memory.numastat import NumaStat
+from repro.memory.policy import AllocPolicy, MemBinding
+
+__all__ = [
+    "Allocation",
+    "PageAllocator",
+    "MemoryController",
+    "NumaStat",
+    "AllocPolicy",
+    "MemBinding",
+]

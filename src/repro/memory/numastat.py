@@ -1,0 +1,81 @@
+"""``numastat``-style allocation counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NumaStat"]
+
+
+@dataclass
+class NumaStat:
+    """Per-node page-allocation counters, matching ``numastat`` fields.
+
+    * ``numa_hit`` — pages allocated on the intended node;
+    * ``numa_miss`` — pages allocated here although another node was
+      intended (that node was full);
+    * ``numa_foreign`` — pages intended here but allocated elsewhere;
+    * ``interleave_hit`` — interleaved pages placed as planned;
+    * ``local_node`` / ``other_node`` — allocations relative to the
+      faulting CPU's node.
+    """
+
+    node_ids: tuple[int, ...]
+    numa_hit: dict[int, int] = field(default_factory=dict)
+    numa_miss: dict[int, int] = field(default_factory=dict)
+    numa_foreign: dict[int, int] = field(default_factory=dict)
+    interleave_hit: dict[int, int] = field(default_factory=dict)
+    local_node: dict[int, int] = field(default_factory=dict)
+    other_node: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for counter in (
+            self.numa_hit,
+            self.numa_miss,
+            self.numa_foreign,
+            self.interleave_hit,
+            self.local_node,
+            self.other_node,
+        ):
+            for nid in self.node_ids:
+                counter.setdefault(nid, 0)
+
+    def record(
+        self,
+        placed_node: int,
+        intended_node: int,
+        cpu_node: int,
+        pages: int,
+        interleaved: bool = False,
+    ) -> None:
+        """Account one allocation of ``pages`` pages."""
+        if placed_node == intended_node:
+            self.numa_hit[placed_node] += pages
+            if interleaved:
+                self.interleave_hit[placed_node] += pages
+        else:
+            self.numa_miss[placed_node] += pages
+            self.numa_foreign[intended_node] += pages
+        if placed_node == cpu_node:
+            self.local_node[placed_node] += pages
+        else:
+            self.other_node[placed_node] += pages
+
+    def render(self) -> str:
+        """The classic ``numastat`` table."""
+        headers = ["", *[f"node{n}" for n in self.node_ids]]
+        rows = [
+            ("numa_hit", self.numa_hit),
+            ("numa_miss", self.numa_miss),
+            ("numa_foreign", self.numa_foreign),
+            ("interleave_hit", self.interleave_hit),
+            ("local_node", self.local_node),
+            ("other_node", self.other_node),
+        ]
+        width = 14
+        lines = ["".join(h.rjust(width) for h in headers)]
+        for label, counter in rows:
+            cells = [label.ljust(width)]
+            cells += [str(counter[n]).rjust(width) for n in self.node_ids]
+            lines.append("".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""NUMA memory allocation policies (the Linux policy set)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+
+__all__ = ["AllocPolicy", "MemBinding"]
+
+
+class AllocPolicy(enum.Enum):
+    """Where new pages land, mirroring Linux mempolicy modes."""
+
+    #: Default since kernel 2.6: allocate on the faulting CPU's node if it
+    #: has free memory, else fall back to the nearest node with space.
+    LOCAL_PREFERRED = "local-preferred"
+    #: Hard binding to a node set (``numactl --membind``); allocation
+    #: fails when the set is exhausted.
+    BIND = "bind"
+    #: Round-robin across a node set (``numactl --interleave``).
+    INTERLEAVE = "interleave"
+    #: Prefer one node, silently fall back anywhere (``--preferred``).
+    PREFERRED = "preferred"
+
+
+@dataclass(frozen=True)
+class MemBinding:
+    """A policy plus its node set.
+
+    ``nodes`` is required for BIND/INTERLEAVE/PREFERRED and must be empty
+    for LOCAL_PREFERRED (the faulting node decides).
+    """
+
+    policy: AllocPolicy = AllocPolicy.LOCAL_PREFERRED
+    nodes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.policy is AllocPolicy.LOCAL_PREFERRED:
+            if self.nodes:
+                raise AllocationError("LOCAL_PREFERRED takes no node set")
+        else:
+            if not self.nodes:
+                raise AllocationError(f"{self.policy.value} requires a node set")
+            if self.policy is AllocPolicy.PREFERRED and len(self.nodes) != 1:
+                raise AllocationError("PREFERRED takes exactly one node")
+            if len(set(self.nodes)) != len(self.nodes):
+                raise AllocationError("binding lists a node twice")
+
+    @classmethod
+    def local(cls) -> "MemBinding":
+        """The kernel default."""
+        return cls()
+
+    @classmethod
+    def bind(cls, *nodes: int) -> "MemBinding":
+        """``numactl --membind=<nodes>``."""
+        return cls(policy=AllocPolicy.BIND, nodes=tuple(nodes))
+
+    @classmethod
+    def interleave(cls, *nodes: int) -> "MemBinding":
+        """``numactl --interleave=<nodes>``."""
+        return cls(policy=AllocPolicy.INTERLEAVE, nodes=tuple(nodes))
+
+    @classmethod
+    def preferred(cls, node: int) -> "MemBinding":
+        """``numactl --preferred=<node>``."""
+        return cls(policy=AllocPolicy.PREFERRED, nodes=(node,))

@@ -1,0 +1,25 @@
+"""OS layer: tasks, affinity, the numactl/libnuma front-ends, noise.
+
+This package gives benchmarks the same control surface the paper used on
+Linux: ``numactl``-style static binding for whole tasks
+(:class:`~repro.osmodel.numactl.Numactl`), ``libnuma``-style runtime
+calls (:mod:`repro.osmodel.libnuma`, mirroring the function names in the
+paper's Algorithm 1), a CPU scheduler that enforces core capacity, and a
+seeded measurement-noise model.
+"""
+
+from repro.osmodel.counters import TrafficCounters
+from repro.osmodel.noise import NoiseModel, OsNoiseDaemons
+from repro.osmodel.numactl import Numactl
+from repro.osmodel.process import SimTask, TaskBinding
+from repro.osmodel.scheduler import CpuScheduler
+
+__all__ = [
+    "NoiseModel",
+    "OsNoiseDaemons",
+    "Numactl",
+    "SimTask",
+    "TaskBinding",
+    "CpuScheduler",
+    "TrafficCounters",
+]

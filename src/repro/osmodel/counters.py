@@ -1,0 +1,67 @@
+"""Traffic counters: the uncore/link event counts of §II-B.
+
+Linux exposes NUMA behaviour through hardware counters; the simulator's
+equivalent is exact byte accounting per flow resource (fabric link
+directions, memory controllers, device ports).  The concurrent runner
+fills one of these per run, so a user can see *where* the bytes went —
+e.g. that a mixed NIC+SSD workload from node 2 saturated the 2->7
+request direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkError
+
+__all__ = ["TrafficCounters"]
+
+
+@dataclass
+class TrafficCounters:
+    """Per-resource byte counts with capacity context."""
+
+    #: resource name -> capacity in Gbps (from the flow network).
+    capacities: dict[str, float]
+    #: resource name -> bytes that crossed it.
+    bytes_by_resource: dict[str, float] = field(default_factory=dict)
+    #: wall-clock seconds the counters cover.
+    window_s: float = 0.0
+
+    def record_flow(self, resources, bytes_moved: float) -> None:
+        """Account one completed flow's bytes on every resource it crossed."""
+        if bytes_moved < 0:
+            raise BenchmarkError(f"negative byte count {bytes_moved!r}")
+        for resource in resources:
+            if resource not in self.capacities:
+                raise BenchmarkError(f"unknown resource {resource!r}")
+            self.bytes_by_resource[resource] = (
+                self.bytes_by_resource.get(resource, 0.0) + bytes_moved
+            )
+
+    def utilization(self, resource: str) -> float:
+        """Average utilisation of ``resource`` over the window (0..1+)."""
+        if resource not in self.capacities:
+            raise BenchmarkError(f"unknown resource {resource!r}")
+        if self.window_s <= 0:
+            raise BenchmarkError("counter window not set; run a workload first")
+        moved = self.bytes_by_resource.get(resource, 0.0)
+        capacity_bytes = self.capacities[resource] * 1e9 / 8 * self.window_s
+        return moved / capacity_bytes
+
+    def hottest(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` busiest resources as (name, utilisation)."""
+        busy = [
+            (resource, self.utilization(resource))
+            for resource in self.bytes_by_resource
+        ]
+        busy.sort(key=lambda item: -item[1])
+        return busy[:n]
+
+    def render(self, n: int = 8) -> str:
+        """Top-N utilisation table."""
+        lines = [f"traffic counters over {self.window_s:.1f} s:"]
+        for resource, util in self.hottest(n):
+            bar = "#" * int(round(40 * min(util, 1.0)))
+            lines.append(f"  {resource:>18s} {100 * util:5.1f} % {bar}")
+        return "\n".join(lines)

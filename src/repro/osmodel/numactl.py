@@ -1,0 +1,75 @@
+"""``numactl`` front-end: static binding and the ``--hardware`` report."""
+
+from __future__ import annotations
+
+from repro.errors import AffinityError
+from repro.memory.allocator import PageAllocator
+from repro.memory.policy import MemBinding
+from repro.osmodel.process import SimTask, TaskBinding
+from repro.topology.distance import distance_matrix
+from repro.topology.machine import Machine
+from repro.units import MB
+
+__all__ = ["Numactl"]
+
+
+class Numactl:
+    """The command-line affinity tool, as an object.
+
+    ``run()`` mirrors ``numactl --cpunodebind= --membind= --interleave=
+    <command>``: it returns a bound :class:`SimTask` the benchmark layer
+    executes.  ``hardware()`` renders the ``numactl --hardware`` report
+    (including per-node free memory, which on the reference host shows
+    the paper's node-0 observation).
+    """
+
+    def __init__(self, machine: Machine, allocator: PageAllocator | None = None) -> None:
+        self.machine = machine
+        self.allocator = allocator or PageAllocator(machine)
+
+    def run(
+        self,
+        name: str,
+        threads: int = 1,
+        cpunodebind: int | None = None,
+        membind: tuple[int, ...] | None = None,
+        interleave: tuple[int, ...] | None = None,
+        preferred: int | None = None,
+    ) -> SimTask:
+        """Build a task with the requested static NUMA policy."""
+        chosen = [opt for opt in (membind, interleave, preferred) if opt is not None]
+        if len(chosen) > 1:
+            raise AffinityError(
+                "numactl accepts at most one of --membind/--interleave/--preferred"
+            )
+        if membind is not None:
+            mem = MemBinding.bind(*membind)
+        elif interleave is not None:
+            mem = MemBinding.interleave(*interleave)
+        elif preferred is not None:
+            mem = MemBinding.preferred(preferred)
+        else:
+            mem = MemBinding.local()
+        for node in (cpunodebind, *(mem.nodes)):
+            if node is not None and node not in self.machine.node_ids:
+                raise AffinityError(f"numactl: unknown node {node}")
+        return SimTask(name=name, threads=threads, binding=TaskBinding(cpunodebind, mem))
+
+    def hardware(self) -> str:
+        """Render ``numactl --hardware`` for this machine."""
+        machine = self.machine
+        lines = [f"available: {machine.n_nodes} nodes ({machine.node_ids[0]}-{machine.node_ids[-1]})"]
+        for nid in machine.node_ids:
+            node = machine.node(nid)
+            cpus = " ".join(str(c.core_id) for c in node.cores)
+            lines.append(f"node {nid} cpus: {cpus}")
+            lines.append(f"node {nid} size: {node.memory_bytes // MB} MB")
+            lines.append(f"node {nid} free: {self.allocator.free_bytes(nid) // MB} MB")
+        lines.append("node distances:")
+        dist = distance_matrix(machine)
+        header = "node " + " ".join(f"{n:>4}" for n in machine.node_ids)
+        lines.append(header)
+        for i, nid in enumerate(machine.node_ids):
+            row = " ".join(f"{int(d):>4}" for d in dist[i])
+            lines.append(f"{nid:>4}: {row}")
+        return "\n".join(lines)

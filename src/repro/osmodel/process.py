@@ -1,0 +1,62 @@
+"""Simulated tasks and their NUMA bindings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AffinityError
+from repro.memory.policy import MemBinding
+
+__all__ = ["TaskBinding", "SimTask"]
+
+
+@dataclass(frozen=True)
+class TaskBinding:
+    """The NUMA affinity of one task: where it runs, where it allocates.
+
+    ``cpu_node = None`` leaves the scheduler free; ``mem`` defaults to
+    the kernel's local-preferred policy.
+    """
+
+    cpu_node: int | None = None
+    mem: MemBinding = field(default_factory=MemBinding.local)
+
+    @classmethod
+    def on_node(cls, node: int) -> "TaskBinding":
+        """``numactl --cpunodebind=<node>`` with default memory policy."""
+        return cls(cpu_node=node)
+
+    @classmethod
+    def bound(cls, cpu_node: int, mem_node: int) -> "TaskBinding":
+        """``numactl --cpunodebind=<cpu> --membind=<mem>``."""
+        return cls(cpu_node=cpu_node, mem=MemBinding.bind(mem_node))
+
+
+@dataclass
+class SimTask:
+    """A benchmark process/thread group.
+
+    Parameters
+    ----------
+    name:
+        Unique task name within one scheduler.
+    threads:
+        Worker threads; each occupies one core when scheduled.
+    binding:
+        NUMA affinity.
+    """
+
+    name: str
+    threads: int = 1
+    binding: TaskBinding = field(default_factory=TaskBinding)
+    #: Set by the scheduler: core ids this task occupies.
+    cores: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise AffinityError(f"task {self.name!r}: needs >= 1 thread")
+
+    @property
+    def scheduled(self) -> bool:
+        """True once the scheduler has granted cores."""
+        return bool(self.cores)

@@ -1,0 +1,91 @@
+"""Core-granting CPU scheduler.
+
+Enforces the machine's physical core capacity: a node's cores can be
+oversubscribed only explicitly (``allow_oversubscribe``), because the
+paper's experiments always pin at most one worker per core and the
+interesting contention happens in the fabric, not in timeslicing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AffinityError
+from repro.osmodel.process import SimTask
+from repro.topology.machine import Machine
+
+__all__ = ["CpuScheduler"]
+
+
+class CpuScheduler:
+    """Tracks core occupancy and places tasks."""
+
+    def __init__(self, machine: Machine, allow_oversubscribe: bool = False) -> None:
+        self.machine = machine
+        self.allow_oversubscribe = allow_oversubscribe
+        self._busy: dict[int, str] = {}  # core_id -> task name
+        self._tasks: dict[str, SimTask] = {}
+
+    def _free_cores(self, node: int) -> list[int]:
+        return [
+            core.core_id
+            for core in self.machine.node(node).cores
+            if core.core_id not in self._busy
+        ]
+
+    def load(self, node: int) -> int:
+        """Number of busy cores on ``node``."""
+        return sum(
+            1 for core in self.machine.node(node).cores if core.core_id in self._busy
+        )
+
+    def place(self, task: SimTask) -> SimTask:
+        """Grant cores to ``task`` according to its binding.
+
+        Unbound tasks go to the least-loaded node (ties to the lowest
+        id), which is a fair model of the Linux load balancer at this
+        granularity.
+        """
+        if task.name in self._tasks:
+            raise AffinityError(f"task {task.name!r} is already scheduled")
+        node = task.binding.cpu_node
+        if node is None:
+            node = min(self.machine.node_ids, key=lambda n: (self.load(n), n))
+        if node not in self.machine.node_ids:
+            raise AffinityError(f"task {task.name!r}: unknown CPU node {node}")
+        free = self._free_cores(node)
+        if len(free) < task.threads:
+            if not self.allow_oversubscribe:
+                raise AffinityError(
+                    f"task {task.name!r} needs {task.threads} cores on node {node}, "
+                    f"only {len(free)} free"
+                )
+            # Oversubscribe round-robin over the node's cores.
+            cores = [c.core_id for c in self.machine.node(node).cores]
+            chosen = [cores[i % len(cores)] for i in range(task.threads)]
+        else:
+            chosen = free[: task.threads]
+        for core in chosen:
+            self._busy.setdefault(core, task.name)
+        task.cores = tuple(chosen)
+        self._tasks[task.name] = task
+        return task
+
+    def remove(self, name: str) -> None:
+        """Release a task's cores."""
+        task = self._tasks.pop(name, None)
+        if task is None:
+            raise AffinityError(f"no scheduled task named {name!r}")
+        for core in task.cores:
+            if self._busy.get(core) == name:
+                del self._busy[core]
+        task.cores = ()
+
+    def node_of(self, name: str) -> int:
+        """The node a scheduled task landed on."""
+        task = self._tasks.get(name)
+        if task is None or not task.cores:
+            raise AffinityError(f"task {name!r} is not scheduled")
+        core_id = task.cores[0]
+        for nid in self.machine.node_ids:
+            if any(c.core_id == core_id for c in self.machine.node(nid).cores):
+                return nid
+        raise AffinityError(f"core {core_id} belongs to no node")  # pragma: no cover

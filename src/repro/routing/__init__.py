@@ -1,0 +1,15 @@
+"""Per-plane routing over the fabric.
+
+Routes are computed the way static HT routing registers behave: minimal
+hop count first, then a plane-specific preference among equal-length
+candidates (bulk/DMA traffic prefers the widest bottleneck; PIO prefers
+the highest streaming cap, then lowest latency).  Ties break
+lexicographically so routing — and therefore the whole reproduction — is
+deterministic.  Explicit per-pair overrides are supported for machines
+whose BIOS programs something the heuristic would not pick.
+"""
+
+from repro.routing.paths import Path
+from repro.routing.table import RoutingTable, enumerate_min_hop_routes
+
+__all__ = ["Path", "RoutingTable", "enumerate_min_hop_routes"]

@@ -1,0 +1,72 @@
+"""Concrete routed paths and their capacity/latency summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interconnect.link import DirectedLink
+from repro.interconnect.planes import Plane
+
+__all__ = ["Path"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A routed path between two NUMA nodes on one traffic plane.
+
+    ``hops`` is the full node sequence including the endpoints; ``links``
+    are the corresponding directed links (empty when ``src == dst``).
+    """
+
+    plane: Plane
+    hops: tuple[int, ...]
+    links: tuple[DirectedLink, ...]
+
+    def __post_init__(self) -> None:
+        assert len(self.hops) >= 1
+        assert len(self.links) == len(self.hops) - 1
+        for link, (a, b) in zip(self.links, zip(self.hops, self.hops[1:])):
+            assert link.ends == (a, b), f"link {link} does not match hop {a}->{b}"
+
+    @property
+    def src(self) -> int:
+        """Source node id."""
+        return self.hops[0]
+
+    @property
+    def dst(self) -> int:
+        """Destination node id."""
+        return self.hops[-1]
+
+    @property
+    def n_hops(self) -> int:
+        """Number of fabric links crossed (0 for a local path)."""
+        return len(self.links)
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination are the same node."""
+        return self.n_hops == 0
+
+    def dma_bottleneck_gbps(self) -> float:
+        """Bulk/DMA capacity of the narrowest link on the path.
+
+        ``inf`` for a local path — the caller bounds it by the memory
+        controller.
+        """
+        if not self.links:
+            return float("inf")
+        return min(link.dma_gbps for link in self.links)
+
+    def pio_bottleneck_gbps(self) -> float:
+        """Streaming-PIO cap of the narrowest link on the path (``inf`` local)."""
+        if not self.links:
+            return float("inf")
+        return min(link.pio_gbps for link in self.links)
+
+    def latency_one_way_s(self) -> float:
+        """Sum of the per-link latencies along this direction."""
+        return sum(link.pio_latency_s for link in self.links)
+
+    def __str__(self) -> str:  # pragma: no cover - repr aid
+        return f"{self.plane}:{'->'.join(map(str, self.hops))}"

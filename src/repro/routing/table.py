@@ -1,0 +1,173 @@
+"""Routing-table construction.
+
+The table answers ``route(plane, src, dst) -> node sequence``.  Routes
+come from two sources, in priority order:
+
+1. explicit overrides installed with :meth:`RoutingTable.set_route`
+   (machines whose BIOS programs unusual routing registers);
+2. the deterministic heuristic of :func:`select_route`: minimal hop
+   count, then the plane preference, then lexicographic order.
+
+Routing is static — computed once per (plane, src, dst) and cached —
+matching how HT routing registers actually work (no adaptive routing on
+these platforms).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import RoutingError, TopologyError
+from repro.interconnect.link import DirectedLink
+from repro.interconnect.planes import PLANE_DMA, PLANE_PIO, Plane, validate_plane
+
+__all__ = ["RoutingTable", "enumerate_min_hop_routes", "select_route"]
+
+LinkMap = Mapping[tuple[int, int], DirectedLink]
+
+
+def _adjacency(links: LinkMap) -> dict[int, list[int]]:
+    adj: dict[int, list[int]] = {}
+    for src, dst in links:
+        adj.setdefault(src, []).append(dst)
+        adj.setdefault(dst, [])
+    for neighbours in adj.values():
+        neighbours.sort()
+    return adj
+
+
+def enumerate_min_hop_routes(
+    links: LinkMap, src: int, dst: int
+) -> list[tuple[int, ...]]:
+    """All directed routes from ``src`` to ``dst`` with minimal hop count.
+
+    Uses a BFS distance labelling followed by a predecessor walk.  The
+    result is sorted lexicographically, so callers that pick the first
+    element of a filtered subset stay deterministic.
+
+    Raises
+    ------
+    RoutingError
+        If ``dst`` is unreachable from ``src``.
+    """
+    if src == dst:
+        return [(src,)]
+    adj = _adjacency(links)
+    if src not in adj or dst not in adj:
+        raise RoutingError(f"unknown endpoint in route request {src}->{dst}")
+
+    dist = {src: 0}
+    queue = deque([src])
+    while queue:
+        here = queue.popleft()
+        for nxt in adj[here]:
+            if nxt not in dist:
+                dist[nxt] = dist[here] + 1
+                queue.append(nxt)
+    if dst not in dist:
+        raise RoutingError(f"no route from node {src} to node {dst}")
+
+    routes: list[tuple[int, ...]] = []
+
+    def walk(prefix: list[int]) -> None:
+        here = prefix[-1]
+        if here == dst:
+            routes.append(tuple(prefix))
+            return
+        for nxt in adj[here]:
+            if dist.get(nxt) == len(prefix):  # strictly forward in BFS layers
+                walk(prefix + [nxt])
+
+    walk([src])
+    routes.sort()
+    return routes
+
+
+def _route_links(
+    links: LinkMap, hops: Sequence[int]
+) -> tuple[DirectedLink, ...]:
+    out = []
+    for a, b in zip(hops, hops[1:]):
+        try:
+            out.append(links[(a, b)])
+        except KeyError as exc:
+            raise RoutingError(f"route {hops} uses missing link {a}->{b}") from exc
+    return tuple(out)
+
+
+def select_route(
+    links: LinkMap, plane: Plane, src: int, dst: int
+) -> tuple[int, ...]:
+    """Pick the route a static routing register would hold.
+
+    Selection: minimal hop count, then
+
+    * ``PLANE_DMA``: widest bulk bottleneck (max of min ``dma_gbps``);
+    * ``PLANE_PIO``: widest streaming bottleneck (max of min
+      ``pio_gbps``), then lowest one-way latency;
+
+    finally lexicographically smallest node sequence.
+    """
+    validate_plane(plane)
+    candidates = enumerate_min_hop_routes(links, src, dst)
+    if len(candidates) == 1:
+        return candidates[0]
+
+    def score(hops: tuple[int, ...]) -> tuple:
+        route_links = _route_links(links, hops)
+        if plane == PLANE_DMA:
+            bottleneck = min(l.dma_gbps for l in route_links)
+            # Negative for max; hops for lexicographic tie-break.
+            return (-bottleneck, hops)
+        bottleneck = min(l.pio_gbps for l in route_links)
+        latency = sum(l.pio_latency_s for l in route_links)
+        return (-bottleneck, latency, hops)
+
+    return min(candidates, key=score)
+
+
+class RoutingTable:
+    """Cached per-plane routes over one machine's link map.
+
+    Parameters
+    ----------
+    links:
+        The machine's directed link map.  The table holds a reference; it
+        must not be mutated after routing begins (builders finish the link
+        set before touching routes).
+    """
+
+    def __init__(self, links: LinkMap) -> None:
+        self._links = links
+        self._overrides: dict[tuple[Plane, int, int], tuple[int, ...]] = {}
+        self._cache: dict[tuple[Plane, int, int], tuple[int, ...]] = {}
+
+    def set_route(self, plane: Plane, hops: Iterable[int]) -> None:
+        """Install an explicit route (overrides the heuristic).
+
+        ``hops`` must be the full node sequence; every consecutive pair
+        must be an existing directed link.
+        """
+        validate_plane(plane)
+        hop_seq = tuple(hops)
+        if len(hop_seq) < 2:
+            raise TopologyError(f"an explicit route needs >= 2 hops, got {hop_seq!r}")
+        _route_links(self._links, hop_seq)  # validates links exist
+        key = (plane, hop_seq[0], hop_seq[-1])
+        self._overrides[key] = hop_seq
+        self._cache.pop(key, None)
+
+    def route(self, plane: Plane, src: int, dst: int) -> tuple[int, ...]:
+        """The node sequence traffic takes from ``src`` to ``dst``."""
+        validate_plane(plane)
+        key = (plane, src, dst)
+        if key in self._overrides:
+            return self._overrides[key]
+        if key not in self._cache:
+            self._cache[key] = select_route(self._links, plane, src, dst)
+        return self._cache[key]
+
+    def route_links(self, plane: Plane, src: int, dst: int) -> tuple[DirectedLink, ...]:
+        """The directed links along :meth:`route`."""
+        return _route_links(self._links, self.route(plane, src, dst))

@@ -1,0 +1,24 @@
+"""A small discrete-event simulation core.
+
+The flow-level network model (:mod:`repro.flows`) advances simulated time
+between *rate-change events* (a flow starting or finishing); device queue
+models and the OS noise model schedule their own events.  This package
+provides the shared clock and event queue they all use.
+
+Public API
+----------
+:class:`~repro.simtime.engine.Simulator`
+    The clock plus event queue; ``schedule`` callbacks, ``run`` until idle
+    or a deadline.
+:class:`~repro.simtime.event_queue.EventQueue`
+    A deterministic priority queue of timestamped events (stable FIFO order
+    for simultaneous events).
+:class:`~repro.simtime.process.SimProcess`
+    Generator-based cooperative process helper on top of the simulator.
+"""
+
+from repro.simtime.engine import Simulator
+from repro.simtime.event_queue import Event, EventQueue
+from repro.simtime.process import SimProcess, Timeout
+
+__all__ = ["Simulator", "Event", "EventQueue", "SimProcess", "Timeout"]

@@ -1,0 +1,82 @@
+"""Deterministic timestamped event queue.
+
+A thin wrapper over :mod:`heapq` that guarantees a *stable* order for
+events scheduled at the same instant (insertion order wins).  Determinism
+matters here: the whole reproduction pipeline is seeded, and a queue that
+tie-broke on object identity would make runs irreproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, sequence)``; ``sequence`` is a monotonically
+    increasing insertion counter, giving FIFO order among simultaneous
+    events.  ``cancelled`` events stay in the heap but are skipped on pop
+    (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects keyed by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not e.cancelled for e in self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its event."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

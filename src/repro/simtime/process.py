@@ -1,0 +1,84 @@
+"""Generator-based cooperative processes on top of :class:`Simulator`.
+
+A :class:`SimProcess` wraps a generator that ``yield``\\ s :class:`Timeout`
+objects; the process resumes after the requested simulated delay.  This is
+the simpy-style idiom, kept deliberately minimal: the flow network solves
+bandwidth sharing analytically and only needs processes for sequenced
+behaviours (benchmark warm-up phases, device interrupt loops, noise
+injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.errors import SimulationError
+from repro.simtime.engine import Simulator
+
+__all__ = ["Timeout", "SimProcess"]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process generator to sleep for ``delay`` seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay!r}")
+
+
+class SimProcess:
+    """Drive a generator as a simulated process.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying the clock.
+    generator:
+        A generator yielding :class:`Timeout` instances.
+    on_done:
+        Optional callback invoked with the generator's return value when it
+        finishes.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def worker():
+    ...     log.append(sim.now)
+    ...     yield Timeout(1.5)
+    ...     log.append(sim.now)
+    >>> _ = SimProcess(sim, worker())
+    >>> sim.run()
+    >>> log
+    [0.0, 1.5]
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Timeout, None, object],
+        on_done: Callable[[object], None] | None = None,
+    ) -> None:
+        self._sim = sim
+        self._gen = generator
+        self._on_done = on_done
+        self.finished = False
+        self.result: object = None
+        sim.schedule(0.0, self._resume)
+
+    def _resume(self) -> None:
+        try:
+            item = next(self._gen)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self._on_done is not None:
+                self._on_done(stop.value)
+            return
+        if not isinstance(item, Timeout):
+            raise SimulationError(f"process yielded {item!r}; expected a Timeout")
+        self._sim.schedule(item.delay, self._resume)

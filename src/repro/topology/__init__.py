@@ -1,0 +1,35 @@
+"""Machine descriptions: NUMA nodes, packages, links, and builders.
+
+The :class:`~repro.topology.machine.Machine` object is the single source
+of truth every other subsystem consumes: benchmarks pin work to its nodes,
+the routing layer walks its links, devices attach to its I/O node.
+
+Builders (:mod:`repro.topology.builders`) construct:
+
+* ``reference_host()`` — the calibrated 8-node AMD 4P host of the paper's
+  Table II, with the asymmetries of §IV built in;
+* ``magny_cours_4p(variant)`` — the four published topology guesses of
+  the paper's Fig. 1;
+* the four Table I server configurations (NUMA-factor study);
+* ``parametric_machine(...)`` — arbitrary package/die grids for tests.
+"""
+
+from repro.topology.distance import distance_matrix, hop_matrix
+from repro.topology.hwloc import render_machine
+from repro.topology.machine import Machine, MachineParams, Relation
+from repro.topology.node import Core, NumaNode, Package
+from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+__all__ = [
+    "Machine",
+    "MachineParams",
+    "Relation",
+    "Core",
+    "NumaNode",
+    "Package",
+    "hop_matrix",
+    "distance_matrix",
+    "render_machine",
+    "machine_to_dict",
+    "machine_from_dict",
+]

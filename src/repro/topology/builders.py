@@ -1,0 +1,418 @@
+"""Machine builders.
+
+``reference_host()`` is the calibrated reproduction of the paper's
+testbed (Table II).  Every non-obvious constant is annotated with the
+paper observation it targets; the acceptance tests in
+``tests/integration`` and the benchmark harness assert the resulting
+emergent behaviour, not these constants.
+
+The other builders construct the paper's Fig. 1 topology variants, the
+four Table I server configurations, and parametric machines for tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import TopologyError
+from repro.interconnect.link import DirectedLink, LinkKind, link_pair
+from repro.topology.machine import Machine, MachineParams
+from repro.topology.node import Core, NumaNode, Package
+from repro.units import GiB, NS
+
+__all__ = [
+    "reference_host",
+    "magny_cours_4p",
+    "intel_4s4n",
+    "amd_4s8n",
+    "amd_8s8n",
+    "hp_blade_32n",
+    "parametric_machine",
+    "scaled_host",
+    "TABLE1_BUILDERS",
+]
+
+
+def _make_nodes(
+    n_nodes: int,
+    cores_per_node: int,
+    nodes_per_package: int,
+    *,
+    memory_bytes: int = 4 * GiB,
+    dram_gbps: float = 56.0,
+    pio_ctrl_gbps: float = 31.0,
+    os_node: int = 0,
+    os_resident_bytes: int = int(2.5 * GiB),
+    other_resident_bytes: int = int(0.25 * GiB),
+) -> tuple[list[NumaNode], list[Package]]:
+    """Regular node/package grid shared by all builders."""
+    if n_nodes % nodes_per_package:
+        raise TopologyError(
+            f"{n_nodes} nodes do not divide into packages of {nodes_per_package}"
+        )
+    nodes = []
+    for nid in range(n_nodes):
+        cores = tuple(
+            Core(core_id=nid * cores_per_node + c, node_id=nid)
+            for c in range(cores_per_node)
+        )
+        nodes.append(
+            NumaNode(
+                node_id=nid,
+                package_id=nid // nodes_per_package,
+                cores=cores,
+                memory_bytes=memory_bytes,
+                dram_gbps=dram_gbps,
+                pio_ctrl_gbps=pio_ctrl_gbps,
+                os_resident_bytes=(
+                    os_resident_bytes if nid == os_node else other_resident_bytes
+                ),
+            )
+        )
+    packages = [
+        Package(
+            package_id=p,
+            node_ids=tuple(range(p * nodes_per_package, (p + 1) * nodes_per_package)),
+        )
+        for p in range(n_nodes // nodes_per_package)
+    ]
+    return nodes, packages
+
+
+# ---------------------------------------------------------------------------
+# The reference host (paper Table II): HP DL585 G7, 4 x Opteron 6136,
+# 8 NUMA nodes / 32 cores, NIC + 2 SSDs behind node 7's I/O hub.
+# ---------------------------------------------------------------------------
+
+def reference_host(with_devices: bool = True) -> Machine:
+    """The calibrated 8-node AMD 4P host the paper characterises.
+
+    Calibration targets (all from the paper):
+
+    * DMA/bulk plane, node-7 *write* model (Table IV / Fig. 10): classes
+      {6,7} ~51, {0,1,4,5} ~44.5, {2,3} ~26.6 Gbps.
+    * DMA/bulk plane, node-7 *read* model (Table V / Fig. 10): {6,7},
+      {2,3} ~48, {0,1,5} ~40.4, {4} 27.9 Gbps.
+    * STREAM facts (§IV-A / Fig. 3): node-0 local diagonal maximum
+      (~31 Gbps), other locals ~28.5, neighbour second (~26);
+      CPU7->MEM4 = 21.34 while CPU4->MEM7 = 18.45; CPU-centric model
+      ranks MEM{0,1} 43-88 % above MEM{2,3}.
+    * ``numactl --hardware`` free memory: ~1.5 GB on node 0, ~4 GB
+      elsewhere.
+
+    Notes on the asymmetric constants: HT 3.0 @ 3.2 GT/s gives 51.2 Gbps
+    per x16 direction; the paper's class-3 write bandwidth (26.0-27.3
+    Gbps) *exceeds* a x8 link's 25.6 Gbps, so the 2<->7 cable must be x16
+    with starved request credits toward node 7 — exactly the
+    "request/response buffer" asymmetry the paper hypothesises.  The same
+    reasoning fixes 7->4 as credit-starved (the read-model outlier).
+    """
+    nodes, packages = _make_nodes(n_nodes=8, cores_per_node=4, nodes_per_package=2)
+    links: list[DirectedLink] = []
+
+    # On-package SRI links: fast, symmetric.  dma_credit 0.918 -> 47.0 Gbps,
+    # matching the node-6 entries of both Fig. 10 models (46.5-47.1 Gbps).
+    for a in (0, 2, 4, 6):
+        links += link_pair(
+            a, a + 1, 16, 3.2, LinkKind.SRI,
+            dma_credit=0.918, pio_cap_gbps=30.0, pio_latency_s=5 * NS,
+        )
+
+    # P0 <-> P3 (0 <-> 7): healthy x16.  dma 0.87 -> 44.5 (write class 2),
+    # reverse 0.79 -> 40.4 (read class 3).
+    links += link_pair(
+        0, 7, 16, 3.2,
+        dma_credit=0.87, dma_credit_rev=0.79,
+        pio_cap_gbps=25.0, pio_latency_s=12.5 * NS,
+    )
+
+    # P2 <-> P3 (4 <-> 7): the read-direction outlier.  7->4 dma credit
+    # 0.545 -> 27.9 Gbps (Table V class 4).  PIO caps reproduce the
+    # asymmetric STREAM pair: response cap 4->7 = 23.2 => CPU7->MEM4 =
+    # 21.34 after the OS-library penalty; response cap 7->4 = 20.05 =>
+    # CPU4->MEM7 = 18.45.
+    links += link_pair(
+        4, 7, 16, 3.2,
+        dma_credit=0.87, dma_credit_rev=0.545,
+        pio_cap_gbps=23.2, pio_cap_rev_gbps=20.05,
+        pio_latency_s=12.5 * NS,
+    )
+
+    # Second P2 <-> P3 cable (5 <-> 6), mirroring 0<->7's provisioning;
+    # gives node 5 its class-2-write / class-3-read behaviour without
+    # crossing the starved 7->4 direction.
+    links += link_pair(
+        5, 6, 16, 3.2,
+        dma_credit=0.87, dma_credit_rev=0.79,
+        pio_cap_gbps=25.0, pio_latency_s=12.5 * NS,
+    )
+
+    # P1 <-> P3 (2 <-> 7): the paper's strangest cable.  Toward node 7 the
+    # request channel is starved (dma 0.52 -> 26.6 Gbps: write class 3;
+    # PIO cap 14.5 => STREAM CPU7->MEM{2,3} ~ 13.3).  Away from node 7 the
+    # response channel is healthy (dma 0.95 -> 48.6 Gbps: read class 2!).
+    # This single asymmetry produces the paper's flagship STREAM-vs-
+    # RDMA_READ rank reversal for nodes {2,3}.
+    links += link_pair(
+        2, 7, 16, 3.2,
+        dma_credit=0.52, dma_credit_rev=0.95,
+        pio_cap_gbps=14.5, pio_cap_rev_gbps=21.5,
+        pio_latency_s=20 * NS,
+    )
+
+    # Remaining fabric (does not sit on any node-7 path): P0<->P1, P0<->P2
+    # healthy x16; P1<->P2 a narrow x8 (link-width diversity per Fig. 1).
+    links += link_pair(1, 3, 16, 3.2, dma_credit=0.87, pio_cap_gbps=25.0,
+                       pio_latency_s=12.5 * NS)
+    links += link_pair(1, 4, 16, 3.2, dma_credit=0.87, pio_cap_gbps=25.0,
+                       pio_latency_s=12.5 * NS)
+    links += link_pair(3, 4, 8, 3.2, dma_credit=1.0, pio_cap_gbps=12.0,
+                       pio_latency_s=50 * NS)
+
+    params = MachineParams(
+        local_latency_s=100 * NS,
+        # 4 threads x 775 / 100 ns = 31 Gbps local; x0.92 off node 0 = 28.5.
+        pio_core_gbps_ns=775.0,
+        oslib_penalty=0.92,
+        os_node=0,
+        dma_per_thread_gbps=16.0,
+        description="HP ProLiant DL585 G7, 4 x AMD Opteron 6136 (calibrated model)",
+    )
+    machine = Machine("hp-dl585-g7", nodes, packages, links, params)
+    if with_devices:
+        from repro.devices.standard import attach_reference_devices
+
+        attach_reference_devices(machine)
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1: published topology guesses for the 4P Magny-Cours platform.
+# ---------------------------------------------------------------------------
+
+def magny_cours_4p(variant: str = "a") -> Machine:
+    """One of the paper's Fig. 1 4P Opteron topology variants.
+
+    These machines exist to demonstrate the §IV-A negative result: none
+    of them explains the measured STREAM matrix.  Variant ``a`` satisfies
+    the paper's worked example (node 7: neighbour 6; one hop to
+    {0, 2, 4}; two hops to {1, 3, 5}).
+    """
+    nodes, packages = _make_nodes(n_nodes=8, cores_per_node=4, nodes_per_package=2)
+    links: list[DirectedLink] = []
+    for a in (0, 2, 4, 6):
+        links += link_pair(a, a + 1, 16, 3.2, LinkKind.SRI, pio_latency_s=5 * NS)
+
+    def ht(a: int, b: int, width: int = 16) -> None:
+        links.extend(link_pair(a, b, width, 3.2, pio_latency_s=12.5 * NS))
+
+    if variant == "a":
+        # Even dies fully meshed; odd dies reach other packages in 2 hops.
+        for a, b in itertools.combinations((0, 2, 4, 6), 2):
+            ht(a, b, 16)
+        ht(7, 0)
+        ht(7, 2)
+        ht(7, 4)
+    elif variant == "b":
+        # Ring of dies with two x8 chords.
+        ring = [0, 2, 4, 6, 1, 3, 5, 7]
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            ht(a, b, 16)
+        ht(0, 4, 8)
+        ht(2, 6, 8)
+    elif variant == "c":
+        # Package 0 as a hub: star at the even dies.
+        for b in (2, 3, 4, 5, 6, 7):
+            ht(0, b, 16 if b % 2 == 0 else 8)
+    elif variant == "d":
+        # Dumitru et al. variant: package line with x8 wrap links.
+        ht(0, 2)
+        ht(2, 4)
+        ht(4, 6)
+        ht(1, 3, 8)
+        ht(3, 5, 8)
+        ht(5, 7, 8)
+        ht(0, 6, 8)
+        ht(1, 7, 8)
+    else:
+        raise TopologyError(f"unknown Magny-Cours variant {variant!r}; use a/b/c/d")
+    params = MachineParams(description=f"4P Magny-Cours published variant ({variant})")
+    return Machine(f"magny-cours-4p-{variant}", nodes, packages, links, params)
+
+
+# ---------------------------------------------------------------------------
+# Table I: NUMA factor of four server configurations.
+# ---------------------------------------------------------------------------
+
+def intel_4s4n() -> Machine:
+    """Intel 4-socket / 4-node QPI host: full mesh, NUMA factor ~1.5."""
+    nodes, packages = _make_nodes(4, cores_per_node=8, nodes_per_package=1)
+    links: list[DirectedLink] = []
+    for a, b in itertools.combinations(range(4), 2):
+        links += link_pair(a, b, 16, 3.2, pio_latency_s=25 * NS)
+    params = MachineParams(description="Intel 4 sockets / 4 nodes (QPI full mesh)")
+    return Machine("intel-4s4n", nodes, packages, links, params)
+
+
+def amd_4s8n() -> Machine:
+    """AMD 4-socket / 8-node host: package ring, NUMA factor ~2.7."""
+    nodes, packages = _make_nodes(8, cores_per_node=4, nodes_per_package=2)
+    links: list[DirectedLink] = []
+    for a in (0, 2, 4, 6):
+        links += link_pair(a, a + 1, 16, 3.2, LinkKind.SRI, pio_latency_s=15 * NS)
+    for a, b in ((0, 2), (2, 4), (4, 6), (6, 0)):
+        links += link_pair(a, b, 16, 3.2, pio_latency_s=65 * NS)
+    params = MachineParams(description="AMD 4 sockets / 8 nodes (HT package ring)")
+    return Machine("amd-4s8n", nodes, packages, links, params)
+
+
+def amd_8s8n() -> Machine:
+    """AMD 8-socket / 8-node host: socket ring, NUMA factor ~2.8."""
+    nodes, packages = _make_nodes(8, cores_per_node=4, nodes_per_package=1)
+    links: list[DirectedLink] = []
+    for a in range(8):
+        links += link_pair(a, (a + 1) % 8, 16, 3.2, pio_latency_s=40 * NS)
+    params = MachineParams(description="AMD 8 sockets / 8 nodes (HT socket ring)")
+    return Machine("amd-8s8n", nodes, packages, links, params)
+
+
+def hp_blade_32n() -> Machine:
+    """HP 32-node blade system: boards glued by node controllers, factor ~5.5."""
+    nodes, packages = _make_nodes(32, cores_per_node=4, nodes_per_package=4)
+    links: list[DirectedLink] = []
+    # Full mesh within each 4-node board.
+    for board in range(8):
+        base = 4 * board
+        for a, b in itertools.combinations(range(base, base + 4), 2):
+            links += link_pair(a, b, 16, 3.2, pio_latency_s=40 * NS)
+    # Boards fully connected through node-controller links at each board's
+    # gateway node (first node of the board); the controller adds latency.
+    for i, j in itertools.combinations(range(8), 2):
+        links += link_pair(4 * i, 4 * j, 16, 3.2, pio_latency_s=130 * NS)
+    params = MachineParams(
+        router_latency_s=20 * NS,
+        description="HP 32-node blade system (node-controller glued)",
+    )
+    return Machine("hp-blade-32n", nodes, packages, links, params)
+
+
+#: Table I rows: label -> (builder, paper NUMA factor).
+TABLE1_BUILDERS = {
+    "Intel 4 sockets/4 nodes": (intel_4s4n, 1.5),
+    "AMD 4 sockets/8 nodes": (amd_4s8n, 2.7),
+    "AMD 8 sockets/8 nodes": (amd_8s8n, 2.8),
+    "HP blade system 32 nodes": (hp_blade_32n, 5.5),
+}
+
+
+# ---------------------------------------------------------------------------
+# Parametric machines for tests and property-based suites.
+# ---------------------------------------------------------------------------
+
+def scaled_host(
+    n_packages: int = 8,
+    cores_per_node: int = 4,
+    seed: int = 7,
+    asymmetry_fraction: float = 0.25,
+) -> Machine:
+    """A larger reference-style host with seeded credit asymmetries.
+
+    Used by scale tests and library-performance benchmarks: a ring of
+    two-die packages with chords, where a seeded ``asymmetry_fraction``
+    of inter-package directions gets reference-host-style credit
+    starvation (0.45-0.6) — so Algorithm 1 has non-trivial structure to
+    find at any size, without hand calibration.
+    """
+    if n_packages < 2:
+        raise TopologyError(f"scaled_host needs >= 2 packages, got {n_packages}")
+    import numpy as np
+
+    rng = np.random.Generator(np.random.PCG64(seed))
+    n_nodes = 2 * n_packages
+    nodes, packages = _make_nodes(n_nodes, cores_per_node, 2)
+    links: list[DirectedLink] = []
+    for p in range(n_packages):
+        base = 2 * p
+        links += link_pair(base, base + 1, 16, 3.2, LinkKind.SRI,
+                           dma_credit=0.918, pio_cap_gbps=30.0,
+                           pio_latency_s=5 * NS)
+
+    wired: set[frozenset[int]] = set()
+
+    def inter(a: int, b: int) -> None:
+        if a == b or frozenset((a, b)) in wired:
+            return
+        wired.add(frozenset((a, b)))
+        credits = []
+        for _direction in range(2):
+            if rng.random() < asymmetry_fraction:
+                credits.append(float(rng.uniform(0.45, 0.6)))
+            else:
+                credits.append(float(rng.uniform(0.82, 0.92)))
+        links.extend(
+            link_pair(
+                a, b, 16, 3.2,
+                dma_credit=credits[0], dma_credit_rev=credits[1],
+                pio_cap_gbps=25.0, pio_latency_s=12.5 * NS,
+            )
+        )
+
+    # Ring over alternating dies, plus chords across the ring.
+    for p in range(n_packages):
+        a = 2 * p + (p % 2)
+        b = (2 * ((p + 1) % n_packages)) + ((p + 1) % 2)
+        inter(a, b)
+    for c in range(n_packages // 2):
+        inter(2 * c, 2 * ((c + n_packages // 2) % n_packages) + 1)
+    params = MachineParams(
+        description=f"scaled reference-style host ({n_packages} packages, seed {seed})"
+    )
+    return Machine(f"scaled-{n_packages}p-s{seed}", nodes, packages, links, params)
+
+
+def parametric_machine(
+    n_packages: int,
+    nodes_per_package: int = 2,
+    cores_per_node: int = 4,
+    *,
+    width_bits: int = 16,
+    gts: float = 3.2,
+    link_latency_s: float = 12.5 * NS,
+    chords: int = 0,
+    name: str | None = None,
+) -> Machine:
+    """A regular ring-of-packages machine of arbitrary size.
+
+    Dies within a package are SRI-linked; the first die of each package
+    joins an inter-package ring; ``chords`` adds that many evenly spaced
+    cross-ring links.  Used by property-based tests to check invariants
+    on machines the calibration never saw.
+    """
+    if n_packages < 1:
+        raise TopologyError(f"need at least one package, got {n_packages}")
+    n_nodes = n_packages * nodes_per_package
+    nodes, packages = _make_nodes(n_nodes, cores_per_node, nodes_per_package)
+    links: list[DirectedLink] = []
+    for p in range(n_packages):
+        base = p * nodes_per_package
+        for k in range(nodes_per_package - 1):
+            links += link_pair(
+                base + k, base + k + 1, 16, gts, LinkKind.SRI, pio_latency_s=5 * NS
+            )
+    gateways = [p * nodes_per_package for p in range(n_packages)]
+    if n_packages == 2:
+        links += link_pair(gateways[0], gateways[1], width_bits, gts,
+                           pio_latency_s=link_latency_s)
+    elif n_packages > 2:
+        for i in range(n_packages):
+            links += link_pair(
+                gateways[i], gateways[(i + 1) % n_packages], width_bits, gts,
+                pio_latency_s=link_latency_s,
+            )
+    for c in range(chords):
+        a = gateways[c % n_packages]
+        b = gateways[(c + n_packages // 2) % n_packages]
+        if a != b and (a, b) not in {l.ends for l in links}:
+            links += link_pair(a, b, width_bits, gts, pio_latency_s=link_latency_s)
+    params = MachineParams(description=f"parametric ring, {n_packages} packages")
+    return Machine(name or f"ring-{n_packages}x{nodes_per_package}", nodes, packages, links, params)

@@ -1,0 +1,52 @@
+"""hwloc-style textual rendering of a machine.
+
+The real ``lstopo`` shows the containment hierarchy but, as the paper
+notes (§II-B), *not* how NUMA nodes are interconnected.  We render both —
+the hierarchy for orientation, and the link table because this library's
+whole point is that the links matter.
+"""
+
+from __future__ import annotations
+
+from repro.topology.machine import Machine
+from repro.units import fmt_bytes
+
+__all__ = ["render_machine", "render_links"]
+
+
+def render_machine(machine: Machine) -> str:
+    """Human-readable containment view (machine -> package -> node -> cores)."""
+    lines = [f"Machine {machine.name!r}: {machine.n_nodes} NUMA nodes, {machine.n_cores} cores"]
+    if machine.params.description:
+        lines.append(f"  ({machine.params.description})")
+    for pkg_id in sorted(machine.packages):
+        pkg = machine.packages[pkg_id]
+        lines.append(f"  Package P{pkg_id}")
+        for nid in pkg.node_ids:
+            node = machine.node(nid)
+            core_span = f"{node.cores[0].core_id}-{node.cores[-1].core_id}"
+            lines.append(
+                f"    NUMANode N{nid}: cores {core_span}, "
+                f"{fmt_bytes(node.memory_bytes)} RAM "
+                f"({fmt_bytes(node.free_bytes)} free), "
+                f"DRAM {node.dram_gbps:.1f} Gbps"
+            )
+    devices = sorted(machine.devices)
+    if devices:
+        lines.append("  Devices:")
+        for name in devices:
+            lines.append(f"    {name}: {machine.devices[name]!s}")
+    return "\n".join(lines)
+
+
+def render_links(machine: Machine) -> str:
+    """Directed link table with per-plane effective capacities."""
+    lines = ["src -> dst  kind width GT/s   raw    dma    pio  lat(ns)"]
+    for (src, dst), link in sorted(machine.links.items()):
+        lines.append(
+            f"{src:>3} -> {dst:<3} {link.kind.value:>4} "
+            f"x{link.width_bits:<3} {link.gts:<4.1f} "
+            f"{link.raw_gbps:6.1f} {link.dma_gbps:6.1f} {link.pio_gbps:6.1f} "
+            f"{link.pio_latency_s * 1e9:7.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""What-if machine modifications.
+
+Machines are immutable; what-if studies (the a6 sensitivity ablation,
+failure drills, upgrade planning) build a *modified copy* through the
+serialisation layer.  These helpers name the common edits:
+
+* :func:`with_link_credit` — re-provision one direction's DMA credits
+  (the knob behind every class anomaly on the reference host);
+* :func:`with_link_removed` — fail a cable (both directions), refusing
+  to disconnect the fabric;
+* :func:`with_dram_gbps` — swap a node's memory for faster/slower parts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.machine import Machine
+from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+__all__ = ["with_link_credit", "with_link_removed", "with_dram_gbps"]
+
+
+def with_link_credit(
+    machine: Machine, src: int, dst: int, dma_credit: float, rename: bool = True
+) -> Machine:
+    """A copy of ``machine`` with the ``src -> dst`` DMA credit replaced."""
+    machine.link(src, dst)  # raises TopologyError if absent
+    data = machine_to_dict(machine)
+    for entry in data["links"]:
+        if entry["src"] == src and entry["dst"] == dst:
+            entry["dma_credit"] = dma_credit
+    if rename:
+        data["name"] = f"{machine.name}+credit{src}>{dst}={dma_credit:g}"
+    return machine_from_dict(data)
+
+
+def with_link_removed(machine: Machine, a: int, b: int, rename: bool = True) -> Machine:
+    """A copy of ``machine`` with the ``a <-> b`` cable failed.
+
+    Raises
+    ------
+    TopologyError
+        If the link does not exist or removing it disconnects the fabric.
+    """
+    machine.link(a, b)
+    machine.link(b, a)
+    data = machine_to_dict(machine)
+    data["links"] = [
+        entry
+        for entry in data["links"]
+        if {entry["src"], entry["dst"]} != {a, b}
+    ]
+    if rename:
+        data["name"] = f"{machine.name}-link{a}<>{b}"
+    modified = machine_from_dict(data)
+    # Fail fast on disconnection (hop_matrix raises on partitions).
+    from repro.topology.distance import hop_matrix
+
+    try:
+        hop_matrix(modified)
+    except TopologyError as exc:
+        raise TopologyError(
+            f"removing link {a}<->{b} disconnects {machine.name!r}: {exc}"
+        ) from exc
+    return modified
+
+
+def with_dram_gbps(machine: Machine, node: int, dram_gbps: float,
+                   rename: bool = True) -> Machine:
+    """A copy of ``machine`` with ``node``'s controller bandwidth replaced."""
+    if dram_gbps <= 0:
+        raise TopologyError(f"dram_gbps must be positive, got {dram_gbps!r}")
+    machine.node(node)
+    data = machine_to_dict(machine)
+    for entry in data["nodes"]:
+        if entry["node_id"] == node:
+            entry["dram_gbps"] = dram_gbps
+    if rename:
+        data["name"] = f"{machine.name}+dram{node}={dram_gbps:g}"
+    return machine_from_dict(data)

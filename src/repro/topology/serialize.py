@@ -1,0 +1,124 @@
+"""Machine (de)serialisation.
+
+A machine description — nodes, packages, directed links with their
+per-plane parameters, host parameters — round-trips through a plain
+JSON-compatible dict.  This is how a user records a characterised host
+(``repro-numa hardware`` territory) or shares a calibration, and it
+keeps machine descriptions diffable in version control.
+
+Devices are *not* serialised here: their response curves belong to the
+device vendor model (:mod:`repro.devices`), and
+:func:`machine_from_dict` leaves the ``devices`` map empty for the
+caller to re-attach.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import TopologyError
+from repro.interconnect.link import DirectedLink, LinkKind
+from repro.topology.machine import Machine, MachineParams
+from repro.topology.node import Core, NumaNode, Package
+
+__all__ = ["machine_to_dict", "machine_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def machine_to_dict(machine: Machine) -> dict[str, Any]:
+    """A JSON-compatible description of ``machine`` (excluding devices)."""
+    params = machine.params
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": machine.name,
+        "params": {
+            "local_latency_s": params.local_latency_s,
+            "pio_core_gbps_ns": params.pio_core_gbps_ns,
+            "oslib_penalty": params.oslib_penalty,
+            "os_node": params.os_node,
+            "dma_per_thread_gbps": params.dma_per_thread_gbps,
+            "pio_request_frac": params.pio_request_frac,
+            "pio_response_frac": params.pio_response_frac,
+            "router_latency_s": params.router_latency_s,
+            "llc_bytes": params.llc_bytes,
+            "description": params.description,
+        },
+        "nodes": [
+            {
+                "node_id": node.node_id,
+                "package_id": node.package_id,
+                "core_ids": [c.core_id for c in node.cores],
+                "memory_bytes": node.memory_bytes,
+                "dram_gbps": node.dram_gbps,
+                "pio_ctrl_gbps": node.pio_ctrl_gbps,
+                "os_resident_bytes": node.os_resident_bytes,
+            }
+            for node in (machine.node(n) for n in machine.node_ids)
+        ],
+        "packages": [
+            {"package_id": pkg.package_id, "node_ids": list(pkg.node_ids)}
+            for pkg in (machine.packages[p] for p in sorted(machine.packages))
+        ],
+        "links": [
+            {
+                "src": link.src,
+                "dst": link.dst,
+                "width_bits": link.width_bits,
+                "gts": link.gts,
+                "kind": link.kind.value,
+                "dma_credit": link.dma_credit,
+                "pio_cap_gbps": link.pio_cap_gbps,
+                "pio_latency_s": link.pio_latency_s,
+            }
+            for _ends, link in sorted(machine.links.items())
+        ],
+    }
+
+
+def machine_from_dict(data: Mapping[str, Any]) -> Machine:
+    """Rebuild a :class:`Machine` from :func:`machine_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported machine format version {version!r} "
+            f"(this library writes {_FORMAT_VERSION})"
+        )
+    try:
+        params = MachineParams(**data["params"])
+        nodes = [
+            NumaNode(
+                node_id=entry["node_id"],
+                package_id=entry["package_id"],
+                cores=tuple(
+                    Core(core_id=cid, node_id=entry["node_id"])
+                    for cid in entry["core_ids"]
+                ),
+                memory_bytes=entry["memory_bytes"],
+                dram_gbps=entry["dram_gbps"],
+                pio_ctrl_gbps=entry["pio_ctrl_gbps"],
+                os_resident_bytes=entry["os_resident_bytes"],
+            )
+            for entry in data["nodes"]
+        ]
+        packages = [
+            Package(package_id=entry["package_id"],
+                    node_ids=tuple(entry["node_ids"]))
+            for entry in data["packages"]
+        ]
+        links = [
+            DirectedLink(
+                src=entry["src"],
+                dst=entry["dst"],
+                width_bits=entry["width_bits"],
+                gts=entry["gts"],
+                kind=LinkKind(entry["kind"]),
+                dma_credit=entry["dma_credit"],
+                pio_cap_gbps=entry["pio_cap_gbps"],
+                pio_latency_s=entry["pio_latency_s"],
+            )
+            for entry in data["links"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise TopologyError(f"malformed machine description: {exc}") from exc
+    return Machine(data["name"], nodes, packages, links, params)

@@ -1,0 +1,129 @@
+"""Units and conversions used throughout the library.
+
+Conventions
+-----------
+* **Bandwidth** is expressed in **Gbps** (``1e9`` bits per second) as a
+  ``float``.  The paper reports every bandwidth in Gbps (Gbit/s), so the
+  library does too; helpers convert to and from bytes/second.
+* **Data sizes** are **bytes** as an ``int``.
+* **Time** is **seconds** as a ``float``; latencies are usually built from
+  the :data:`NS` constant for readability (``100 * NS``).
+
+These are plain module-level helpers rather than a unit-checking type: the
+hot paths in the flow solver run over numpy arrays and must stay free of
+per-element wrapper objects (see the HPC guide's advice on vectorisation).
+"""
+
+from __future__ import annotations
+
+# --- size constants (bytes) -------------------------------------------------
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+TB = 1000**4
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+
+#: A cache line on the modelled AMD platforms.
+CACHE_LINE = 64
+
+# --- time constants (seconds) -----------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# --- bandwidth conversions ---------------------------------------------------
+BITS_PER_BYTE = 8
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert a bandwidth in Gbps to bytes per second."""
+    return gbps * 1e9 / BITS_PER_BYTE
+
+
+def bytes_per_s_to_gbps(bps: float) -> float:
+    """Convert a bandwidth in bytes/second to Gbps."""
+    return bps * BITS_PER_BYTE / 1e9
+
+
+def gbps(bytes_moved: float, seconds: float) -> float:
+    """Bandwidth in Gbps achieved moving ``bytes_moved`` in ``seconds``.
+
+    Raises
+    ------
+    ValueError
+        If ``seconds`` is not strictly positive.
+    """
+    if seconds <= 0.0:
+        raise ValueError(f"elapsed time must be positive, got {seconds!r}")
+    return bytes_per_s_to_gbps(bytes_moved / seconds)
+
+
+def transfer_time(bytes_moved: float, bw_gbps: float) -> float:
+    """Seconds needed to move ``bytes_moved`` at ``bw_gbps``.
+
+    Raises
+    ------
+    ValueError
+        If ``bw_gbps`` is not strictly positive.
+    """
+    if bw_gbps <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bw_gbps!r}")
+    return bytes_moved / gbps_to_bytes_per_s(bw_gbps)
+
+
+def ht_raw_gbps(width_bits: int, gts: float) -> float:
+    """Raw per-direction capacity of a HyperTransport link in Gbps.
+
+    HyperTransport is double-pumped and quoted in GT/s; a ``width_bits``-bit
+    link moving ``gts`` billion transfers per second carries
+    ``width_bits * gts`` Gbps per direction (HT 3.0 spec, §4).
+
+    >>> ht_raw_gbps(16, 3.2)
+    51.2
+    >>> ht_raw_gbps(8, 3.2)
+    25.6
+    """
+    if width_bits <= 0:
+        raise ValueError(f"link width must be positive, got {width_bits!r}")
+    if gts <= 0:
+        raise ValueError(f"transfer rate must be positive, got {gts!r}")
+    return width_bits * gts
+
+
+def pcie_data_gbps(lanes: int, gen: int) -> float:
+    """Usable data bandwidth of a PCIe link in Gbps (per direction).
+
+    Gen 1/2 use 8b/10b encoding (2.5 / 5.0 GT/s per lane -> 2.0 / 4.0 Gbps
+    usable); Gen 3 uses 128b/130b at 8.0 GT/s (~7.877 Gbps usable).  The
+    paper's NIC is Gen 2 x8: 40 Gbps raw, 32 Gbps usable, which this helper
+    reproduces.
+
+    >>> pcie_data_gbps(8, 2)
+    32.0
+    """
+    if lanes <= 0:
+        raise ValueError(f"lane count must be positive, got {lanes!r}")
+    per_lane_raw = {1: 2.5, 2: 5.0, 3: 8.0}
+    encoding = {1: 8.0 / 10.0, 2: 8.0 / 10.0, 3: 128.0 / 130.0}
+    if gen not in per_lane_raw:
+        raise ValueError(f"unsupported PCIe generation: {gen!r}")
+    return lanes * per_lane_raw[gen] * encoding[gen]
+
+
+def fmt_gbps(value: float, digits: int = 2) -> str:
+    """Render a bandwidth for reports, e.g. ``'21.34 Gbps'``."""
+    return f"{value:.{digits}f} Gbps"
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``'128.0 KiB'``."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")

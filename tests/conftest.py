@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+The reference host is immutable after construction and the RNG registry
+is stateless, so both are session-scoped; anything that mutates state
+(allocators, schedulers, runners with shared allocators) is built fresh
+per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.rng import RngRegistry
+from repro.topology.builders import magny_cours_4p, parametric_machine, reference_host
+
+
+@pytest.fixture(scope="session")
+def host():
+    """The calibrated reference host with devices attached."""
+    return reference_host()
+
+
+@pytest.fixture(scope="session")
+def bare_host():
+    """The reference host without devices (pure fabric tests)."""
+    return reference_host(with_devices=False)
+
+
+@pytest.fixture(scope="session")
+def variant_a():
+    """A clean Fig. 1 variant-a machine (no calibrated asymmetries)."""
+    return magny_cours_4p("a")
+
+
+@pytest.fixture(scope="session")
+def small_machine():
+    """A small 2-package machine for cheap structural tests."""
+    return parametric_machine(2, nodes_per_package=2, cores_per_node=2)
+
+
+@pytest.fixture()
+def registry():
+    """A fresh registry with the default seed."""
+    return RngRegistry()
+
+
+@pytest.fixture()
+def runner(host):
+    """A fio runner against the reference host."""
+    return FioRunner(host)

@@ -1,0 +1,70 @@
+"""Device portability: the pipeline works with devices on any node.
+
+The paper attaches everything to node 7; a downstream user's adapter
+might sit behind any I/O hub.  Moving the reference devices to another
+node must leave the whole pipeline consistent: Algorithm 1's model for
+that node predicts the fio measurements against the relocated devices.
+"""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.core.iomodel import IOModelBuilder
+from repro.core.validation import class_ordering_holds, rank_correlation
+from repro.devices.standard import attach_device, reference_nic, reference_ssd_array
+from repro.rng import RngRegistry
+from repro.topology.builders import reference_host
+
+
+@pytest.fixture(scope="module", params=[0, 3])
+def relocated(request):
+    """The reference host with devices behind node 0 or node 3."""
+    node = request.param
+    machine = reference_host(with_devices=False)
+    attach_device(machine, "nic", reference_nic(node_id=node))
+    attach_device(machine, "ssd", reference_ssd_array(node_id=node))
+    return machine, node
+
+
+class TestRelocatedDevices:
+    def test_model_predicts_relocated_rdma(self, relocated):
+        machine, node = relocated
+        registry = RngRegistry()
+        model = IOModelBuilder(machine, registry=registry, runs=10).build(
+            node, "write"
+        )
+        runner = FioRunner(machine, registry=registry)
+        sweep = {
+            n: runner.run(
+                FioJob(name=f"port-{node}-{n}", engine="rdma", rw="write",
+                       numjobs=4, cpunodebind=n)
+            ).aggregate_gbps
+            for n in machine.node_ids
+        }
+        assert rank_correlation(model.values, sweep) > 0.6
+        assert class_ordering_holds(model, sweep, tolerance=0.06)
+
+    def test_local_class_contains_device_node(self, relocated):
+        machine, node = relocated
+        model = IOModelBuilder(machine, registry=RngRegistry(), runs=5).build(
+            node, "read"
+        )
+        assert node in model.class_by_rank(1).node_ids
+
+    def test_irq_penalty_follows_the_device(self, relocated):
+        machine, node = relocated
+        runner = FioRunner(machine, RngRegistry())
+        neighbour = next(
+            n for n in machine.packages[machine.node(node).package_id].node_ids
+            if n != node
+        )
+        local = runner.run(
+            FioJob(name=f"irq-l{node}", engine="tcp", rw="send",
+                   numjobs=4, cpunodebind=node)
+        ).aggregate_gbps
+        nearby = runner.run(
+            FioJob(name=f"irq-n{node}", engine="tcp", rw="send",
+                   numjobs=4, cpunodebind=neighbour)
+        ).aggregate_gbps
+        assert nearby > local

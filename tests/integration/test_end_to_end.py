@@ -1,0 +1,92 @@
+"""Cross-module pipelines a downstream user would run."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob, parse_jobfile
+from repro.core.characterize import HostCharacterizer
+from repro.core.predictor import MixturePredictor
+from repro.core.scheduler_advisor import PlacementAdvisor
+from repro.core.validation import validate_model
+from repro.rng import RngRegistry
+from repro.topology.builders import parametric_machine, reference_host
+
+
+class TestCharacterizeThenSchedule:
+    """The paper's intended workflow: model once, then place tasks."""
+
+    def test_full_pipeline(self):
+        machine = reference_host()
+        registry = RngRegistry()
+        characterizer = HostCharacterizer(machine, registry=registry, runs=10)
+        result = characterizer.characterize(7)
+
+        runner = FioRunner(machine, registry=registry)
+        job = FioJob(name="e2e", engine="rdma", rw="write", numjobs=4)
+        sweep = {
+            node: runner.run(job.with_node(node)).aggregate_gbps
+            for node in machine.node_ids
+        }
+
+        # Validate, predict, advise — all from the same model object.
+        reports = validate_model(result.write_model, {"RDMA_WRITE": sweep})
+        assert reports["RDMA_WRITE"].ordering_holds
+
+        predictor = MixturePredictor(result.write_model, sweep)
+        predicted = predictor.predict_streams([6, 0, 0, 2])
+        assert 0 < predicted < 32
+
+        advisor = PlacementAdvisor(machine, result.write_model, sweep)
+        plan = advisor.advise(8)
+        measured = runner.run(
+            FioJob(name="e2e-plan", engine="rdma", rw="write", numjobs=8,
+                   stream_nodes=tuple(plan.stream_nodes()))
+        )
+        assert measured.aggregate_gbps > 20.0
+
+
+class TestJobfileToResults:
+    def test_paper_protocol_jobfile(self, host):
+        text = """
+        [global]
+        bs=128k
+        size=400g
+        numjobs=4
+
+        [tcp-send-n5]
+        ioengine=tcp
+        rw=send
+        cpunodebind=5
+
+        [ssd-read-n2]
+        ioengine=libaio
+        rw=read
+        iodepth=16
+        cpunodebind=2
+        """
+        runner = FioRunner(host)
+        results = runner.run_jobs(parse_jobfile(text))
+        by_name = {r.job_name: r for r in results}
+        assert by_name["tcp-send-n5"].aggregate_gbps == pytest.approx(20.4, rel=0.1)
+        assert by_name["ssd-read-n2"].aggregate_gbps == pytest.approx(34.7, rel=0.1)
+
+
+class TestForeignMachine:
+    """The methodology must run on machines it was never calibrated for."""
+
+    def test_characterize_parametric_ring(self):
+        machine = parametric_machine(4, nodes_per_package=2, cores_per_node=2)
+        characterizer = HostCharacterizer(machine, registry=RngRegistry(), runs=5)
+        result = characterizer.characterize(0)
+        assert result.write_model.n_classes >= 1
+        assert result.read_model.n_classes >= 1
+        # Local + neighbour rule holds everywhere.
+        assert 0 in result.write_model.class_by_rank(1).node_ids
+        assert 1 in result.write_model.class_by_rank(1).node_ids
+
+    def test_uniform_ring_yields_few_classes(self):
+        machine = parametric_machine(3, nodes_per_package=1, cores_per_node=2)
+        characterizer = HostCharacterizer(machine, registry=RngRegistry(), runs=5)
+        result = characterizer.characterize(0)
+        # A symmetric ring has no remote diversity: at most 2 classes.
+        assert result.write_model.n_classes <= 2

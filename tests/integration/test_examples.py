@@ -1,0 +1,45 @@
+"""Examples stay loadable and well-formed.
+
+Each example is imported from its file (executing its module body —
+imports and definitions, not ``main()``), which catches API drift
+the moment a signature changes.  The full runs happen in CI wall-time
+via the scripts themselves; here we verify structure cheaply.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 9
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+    assert module.__doc__, f"{path.name} lacks a docstring"
+    assert "Run:" in module.__doc__, f"{path.name} docstring lacks run hint"
+
+
+def test_quickstart_main_runs(capsys):
+    module = _load(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Class 1" in out
+    assert "Eq. 1" in out

@@ -1,0 +1,37 @@
+"""Every registered experiment runs and passes its shape checks.
+
+Quick mode keeps the suite fast; the benchmark harness runs the full
+protocol and EXPERIMENTS.md records the full-mode numbers.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.errors import ReproError
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENTS)
+def test_experiment_passes(exp_id):
+    result = run_experiment(exp_id, quick=True)
+    assert result.exp_id == exp_id
+    failed = result.failed_checks()
+    assert not failed, "\n".join(c.render() for c in failed)
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENTS)
+def test_experiment_render(exp_id):
+    result = run_experiment(exp_id, quick=True)
+    text = result.render()
+    assert result.title in text
+    assert "[PASS]" in text
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ReproError):
+        get_experiment("nope")
+
+
+def test_experiments_deterministic():
+    a = run_experiment("f10", quick=True)
+    b = run_experiment("f10", quick=True)
+    assert a.data == b.data

@@ -1,0 +1,120 @@
+"""The paper's headline quantitative facts, end to end.
+
+These are the acceptance criteria from DESIGN.md §4, asserted against
+the full pipeline (not the capacity model directly): Tables IV/V class
+structure, the STREAM prose facts, the RDMA_READ reversal, Eq. 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.bench.stream import StreamBenchmark
+from repro.core.iomodel import IOModelBuilder
+from repro.core.predictor import MixturePredictor
+from repro.experiments.paper_values import (
+    TABLE4_AVG,
+    TABLE4_CLASSES,
+    TABLE5_AVG,
+    TABLE5_CLASSES,
+)
+
+
+@pytest.fixture(scope="module")
+def models(host):
+    from repro.rng import RngRegistry
+
+    builder = IOModelBuilder(host, registry=RngRegistry(), runs=30)
+    return builder.build_both(7)
+
+
+@pytest.fixture(scope="module")
+def sweeps(host):
+    runner = FioRunner(host)
+    out = {}
+    for engine, rw in (
+        ("tcp", "send"), ("tcp", "recv"),
+        ("rdma", "write"), ("rdma", "read"),
+        ("libaio", "write"), ("libaio", "read"),
+    ):
+        job = FioJob(name=f"facts-{engine}-{rw}", engine=engine, rw=rw, numjobs=4)
+        out[f"{engine}_{rw}"] = {
+            node: runner.run(job.with_node(node)).aggregate_gbps
+            for node in host.node_ids
+        }
+    return out
+
+
+def _class_avgs(values, classes):
+    return [float(np.mean([values[n] for n in group])) for group in classes]
+
+
+class TestTable4:
+    def test_memcpy_classes(self, models):
+        write, _ = models
+        assert [sorted(c.node_ids) for c in write.classes] == TABLE4_CLASSES
+
+    @pytest.mark.parametrize("op,key", [
+        ("tcp_send", "tcp_send"),
+        ("rdma_write", "rdma_write"),
+        ("libaio_write", "ssd_write"),
+    ])
+    def test_operation_class_averages(self, sweeps, op, key):
+        measured = _class_avgs(sweeps[op], TABLE4_CLASSES)
+        for got, paper in zip(measured, TABLE4_AVG[key]):
+            assert got == pytest.approx(paper, rel=0.10)
+
+
+class TestTable5:
+    def test_memcpy_classes(self, models):
+        _, read = models
+        assert [sorted(c.node_ids) for c in read.classes] == TABLE5_CLASSES
+
+    @pytest.mark.parametrize("op,key,tol", [
+        ("tcp_recv", "tcp_recv", 0.12),
+        ("rdma_read", "rdma_read", 0.10),
+        ("libaio_read", "ssd_read", 0.10),
+    ])
+    def test_operation_class_averages(self, sweeps, op, key, tol):
+        measured = _class_avgs(sweeps[op], TABLE5_CLASSES)
+        for got, paper in zip(measured, TABLE5_AVG[key]):
+            assert got == pytest.approx(paper, rel=tol)
+
+
+class TestFlagshipReversal:
+    def test_stream_ranks_01_above_23(self, host):
+        row = StreamBenchmark(host, runs=10).cpu_centric(7)
+        assert np.mean([row[0], row[1]]) > 1.4 * np.mean([row[2], row[3]])
+
+    def test_rdma_read_ranks_23_above_01(self, sweeps):
+        rdma = sweeps["rdma_read"]
+        deficit = 1 - np.mean([rdma[0], rdma[1]]) / np.mean([rdma[2], rdma[3]])
+        # Paper: {0,1} below {2,3} by 15 - 18.4 %.
+        assert 0.10 <= deficit <= 0.25
+
+
+class TestEq1:
+    def test_mixture_prediction(self, host, models, sweeps):
+        _, read = models
+        predictor = MixturePredictor(read, sweeps["rdma_read"])
+        runner = FioRunner(host)
+        mixed = runner.run(
+            FioJob(name="facts-eq1", engine="rdma", rw="read", numjobs=4,
+                   stream_nodes=(2, 2, 0, 0))
+        )
+        report = predictor.validate(mixed.aggregate_gbps, [2, 2, 0, 0])
+        assert report.predicted_gbps == pytest.approx(20.017, rel=0.05)
+        assert report.relative_error <= 0.06
+
+
+class TestStreamProse:
+    def test_quoted_pair(self, host):
+        bench = StreamBenchmark(host, runs=50)
+        assert bench.measure(7, 4).gbps == pytest.approx(21.34, rel=0.05)
+        assert bench.measure(4, 7).gbps == pytest.approx(18.45, rel=0.05)
+
+    def test_node0_diagonal_maximum(self, host):
+        bench = StreamBenchmark(host, runs=10)
+        diag = {n: bench.measure(n, n).gbps for n in host.node_ids}
+        assert max(diag, key=diag.get) == 0

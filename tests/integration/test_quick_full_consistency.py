@@ -1,0 +1,29 @@
+"""Quick mode must reach the same qualitative conclusions as full mode.
+
+The test suite runs experiments with ``quick=True``; EXPERIMENTS.md and
+the benches run full.  If the two modes disagreed on class structure or
+check outcomes, the suite would be validating something the report
+doesn't show.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.parametrize("exp_id", ["f10", "t1", "a6"])
+def test_quick_and_full_checks_agree(exp_id):
+    quick = run_experiment(exp_id, quick=True)
+    full = run_experiment(exp_id, quick=False)
+    assert quick.passed and full.passed
+    assert [c.name for c in quick.checks] == [c.name for c in full.checks]
+
+
+def test_f10_values_agree_across_modes():
+    quick = run_experiment("f10", quick=True)
+    full = run_experiment("f10", quick=False)
+    # Per-node model values within noise of each other (exact orderings
+    # of tied nodes may differ — that's what the classes absorb).
+    for mode in ("write", "read"):
+        for node, value in full.data[mode].items():
+            assert quick.data[mode][node] == pytest.approx(value, rel=0.05)

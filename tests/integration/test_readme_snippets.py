@@ -1,0 +1,40 @@
+"""README code blocks must actually run.
+
+Extracts every ```python fenced block from README.md and executes it in
+one shared namespace (later blocks may use earlier blocks' names).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def test_readme_python_blocks_execute(capsys):
+    text = README.read_text(encoding="utf-8")
+    blocks = _BLOCK_RE.findall(text)
+    assert blocks, "README has no python blocks to verify"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"README.md[block {i}]", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            raise AssertionError(
+                f"README python block {i} failed: {exc}\n---\n{block}"
+            ) from exc
+    # The quickstart block prints a model table and a prediction.
+    out = capsys.readouterr().out
+    assert "Class 1" in out
+
+
+def test_readme_mentions_real_experiment_ids():
+    from repro.experiments import EXPERIMENTS
+
+    text = README.read_text(encoding="utf-8")
+    for exp_id in ("t1", "f10", "eq1", "fw2"):
+        assert exp_id in EXPERIMENTS
+        assert f"`{exp_id}`" in text or exp_id in text

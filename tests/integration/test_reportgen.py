@@ -1,0 +1,36 @@
+"""The EXPERIMENTS.md generator and the experiment registry."""
+
+import io
+
+from repro.experiments import EXPERIMENTS, list_experiments
+from repro.experiments.reportgen import generate
+
+
+class TestRegistry:
+    def test_twentyone_experiments_registered(self):
+        assert len(EXPERIMENTS) == 21
+
+    def test_every_paper_artifact_present(self):
+        for exp_id in ("t1", "t2", "t3", "t4", "t5",
+                       "f3", "f4", "f5", "f6", "f7", "f10",
+                       "eq1", "s1",
+                       "a1", "a2", "a3", "a4", "a5", "a6", "fw1", "fw2"):
+            assert exp_id in EXPERIMENTS
+
+    def test_listing_has_distinct_titles(self):
+        titles = list_experiments()
+        assert len(titles) == len(EXPERIMENTS)
+        assert len(set(titles.values())) == len(titles)
+
+
+class TestReportGeneration:
+    def test_generates_complete_markdown(self):
+        buffer = io.StringIO()
+        generate(buffer)
+        text = buffer.getvalue()
+        assert text.startswith("# EXPERIMENTS")
+        for exp_id in EXPERIMENTS:
+            assert f"## {exp_id} — " in text
+        assert "21/21 experiments pass" in text
+        assert "Known deviations" in text
+        assert "**FAIL**" not in text

@@ -1,0 +1,49 @@
+"""The headline results must not depend on the lucky default seed."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.core.iomodel import IOModelBuilder
+from repro.core.predictor import MixturePredictor
+from repro.experiments.paper_values import TABLE4_CLASSES, TABLE5_CLASSES
+from repro.rng import RngRegistry
+
+
+@pytest.mark.parametrize("seed", [1, 777, 424242])
+class TestSeedRobustness:
+    def test_model_classes_stable_across_seeds(self, host, seed):
+        builder = IOModelBuilder(host, registry=RngRegistry(seed), runs=50)
+        write_model, read_model = builder.build_both(7)
+        assert [sorted(c.node_ids) for c in write_model.classes] == TABLE4_CLASSES
+        assert [sorted(c.node_ids) for c in read_model.classes] == TABLE5_CLASSES
+
+    def test_eq1_error_small_across_seeds(self, host, seed):
+        registry = RngRegistry(seed)
+        model = IOModelBuilder(host, registry=registry, runs=50).build(7, "read")
+        runner = FioRunner(host, registry)
+        sweep = {
+            n: runner.run(
+                FioJob(name=f"sr-{seed}-{n}", engine="rdma", rw="read",
+                       numjobs=4, cpunodebind=n)
+            ).aggregate_gbps
+            for n in host.node_ids
+        }
+        predictor = MixturePredictor(model, sweep)
+        mixed = runner.run(
+            FioJob(name=f"sr-mix-{seed}", engine="rdma", rw="read",
+                   numjobs=4, stream_nodes=(2, 2, 0, 0))
+        )
+        report = predictor.validate(mixed.aggregate_gbps, [2, 2, 0, 0])
+        assert report.relative_error < 0.08
+
+    def test_rdma_reversal_across_seeds(self, host, seed):
+        runner = FioRunner(host, RngRegistry(seed))
+        sweep = {
+            n: runner.run(
+                FioJob(name=f"rev-{seed}-{n}", engine="rdma", rw="read",
+                       numjobs=4, cpunodebind=n)
+            ).aggregate_gbps
+            for n in (0, 1, 2, 3)
+        }
+        assert (sweep[2] + sweep[3]) / 2 > (sweep[0] + sweep[1]) / 2

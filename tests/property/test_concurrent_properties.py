@@ -1,0 +1,67 @@
+"""Property-based invariants of concurrent multi-device runs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.concurrent import ConcurrentRunner
+from repro.bench.jobfile import FioJob
+from repro.rng import RngRegistry
+from repro.topology.builders import reference_host
+
+_HOST = reference_host()
+
+job_specs = st.lists(
+    st.tuples(
+        st.sampled_from([("rdma", "write"), ("rdma", "read"),
+                         ("libaio", "write"), ("libaio", "read")]),
+        st.sampled_from(_HOST.node_ids),
+        st.integers(min_value=1, max_value=4),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _jobs(specs):
+    jobs = []
+    for i, ((engine, rw), node, numjobs) in enumerate(specs):
+        jobs.append(
+            FioJob(name=f"cj{i}-{engine}-{rw}-{node}", engine=engine, rw=rw,
+                   numjobs=numjobs, cpunodebind=node, iodepth=16)
+        )
+    return jobs
+
+
+@given(job_specs)
+@settings(max_examples=40, deadline=None)
+def test_counters_respect_capacities(specs):
+    result = ConcurrentRunner(_HOST, RngRegistry()).run(_jobs(specs))
+    for resource in result.counters.bytes_by_resource:
+        assert result.counters.utilization(resource) <= 1.01, resource
+
+
+@given(job_specs)
+@settings(max_examples=40, deadline=None)
+def test_per_job_never_beats_solo(specs):
+    """Adding concurrent jobs can only slow each job down (or tie)."""
+    runner = ConcurrentRunner(_HOST, RngRegistry())
+    together = runner.run(_jobs(specs))
+    for job in _jobs(specs):
+        solo = ConcurrentRunner(_HOST, RngRegistry()).run([job])
+        assert (together.per_job[job.name].aggregate_gbps
+                <= solo.per_job[job.name].aggregate_gbps * 1.02), job.name
+
+
+@given(job_specs)
+@settings(max_examples=40, deadline=None)
+def test_total_is_sum_of_jobs(specs):
+    result = ConcurrentRunner(_HOST, RngRegistry()).run(_jobs(specs))
+    assert result.total_gbps == sum(
+        r.aggregate_gbps for r in result.per_job.values()
+    )
+    # Every stream accounted for.
+    expected_streams = sum(spec[2] for spec in specs)
+    actual_streams = sum(len(r.per_stream_gbps) for r in result.per_job.values())
+    assert actual_streams == expected_streams

@@ -1,0 +1,101 @@
+"""Property-based invariants of the fio device engines."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.rng import RngRegistry
+from repro.topology.builders import reference_host
+from repro.units import GB
+
+_HOST = reference_host()
+_RUNNER = FioRunner(_HOST, RngRegistry())
+
+_ENGINE_RW = [
+    ("tcp", "send"), ("tcp", "recv"),
+    ("rdma", "write"), ("rdma", "read"),
+    ("libaio", "write"), ("libaio", "read"),
+]
+
+_CAPS = {
+    ("tcp", "send"): 20.5,
+    ("tcp", "recv"): 21.4,
+    ("rdma", "write"): 23.3,
+    ("rdma", "read"): 22.0,
+    ("libaio", "write"): 29.0,
+    ("libaio", "read"): 34.7,
+}
+
+jobs = st.builds(
+    lambda engine_rw, numjobs, node, size_gb: FioJob(
+        name=f"prop-{engine_rw[0]}-{engine_rw[1]}-{numjobs}-{node}-{size_gb}",
+        engine=engine_rw[0],
+        rw=engine_rw[1],
+        numjobs=numjobs,
+        cpunodebind=node,
+        size_bytes=size_gb * GB,
+    ),
+    engine_rw=st.sampled_from(_ENGINE_RW),
+    numjobs=st.integers(min_value=1, max_value=16),
+    node=st.sampled_from(_HOST.node_ids),
+    size_gb=st.integers(min_value=1, max_value=400),
+)
+
+
+@given(jobs)
+@settings(max_examples=60, deadline=None)
+def test_aggregate_within_physical_bounds(job):
+    result = _RUNNER.run(job)
+    cap = _CAPS[(job.engine, job.rw)]
+    assert 0 < result.aggregate_gbps <= cap * 1.15  # cap + noise headroom
+
+
+@given(jobs)
+@settings(max_examples=60, deadline=None)
+def test_aggregate_is_sum_of_streams(job):
+    result = _RUNNER.run(job)
+    assert result.aggregate_gbps == sum(result.per_stream_gbps.values())
+    assert len(result.per_stream_gbps) == job.numjobs
+
+
+@given(jobs)
+@settings(max_examples=40, deadline=None)
+def test_duration_consistent_with_rates(job):
+    result = _RUNNER.run(job)
+    slowest = min(result.per_stream_gbps.values())
+    expected = job.size_bytes * 8 / 1e9 / slowest
+    assert result.duration_s <= expected * 1.001
+    fastest = max(result.per_stream_gbps.values())
+    assert result.duration_s >= job.size_bytes * 8 / 1e9 / fastest * 0.999
+
+
+@given(jobs)
+@settings(max_examples=30, deadline=None)
+def test_determinism(job):
+    a = _RUNNER.run(job).aggregate_gbps
+    b = FioRunner(_HOST, RngRegistry()).run(job).aggregate_gbps
+    assert a == b
+
+
+@given(
+    st.sampled_from(_ENGINE_RW),
+    st.sampled_from([n for n in _HOST.node_ids]),
+)
+@settings(max_examples=40, deadline=None)
+def test_class3_placement_never_beats_class1(engine_rw, node):
+    """Nodes {2,3} (write) / node 4 (read) must not beat node 6."""
+    engine, rw = engine_rw
+    direction_bad = {"write": 2, "read": 4}
+    job_kwargs = dict(engine=engine, rw=rw, numjobs=4)
+    direction = FioJob(name="d", **job_kwargs, cpunodebind=0).direction
+    bad_node = direction_bad[direction]
+    good = _RUNNER.run(
+        FioJob(name=f"g-{engine}-{rw}", **job_kwargs, cpunodebind=6)
+    ).aggregate_gbps
+    bad = _RUNNER.run(
+        FioJob(name=f"b-{engine}-{rw}", **job_kwargs, cpunodebind=bad_node)
+    ).aggregate_gbps
+    assert bad < good

@@ -1,0 +1,65 @@
+"""Property-based tests for the time-domain flow simulation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.flow import Flow
+from repro.flows.network import FlowNetwork
+from repro.units import GB, gbps_to_bytes_per_s
+
+
+@st.composite
+def scenarios(draw):
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    caps = {"dev": draw(st.floats(min_value=1.0, max_value=40.0,
+                                  allow_nan=False))}
+    flows = []
+    for i in range(n_flows):
+        size = draw(st.integers(min_value=GB // 10, max_value=40 * GB))
+        start = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        demand = draw(st.floats(min_value=0.5, max_value=30.0, allow_nan=False))
+        flows.append(
+            Flow(name=f"f{i}", resources=("dev",), demand_gbps=demand,
+                 size_bytes=size, start_s=start)
+        )
+    return flows, caps
+
+
+@given(scenarios())
+@settings(max_examples=150, deadline=None)
+def test_all_flows_complete_with_exact_bytes(scenario):
+    flows, caps = scenario
+    outcomes = FlowNetwork(caps).simulate(flows)
+    assert set(outcomes) == {f.name for f in flows}
+    for f in flows:
+        o = outcomes[f.name]
+        assert o.bytes_moved == f.size_bytes
+        assert o.finish_s > o.start_s
+
+
+@given(scenarios())
+@settings(max_examples=150, deadline=None)
+def test_rates_never_exceed_demand_or_capacity(scenario):
+    flows, caps = scenario
+    outcomes = FlowNetwork(caps).simulate(flows)
+    for f in flows:
+        o = outcomes[f.name]
+        # Average rate cannot beat the per-flow demand ceiling.
+        assert o.avg_gbps <= f.demand_gbps * (1 + 1e-6)
+        # Nor the single shared resource.
+        assert o.avg_gbps <= caps["dev"] * (1 + 1e-6)
+
+
+@given(scenarios())
+@settings(max_examples=100, deadline=None)
+def test_finish_no_earlier_than_solo_transfer(scenario):
+    """Contention can only slow a flow down."""
+    flows, caps = scenario
+    outcomes = FlowNetwork(caps).simulate(flows)
+    for f in flows:
+        solo_rate = min(f.demand_gbps, caps["dev"])
+        solo_duration = f.size_bytes / gbps_to_bytes_per_s(solo_rate)
+        o = outcomes[f.name]
+        assert o.duration_s >= solo_duration * (1 - 1e-6)

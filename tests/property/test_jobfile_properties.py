@@ -1,0 +1,62 @@
+"""Job-file round-trip properties."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.jobfile import (
+    FioJob,
+    format_size,
+    parse_jobfile,
+    parse_size,
+    write_jobfile,
+)
+from repro.units import GB, KiB, MiB
+
+
+@st.composite
+def fio_jobs(draw):
+    engine, rw = draw(
+        st.sampled_from(
+            [("tcp", "send"), ("tcp", "recv"), ("rdma", "write"),
+             ("rdma", "read"), ("libaio", "write"), ("libaio", "read"),
+             ("memcpy", "write"), ("memcpy", "read")]
+        )
+    )
+    kwargs = dict(
+        name=draw(st.from_regex(r"[a-z][a-z0-9\-]{0,15}", fullmatch=True)),
+        engine=engine,
+        rw=rw,
+        numjobs=draw(st.integers(min_value=1, max_value=16)),
+        blocksize=draw(st.sampled_from([4 * KiB, 128 * KiB, MiB])),
+        iodepth=draw(st.integers(min_value=4, max_value=64)),
+        size_bytes=draw(st.sampled_from([GB, 40 * GB, 400 * GB])),
+        cpunodebind=draw(st.one_of(st.none(), st.integers(0, 7))),
+    )
+    if engine == "memcpy":
+        kwargs["target_node"] = draw(st.integers(0, 7))
+        kwargs["cpunodebind"] = draw(st.integers(0, 7))
+    return FioJob(**kwargs)
+
+
+@given(st.lists(fio_jobs(), min_size=1, max_size=5, unique_by=lambda j: j.name))
+@settings(max_examples=100, deadline=None)
+def test_write_parse_roundtrip(jobs):
+    parsed = parse_jobfile(write_jobfile(jobs))
+    assert len(parsed) == len(jobs)
+    for original, back in zip(jobs, parsed):
+        assert back.name == original.name
+        assert back.engine == original.engine
+        assert back.rw == original.rw
+        assert back.numjobs == original.numjobs
+        assert back.blocksize == original.blocksize
+        assert back.iodepth == original.iodepth
+        assert back.size_bytes == original.size_bytes
+        assert back.cpunodebind == original.cpunodebind
+        assert back.target_node == original.target_node
+
+
+@given(st.sampled_from([1, 512, 4096, 128 * KiB, MiB, 40 * MiB, GB, 400 * GB]))
+def test_size_format_roundtrip(n):
+    assert parse_size(format_size(n)) == n

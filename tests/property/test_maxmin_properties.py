@@ -1,0 +1,129 @@
+"""Property-based tests for the max-min solver.
+
+Invariants: feasibility (no resource over capacity), demand respect,
+work conservation (every flow is either demand-capped or crosses a
+saturated resource), and scale covariance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.flow import Flow
+from repro.flows.maxmin import maxmin_allocate
+
+RESOURCES = ["r0", "r1", "r2", "r3", "r4"]
+
+
+@st.composite
+def problems(draw):
+    n_resources = draw(st.integers(min_value=1, max_value=5))
+    names = RESOURCES[:n_resources]
+    caps = {
+        r: draw(st.floats(min_value=0.5, max_value=100.0,
+                          allow_nan=False, allow_infinity=False))
+        for r in names
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for i in range(n_flows):
+        subset = draw(
+            st.sets(st.sampled_from(names), min_size=1, max_size=n_resources)
+        )
+        demand = draw(
+            st.one_of(
+                st.just(math.inf),
+                st.floats(min_value=0.1, max_value=50.0,
+                          allow_nan=False, allow_infinity=False),
+            )
+        )
+        weight = draw(st.floats(min_value=0.25, max_value=4.0,
+                                allow_nan=False, allow_infinity=False))
+        flows.append(
+            Flow(name=f"f{i}", resources=tuple(sorted(subset)),
+                 demand_gbps=demand, weight=weight)
+        )
+    return flows, caps
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_feasible_and_demand_respecting(problem):
+    flows, caps = problem
+    rates = maxmin_allocate(flows, caps)
+    loads = {r: 0.0 for r in caps}
+    for f in flows:
+        assert rates[f.name] >= -1e-9
+        assert rates[f.name] <= f.demand_gbps + 1e-6
+        for r in f.resources:
+            loads[r] += rates[f.name]
+    for r, load in loads.items():
+        assert load <= caps[r] * (1 + 1e-6) + 1e-6
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_work_conserving(problem):
+    """Every flow is blocked by its demand or by a saturated resource."""
+    flows, caps = problem
+    rates = maxmin_allocate(flows, caps)
+    loads = {r: 0.0 for r in caps}
+    for f in flows:
+        for r in f.resources:
+            loads[r] += rates[f.name]
+    saturated = {r for r in caps if loads[r] >= caps[r] * (1 - 1e-6) - 1e-6}
+    for f in flows:
+        demand_capped = rates[f.name] >= f.demand_gbps - 1e-6
+        bottlenecked = any(r in saturated for r in f.resources)
+        assert demand_capped or bottlenecked, f.name
+
+
+@given(problems(), st.floats(min_value=0.5, max_value=4.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_scale_covariance(problem, scale):
+    """Scaling all capacities and finite demands scales all rates."""
+    flows, caps = problem
+    base = maxmin_allocate(flows, caps)
+    scaled_flows = [
+        Flow(
+            name=f.name,
+            resources=f.resources,
+            demand_gbps=f.demand_gbps * scale if math.isfinite(f.demand_gbps)
+            else math.inf,
+            weight=f.weight,
+        )
+        for f in flows
+    ]
+    scaled = maxmin_allocate(scaled_flows, {r: c * scale for r, c in caps.items()})
+    for f in flows:
+        assert scaled[f.name] >= base[f.name] * scale * (1 - 1e-6) - 1e-6
+        assert scaled[f.name] <= base[f.name] * scale * (1 + 1e-6) + 1e-6
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    st.lists(st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+             min_size=1, max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_adding_a_flow_never_helps_on_shared_bottleneck(n_flows, cap, demands):
+    """On a single shared resource, one more elastic flow never increases
+    anyone else's rate.  (In multi-resource networks max-min allocation is
+    NOT monotone this way — an intruder can throttle side-bottlenecked
+    flows and free shared capacity — so the property is asserted only
+    where it holds.)
+    """
+    flows = [
+        Flow(name=f"f{i}", resources=("r",),
+             demand_gbps=demands[i % len(demands)])
+        for i in range(n_flows)
+    ]
+    base = maxmin_allocate(flows, {"r": cap})
+    intruder = Flow(name="intruder", resources=("r",))
+    extended = maxmin_allocate(flows + [intruder], {"r": cap})
+    for f in flows:
+        assert extended[f.name] <= base[f.name] + 1e-6

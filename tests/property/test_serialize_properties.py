@@ -1,0 +1,54 @@
+"""Serialisation round-trips on machines the calibration never saw."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.planes import PLANE_DMA, PLANE_PIO
+from repro.topology.builders import parametric_machine
+from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+machines = st.builds(
+    parametric_machine,
+    n_packages=st.integers(min_value=1, max_value=5),
+    nodes_per_package=st.integers(min_value=1, max_value=3),
+    cores_per_node=st.integers(min_value=1, max_value=4),
+    width_bits=st.sampled_from([8, 16]),
+    gts=st.sampled_from([2.6, 3.2, 6.4]),
+    chords=st.integers(min_value=0, max_value=2),
+)
+
+
+@given(machines)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_preserves_structure(machine):
+    rebuilt = machine_from_dict(json.loads(json.dumps(machine_to_dict(machine))))
+    assert rebuilt.name == machine.name
+    assert rebuilt.node_ids == machine.node_ids
+    assert rebuilt.links.keys() == machine.links.keys()
+    assert rebuilt.params == machine.params
+    for nid in machine.node_ids:
+        assert rebuilt.node(nid) == machine.node(nid)
+
+
+@given(machines)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_preserves_behaviour(machine):
+    rebuilt = machine_from_dict(machine_to_dict(machine))
+    for src in machine.node_ids:
+        for dst in machine.node_ids:
+            assert rebuilt.dma_path_gbps(src, dst) == machine.dma_path_gbps(src, dst)
+            for plane in (PLANE_PIO, PLANE_DMA):
+                assert (rebuilt.routing.route(plane, src, dst)
+                        == machine.routing.route(plane, src, dst))
+
+
+@given(machines)
+@settings(max_examples=50, deadline=None)
+def test_double_roundtrip_is_identity(machine):
+    once = machine_to_dict(machine)
+    twice = machine_to_dict(machine_from_dict(once))
+    assert once == twice

@@ -1,0 +1,105 @@
+"""Property-based tests on parametric machines.
+
+The calibrated host exercises one topology; these sweep machine shapes
+the calibration never saw and check the structural invariants the
+higher layers rely on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.planes import PLANE_DMA, PLANE_PIO
+from repro.topology.builders import parametric_machine
+from repro.topology.distance import hop_matrix
+from repro.topology.machine import Relation
+
+machines = st.builds(
+    parametric_machine,
+    n_packages=st.integers(min_value=1, max_value=6),
+    nodes_per_package=st.integers(min_value=1, max_value=3),
+    cores_per_node=st.integers(min_value=1, max_value=4),
+    chords=st.integers(min_value=0, max_value=2),
+)
+
+
+@given(machines)
+@settings(max_examples=60, deadline=None)
+def test_hop_matrix_is_a_metric(machine):
+    hops = hop_matrix(machine)
+    n = machine.n_nodes
+    assert (hops == hops.T).all()
+    assert (hops.diagonal() == 0).all()
+    # Triangle inequality.
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert hops[i, j] <= hops[i, k] + hops[k, j]
+
+
+@given(machines)
+@settings(max_examples=60, deadline=None)
+def test_routes_exist_for_all_pairs_and_planes(machine):
+    for plane in (PLANE_PIO, PLANE_DMA):
+        for src in machine.node_ids:
+            for dst in machine.node_ids:
+                path = machine.path(plane, src, dst)
+                assert path.src == src and path.dst == dst
+                assert len(path.hops) == path.n_hops + 1
+
+
+@given(machines)
+@settings(max_examples=60, deadline=None)
+def test_route_hops_match_hop_matrix(machine):
+    hops = hop_matrix(machine)
+    ids = list(machine.node_ids)
+    for i, src in enumerate(ids):
+        for j, dst in enumerate(ids):
+            path = machine.path(PLANE_DMA, src, dst)
+            assert path.n_hops == hops[i, j]
+
+
+@given(machines)
+@settings(max_examples=60, deadline=None)
+def test_relations_consistent(machine):
+    for a in machine.node_ids:
+        for b in machine.node_ids:
+            rel = machine.relation(a, b)
+            assert rel == machine.relation(b, a)
+            if a == b:
+                assert rel is Relation.LOCAL
+            elif machine.node(a).package_id == machine.node(b).package_id:
+                assert rel is Relation.NEIGHBOR
+            else:
+                assert rel is Relation.REMOTE
+
+
+@given(machines)
+@settings(max_examples=60, deadline=None)
+def test_dma_path_bandwidth_bounded(machine):
+    for src in machine.node_ids:
+        for dst in machine.node_ids:
+            bw = machine.dma_path_gbps(src, dst)
+            assert 0 < bw <= max(
+                machine.node(n).dram_gbps for n in machine.node_ids
+            )
+
+
+@given(machines)
+@settings(max_examples=60, deadline=None)
+def test_local_dma_is_row_maximum(machine):
+    for src in machine.node_ids:
+        local = machine.dma_path_gbps(src, src)
+        for dst in machine.node_ids:
+            assert machine.dma_path_gbps(src, dst) <= local + 1e-9
+
+
+@given(machines)
+@settings(max_examples=40, deadline=None)
+def test_pio_stream_positive_and_local_best(machine):
+    for cpu in machine.node_ids:
+        local = machine.pio_stream_gbps(cpu, cpu)
+        assert local > 0
+        for mem in machine.node_ids:
+            assert machine.pio_stream_gbps(cpu, mem) <= local + 1e-9

@@ -1,0 +1,68 @@
+"""Baseline cost models."""
+
+import pytest
+
+from repro.analysis.baselines import (
+    hop_distance_model,
+    model_from_values,
+    stream_cost_model,
+)
+from repro.errors import ModelError
+
+
+class TestHopDistanceModel:
+    def test_local_scores_highest(self, host):
+        values = hop_distance_model(host, 7)
+        assert values[7] == max(values.values())
+
+    def test_one_hop_above_two_hop(self, host):
+        values = hop_distance_model(host, 7)
+        assert values[0] > values[1]  # 0 is 1 hop, 1 is 2 hops from 7
+
+    def test_unknown_target_rejected(self, host):
+        with pytest.raises(ModelError):
+            hop_distance_model(host, 42)
+
+    def test_blind_to_credit_asymmetry(self, host):
+        # Hop distance scores 2 and 4 identically (both 1 hop from 7);
+        # the real read model separates them by ~1.7x.  This blindness
+        # is exactly why the paper rejects the metric.
+        values = hop_distance_model(host, 7)
+        assert values[2] == values[4]
+        assert host.dma_path_gbps(7, 2) > 1.5 * host.dma_path_gbps(7, 4)
+
+
+class TestStreamCostModel:
+    def test_read_mode_is_cpu_centric(self, host, registry):
+        from repro.bench.stream import StreamBenchmark
+
+        model = stream_cost_model(host, 7, "read", registry=registry, runs=5)
+        expected = StreamBenchmark(host, registry=registry, runs=5).cpu_centric(7)
+        assert model == expected
+
+    def test_write_mode_is_memory_centric(self, host, registry):
+        from repro.bench.stream import StreamBenchmark
+
+        model = stream_cost_model(host, 7, "write", registry=registry, runs=5)
+        expected = StreamBenchmark(host, registry=registry, runs=5).memory_centric(7)
+        assert model == expected
+
+    def test_bad_mode_rejected(self, host):
+        with pytest.raises(ModelError):
+            stream_cost_model(host, 7, "diagonal")
+
+
+class TestModelFromValues:
+    def test_wraps_any_values(self, host):
+        values = hop_distance_model(host, 7)
+        model = model_from_values(host, 7, "read", values, label="hops")
+        assert model.machine_name.endswith("[hops]")
+        # The local/neighbour rule applies to baselines too.
+        assert sorted(model.class_by_rank(1).node_ids) == [6, 7]
+
+    def test_misranks_nodes_vs_true_model(self, host):
+        # Under hop distance, {2,3,4} collapse into wrong groups relative
+        # to the true read classes — the quantified §I-A complaint.
+        values = hop_distance_model(host, 7)
+        model = model_from_values(host, 7, "read", values, label="hops")
+        assert model.class_of(2).rank == model.class_of(4).rank

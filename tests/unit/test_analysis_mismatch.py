@@ -1,0 +1,68 @@
+"""Mismatch report."""
+
+import pytest
+
+from repro.analysis.mismatch import GroupComparison, group_ratio, mismatch_report
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def sample_models():
+    nodes = range(8)
+    stream = {n: {0: 24.0, 1: 22.0, 2: 14.0, 3: 14.0}.get(n, 20.0) for n in nodes}
+    iomodel = {n: {0: 40.4, 1: 40.4, 2: 48.6, 3: 47.0}.get(n, 45.0) for n in nodes}
+    return {"stream": stream, "iomodel": iomodel}
+
+
+@pytest.fixture()
+def sample_operations():
+    nodes = range(8)
+    rdma = {n: {0: 18.3, 1: 18.3, 2: 22.0, 3: 22.0}.get(n, 20.0) for n in nodes}
+    return {"RDMA_READ": rdma}
+
+
+class TestGroupRatio:
+    def test_ratio(self):
+        values = {0: 20.0, 1: 24.0, 2: 10.0, 3: 12.0}
+        assert group_ratio(values, (0, 1), (2, 3)) == pytest.approx(2.0)
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(ModelError):
+            group_ratio({0: 1.0}, (0,), (1,))
+
+    def test_comparison_direction(self):
+        assert GroupComparison(label="x", ratio=1.2).a_wins
+        assert not GroupComparison(label="x", ratio=0.8).a_wins
+
+
+class TestMismatchReport:
+    def test_correlations_computed(self, sample_models, sample_operations):
+        report = mismatch_report(sample_models, sample_operations)
+        assert report.correlations["iomodel"]["RDMA_READ"] > 0.5
+        assert report.correlations["stream"]["RDMA_READ"] < 0.5
+
+    def test_best_model(self, sample_models, sample_operations):
+        report = mismatch_report(sample_models, sample_operations)
+        assert report.best_model() == "iomodel"
+
+    def test_reversal_detected(self, sample_models, sample_operations):
+        report = mismatch_report(sample_models, sample_operations)
+        assert report.reversal_demonstrated("stream", "RDMA_READ")
+        assert not report.reversal_demonstrated("iomodel", "RDMA_READ")
+
+    def test_unknown_labels_rejected(self, sample_models, sample_operations):
+        report = mismatch_report(sample_models, sample_operations)
+        with pytest.raises(ModelError):
+            report.reversal_demonstrated("ghost", "RDMA_READ")
+        with pytest.raises(ModelError):
+            report.mean_rho("ghost")
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            mismatch_report({}, {})
+
+    def test_render(self, sample_models, sample_operations):
+        text = mismatch_report(sample_models, sample_operations).render()
+        assert "Spearman" in text
+        assert "RDMA_READ" in text
+        assert "ratio" in text

@@ -1,0 +1,48 @@
+"""NUMA factor analysis (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.numa_factor import latency_matrix, numa_factor, table1
+from repro.errors import TopologyError
+from repro.topology.builders import intel_4s4n, parametric_machine
+
+
+class TestLatencyMatrix:
+    def test_diagonal_is_local_latency(self, host):
+        lat = latency_matrix(host)
+        assert np.allclose(np.diag(lat), host.params.local_latency_s)
+
+    def test_remote_exceeds_local(self, host):
+        lat = latency_matrix(host)
+        n = lat.shape[0]
+        off = lat[~np.eye(n, dtype=bool)]
+        assert (off > np.diag(lat).max() - 1e-12).all()
+
+
+class TestNumaFactor:
+    def test_intel_mesh_factor(self):
+        assert numa_factor(intel_4s4n()) == pytest.approx(1.5, rel=0.01)
+
+    def test_single_node_rejected(self):
+        machine = parametric_machine(1, nodes_per_package=1)
+        with pytest.raises(TopologyError):
+            numa_factor(machine)
+
+    def test_factor_at_least_one(self, host):
+        assert numa_factor(host) > 1.0
+
+
+class TestTable1:
+    def test_all_rows_within_ten_percent(self):
+        rows = table1()
+        assert len(rows) == 4
+        for row in rows:
+            assert row.relative_error < 0.10, row.label
+
+    def test_ordering_matches_paper(self):
+        rows = {r.label: r.measured for r in table1()}
+        assert (rows["Intel 4 sockets/4 nodes"]
+                < rows["AMD 4 sockets/8 nodes"]
+                <= rows["AMD 8 sockets/8 nodes"]
+                < rows["HP blade system 32 nodes"])

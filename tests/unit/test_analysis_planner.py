@@ -1,0 +1,77 @@
+"""Device-attachment planner."""
+
+import pytest
+
+from repro.analysis.planner import DeviceAttachmentPlanner
+from repro.errors import ModelError
+from repro.topology.builders import parametric_machine
+
+
+@pytest.fixture()
+def planner(bare_host):
+    return DeviceAttachmentPlanner(bare_host)
+
+
+class TestScores:
+    def test_score_is_uniform_eq1(self, planner, bare_host):
+        import numpy as np
+
+        score = planner.score(7)
+        expected = float(
+            np.mean([bare_host.dma_path_gbps(i, 7) for i in bare_host.node_ids])
+        )
+        assert score.write_mean_gbps == pytest.approx(expected)
+
+    def test_worst_not_above_mean(self, planner, bare_host):
+        for node in bare_host.node_ids:
+            s = planner.score(node)
+            assert s.write_worst_gbps <= s.write_mean_gbps
+            assert s.read_worst_gbps <= s.read_mean_gbps
+
+    def test_rank_is_sorted(self, planner):
+        ranked = planner.rank()
+        combined = [s.combined_gbps for s in ranked]
+        assert combined == sorted(combined, reverse=True)
+        assert planner.best() == ranked[0]
+
+    def test_weights_shift_ranking(self, bare_host):
+        write_heavy = DeviceAttachmentPlanner(bare_host, write_weight=1.0)
+        read_heavy = DeviceAttachmentPlanner(bare_host, write_weight=0.0)
+        # Node 2's write paths are strong (everything reaches it well)
+        # while its read side is crippled (2->7 style starvation is on
+        # the request side), so the two extremes must disagree.
+        assert write_heavy.rank() != read_heavy.rank()
+
+    def test_symmetric_machine_scores_tie(self):
+        machine = parametric_machine(3, nodes_per_package=1, cores_per_node=2)
+        ranked = DeviceAttachmentPlanner(machine).rank()
+        assert ranked[0].combined_gbps == pytest.approx(
+            ranked[-1].combined_gbps, rel=0.01
+        )
+        # Ties break to the lowest node id.
+        assert ranked[0].node == 0
+
+
+class TestClassesAndValidation:
+    def test_classes_for_matches_classify(self, planner, bare_host):
+        classes = planner.classes_for(7, "write")
+        assert [sorted(c.node_ids) for c in classes] == [
+            [6, 7], [0, 1, 4, 5], [2, 3]
+        ]
+
+    def test_bad_mode_rejected(self, planner):
+        with pytest.raises(ModelError):
+            planner.classes_for(7, "sideways")
+
+    def test_bad_node_rejected(self, planner):
+        with pytest.raises(ModelError):
+            planner.score(42)
+
+    def test_bad_weight_rejected(self, bare_host):
+        with pytest.raises(ModelError):
+            DeviceAttachmentPlanner(bare_host, write_weight=1.5)
+
+    def test_render(self, planner):
+        text = planner.render()
+        assert "attachment ranking" in text
+        assert text.count("node ") >= 8

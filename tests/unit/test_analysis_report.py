@@ -1,0 +1,59 @@
+"""Report rendering."""
+
+from repro.analysis.numa_factor import Table1Row
+from repro.analysis.report import (
+    render_node_sweep,
+    render_series,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+class TestTable1:
+    def test_rows_rendered(self):
+        rows = [Table1Row(label="Test box", measured=2.66, paper=2.7)]
+        text = render_table1(rows)
+        assert "Test box" in text
+        assert "2.66" in text
+        assert "2.7" in text
+
+
+class TestTable2:
+    def test_reference_host(self, host):
+        text = render_table2(host)
+        assert "32/8" in text
+        assert "PCIe Gen2 x8" in text
+        assert "5 MB per die" in text
+
+
+class TestTable3:
+    def test_parameters(self):
+        text = render_table3()
+        assert "400 GB" in text
+        assert "cubic" in text
+        assert "128 KiB" in text
+        assert "9000" in text
+
+
+class TestSeries:
+    def test_series_layout(self):
+        series = {5: {1: 7.0, 4: 20.4}, 7: {1: 6.9, 4: 19.6}}
+        text = render_series("TCP send", series)
+        assert "streams=1" in text
+        assert "streams=4" in text
+        assert "20.40" in text
+
+    def test_missing_points_dashed(self):
+        series = {5: {1: 7.0}, 7: {4: 19.6}}
+        text = render_series("x", series)
+        assert "-" in text
+
+
+class TestNodeSweep:
+    def test_bars(self):
+        text = render_node_sweep("model", {0: 20.0, 1: 10.0})
+        lines = text.splitlines()
+        assert lines[0] == "model"
+        assert lines[1].count("#") == 20
+        assert lines[2].count("#") == 10

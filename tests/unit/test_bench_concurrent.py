@@ -1,0 +1,115 @@
+"""Concurrent multi-device runner and traffic counters."""
+
+import pytest
+
+from repro.bench.concurrent import ConcurrentRunner
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.errors import BenchmarkError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture()
+def runner(host):
+    return ConcurrentRunner(host, RngRegistry())
+
+
+def _nic_job(node, name="nic"):
+    return FioJob(name=name, engine="rdma", rw="write", numjobs=4,
+                  cpunodebind=node)
+
+
+def _ssd_job(node, name="ssd"):
+    return FioJob(name=name, engine="libaio", rw="write", numjobs=4,
+                  cpunodebind=node)
+
+
+class TestSingleJobConsistency:
+    def test_matches_fio_runner_when_alone(self, host, runner):
+        """One job through the concurrent runner ~= the fio engine."""
+        solo = FioRunner(host, RngRegistry())
+        for job in (_nic_job(5), _ssd_job(0)):
+            alone = solo.run(job).aggregate_gbps
+            concurrent = runner.run([job]).per_job[job.name].aggregate_gbps
+            assert concurrent == pytest.approx(alone, rel=0.05)
+
+
+class TestContention:
+    def test_shared_narrow_link_binds(self, runner, host):
+        """NIC + SSD writes from node 2 share the starved 2->7 direction."""
+        result = runner.run([_nic_job(2), _ssd_job(2)])
+        link_cap = host.link(2, 7).dma_gbps
+        assert result.total_gbps <= link_cap * 1.02
+        assert result.counters.utilization("link-dma:2>7") > 0.98
+
+    def test_disjoint_paths_do_not_contend(self, runner):
+        result = runner.run([_nic_job(0), _ssd_job(4)])
+        solo_sum = 23.2 + 28.5  # calibrated class-2 values
+        assert result.total_gbps == pytest.approx(solo_sum, rel=0.05)
+
+    def test_fair_sharing_on_the_bottleneck(self, runner):
+        result = runner.run([_nic_job(2), _ssd_job(2)])
+        nic = result.per_job["nic"].aggregate_gbps
+        ssd = result.per_job["ssd"].aggregate_gbps
+        assert nic == pytest.approx(ssd, rel=0.1)
+
+    def test_contention_strictly_worse_than_solo(self, host, runner):
+        solo = FioRunner(host, RngRegistry())
+        alone = solo.run(_nic_job(2)).aggregate_gbps
+        shared = runner.run([_nic_job(2), _ssd_job(2)]).per_job["nic"].aggregate_gbps
+        assert shared < alone
+
+
+class TestCounters:
+    def test_window_and_bytes(self, runner):
+        result = runner.run([_nic_job(0)])
+        counters = result.counters
+        assert counters.window_s > 0
+        assert counters.bytes_by_resource["link-dma:0>7"] == pytest.approx(
+            4 * 400e9, rel=0.01
+        )
+
+    def test_utilization_bounded(self, runner):
+        result = runner.run([_nic_job(2), _ssd_job(2)])
+        for resource, util in result.counters.hottest(10):
+            assert 0 < util <= 1.001, resource
+
+    def test_render(self, runner):
+        text = runner.run([_nic_job(2)]).render()
+        assert "traffic counters" in text
+        assert "link-dma:2>7" in text
+
+    def test_unknown_resource_rejected(self, runner):
+        counters = runner.run([_nic_job(0)]).counters
+        with pytest.raises(BenchmarkError):
+            counters.utilization("link-dma:9>9")
+
+
+class TestValidation:
+    def test_empty_jobs_rejected(self, runner):
+        with pytest.raises(BenchmarkError):
+            runner.run([])
+
+    def test_duplicate_names_rejected(self, runner):
+        with pytest.raises(BenchmarkError):
+            runner.run([_nic_job(0), _nic_job(1)])
+
+    def test_memcpy_jobs_rejected(self, runner):
+        job = FioJob(name="m", engine="memcpy", rw="write", numjobs=4,
+                     cpunodebind=0, target_node=7)
+        with pytest.raises(BenchmarkError):
+            runner.run([job])
+
+    def test_missing_device_rejected(self, registry):
+        from repro.topology.builders import reference_host
+
+        bare = reference_host(with_devices=False)
+        runner = ConcurrentRunner(bare, registry)
+        with pytest.raises(BenchmarkError):
+            runner.run([_nic_job(0)])
+
+    def test_deterministic(self, host):
+        jobs = [_nic_job(2), _ssd_job(0)]
+        a = ConcurrentRunner(host, RngRegistry()).run(jobs).total_gbps
+        b = ConcurrentRunner(host, RngRegistry()).run(jobs).total_gbps
+        assert a == b

@@ -1,0 +1,76 @@
+"""FioRunner orchestration."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob, parse_jobfile
+from repro.rng import RngRegistry
+
+
+class TestRun:
+    def test_dispatch_by_engine(self, runner):
+        net = runner.run(FioJob(name="n", engine="rdma", rw="write",
+                                numjobs=2, cpunodebind=5))
+        mem = runner.run(FioJob(name="m", engine="memcpy", rw="write",
+                                numjobs=4, cpunodebind=5, target_node=7))
+        assert net.engine == "rdma:write"
+        assert mem.engine == "memcpy:write"
+
+    def test_deterministic_across_runners(self, host):
+        job = FioJob(name="d", engine="tcp", rw="send", numjobs=4, cpunodebind=3)
+        a = FioRunner(host, RngRegistry(5)).run(job).aggregate_gbps
+        b = FioRunner(host, RngRegistry(5)).run(job).aggregate_gbps
+        assert a == b
+
+    def test_run_idx_changes_noise(self, runner):
+        job = FioJob(name="d", engine="tcp", rw="send", numjobs=4, cpunodebind=3)
+        a = runner.run(job, run_idx=0).aggregate_gbps
+        b = runner.run(job, run_idx=1).aggregate_gbps
+        assert a != b
+
+    def test_run_jobs_from_file(self, runner):
+        jobs = parse_jobfile(
+            """
+            [global]
+            numjobs=2
+            [w]
+            ioengine=rdma
+            rw=write
+            cpunodebind=6
+            [r]
+            ioengine=rdma
+            rw=read
+            cpunodebind=6
+            """
+        )
+        results = runner.run_jobs(jobs)
+        assert [r.job_name for r in results] == ["w", "r"]
+
+
+class TestSweeps:
+    def test_sweep_nodes(self, runner, host):
+        job = FioJob(name="s", engine="rdma", rw="write", numjobs=2)
+        results = runner.sweep_nodes(job, nodes=(0, 7))
+        assert set(results) == {0, 7}
+        assert all(r.streams[0][0] == node for node, r in results.items())
+
+    def test_sweep_numjobs(self, runner):
+        job = FioJob(name="s", engine="tcp", rw="send", cpunodebind=5)
+        results = runner.sweep_numjobs(job, (1, 2, 4))
+        assert set(results) == {1, 2, 4}
+        assert results[4].numjobs == 4
+
+    def test_grid(self, runner):
+        job = FioJob(name="g", engine="rdma", rw="write")
+        grid = runner.grid(job, nodes=(5, 6), counts=(1, 2))
+        assert set(grid) == {5, 6}
+        assert set(grid[5]) == {1, 2}
+
+    def test_tcp_saturation_shape(self, runner):
+        # The Fig. 5 shape: ~2x from 1 to 2 streams, plateau at 4+.
+        job = FioJob(name="shape", engine="tcp", rw="send", cpunodebind=6)
+        results = runner.sweep_numjobs(job, (1, 2, 4, 8))
+        agg = {n: r.aggregate_gbps for n, r in results.items()}
+        assert agg[2] == pytest.approx(2 * agg[1], rel=0.1)
+        assert agg[4] > 1.3 * agg[2]
+        assert agg[8] == pytest.approx(agg[4], rel=0.15)

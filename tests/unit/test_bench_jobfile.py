@@ -1,0 +1,148 @@
+"""fio job specs and the ini parser."""
+
+import pytest
+
+from repro.bench.jobfile import (
+    NETWORK_TEST_DEFAULTS,
+    FioJob,
+    parse_jobfile,
+    parse_size,
+)
+from repro.errors import BenchmarkError
+from repro.units import GB, KiB
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("4096") == 4096
+
+    def test_kib(self):
+        assert parse_size("128k") == 128 * KiB
+
+    def test_gb(self):
+        assert parse_size("400g") == 400 * GB
+
+    def test_suffix_b_allowed(self):
+        assert parse_size("128kb") == 128 * KiB
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BenchmarkError):
+            parse_size("lots")
+
+
+class TestFioJob:
+    def test_table3_defaults(self):
+        job = FioJob(name="j", engine="tcp", rw="send")
+        assert job.size_bytes == NETWORK_TEST_DEFAULTS["size_bytes"]
+        assert job.blocksize == 128 * KiB
+        assert job.tcp_variant == "cubic"
+        assert job.frame_bytes == 9000
+
+    def test_device_auto_selected(self):
+        assert FioJob(name="j", engine="tcp", rw="send").device == "nic"
+        assert FioJob(name="j", engine="libaio", rw="read").device == "ssd"
+
+    def test_profile_names(self):
+        assert FioJob(name="j", engine="tcp", rw="recv").profile_name == "tcp_recv"
+        assert FioJob(name="j", engine="rdma", rw="read").profile_name == "rdma_read"
+        assert (FioJob(name="j", engine="libaio", rw="write").profile_name
+                == "libaio_write")
+
+    def test_direction_mapping(self):
+        assert FioJob(name="j", engine="tcp", rw="send").direction == "write"
+        assert FioJob(name="j", engine="tcp", rw="recv").direction == "read"
+        assert FioJob(name="j", engine="rdma", rw="send").direction == "write"
+        assert FioJob(name="j", engine="rdma", rw="read").direction == "read"
+
+    def test_memcpy_requires_target(self):
+        with pytest.raises(BenchmarkError):
+            FioJob(name="j", engine="memcpy", rw="write")
+
+    def test_invalid_engine(self):
+        with pytest.raises(BenchmarkError):
+            FioJob(name="j", engine="nvme", rw="read")
+
+    def test_invalid_direction_for_engine(self):
+        with pytest.raises(BenchmarkError):
+            FioJob(name="j", engine="tcp", rw="read")
+
+    def test_stream_nodes_length_checked(self):
+        with pytest.raises(BenchmarkError):
+            FioJob(name="j", engine="rdma", rw="read", numjobs=3,
+                   stream_nodes=(0, 1))
+
+    def test_sweep_helpers(self):
+        job = FioJob(name="j", engine="tcp", rw="send")
+        assert job.with_node(5).cpunodebind == 5
+        assert job.with_node(5).name == "j@n5"
+        assert job.with_numjobs(8).numjobs == 8
+
+    def test_memcpy_profile_name_rejected(self):
+        job = FioJob(name="j", engine="memcpy", rw="write", target_node=7,
+                     cpunodebind=0)
+        with pytest.raises(BenchmarkError):
+            job.profile_name
+
+
+class TestParseJobfile:
+    def test_global_section_merges(self):
+        jobs = parse_jobfile(
+            """
+            [global]
+            bs=128k
+            size=400g
+
+            [send4]
+            ioengine=tcp
+            rw=send
+            numjobs=4
+            cpunodebind=5
+            """
+        )
+        assert len(jobs) == 1
+        job = jobs[0]
+        assert job.name == "send4"
+        assert job.blocksize == 128 * KiB
+        assert job.size_bytes == 400 * GB
+        assert job.numjobs == 4
+        assert job.cpunodebind == 5
+
+    def test_comments_ignored(self):
+        jobs = parse_jobfile(
+            """
+            ; a comment
+            [j]  # trailing comment
+            ioengine=rdma
+            rw=write
+            """
+        )
+        assert jobs[0].engine == "rdma"
+
+    def test_multiple_jobs(self):
+        jobs = parse_jobfile(
+            """
+            [a]
+            ioengine=tcp
+            rw=send
+            [b]
+            ioengine=tcp
+            rw=recv
+            """
+        )
+        assert [j.name for j in jobs] == ["a", "b"]
+
+    def test_unknown_keys_preserved(self):
+        jobs = parse_jobfile("[j]\nioengine=tcp\nrw=send\ndirect=1\n")
+        assert jobs[0].extra == {"direct": "1"}
+
+    def test_option_before_section_rejected(self):
+        with pytest.raises(BenchmarkError):
+            parse_jobfile("ioengine=tcp\n[j]\nrw=send\n")
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(BenchmarkError):
+            parse_jobfile("[j]\nnumjobs=2\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            parse_jobfile("[global]\nbs=4k\n")

@@ -1,0 +1,51 @@
+"""Latency benchmark."""
+
+import pytest
+
+from repro.analysis.numa_factor import numa_factor
+from repro.bench.latency import LatencyBenchmark, measured_numa_factor
+from repro.errors import BenchmarkError
+from repro.topology.builders import amd_4s8n, intel_4s4n
+
+
+@pytest.fixture()
+def bench(host, registry):
+    return LatencyBenchmark(host, registry=registry, runs=10)
+
+
+class TestMeasure:
+    def test_local_latency(self, bench, host):
+        m = bench.measure(3, 3)
+        assert m.protocol == "mean"
+        assert m.value == pytest.approx(100.0, rel=0.05)  # ns
+
+    def test_remote_exceeds_local(self, bench):
+        assert bench.measure(7, 0).value > bench.measure(7, 7).value
+
+    def test_quoted_pair_latencies(self, bench, host):
+        # 7<->0 adds 2 x 12.5 ns of link latency.
+        assert bench.measure(7, 0).value == pytest.approx(125.0, rel=0.05)
+
+    def test_cache_defeat_enforced(self, host):
+        with pytest.raises(BenchmarkError):
+            LatencyBenchmark(host, array_bytes=host.params.llc_bytes)
+
+    def test_runs_validated(self, host):
+        with pytest.raises(BenchmarkError):
+            LatencyBenchmark(host, runs=0)
+
+
+class TestNumaFactor:
+    def test_matrix_shape(self, bench, host):
+        assert bench.matrix().shape == (host.n_nodes, host.n_nodes)
+
+    @pytest.mark.parametrize("builder,paper", [(intel_4s4n, 1.5), (amd_4s8n, 2.7)])
+    def test_measured_factor_matches_table1(self, registry, builder, paper):
+        assert measured_numa_factor(builder(), registry, runs=10) == pytest.approx(
+            paper, rel=0.1
+        )
+
+    def test_measured_matches_analytic(self, host, registry):
+        measured = measured_numa_factor(host, registry, runs=20)
+        analytic = numa_factor(host)
+        assert measured == pytest.approx(analytic, rel=0.03)

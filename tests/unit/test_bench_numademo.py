@@ -1,0 +1,94 @@
+"""The numademo module/policy grid."""
+
+import pytest
+
+from repro.bench.numademo import NUMADEMO_MODULES, NUMADEMO_POLICIES, Numademo
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture()
+def demo(host, registry):
+    return Numademo(host, registry=registry)
+
+
+class TestPolicies:
+    def test_local_binding(self, demo):
+        binding = demo.binding_for("local", 3)
+        assert binding.nodes == (3,)
+
+    def test_remote_is_hop_farthest(self, demo):
+        # From node 7 the farthest node is 2 hops away.
+        binding = demo.binding_for("remote", 7)
+        assert binding.nodes[0] in (1, 3, 5)
+
+    def test_interleave_spans_all_nodes(self, demo, host):
+        binding = demo.binding_for("interleave", 0)
+        assert set(binding.nodes) == set(host.node_ids)
+
+    def test_unknown_policy_rejected(self, demo):
+        with pytest.raises(BenchmarkError):
+            demo.binding_for("weird", 0)
+
+
+class TestModules:
+    def test_seven_modules(self):
+        assert len(NUMADEMO_MODULES) == 7
+        assert "memset" in NUMADEMO_MODULES
+        assert "memcpy" in NUMADEMO_MODULES
+
+    def test_local_beats_remote_everywhere(self, demo):
+        for module in NUMADEMO_MODULES:
+            local = demo.run_module(module, "local", 6)
+            remote = demo.run_module(module, "remote", 6)
+            assert local > remote, module
+
+    def test_interleave_between_local_and_remote(self, demo):
+        for module in ("memcpy", "stream-copy"):
+            local = demo.run_module(module, "local", 6)
+            remote = demo.run_module(module, "remote", 6)
+            inter = demo.run_module(module, "interleave", 6)
+            assert remote * 0.9 < inter < local, module
+
+    def test_memset_beats_memcpy(self, demo):
+        assert (demo.run_module("memset", "local", 5)
+                > demo.run_module("memcpy", "local", 5))
+
+    def test_ptrchase_far_below_streams(self, demo):
+        assert (demo.run_module("ptrchase", "local", 5)
+                < demo.run_module("stream-copy", "local", 5))
+
+    def test_unknown_module_rejected(self, demo):
+        with pytest.raises(BenchmarkError):
+            demo.run_module("fma", "local", 0)
+
+    def test_unknown_node_rejected(self, demo):
+        with pytest.raises(BenchmarkError):
+            demo.run_module("memcpy", "local", 42)
+
+
+class TestGridAndRender:
+    def test_run_all_shape(self, demo):
+        grid = demo.run_all(0)
+        assert set(grid) == set(NUMADEMO_MODULES)
+        for module in grid:
+            assert set(grid[module]) == set(NUMADEMO_POLICIES)
+
+    def test_render(self, demo):
+        text = demo.render(0)
+        for module in NUMADEMO_MODULES:
+            assert module in text
+        for policy in NUMADEMO_POLICIES:
+            assert policy in text
+
+    def test_iomodel_module_delegates(self, demo):
+        model = demo.iomodel(7, "write")
+        assert [sorted(c.node_ids) for c in model.classes] == [
+            [6, 7], [0, 1, 4, 5], [2, 3]
+        ]
+
+    def test_deterministic(self, host, registry):
+        from repro.rng import RngRegistry
+
+        a = Numademo(host, registry=RngRegistry()).run_module("memcpy", "local", 3)
+        b = Numademo(host, registry=RngRegistry()).run_module("memcpy", "local", 3)
+        assert a == b

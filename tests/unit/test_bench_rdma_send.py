@@ -1,0 +1,48 @@
+"""The RDMA SEND/RECEIVE engine (§III-B2 lists it alongside READ/WRITE)."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.rng import RngRegistry
+
+
+@pytest.fixture()
+def runner(host):
+    return FioRunner(host, RngRegistry())
+
+
+class TestRdmaSend:
+    def test_send_is_a_write_direction(self):
+        job = FioJob(name="s", engine="rdma", rw="send")
+        assert job.direction == "write"
+        assert job.profile_name == "rdma_send"
+
+    def test_tracks_rdma_write_closely(self, runner, host):
+        """SEND adds receiver-side matching overhead but keeps the
+        write-direction class structure."""
+        for node in (6, 0, 2):
+            send = runner.run(
+                FioJob(name=f"snd-{node}", engine="rdma", rw="send",
+                       numjobs=4, cpunodebind=node)
+            ).aggregate_gbps
+            write = runner.run(
+                FioJob(name=f"wrt-{node}", engine="rdma", rw="write",
+                       numjobs=4, cpunodebind=node)
+            ).aggregate_gbps
+            assert send <= write * 1.02
+            assert send == pytest.approx(write, rel=0.05)
+
+    def test_class_structure_preserved(self, runner, host):
+        sweep = {
+            n: runner.run(
+                FioJob(name=f"sc-{n}", engine="rdma", rw="send",
+                       numjobs=4, cpunodebind=n)
+            ).aggregate_gbps
+            for n in host.node_ids
+        }
+        import numpy as np
+
+        class2 = float(np.mean([sweep[n] for n in (0, 1, 4, 5)]))
+        class3 = float(np.mean([sweep[n] for n in (2, 3)]))
+        assert class3 < 0.8 * class2

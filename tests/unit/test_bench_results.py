@@ -1,0 +1,71 @@
+"""Result containers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.results import BandwidthMatrix, JobResult, Measurement
+from repro.errors import BenchmarkError
+
+
+class TestMeasurement:
+    def test_max_protocol(self):
+        m = Measurement.from_samples([1.0, 3.0, 2.0], protocol="max")
+        assert m.gbps == 3.0
+        assert m.runs == 3
+        assert m.spread == 2.0
+
+    def test_mean_protocol(self):
+        m = Measurement.from_samples([1.0, 3.0], protocol="mean")
+        assert m.gbps == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Measurement.from_samples([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Measurement(gbps=1.0, samples=(1.0,), protocol="median")
+
+
+class TestBandwidthMatrix:
+    def _matrix(self):
+        values = np.array([[10.0, 5.0], [4.0, 9.0]])
+        return BandwidthMatrix(node_ids=(0, 1), values=values)
+
+    def test_at(self):
+        assert self._matrix().at(0, 1) == 5.0
+
+    def test_row_is_cpu_centric(self):
+        assert self._matrix().row(0) == {0: 10.0, 1: 5.0}
+
+    def test_col_is_memory_centric(self):
+        assert self._matrix().col(0) == {0: 10.0, 1: 4.0}
+
+    def test_asymmetry(self):
+        # |5-4|/5 = 0.2 is the worst pair.
+        assert self._matrix().asymmetry() == pytest.approx(0.2)
+
+    def test_render_layout(self):
+        text = self._matrix().render()
+        assert "MEM0" in text and "CPU1" in text
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(BenchmarkError):
+            self._matrix().at(5, 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(BenchmarkError):
+            BandwidthMatrix(node_ids=(0, 1), values=np.zeros((3, 3)))
+
+
+class TestJobResult:
+    def test_numjobs_and_render(self):
+        result = JobResult(
+            job_name="j", engine="tcp:send", streams=((7, 7), (6, 6)),
+            per_stream_gbps={"j/0": 5.0, "j/1": 5.5},
+            aggregate_gbps=10.5, duration_s=160.0,
+        )
+        assert result.numjobs == 2
+        text = result.render()
+        assert "10.50 Gbps aggregate" in text
+        assert "j/0" in text

@@ -1,0 +1,110 @@
+"""Run log persistence and regression detection."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.bench.runlog import RunLog, RunRecord
+from repro.errors import BenchmarkError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture()
+def log(tmp_path):
+    return RunLog(tmp_path / "runs.jsonl")
+
+
+class TestRecording:
+    def test_record_and_load(self, log):
+        log.record("rdma:write/n5", 23.2, machine="hp-dl585-g7", seed=1)
+        log.record("rdma:write/n2", 17.1, machine="hp-dl585-g7", seed=1)
+        records = log.load()
+        assert len(records) == 2
+        assert records[0].key == "rdma:write/n5"
+        assert records[1].gbps == 17.1
+
+    def test_latest_wins_per_key(self, log):
+        log.record("k", 10.0, machine="m", seed=1)
+        log.record("k", 12.0, machine="m", seed=2)
+        assert log.latest()["k"].gbps == 12.0
+
+    def test_empty_log(self, log):
+        assert log.load() == []
+        assert log.latest() == {}
+
+    def test_record_job(self, log, host):
+        runner = FioRunner(host, RngRegistry())
+        result = runner.run(
+            FioJob(name="rl", engine="rdma", rw="write", numjobs=2, cpunodebind=5)
+        )
+        record = log.record_job(result, machine=host.name, seed=0)
+        assert "rdma:write" in record.key
+        assert "numjobs2" in record.key
+        assert log.latest()[record.key].gbps == result.aggregate_gbps
+
+    def test_bad_bandwidth_rejected(self, log):
+        with pytest.raises(BenchmarkError):
+            log.record("k", 0.0, machine="m", seed=1)
+
+    def test_malformed_line_rejected(self, log):
+        log.path.write_text('{"nonsense": true}\n', encoding="utf-8")
+        with pytest.raises(BenchmarkError):
+            log.load()
+
+    def test_roundtrip_json(self):
+        record = RunRecord(key="k", gbps=21.3, machine="m", seed=7,
+                           tags={"note": "x"})
+        assert RunRecord.from_json(record.to_json()) == record
+
+
+class TestCompare:
+    def test_no_drift_within_tolerance(self, tmp_path):
+        old = RunLog(tmp_path / "old.jsonl")
+        new = RunLog(tmp_path / "new.jsonl")
+        old.record("k", 20.0, machine="m", seed=1)
+        new.record("k", 20.5, machine="m", seed=2)
+        assert old.compare(new, tolerance=0.05) == []
+
+    def test_drift_detected_and_sorted(self, tmp_path):
+        old = RunLog(tmp_path / "old.jsonl")
+        new = RunLog(tmp_path / "new.jsonl")
+        old.record("small", 20.0, machine="m", seed=1)
+        old.record("big", 20.0, machine="m", seed=1)
+        new.record("small", 18.0, machine="m", seed=2)   # -10 %
+        new.record("big", 10.0, machine="m", seed=2)     # -50 %
+        drifts = old.compare(new, tolerance=0.05)
+        assert [d.key for d in drifts] == ["big", "small"]
+        assert drifts[0].relative_change == pytest.approx(-0.5)
+        assert "regressed" in drifts[0].render()
+
+    def test_new_keys_ignored(self, tmp_path):
+        old = RunLog(tmp_path / "old.jsonl")
+        new = RunLog(tmp_path / "new.jsonl")
+        old.record("gone", 20.0, machine="m", seed=1)
+        new.record("fresh", 20.0, machine="m", seed=2)
+        assert old.compare(new) == []
+
+    def test_compare_accepts_records(self, tmp_path):
+        old = RunLog(tmp_path / "old.jsonl")
+        old.record("k", 20.0, machine="m", seed=1)
+        drifts = old.compare(
+            [RunRecord(key="k", gbps=30.0, machine="m", seed=2)]
+        )
+        assert len(drifts) == 1
+        assert "improved" in drifts[0].render()
+
+    def test_bad_tolerance(self, tmp_path):
+        log = RunLog(tmp_path / "x.jsonl")
+        with pytest.raises(BenchmarkError):
+            log.compare(log, tolerance=0.0)
+
+    def test_determinism_guard_end_to_end(self, tmp_path, host):
+        """The library's own determinism, checked the way a CI would."""
+        baseline = RunLog(tmp_path / "baseline.jsonl")
+        rerun = RunLog(tmp_path / "rerun.jsonl")
+        job = FioJob(name="ci", engine="tcp", rw="send", numjobs=4,
+                     cpunodebind=6)
+        for log in (baseline, rerun):
+            runner = FioRunner(host, RngRegistry())
+            log.record_job(runner.run(job), machine=host.name, seed=0)
+        assert baseline.compare(rerun, tolerance=0.001) == []

@@ -1,0 +1,74 @@
+"""STREAM benchmark protocol."""
+
+import pytest
+
+from repro.bench.stream import STREAM_KERNELS, StreamBenchmark
+from repro.errors import BenchmarkError
+
+
+class TestProtocol:
+    def test_array_defaults_to_4x_llc(self, host):
+        bench = StreamBenchmark(host)
+        assert bench.array_bytes == 4 * host.params.llc_bytes
+        # The paper quotes 2,621,440 long integers for 20 MB arrays.
+        assert bench.array_elements == 2_500_000
+
+    def test_small_arrays_rejected(self, host):
+        with pytest.raises(BenchmarkError):
+            StreamBenchmark(host, array_bytes=host.params.llc_bytes)
+
+    def test_unknown_kernel_rejected(self, host):
+        with pytest.raises(BenchmarkError):
+            StreamBenchmark(host, kernel="fma")
+
+    def test_zero_runs_rejected(self, host):
+        with pytest.raises(BenchmarkError):
+            StreamBenchmark(host, runs=0)
+
+    def test_max_of_runs_reported(self, host):
+        bench = StreamBenchmark(host, runs=50)
+        m = bench.measure(7, 4)
+        assert m.protocol == "max"
+        assert m.runs == 50
+        assert m.gbps == max(m.samples)
+
+    def test_deterministic(self, host):
+        a = StreamBenchmark(host, runs=20).measure(3, 5).gbps
+        b = StreamBenchmark(host, runs=20).measure(3, 5).gbps
+        assert a == b
+
+
+class TestKernels:
+    def test_kernels_within_two_percent(self, host):
+        values = {
+            kernel: StreamBenchmark(host, kernel=kernel, runs=5).measure(7, 0).gbps
+            for kernel in STREAM_KERNELS
+        }
+        lo, hi = min(values.values()), max(values.values())
+        assert (hi - lo) / hi < 0.05
+
+    def test_add_touches_three_arrays(self, host):
+        copy = StreamBenchmark(host, kernel="copy")
+        add = StreamBenchmark(host, kernel="add")
+        assert copy._arrays_needed() == 2
+        assert add._arrays_needed() == 3
+
+
+class TestModels:
+    def test_matrix_shape(self, host):
+        matrix = StreamBenchmark(host, runs=3).matrix()
+        assert matrix.values.shape == (8, 8)
+
+    def test_cpu_centric_is_matrix_row(self, host):
+        bench = StreamBenchmark(host, runs=3)
+        row = bench.cpu_centric(7)
+        matrix = bench.matrix()
+        for node in host.node_ids:
+            assert row[node] == pytest.approx(matrix.at(7, node))
+
+    def test_memory_centric_is_matrix_col(self, host):
+        bench = StreamBenchmark(host, runs=3)
+        col = bench.memory_centric(7)
+        matrix = bench.matrix()
+        for node in host.node_ids:
+            assert col[node] == pytest.approx(matrix.at(node, 7))

@@ -1,0 +1,55 @@
+"""Time-based (fio ``time_based``) jobs."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob, parse_jobfile, write_jobfile
+from repro.errors import BenchmarkError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture()
+def runner(host):
+    return FioRunner(host, RngRegistry())
+
+
+class TestTimeBased:
+    def test_duration_is_runtime(self, runner):
+        job = FioJob(name="tb", engine="rdma", rw="write", numjobs=4,
+                     cpunodebind=5, runtime_s=30.0)
+        result = runner.run(job)
+        assert result.duration_s == 30.0
+
+    def test_bandwidth_matches_size_based(self, runner):
+        timed = runner.run(
+            FioJob(name="tb-t", engine="rdma", rw="write", numjobs=4,
+                   cpunodebind=5, runtime_s=60.0)
+        ).aggregate_gbps
+        sized = runner.run(
+            FioJob(name="tb-s", engine="rdma", rw="write", numjobs=4,
+                   cpunodebind=5)
+        ).aggregate_gbps
+        assert timed == pytest.approx(sized, rel=0.03)
+
+    def test_per_stream_rates_present(self, runner):
+        job = FioJob(name="tb2", engine="tcp", rw="send", numjobs=2,
+                     cpunodebind=6, runtime_s=10.0)
+        result = runner.run(job)
+        assert len(result.per_stream_gbps) == 2
+        assert result.aggregate_gbps == pytest.approx(
+            sum(result.per_stream_gbps.values())
+        )
+
+    def test_invalid_runtime_rejected(self):
+        with pytest.raises(BenchmarkError):
+            FioJob(name="x", engine="tcp", rw="send", runtime_s=0)
+
+    def test_jobfile_roundtrip(self):
+        job = FioJob(name="tb3", engine="libaio", rw="read", numjobs=2,
+                     cpunodebind=0, iodepth=16, runtime_s=45.0)
+        back = parse_jobfile(write_jobfile([job]))[0]
+        assert back.runtime_s == 45.0
+
+    def test_jobfile_parse_key(self):
+        jobs = parse_jobfile("[j]\nioengine=tcp\nrw=send\nruntime=12.5\n")
+        assert jobs[0].runtime_s == 12.5

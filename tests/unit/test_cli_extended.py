@@ -1,0 +1,51 @@
+"""CLI surface for the extension subcommands."""
+
+import json
+
+from repro.cli.main import main
+
+
+class TestNumademo:
+    def test_grid_rendered(self, capsys):
+        assert main(["numademo", "--node", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "memset" in out
+        assert "interleave" in out
+
+
+class TestExport:
+    def test_json_on_stdout(self, capsys):
+        assert main(["export"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "hp-dl585-g7"
+        assert len(data["nodes"]) == 8
+
+    def test_export_reimportable(self, capsys):
+        from repro.topology.serialize import machine_from_dict
+
+        main(["--machine", "intel-4s4n", "export"])
+        data = json.loads(capsys.readouterr().out)
+        machine = machine_from_dict(data)
+        assert machine.n_nodes == 4
+
+
+class TestConcurrent:
+    def test_jobfile_run(self, tmp_path, capsys):
+        jobfile = tmp_path / "mixed.fio"
+        jobfile.write_text(
+            "[nic]\nioengine=rdma\nrw=write\nnumjobs=2\ncpunodebind=2\n"
+            "[ssd]\nioengine=libaio\nrw=write\nnumjobs=2\niodepth=16\n"
+            "cpunodebind=2\n"
+        )
+        assert main(["concurrent", str(jobfile)]) == 0
+        out = capsys.readouterr().out
+        assert "traffic counters" in out
+        assert "total:" in out
+
+
+class TestOnline:
+    def test_policy_comparison(self, capsys):
+        assert main(["online", "--streams", "12", "--rate", "0.2"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("local", "random", "class-spread", "class-migrate"):
+            assert policy in out

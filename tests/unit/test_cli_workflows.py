@@ -1,0 +1,64 @@
+"""CLI workflows spanning several subcommands."""
+
+import json
+
+from repro.cli.main import main
+
+
+class TestPredictMeasure:
+    def test_predict_with_measurement(self, capsys):
+        assert main(["predict", "--streams", "2,2,0,0", "--measure"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 1 prediction" in out
+        assert "relative error" in out
+
+
+class TestAdviseCompare:
+    def test_advise_with_comparison(self, capsys):
+        assert main(["advise", "--tasks", "8", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks over classes" in out
+        assert "spread:" in out
+        assert "all-local:" in out
+
+
+class TestExperimentJson:
+    def test_json_artifact_written(self, tmp_path, capsys):
+        target = tmp_path / "t3.json"
+        assert main(["experiment", "t3", "--quick", "--json", str(target)]) == 0
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert data["exp_id"] == "t3"
+        assert data["passed"] is True
+        assert data["checks"]
+
+    def test_all_with_outdir(self, tmp_path, capsys):
+        outdir = tmp_path / "artifacts"
+        assert main(["experiment", "all", "--quick", "--outdir", str(outdir)]) == 0
+        files = sorted(p.name for p in outdir.glob("*.txt"))
+        assert "t1.txt" in files and "fw2.txt" in files
+        assert len(files) == 21
+
+
+class TestOnlineTraces:
+    def test_save_then_replay(self, tmp_path, capsys):
+        trace = tmp_path / "wl.trace"
+        assert main(["online", "--streams", "8", "--rate", "0.3",
+                     "--save-trace", str(trace)]) == 0
+        first = capsys.readouterr().out
+        assert trace.exists()
+        assert main(["online", "--trace", str(trace)]) == 0
+        second = capsys.readouterr().out
+        assert "replaying 8 streams" in second
+        # Same workload, same seed: identical policy lines.
+        policy_lines = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if "mean" in line
+        ]
+        assert policy_lines(first) == policy_lines(second)
+
+
+class TestPlan:
+    def test_plan_recommendation(self, capsys):
+        assert main(["plan", "--write-weight", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "attachment ranking" in out
+        assert "recommendation: attach at node" in out

@@ -1,0 +1,102 @@
+"""Switched-cluster transfers."""
+
+import pytest
+
+from repro.cluster.fabric import SwitchedCluster, Transfer
+from repro.cluster.link import EthernetLink
+from repro.errors import BenchmarkError
+from repro.rng import RngRegistry
+from repro.topology.builders import reference_host
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    hosts = {f"h{i}": reference_host() for i in range(4)}
+    return SwitchedCluster(hosts, registry=RngRegistry())
+
+
+class TestTransfers:
+    def test_well_tuned_pair_hits_protocol_cap(self, cluster):
+        res = cluster.run([Transfer(name="t", src_host="h0", dst_host="h1")])
+        assert res["t"].aggregate_gbps == pytest.approx(22.0, rel=0.03)
+
+    def test_disjoint_pairs_run_independently(self, cluster):
+        res = cluster.run([
+            Transfer(name="a", src_host="h0", dst_host="h1"),
+            Transfer(name="b", src_host="h2", dst_host="h3"),
+        ])
+        assert res["a"].aggregate_gbps == pytest.approx(
+            res["b"].aggregate_gbps, rel=0.05
+        )
+        total = sum(o.aggregate_gbps for o in res.values())
+        assert total == pytest.approx(44.0, rel=0.05)
+
+    def test_fan_in_shares_receiver(self, cluster):
+        res = cluster.run([
+            Transfer(name=f"in{i}", src_host=f"h{i}", dst_host="h3")
+            for i in range(3)
+        ])
+        total = sum(o.aggregate_gbps for o in res.values())
+        # The receiver's NIC is the bottleneck: total ~= one transfer.
+        assert total == pytest.approx(22.0, rel=0.05)
+        # ... shared fairly.
+        values = [o.aggregate_gbps for o in res.values()]
+        assert max(values) - min(values) < 0.15 * max(values)
+
+    def test_numa_placement_matters_cluster_wide(self, cluster):
+        bad = cluster.run([
+            Transfer(name="bad", src_host="h0", dst_host="h1", src_node=2)
+        ])["bad"].aggregate_gbps
+        good = cluster.run([
+            Transfer(name="good", src_host="h0", dst_host="h1", src_node=0)
+        ])["good"].aggregate_gbps
+        assert bad == pytest.approx(17.1, rel=0.05)
+        assert good > bad
+
+    def test_backplane_caps_everything(self):
+        hosts = {f"h{i}": reference_host() for i in range(4)}
+        narrow = SwitchedCluster(hosts, backplane_gbps=30.0,
+                                 registry=RngRegistry())
+        res = narrow.run([
+            Transfer(name="a", src_host="h0", dst_host="h1"),
+            Transfer(name="b", src_host="h2", dst_host="h3"),
+        ])
+        total = sum(o.aggregate_gbps for o in res.values())
+        assert total <= 30.0 * 1.01
+
+    def test_slow_uplink_caps_single_host(self):
+        hosts = {f"h{i}": reference_host() for i in range(2)}
+        slow = SwitchedCluster(hosts, uplink=EthernetLink(raw_gbps=10.0),
+                               registry=RngRegistry())
+        res = slow.run([Transfer(name="t", src_host="h0", dst_host="h1")])
+        assert res["t"].aggregate_gbps <= 10.0
+
+
+class TestValidation:
+    def test_needs_two_hosts(self):
+        with pytest.raises(BenchmarkError):
+            SwitchedCluster({"h0": reference_host()})
+
+    def test_nic_required(self):
+        hosts = {"h0": reference_host(), "h1": reference_host(with_devices=False)}
+        with pytest.raises(BenchmarkError):
+            SwitchedCluster(hosts)
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Transfer(name="t", src_host="h0", dst_host="h0")
+
+    def test_unknown_host_rejected(self, cluster):
+        with pytest.raises(BenchmarkError):
+            cluster.run([Transfer(name="t", src_host="h0", dst_host="zz")])
+
+    def test_duplicate_names_rejected(self, cluster):
+        with pytest.raises(BenchmarkError):
+            cluster.run([
+                Transfer(name="t", src_host="h0", dst_host="h1"),
+                Transfer(name="t", src_host="h2", dst_host="h3"),
+            ])
+
+    def test_empty_rejected(self, cluster):
+        with pytest.raises(BenchmarkError):
+            cluster.run([])

@@ -1,0 +1,119 @@
+"""Two-host transfer composition."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.cluster.link import EthernetLink
+from repro.cluster.twohost import NetJob, TwoHostSystem
+from repro.errors import BenchmarkError, DeviceError
+from repro.rng import RngRegistry
+from repro.topology.builders import reference_host
+
+
+@pytest.fixture(scope="module")
+def system():
+    return TwoHostSystem(reference_host(), reference_host(),
+                         registry=RngRegistry())
+
+
+class TestEthernetLink:
+    def test_defaults_match_testbed(self):
+        link = EthernetLink()
+        assert link.raw_gbps == 40.0
+        assert link.rtt_s == pytest.approx(5e-6)
+
+    def test_payload_below_raw(self):
+        link = EthernetLink()
+        assert 0.99 * link.raw_gbps < link.payload_gbps < link.raw_gbps
+
+    def test_small_frames_cost_more(self):
+        jumbo = EthernetLink(frame_bytes=9000)
+        standard = EthernetLink(frame_bytes=1500)
+        assert standard.payload_gbps < jumbo.payload_gbps
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            EthernetLink(raw_gbps=0)
+        with pytest.raises(DeviceError):
+            EthernetLink(frame_bytes=64)
+
+
+class TestNetJob:
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            NetJob(name="j", engine="smtp")
+        with pytest.raises(BenchmarkError):
+            NetJob(name="j", numjobs=0)
+
+
+class TestComposition:
+    def test_sender_sweep_matches_one_host_engine(self, system):
+        """With the far end well tuned, the two-host sender sweep must
+        reproduce the single-host calibrated tcp_send values."""
+        runner = FioRunner(system.sender, RngRegistry())
+        for node in (2, 5):
+            two = system.run(
+                NetJob(name=f"cmp{node}", engine="tcp", numjobs=4,
+                       sender_node=node)
+            ).aggregate_gbps
+            one = runner.run(
+                FioJob(name=f"cmp{node}", engine="tcp", rw="send",
+                       numjobs=4, cpunodebind=node)
+            ).aggregate_gbps
+            assert two == pytest.approx(one, rel=0.05)
+
+    def test_receiver_node4_collapses(self, system):
+        sweep = system.sweep_receiver(NetJob(name="rs", engine="tcp", numjobs=4))
+        values = {n: r.aggregate_gbps for n, r in sweep.items()}
+        assert values[4] < 0.75 * min(v for n, v in values.items() if n != 4)
+
+    def test_rdma_receiver_sweep_matches_table5(self, system):
+        sweep = system.sweep_receiver(NetJob(name="rr", engine="rdma", numjobs=4))
+        values = {n: r.aggregate_gbps for n, r in sweep.items()}
+        assert values[2] == pytest.approx(22.0, rel=0.05)
+        assert values[0] == pytest.approx(18.3, rel=0.05)
+        assert values[4] == pytest.approx(16.1, rel=0.05)
+
+    def test_both_ends_bad_is_min(self, system):
+        bad_send = system.run(
+            NetJob(name="bs", engine="tcp", numjobs=4, sender_node=2)
+        ).aggregate_gbps
+        bad_recv = system.run(
+            NetJob(name="br", engine="tcp", numjobs=4, receiver_node=4)
+        ).aggregate_gbps
+        both = system.run(
+            NetJob(name="bb", engine="tcp", numjobs=4,
+                   sender_node=2, receiver_node=4)
+        ).aggregate_gbps
+        assert both <= min(bad_send, bad_recv) * 1.05
+
+    def test_wire_caps_everything(self):
+        slow = TwoHostSystem(
+            reference_host(), reference_host(),
+            link=EthernetLink(raw_gbps=10.0), registry=RngRegistry(),
+        )
+        result = slow.run(NetJob(name="w", engine="rdma", numjobs=4))
+        assert result.aggregate_gbps <= 10.0
+
+    def test_well_tuned_defaults(self, system):
+        result = system.run(NetJob(name="d", engine="tcp", numjobs=4))
+        assert result.tags["sender_node"] in (6, 7, 0, 1, 4, 5)
+        assert result.aggregate_gbps > 19.0
+
+    def test_nic_required(self):
+        bare = reference_host(with_devices=False)
+        with pytest.raises(BenchmarkError):
+            TwoHostSystem(bare, reference_host())
+
+    def test_unknown_node_rejected(self, system):
+        with pytest.raises(BenchmarkError):
+            system.run(NetJob(name="x", engine="tcp", sender_node=42))
+
+    def test_deterministic(self):
+        job = NetJob(name="det", engine="tcp", numjobs=4, sender_node=5)
+        a = TwoHostSystem(reference_host(), reference_host(),
+                          registry=RngRegistry(4)).run(job).aggregate_gbps
+        b = TwoHostSystem(reference_host(), reference_host(),
+                          registry=RngRegistry(4)).run(job).aggregate_gbps
+        assert a == b

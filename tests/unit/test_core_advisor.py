@@ -1,0 +1,89 @@
+"""Placement advisor."""
+
+import pytest
+
+from repro.core.iomodel import IOModelBuilder
+from repro.core.scheduler_advisor import PlacementAdvisor
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def write_model(host, registry):
+    return IOModelBuilder(host, registry=registry, runs=10).build(7, "write")
+
+
+@pytest.fixture()
+def rdma_write_values(write_model):
+    by_rank = {1: 23.3, 2: 23.2, 3: 17.1}
+    return {n: by_rank[write_model.class_of(n).rank] for n in write_model.values}
+
+
+@pytest.fixture()
+def advisor(host, write_model, rdma_write_values):
+    return PlacementAdvisor(host, write_model, rdma_write_values, tolerance=0.05)
+
+
+class TestEquivalence:
+    def test_classes_1_and_2_equivalent_for_rdma_write(self, advisor):
+        # The paper: "class 1 and class 2 have almost identical performance".
+        assert advisor.equivalent_classes() == (1, 2)
+
+    def test_candidate_nodes(self, advisor):
+        assert set(advisor.candidate_nodes()) == {0, 1, 4, 5, 6, 7}
+
+    def test_tight_tolerance_keeps_only_best(self, host, write_model,
+                                             rdma_write_values):
+        advisor = PlacementAdvisor(host, write_model, rdma_write_values,
+                                   tolerance=0.001)
+        assert advisor.equivalent_classes() == (1,)
+
+    def test_model_values_used_when_no_operation(self, host, write_model):
+        advisor = PlacementAdvisor(host, write_model, tolerance=0.05)
+        # On memcpy values class 2 (44.5) is >5 % below class 1 (51.4).
+        assert advisor.equivalent_classes() == (1,)
+
+
+class TestAdvise:
+    def test_spread_respects_core_counts(self, advisor, host):
+        plan = advisor.advise(16)
+        assert plan.n_tasks == 16
+        for node, count in plan.tasks_per_node.items():
+            assert count <= host.node(node).n_cores
+
+    def test_even_spread(self, advisor):
+        plan = advisor.advise(12)
+        counts = [c for c in plan.tasks_per_node.values() if c]
+        assert max(counts) - min(counts) <= 1
+
+    def test_avoid_irq_node(self, advisor):
+        plan = advisor.advise(5, avoid_irq_node=True)
+        assert plan.tasks_per_node.get(7, 0) == 0
+
+    def test_oversubscribes_when_necessary(self, advisor):
+        plan = advisor.advise(40)
+        assert plan.n_tasks == 40
+
+    def test_stream_nodes_flat_list(self, advisor):
+        plan = advisor.advise(6)
+        nodes = plan.stream_nodes()
+        assert len(nodes) == 6
+        assert sorted(set(nodes)) == sorted(plan.nodes)
+
+    def test_naive_plan(self, advisor):
+        plan = advisor.naive_plan(8)
+        assert plan.tasks_per_node == {7: 8}
+
+    def test_invalid_task_count(self, advisor):
+        with pytest.raises(ModelError):
+            advisor.advise(0)
+        with pytest.raises(ModelError):
+            advisor.naive_plan(0)
+
+    def test_invalid_tolerance(self, host, write_model):
+        with pytest.raises(ModelError):
+            PlacementAdvisor(host, write_model, tolerance=1.0)
+
+    def test_render(self, advisor):
+        plan = advisor.advise(4)
+        text = plan.render()
+        assert "4 tasks" in text

@@ -1,0 +1,46 @@
+"""Whole-host characterization."""
+
+import pytest
+
+from repro.core.characterize import HostCharacterizer
+from repro.errors import ModelError
+from repro.topology.builders import reference_host
+
+
+@pytest.fixture()
+def characterizer(host, registry):
+    return HostCharacterizer(host, registry=registry, runs=5)
+
+
+class TestCharacterize:
+    def test_device_nodes(self, characterizer):
+        assert characterizer.device_nodes() == (7,)
+
+    def test_characterize_builds_both_models(self, characterizer):
+        result = characterizer.characterize(7)
+        assert result.write_model.mode == "write"
+        assert result.read_model.mode == "read"
+        assert result.target_node == 7
+
+    def test_cost_accounting(self, characterizer):
+        result = characterizer.characterize(7)
+        # 3 write classes + 4 read classes vs 16 exhaustive probes.
+        assert result.exhaustive_probes == 16
+        assert result.reduced_probes == 7
+        assert result.cost_reduction == pytest.approx(1 - 7 / 16)
+
+    def test_render(self, characterizer):
+        text = characterizer.characterize(7).render()
+        assert "device write" in text
+        assert "device read" in text
+        assert "Probe cost" in text
+
+    def test_characterize_devices(self, characterizer):
+        results = characterizer.characterize_devices()
+        assert set(results) == {7}
+
+    def test_no_devices_rejected(self, registry):
+        bare = reference_host(with_devices=False)
+        characterizer = HostCharacterizer(bare, registry=registry, runs=5)
+        with pytest.raises(ModelError):
+            characterizer.characterize_devices()

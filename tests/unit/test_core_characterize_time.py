@@ -1,0 +1,37 @@
+"""Probe-time accounting."""
+
+import pytest
+
+from repro.core.characterize import HostCharacterizer
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def characterization(host):
+    return HostCharacterizer(host, registry=RngRegistry(), runs=10).characterize(7)
+
+
+class TestTimeEstimate:
+    def test_model_probing_is_dramatically_cheaper(self, characterization):
+        estimate = characterization.time_estimate()
+        # "without ... costly I/O benchmarking process": the model itself
+        # costs seconds against hours of exhaustive fio.
+        assert estimate.memcpy_probe_s < 120
+        assert estimate.exhaustive_fio_s > 3600
+        assert estimate.speedup > 2.0
+
+    def test_reduced_includes_validation(self, characterization):
+        estimate = characterization.time_estimate()
+        assert estimate.reduced_total_s == pytest.approx(
+            estimate.memcpy_probe_s + estimate.representative_fio_s
+        )
+
+    def test_scales_with_transfer_size(self, characterization):
+        small = characterization.time_estimate(gb_per_stream=40.0)
+        big = characterization.time_estimate(gb_per_stream=400.0)
+        assert big.exhaustive_fio_s == pytest.approx(10 * small.exhaustive_fio_s)
+        assert big.memcpy_probe_s == small.memcpy_probe_s  # model cost unchanged
+
+    def test_render(self, characterization):
+        text = characterization.time_estimate().render()
+        assert "x less benchmarking time" in text

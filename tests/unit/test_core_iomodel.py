@@ -1,0 +1,77 @@
+"""Algorithm 1 implementation."""
+
+import pytest
+
+from repro.core.iomodel import IOModelBuilder
+from repro.errors import ModelError
+
+
+class TestBuilder:
+    def test_threads_per_node(self, host):
+        assert IOModelBuilder(host).threads_per_node() == 4
+
+    def test_buffer_must_defeat_cache(self, host):
+        with pytest.raises(ModelError):
+            IOModelBuilder(host, buffer_bytes=host.params.llc_bytes)
+
+    def test_runs_validated(self, host):
+        with pytest.raises(ModelError):
+            IOModelBuilder(host, runs=0)
+
+    def test_measure_pair_protocol(self, host):
+        builder = IOModelBuilder(host, runs=25)
+        m = builder.measure_pair(0, 7, "write")
+        assert m.protocol == "mean"
+        assert m.runs == 25
+        assert m.gbps == pytest.approx(44.5, rel=0.05)
+
+    def test_measure_pair_mode_validated(self, host):
+        with pytest.raises(ModelError):
+            IOModelBuilder(host).measure_pair(0, 7, "sideways")
+
+    def test_unknown_target_rejected(self, host):
+        with pytest.raises(ModelError):
+            IOModelBuilder(host).build(42, "write")
+
+
+class TestModels:
+    def test_write_model_matches_paper(self, host, registry):
+        model = IOModelBuilder(host, registry=registry, runs=20).build(7, "write")
+        assert [sorted(c.node_ids) for c in model.classes] == [
+            [6, 7], [0, 1, 4, 5], [2, 3]
+        ]
+        assert model.mode == "write"
+        assert model.threads == 4
+
+    def test_read_model_matches_paper(self, host, registry):
+        model = IOModelBuilder(host, registry=registry, runs=20).build(7, "read")
+        assert [sorted(c.node_ids) for c in model.classes] == [
+            [6, 7], [2, 3], [0, 1, 5], [4]
+        ]
+
+    def test_build_both(self, host, registry):
+        write, read = IOModelBuilder(host, registry=registry, runs=5).build_both(7)
+        assert write.mode == "write"
+        assert read.mode == "read"
+
+    def test_deterministic(self, host):
+        a = IOModelBuilder(host, runs=10).build(7, "write").values
+        b = IOModelBuilder(host, runs=10).build(7, "write").values
+        assert a == b
+
+    def test_generalises_to_other_targets(self, host, registry):
+        # §V-B: "The methodology ... can also be generalized to other
+        # nodes in the host."
+        model = IOModelBuilder(host, registry=registry, runs=5).build(0, "write")
+        assert 0 in model.class_by_rank(1).node_ids
+        assert 1 in model.class_by_rank(1).node_ids
+
+    def test_no_device_consulted(self, registry):
+        # The methodology must work on a device-free machine.
+        from repro.topology.builders import reference_host
+
+        bare = reference_host(with_devices=False)
+        model = IOModelBuilder(bare, registry=registry, runs=5).build(7, "read")
+        assert [sorted(c.node_ids) for c in model.classes] == [
+            [6, 7], [2, 3], [0, 1, 5], [4]
+        ]

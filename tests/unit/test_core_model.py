@@ -1,0 +1,96 @@
+"""IOPerformanceModel and ModelTable."""
+
+import pytest
+
+from repro.core.classify import classify_nodes
+from repro.core.model import IOPerformanceModel, ModelTable
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def write_model(host):
+    values = {i: host.dma_path_gbps(i, 7) for i in host.node_ids}
+    classes = classify_nodes(values, host, 7)
+    return IOPerformanceModel(
+        machine_name=host.name, target_node=7, mode="write",
+        values=values, classes=classes, threads=4, runs=100,
+    )
+
+
+class TestModel:
+    def test_class_lookup(self, write_model):
+        assert write_model.class_of(6).rank == 1
+        assert write_model.class_of(0).rank == 2
+        assert write_model.class_of(2).rank == 3
+
+    def test_class_by_rank(self, write_model):
+        assert sorted(write_model.class_by_rank(3).node_ids) == [2, 3]
+        with pytest.raises(ModelError):
+            write_model.class_by_rank(9)
+
+    def test_unknown_node_rejected(self, write_model):
+        with pytest.raises(ModelError):
+            write_model.class_of(42)
+
+    def test_representatives_one_per_class(self, write_model):
+        reps = write_model.representative_nodes()
+        assert len(reps) == write_model.n_classes
+        ranks = [write_model.class_of(r).rank for r in reps]
+        assert ranks == sorted(set(ranks))
+
+    def test_cost_reduction(self, write_model):
+        # 3 classes over 8 nodes.
+        assert write_model.probe_cost_reduction() == pytest.approx(1 - 3 / 8)
+
+    def test_render_layout(self, write_model):
+        text = write_model.render()
+        assert "Class 1" in text and "Range" in text and "Avg" in text
+
+    def test_invalid_mode_rejected(self, host, write_model):
+        with pytest.raises(ModelError):
+            IOPerformanceModel(
+                machine_name=host.name, target_node=7, mode="sideways",
+                values=write_model.values, classes=write_model.classes,
+                threads=4, runs=100,
+            )
+
+    def test_partition_mismatch_rejected(self, host, write_model):
+        partial = dict(write_model.values)
+        partial[99] = 10.0
+        with pytest.raises(ModelError):
+            IOPerformanceModel(
+                machine_name=host.name, target_node=7, mode="write",
+                values=partial, classes=write_model.classes,
+                threads=4, runs=100,
+            )
+
+
+class TestModelTable:
+    def test_from_measurements(self, write_model):
+        rdma = {n: 23.2 if write_model.class_of(n).rank < 3 else 17.1
+                for n in write_model.values}
+        table = ModelTable.from_measurements(write_model, {"RDMA_WRITE": rdma})
+        row = table.row("RDMA_WRITE")
+        assert row.per_class_avg[0] == pytest.approx(23.2)
+        assert row.per_class_avg[2] == pytest.approx(17.1)
+
+    def test_memcpy_row_always_first(self, write_model):
+        table = ModelTable.from_measurements(write_model, {})
+        assert table.rows[0].operation == "Proposed memcpy"
+
+    def test_missing_nodes_rejected(self, write_model):
+        with pytest.raises(ModelError):
+            ModelTable.from_measurements(write_model, {"op": {0: 1.0}})
+
+    def test_unknown_row_rejected(self, write_model):
+        table = ModelTable.from_measurements(write_model, {})
+        with pytest.raises(ModelError):
+            table.row("TCP sender")
+
+    def test_render_contains_operations(self, write_model):
+        rdma = {n: 20.0 for n in write_model.values}
+        table = ModelTable.from_measurements(write_model, {"RDMA_WRITE": rdma})
+        text = table.render()
+        assert "Proposed memcpy" in text
+        assert "RDMA_WRITE" in text
+        assert "device write" in text

@@ -1,0 +1,52 @@
+"""Model save/load."""
+
+import json
+
+import pytest
+
+from repro.core.iomodel import IOModelBuilder
+from repro.core.model import IOPerformanceModel
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def model(host):
+    from repro.rng import RngRegistry
+
+    return IOModelBuilder(host, registry=RngRegistry(), runs=10).build(7, "read")
+
+
+class TestPersistence:
+    def test_roundtrip(self, model):
+        back = IOPerformanceModel.from_dict(model.to_dict())
+        assert back.values == model.values
+        assert back.mode == model.mode
+        assert back.target_node == model.target_node
+        assert [c.node_ids for c in back.classes] == [
+            c.node_ids for c in model.classes
+        ]
+
+    def test_json_safe(self, model):
+        text = json.dumps(model.to_dict())
+        back = IOPerformanceModel.from_dict(json.loads(text))
+        assert back.class_of(4).rank == model.class_of(4).rank
+
+    def test_loaded_model_is_usable(self, model, host):
+        from repro.core.predictor import MixturePredictor
+
+        back = IOPerformanceModel.from_dict(model.to_dict())
+        sweep = {n: 20.0 for n in host.node_ids}
+        predictor = MixturePredictor(back, sweep)
+        assert predictor.predict_streams([2, 0]) == pytest.approx(20.0)
+
+    def test_version_checked(self, model):
+        data = model.to_dict()
+        data["format_version"] = 42
+        with pytest.raises(ModelError):
+            IOPerformanceModel.from_dict(data)
+
+    def test_malformed_rejected(self, model):
+        data = model.to_dict()
+        del data["classes"][0]["node_ids"]
+        with pytest.raises(ModelError):
+            IOPerformanceModel.from_dict(data)

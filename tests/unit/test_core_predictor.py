@@ -1,0 +1,72 @@
+"""Eq. 1 mixture predictor."""
+
+import pytest
+
+from repro.core.iomodel import IOModelBuilder
+from repro.core.predictor import MixturePredictor, PredictionReport
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def read_model(host, registry):
+    return IOModelBuilder(host, registry=registry, runs=10).build(7, "read")
+
+
+@pytest.fixture()
+def rdma_read_values(read_model):
+    # Synthetic operation values with the paper's class structure.
+    by_rank = {1: 22.0, 2: 21.998, 3: 18.036, 4: 16.1}
+    return {n: by_rank[read_model.class_of(n).rank] for n in read_model.values}
+
+
+@pytest.fixture()
+def predictor(read_model, rdma_read_values):
+    return MixturePredictor(read_model, rdma_read_values)
+
+
+class TestPrediction:
+    def test_paper_worked_example(self, predictor):
+        # 50 % class 2 + 50 % class 3 -> 20.017 Gbps.
+        assert predictor.predict_streams([2, 2, 0, 0]) == pytest.approx(20.017)
+
+    def test_fraction_api_matches_stream_api(self, predictor, read_model):
+        by_fraction = predictor.predict_fractions(
+            {read_model.class_of(2).rank: 0.5, read_model.class_of(0).rank: 0.5}
+        )
+        assert by_fraction == pytest.approx(predictor.predict_streams([2, 0]))
+
+    def test_single_class_prediction_is_class_avg(self, predictor):
+        assert predictor.predict_streams([2, 2]) == pytest.approx(21.998)
+
+    def test_unnormalised_fractions_accepted(self, predictor, read_model):
+        rank = read_model.class_of(2).rank
+        assert predictor.predict_fractions({rank: 7.0}) == pytest.approx(21.998)
+
+    def test_class_avg_lookup(self, predictor, read_model):
+        assert predictor.class_avg(read_model.class_of(0).rank) == pytest.approx(18.036)
+        with pytest.raises(ModelError):
+            predictor.class_avg(99)
+
+    def test_empty_streams_rejected(self, predictor):
+        with pytest.raises(ModelError):
+            predictor.predict_streams([])
+
+    def test_missing_operation_values_rejected(self, read_model):
+        with pytest.raises(ModelError):
+            MixturePredictor(read_model, {0: 1.0})
+
+
+class TestValidation:
+    def test_report_error_metric(self):
+        report = PredictionReport(predicted_gbps=20.017, measured_gbps=19.415)
+        assert report.relative_error == pytest.approx(0.031, abs=0.001)
+        assert "3.1 %" in report.render()
+
+    def test_validate(self, predictor):
+        report = predictor.validate(19.415, [2, 2, 0, 0])
+        assert report.predicted_gbps == pytest.approx(20.017)
+        assert report.relative_error == pytest.approx(0.031, abs=0.001)
+
+    def test_non_positive_measurement_rejected(self, predictor):
+        with pytest.raises(ModelError):
+            predictor.validate(0.0, [2, 0])

@@ -1,0 +1,29 @@
+"""Class-stability metric."""
+
+import pytest
+
+from repro.core.validation import class_stability
+from repro.errors import ModelError
+from repro.topology.builders import scaled_host
+
+
+class TestStability:
+    def test_reference_host_perfectly_stable(self, bare_host):
+        assert class_stability(bare_host, 7, "write", repeats=6, runs=25) == 1.0
+        assert class_stability(bare_host, 7, "read", repeats=6, runs=25) == 1.0
+
+    def test_fewer_runs_can_destabilise_near_ties(self):
+        # A host with near-tied credits: single-run models jitter more
+        # than 25-run ones.
+        machine = scaled_host(6, seed=11, asymmetry_fraction=0.3)
+        shaky = class_stability(machine, 0, "read", repeats=8, runs=1)
+        steady = class_stability(machine, 0, "read", repeats=8, runs=50)
+        assert steady >= shaky
+
+    def test_bounds(self, bare_host):
+        value = class_stability(bare_host, 7, "write", repeats=4, runs=5)
+        assert 0.0 < value <= 1.0
+
+    def test_repeats_validated(self, bare_host):
+        with pytest.raises(ModelError):
+            class_stability(bare_host, 7, "write", repeats=1)

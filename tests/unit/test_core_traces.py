@@ -1,0 +1,75 @@
+"""Workload trace save/replay."""
+
+import pytest
+
+from repro.core.migration import OnlineSimulator, OnlineWorkload
+from repro.core.traces import load_trace, save_trace
+from repro.errors import ModelError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture()
+def jobs(registry):
+    return OnlineWorkload(registry, rate_per_s=0.2).generate(12, label="trace")
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, jobs, tmp_path):
+        path = tmp_path / "workload.trace"
+        assert save_trace(jobs, path) == 12
+        back = load_trace(path)
+        assert [(j.name, j.arrival_s, j.size_bytes, j.direction) for j in back] \
+            == [(j.name, j.arrival_s, j.size_bytes, j.direction) for j in jobs]
+
+    def test_replay_gives_identical_results(self, jobs, tmp_path, host, registry):
+        from repro.core.iomodel import IOModelBuilder
+
+        path = tmp_path / "workload.trace"
+        save_trace(jobs, path)
+        model = IOModelBuilder(host, registry=registry, runs=5).build(7, "write")
+        a = OnlineSimulator(host, model, registry=RngRegistry(1)).run(
+            jobs, "class-spread"
+        )
+        b = OnlineSimulator(host, model, registry=RngRegistry(1)).run(
+            load_trace(path), "class-spread"
+        )
+        assert a.mean_completion_s == b.mean_completion_s
+
+
+class TestValidation:
+    def test_empty_refused(self, tmp_path):
+        with pytest.raises(ModelError):
+            save_trace([], tmp_path / "x.trace")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_trace(tmp_path / "ghost.trace")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ModelError):
+            load_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"format_version": 99}\n{"name": "x"}\n',
+                        encoding="utf-8")
+        with pytest.raises(ModelError):
+            load_trace(path)
+
+    def test_malformed_line_reports_position(self, jobs, tmp_path):
+        path = tmp_path / "bad.trace"
+        save_trace(jobs[:2], path)
+        path.write_text(
+            path.read_text(encoding="utf-8") + '{"name": "incomplete"}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ModelError, match="line 4"):
+            load_trace(path)
+
+    def test_duplicate_names_rejected(self, jobs, tmp_path):
+        path = tmp_path / "dup.trace"
+        save_trace([jobs[0], jobs[0]], path)
+        with pytest.raises(ModelError):
+            load_trace(path)

@@ -1,0 +1,87 @@
+"""Model-agreement metrics."""
+
+import pytest
+
+from repro.core.iomodel import IOModelBuilder
+from repro.core.validation import (
+    class_ordering_holds,
+    class_separation,
+    rank_correlation,
+    validate_model,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def read_model(host, registry):
+    return IOModelBuilder(host, registry=registry, runs=10).build(7, "read")
+
+
+class TestRankCorrelation:
+    def test_perfect(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0}
+        assert rank_correlation(a, a) == pytest.approx(1.0)
+
+    def test_reversed(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0}
+        b = {0: 3.0, 1: 2.0, 2: 1.0}
+        assert rank_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_common_keys_only(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0, 9: 100.0}
+        b = {0: 1.0, 1: 2.0, 2: 3.0, 8: -5.0}
+        assert rank_correlation(a, b) == pytest.approx(1.0)
+
+    def test_too_few_keys_rejected(self):
+        with pytest.raises(ModelError):
+            rank_correlation({0: 1.0}, {0: 1.0})
+
+
+class TestClassOrdering:
+    def test_consistent_operation_holds(self, read_model):
+        by_rank = {1: 22.0, 2: 21.9, 3: 18.3, 4: 16.1}
+        measured = {n: by_rank[read_model.class_of(n).rank]
+                    for n in read_model.values}
+        assert class_ordering_holds(read_model, measured)
+
+    def test_tolerated_inversion(self, read_model):
+        # The paper's own TCP receiver row: class 3 avg slightly above 2.
+        by_rank = {1: 21.2, 2: 20.0, 3: 20.6, 4: 14.4}
+        measured = {n: by_rank[read_model.class_of(n).rank]
+                    for n in read_model.values}
+        assert class_ordering_holds(read_model, measured, tolerance=0.05)
+        assert not class_ordering_holds(read_model, measured, tolerance=0.01)
+
+    def test_gross_violation_detected(self, read_model):
+        by_rank = {1: 10.0, 2: 20.0, 3: 30.0, 4: 40.0}
+        measured = {n: by_rank[read_model.class_of(n).rank]
+                    for n in read_model.values}
+        assert not class_ordering_holds(read_model, measured)
+
+
+class TestSeparation:
+    def test_strong_separation(self, read_model):
+        by_rank = {1: 40.0, 2: 30.0, 3: 20.0, 4: 10.0}
+        measured = {n: by_rank[read_model.class_of(n).rank]
+                    for n in read_model.values}
+        assert class_separation(read_model, measured) > 100  # zero spread
+
+    def test_dissolved_classes_score_low(self, read_model, registry):
+        rng = registry.stream("sep")
+        measured = {n: 20.0 + float(rng.normal(0, 3)) for n in read_model.values}
+        strong = {n: {1: 40.0, 2: 30.0, 3: 20.0, 4: 10.0}[
+            read_model.class_of(n).rank] for n in read_model.values}
+        assert (class_separation(read_model, measured)
+                < class_separation(read_model, strong))
+
+
+class TestValidateModel:
+    def test_reports_per_operation(self, read_model):
+        by_rank = {1: 22.0, 2: 21.9, 3: 18.3, 4: 16.1}
+        measured = {n: by_rank[read_model.class_of(n).rank]
+                    for n in read_model.values}
+        reports = validate_model(read_model, {"RDMA_READ": measured})
+        report = reports["RDMA_READ"]
+        assert report.ordering_holds
+        assert report.spearman_rho > 0.8
+        assert "RDMA_READ" in report.render()

@@ -1,0 +1,65 @@
+"""Block-size amortisation model."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.devices.response import EngineProfile, ResponseCurve
+from repro.errors import DeviceError
+from repro.rng import RngRegistry
+from repro.units import KiB, MiB
+
+
+def _profile(overhead=4096):
+    return EngineProfile(
+        name="x",
+        curve=ResponseCurve(cap_gbps=20.0, path_ref_gbps=50.0, beta=0.1, gamma=1.0),
+        per_io_overhead_bytes=overhead,
+    )
+
+
+class TestBlocksizeFactor:
+    def test_reference_is_identity(self):
+        assert _profile().blocksize_factor(128 * KiB) == pytest.approx(1.0)
+
+    def test_monotone_in_blocksize(self):
+        p = _profile()
+        factors = [p.blocksize_factor(bs) for bs in (4 * KiB, 64 * KiB,
+                                                     128 * KiB, MiB)]
+        assert factors == sorted(factors)
+
+    def test_small_blocks_pay(self):
+        assert _profile().blocksize_factor(4 * KiB) < 0.55
+
+    def test_large_blocks_gain_little(self):
+        assert _profile().blocksize_factor(MiB) < 1.05
+
+    def test_zero_overhead_is_flat(self):
+        p = _profile(overhead=0)
+        assert p.blocksize_factor(4 * KiB) == 1.0
+
+    def test_invalid_blocksize(self):
+        with pytest.raises(DeviceError):
+            _profile().blocksize_factor(0)
+
+
+class TestEndToEnd:
+    def test_table_values_unchanged_at_reference_blocksize(self, host):
+        # Calibration holds exactly at Table III's 128 KiB.
+        runner = FioRunner(host, RngRegistry())
+        job = FioJob(name="bs-ref", engine="rdma", rw="write", numjobs=4,
+                     cpunodebind=5, blocksize=128 * KiB)
+        assert runner.run(job).aggregate_gbps == pytest.approx(23.2, rel=0.02)
+
+    def test_blocksize_sweep_monotone(self, host):
+        runner = FioRunner(host, RngRegistry())
+        values = []
+        for bs in (8 * KiB, 32 * KiB, 128 * KiB, MiB):
+            job = FioJob(name=f"bs-{bs}", engine="libaio", rw="read",
+                         numjobs=4, cpunodebind=6, blocksize=bs, iodepth=16)
+            values.append(runner.run(job).aggregate_gbps)
+        # Allow noise at the top end; the small-block penalty must show.
+        # 8 KiB amortises to ~0.69 of the 128 KiB reference.
+        assert values[0] < 0.75 * values[2]
+        assert values[1] < values[2]
+        assert values[3] == pytest.approx(values[2], rel=0.1)

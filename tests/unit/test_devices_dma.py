@@ -1,0 +1,70 @@
+"""DMA engine round-robin service and mixture derating."""
+
+import pytest
+
+from repro.devices.dma import DmaEngine
+from repro.errors import DeviceError
+
+
+class TestPerStreamCaps:
+    def test_single_stream_full_path(self):
+        engine = DmaEngine(max_gbps=32.0)
+        assert engine.per_stream_caps([22.0]) == [pytest.approx(22.0)]
+
+    def test_n_streams_divide(self):
+        engine = DmaEngine(max_gbps=32.0)
+        caps = engine.per_stream_caps([20.0, 20.0, 10.0, 10.0])
+        assert caps == [pytest.approx(5.0), pytest.approx(5.0),
+                        pytest.approx(2.5), pytest.approx(2.5)]
+
+    def test_contexts_delay_division(self):
+        engine = DmaEngine(max_gbps=64.0, contexts=2)
+        caps = engine.per_stream_caps([28.0, 28.0])
+        assert caps == [pytest.approx(28.0)] * 2
+
+    def test_single_class_aggregate_preserved(self):
+        # n streams from one class still sum to the class level.
+        engine = DmaEngine(max_gbps=32.0)
+        for n in (1, 2, 4, 8):
+            caps = engine.per_stream_caps([18.0] * n)
+            assert sum(caps) == pytest.approx(18.0)
+
+    def test_empty(self):
+        assert DmaEngine(max_gbps=1.0).per_stream_caps([]) == []
+
+    def test_rejects_bad_path(self):
+        with pytest.raises(DeviceError):
+            DmaEngine(max_gbps=1.0).per_stream_caps([0.0])
+
+
+class TestMixtureFactor:
+    def test_single_class_costs_nothing(self):
+        engine = DmaEngine(max_gbps=32.0)
+        assert engine.mixture_factor([4], mix_coef=0.06) == pytest.approx(1.0)
+
+    def test_fifty_fifty_pays_half_coef(self):
+        engine = DmaEngine(max_gbps=32.0)
+        assert engine.mixture_factor([2, 2], mix_coef=0.06) == pytest.approx(0.97)
+
+    def test_more_diversity_costs_more(self):
+        engine = DmaEngine(max_gbps=32.0)
+        two = engine.mixture_factor([2, 2], mix_coef=0.06)
+        four = engine.mixture_factor([1, 1, 1, 1], mix_coef=0.06)
+        assert four < two
+
+    def test_empty_shares(self):
+        assert DmaEngine(max_gbps=1.0).mixture_factor([], 0.06) == 1.0
+
+    def test_invalid_shares_rejected(self):
+        with pytest.raises(DeviceError):
+            DmaEngine(max_gbps=1.0).mixture_factor([0, 0], 0.06)
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(DeviceError):
+            DmaEngine(max_gbps=0)
+
+    def test_bad_contexts(self):
+        with pytest.raises(DeviceError):
+            DmaEngine(max_gbps=1.0, contexts=0)

@@ -1,0 +1,83 @@
+"""Response-curve fitting (the inverse calibration)."""
+
+import pytest
+
+from repro.bench.fio import FioRunner
+from repro.bench.jobfile import FioJob
+from repro.devices.fit import fit_engine_profile, fit_response_curve
+from repro.errors import DeviceError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def rdma_read_sweep(host):
+    runner = FioRunner(host, RngRegistry())
+    return {
+        n: runner.run(
+            FioJob(name=f"fit-{n}", engine="rdma", rw="read", numjobs=4,
+                   cpunodebind=n)
+        ).aggregate_gbps
+        for n in host.node_ids
+    }
+
+
+class TestFitResponseCurve:
+    def test_recovers_shipped_curve(self, host, rdma_read_sweep):
+        """Fitting the simulator's own measurements must recover a curve
+        close to the shipped rdma_read calibration."""
+        paths = {n: host.dma_path_gbps(7, n) for n in host.node_ids}
+        fit = fit_response_curve(paths, rdma_read_sweep, path_ref_gbps=47.0)
+        shipped = host.devices["nic"].engine("rdma_read").curve
+        for probe in (27.9, 40.4, 47.0):
+            assert fit.curve.value(probe) == pytest.approx(
+                shipped.value(probe), rel=0.05
+            )
+        assert fit.residual_rms_gbps < 0.6
+
+    def test_exact_synthetic_roundtrip(self):
+        from repro.devices.response import ResponseCurve
+
+        truth = ResponseCurve(cap_gbps=25.0, path_ref_gbps=50.0, beta=0.02,
+                              gamma=2.0)
+        paths = {i: p for i, p in enumerate((20.0, 30.0, 40.0, 45.0, 50.0, 55.0))}
+        measured = {i: truth.value(p) for i, p in paths.items()}
+        fit = fit_response_curve(paths, measured, path_ref_gbps=50.0)
+        assert fit.max_abs_error_gbps < 0.01
+        for p in (22.0, 35.0, 48.0):
+            assert fit.curve.value(p) == pytest.approx(truth.value(p), rel=0.01)
+
+    def test_needs_three_distinct_levels(self):
+        with pytest.raises(DeviceError):
+            fit_response_curve({0: 40.0, 1: 40.0, 2: 40.0},
+                               {0: 20.0, 1: 20.0, 2: 20.0})
+
+    def test_needs_three_nodes(self):
+        with pytest.raises(DeviceError):
+            fit_response_curve({0: 40.0, 1: 30.0}, {0: 20.0, 1: 18.0})
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(DeviceError):
+            fit_response_curve({0: 40.0, 1: 30.0, 2: 0.0},
+                               {0: 20.0, 1: 18.0, 2: 15.0})
+
+    def test_render(self, host, rdma_read_sweep):
+        paths = {n: host.dma_path_gbps(7, n) for n in host.node_ids}
+        fit = fit_response_curve(paths, rdma_read_sweep)
+        assert "cap=" in fit.render()
+
+
+class TestFitEngineProfile:
+    def test_profile_usable_on_new_device(self, host, rdma_read_sweep):
+        profile = fit_engine_profile(
+            host, 7, "read", rdma_read_sweep, name="custom_read",
+            per_stream_cap_gbps=21.5, sigma=0.002,
+        )
+        assert profile.name == "custom_read"
+        # The fitted profile reproduces the class-3 measurement.
+        assert profile.curve.value(40.4) == pytest.approx(
+            rdma_read_sweep[0], rel=0.05
+        )
+
+    def test_bad_direction_rejected(self, host, rdma_read_sweep):
+        with pytest.raises(DeviceError):
+            fit_engine_profile(host, 7, "sideways", rdma_read_sweep, name="x")

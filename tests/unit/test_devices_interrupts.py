@@ -1,0 +1,31 @@
+"""IRQ locality model."""
+
+import pytest
+
+from repro.devices.interrupts import IrqModel
+from repro.errors import DeviceError
+
+
+class TestIrqModel:
+    def test_penalty_on_irq_node(self):
+        irq = IrqModel(irq_node=7)
+        assert irq.factor(cpu_node=7, sensitivity=0.966) == pytest.approx(0.966)
+
+    def test_no_penalty_elsewhere(self):
+        irq = IrqModel(irq_node=7)
+        assert irq.factor(cpu_node=6, sensitivity=0.966) == 1.0
+
+    def test_offloaded_protocols_immune(self):
+        irq = IrqModel(irq_node=7)
+        assert irq.factor(cpu_node=7, sensitivity=1.0) == 1.0
+
+    def test_invalid_sensitivity(self):
+        irq = IrqModel(irq_node=7)
+        with pytest.raises(DeviceError):
+            irq.factor(cpu_node=7, sensitivity=0.0)
+        with pytest.raises(DeviceError):
+            irq.factor(cpu_node=7, sensitivity=1.5)
+
+    def test_invalid_node(self):
+        with pytest.raises(DeviceError):
+            IrqModel(irq_node=-1)

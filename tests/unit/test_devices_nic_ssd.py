@@ -1,0 +1,71 @@
+"""NIC and SSD array device objects."""
+
+import pytest
+
+from repro.devices.nic import Nic
+from repro.devices.pcie import PcieLink
+from repro.devices.response import EngineProfile, ResponseCurve
+from repro.devices.ssd import SsdArray
+from repro.errors import DeviceError
+
+
+def _profile(name, cap=20.0):
+    return EngineProfile(
+        name=name,
+        curve=ResponseCurve(cap_gbps=cap, path_ref_gbps=50.0, beta=0.1, gamma=1.0),
+    )
+
+
+class TestNic:
+    def test_defaults_derived(self):
+        nic = Nic(name="n", node_id=7, pcie=PcieLink(gen=2, lanes=8),
+                  engines={"tcp_send": _profile("tcp_send")})
+        assert nic.irq.irq_node == 7
+        assert nic.dma.max_gbps == pytest.approx(32.0)
+
+    def test_engine_lookup(self):
+        nic = Nic(name="n", node_id=7, pcie=PcieLink(gen=2, lanes=8),
+                  engines={"tcp_send": _profile("tcp_send")})
+        assert nic.engine("tcp_send").name == "tcp_send"
+        with pytest.raises(DeviceError):
+            nic.engine("rdma_read")
+
+    def test_cap_above_pcie_rejected(self):
+        with pytest.raises(DeviceError):
+            Nic(name="n", node_id=7, pcie=PcieLink(gen=2, lanes=8),
+                engines={"tcp_send": _profile("tcp_send", cap=40.0)})
+
+    def test_empty_engines_rejected(self):
+        with pytest.raises(DeviceError):
+            Nic(name="n", node_id=7, pcie=PcieLink(gen=2, lanes=8), engines={})
+
+    def test_direction_map(self):
+        assert Nic.ENGINE_DIRECTION["tcp_send"] == "write"
+        assert Nic.ENGINE_DIRECTION["rdma_read"] == "read"
+
+
+class TestSsdArray:
+    def test_array_dma_spans_cards(self):
+        ssd = SsdArray(name="s", node_id=7, pcie=PcieLink(gen=2, lanes=8),
+                       engines={"libaio_read": _profile("libaio_read", cap=34.7)},
+                       n_cards=2)
+        assert ssd.dma.max_gbps == pytest.approx(64.0)
+        assert ssd.dma.contexts == 2
+
+    def test_aggregate_cap_respects_array_limit(self):
+        # 34.7 > one card's 32 but < two cards' 64: allowed only with 2 cards.
+        with pytest.raises(DeviceError):
+            SsdArray(name="s", node_id=7, pcie=PcieLink(gen=2, lanes=8),
+                     engines={"libaio_read": _profile("libaio_read", cap=34.7)},
+                     n_cards=1)
+
+    def test_invalid_card_count(self):
+        with pytest.raises(DeviceError):
+            SsdArray(name="s", node_id=7, pcie=PcieLink(gen=2, lanes=8),
+                     engines={"libaio_read": _profile("libaio_read")}, n_cards=0)
+
+    def test_engine_lookup_error(self):
+        ssd = SsdArray(name="s", node_id=7, pcie=PcieLink(gen=2, lanes=8),
+                       engines={"libaio_read": _profile("libaio_read")})
+        with pytest.raises(DeviceError):
+            ssd.engine("libaio_write")

@@ -1,0 +1,28 @@
+"""PCIe link model."""
+
+import pytest
+
+from repro.devices.pcie import PcieLink
+from repro.errors import DeviceError
+
+
+class TestPcieLink:
+    def test_paper_nic_attachment(self):
+        link = PcieLink(gen=2, lanes=8)
+        assert link.raw_gbps == pytest.approx(40.0)
+        assert link.data_gbps == pytest.approx(32.0)
+
+    def test_gen3_encoding(self):
+        link = PcieLink(gen=3, lanes=4)
+        assert link.data_gbps == pytest.approx(4 * 8.0 * 128 / 130)
+
+    def test_str_mentions_gen_and_lanes(self):
+        assert "Gen2 x8" in str(PcieLink(gen=2, lanes=8))
+
+    def test_invalid_lanes_rejected(self):
+        with pytest.raises(DeviceError):
+            PcieLink(gen=2, lanes=5)
+
+    def test_invalid_gen_rejected(self):
+        with pytest.raises(DeviceError):
+            PcieLink(gen=7, lanes=8)

@@ -1,0 +1,54 @@
+"""Response curves and engine profiles."""
+
+import pytest
+
+from repro.devices.response import EngineProfile, ResponseCurve
+from repro.errors import DeviceError
+
+
+class TestResponseCurve:
+    def test_saturates_at_cap(self):
+        curve = ResponseCurve(cap_gbps=22.0, path_ref_gbps=47.0, beta=1.6, gamma=0.44)
+        assert curve.value(47.0) == pytest.approx(22.0)
+        assert curve.value(60.0) == pytest.approx(22.0)
+
+    def test_monotone_below_ref(self):
+        curve = ResponseCurve(cap_gbps=22.0, path_ref_gbps=47.0, beta=1.6, gamma=0.44)
+        values = [curve.value(p) for p in (20.0, 30.0, 40.0, 47.0)]
+        assert values == sorted(values)
+
+    def test_floor_at_five_percent(self):
+        curve = ResponseCurve(cap_gbps=20.0, path_ref_gbps=50.0, beta=100.0, gamma=2.0)
+        assert curve.value(1.0) == pytest.approx(1.0)  # 5 % of cap
+
+    def test_rejects_non_positive_path(self):
+        curve = ResponseCurve(cap_gbps=20.0, path_ref_gbps=50.0, beta=1.0, gamma=1.0)
+        with pytest.raises(DeviceError):
+            curve.value(0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DeviceError):
+            ResponseCurve(cap_gbps=0, path_ref_gbps=50, beta=1, gamma=1)
+        with pytest.raises(DeviceError):
+            ResponseCurve(cap_gbps=20, path_ref_gbps=50, beta=-1, gamma=1)
+        with pytest.raises(DeviceError):
+            ResponseCurve(cap_gbps=20, path_ref_gbps=50, beta=1, gamma=0)
+
+
+class TestEngineProfile:
+    def _curve(self):
+        return ResponseCurve(cap_gbps=20.0, path_ref_gbps=50.0, beta=1.0, gamma=1.0)
+
+    def test_defaults(self):
+        p = EngineProfile(name="x", curve=self._curve())
+        assert p.cpu_gbps_per_stream is None
+        assert p.irq_sensitivity == 1.0
+        assert p.crowd_threshold == 8
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            EngineProfile(name="x", curve=self._curve(), cpu_gbps_per_stream=0)
+        with pytest.raises(DeviceError):
+            EngineProfile(name="x", curve=self._curve(), irq_sensitivity=1.5)
+        with pytest.raises(DeviceError):
+            EngineProfile(name="x", curve=self._curve(), sigma=-0.1)

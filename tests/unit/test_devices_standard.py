@@ -1,0 +1,72 @@
+"""The calibrated reference devices."""
+
+import pytest
+
+from repro.devices.standard import (
+    attach_device,
+    attach_reference_devices,
+    reference_nic,
+    reference_ssd_array,
+)
+from repro.errors import DeviceError
+from repro.topology.builders import reference_host
+
+
+class TestReferenceNic:
+    def test_engines_present(self):
+        nic = reference_nic()
+        for name in ("tcp_send", "tcp_recv", "rdma_write", "rdma_read", "rdma_send"):
+            assert nic.engine(name).name == name
+
+    def test_tcp_is_cpu_bound_rdma_is_not(self):
+        nic = reference_nic()
+        assert nic.engine("tcp_send").cpu_gbps_per_stream is not None
+        assert nic.engine("rdma_write").cpu_gbps_per_stream is None
+
+    def test_rdma_quieter_than_tcp(self):
+        nic = reference_nic()
+        assert nic.engine("rdma_write").sigma < nic.engine("tcp_send").sigma
+
+    def test_tcp_irq_sensitive(self):
+        nic = reference_nic()
+        assert nic.engine("tcp_send").irq_sensitivity < 1.0
+        assert nic.engine("rdma_write").irq_sensitivity == 1.0
+
+    def test_calibrated_curve_values(self):
+        # The Table IV/V fit targets.
+        nic = reference_nic()
+        assert nic.engine("rdma_write").curve.value(44.5) == pytest.approx(23.2, rel=0.01)
+        assert nic.engine("rdma_write").curve.value(26.6) == pytest.approx(17.1, rel=0.01)
+        assert nic.engine("rdma_read").curve.value(40.4) == pytest.approx(18.3, rel=0.01)
+        assert nic.engine("rdma_read").curve.value(27.9) == pytest.approx(16.1, rel=0.01)
+
+
+class TestReferenceSsd:
+    def test_two_cards(self):
+        assert reference_ssd_array().n_cards == 2
+
+    def test_read_cap_above_write_cap(self):
+        ssd = reference_ssd_array()
+        assert (ssd.engine("libaio_read").curve.cap_gbps
+                > ssd.engine("libaio_write").curve.cap_gbps)
+
+    def test_calibrated_curve_values(self):
+        ssd = reference_ssd_array()
+        assert ssd.engine("libaio_write").curve.value(26.6) == pytest.approx(18.0, rel=0.02)
+        assert ssd.engine("libaio_read").curve.value(27.9) == pytest.approx(18.5, rel=0.01)
+
+
+class TestAttach:
+    def test_attach_reference_devices(self):
+        machine = reference_host(with_devices=False)
+        attach_reference_devices(machine)
+        assert set(machine.devices) == {"nic", "ssd"}
+
+    def test_attach_duplicate_rejected(self, host):
+        with pytest.raises(DeviceError):
+            attach_device(host, "nic", reference_nic())
+
+    def test_attach_unknown_node_rejected(self):
+        machine = reference_host(with_devices=False)
+        with pytest.raises(DeviceError):
+            attach_device(machine, "weird", reference_nic(node_id=42))

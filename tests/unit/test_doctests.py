@@ -1,0 +1,21 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.rng
+import repro.simtime.engine
+import repro.simtime.process
+import repro.units
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.units, repro.rng, repro.simtime.engine, repro.simtime.process],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    failures, tried = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert tried > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,28 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "subtype",
+    [
+        errors.TopologyError,
+        errors.RoutingError,
+        errors.AllocationError,
+        errors.AffinityError,
+        errors.SimulationError,
+        errors.BenchmarkError,
+        errors.ModelError,
+        errors.DeviceError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(subtype):
+    assert issubclass(subtype, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise subtype("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)

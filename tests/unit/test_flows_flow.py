@@ -1,0 +1,41 @@
+"""Flow record validation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flows.flow import Flow
+
+
+def test_defaults():
+    f = Flow(name="f", resources=("a", "b"))
+    assert f.demand_gbps == float("inf")
+    assert f.size_bytes is None
+    assert f.weight == 1.0
+    assert f.start_s == 0.0
+
+
+def test_negative_demand_rejected():
+    with pytest.raises(SimulationError):
+        Flow(name="f", resources=(), demand_gbps=-1.0)
+
+
+def test_zero_weight_rejected():
+    with pytest.raises(SimulationError):
+        Flow(name="f", resources=(), weight=0.0)
+
+
+def test_zero_size_rejected():
+    with pytest.raises(SimulationError):
+        Flow(name="f", resources=(), size_bytes=0)
+
+
+def test_duplicate_resource_rejected():
+    with pytest.raises(SimulationError):
+        Flow(name="f", resources=("r", "r"))
+
+
+def test_tags_are_mutable_per_instance():
+    a = Flow(name="a", resources=())
+    b = Flow(name="b", resources=())
+    a.tags["k"] = 1
+    assert "k" not in b.tags

@@ -1,0 +1,111 @@
+"""Max-min fair allocation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flows.flow import Flow
+from repro.flows.maxmin import maxmin_allocate
+
+
+class TestBasicSharing:
+    def test_equal_split(self):
+        flows = [Flow(name=f"f{i}", resources=("r",)) for i in range(4)]
+        rates = maxmin_allocate(flows, {"r": 20.0})
+        assert all(rate == pytest.approx(5.0) for rate in rates.values())
+
+    def test_single_flow_takes_all(self):
+        rates = maxmin_allocate([Flow(name="f", resources=("r",))], {"r": 10.0})
+        assert rates["f"] == pytest.approx(10.0)
+
+    def test_demand_cap_redistributes(self):
+        flows = [
+            Flow(name="small", resources=("r",), demand_gbps=2.0),
+            Flow(name="big", resources=("r",)),
+        ]
+        rates = maxmin_allocate(flows, {"r": 10.0})
+        assert rates["small"] == pytest.approx(2.0)
+        assert rates["big"] == pytest.approx(8.0)
+
+    def test_two_bottlenecks(self):
+        # f1 crosses both resources; f2 only the second.
+        flows = [
+            Flow(name="f1", resources=("a", "b")),
+            Flow(name="f2", resources=("b",)),
+        ]
+        rates = maxmin_allocate(flows, {"a": 4.0, "b": 10.0})
+        assert rates["f1"] == pytest.approx(4.0)
+        assert rates["f2"] == pytest.approx(6.0)
+
+    def test_weights(self):
+        flows = [
+            Flow(name="heavy", resources=("r",), weight=3.0),
+            Flow(name="light", resources=("r",), weight=1.0),
+        ]
+        rates = maxmin_allocate(flows, {"r": 8.0})
+        assert rates["heavy"] == pytest.approx(6.0)
+        assert rates["light"] == pytest.approx(2.0)
+
+    def test_disjoint_resources_independent(self):
+        flows = [
+            Flow(name="a", resources=("x",)),
+            Flow(name="b", resources=("y",)),
+        ]
+        rates = maxmin_allocate(flows, {"x": 3.0, "y": 7.0})
+        assert rates["a"] == pytest.approx(3.0)
+        assert rates["b"] == pytest.approx(7.0)
+
+    def test_empty_flows(self):
+        assert maxmin_allocate([], {"r": 1.0}) == {}
+
+    def test_flow_with_no_resources_needs_demand(self):
+        rates = maxmin_allocate(
+            [Flow(name="f", resources=(), demand_gbps=5.0)], {}
+        )
+        assert rates["f"] == pytest.approx(5.0)
+
+    def test_elastic_flow_with_no_resources_rejected(self):
+        with pytest.raises(SimulationError):
+            maxmin_allocate([Flow(name="f", resources=())], {})
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        flows = [Flow(name="f", resources=("r",)), Flow(name="f", resources=("r",))]
+        with pytest.raises(SimulationError):
+            maxmin_allocate(flows, {"r": 1.0})
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(SimulationError):
+            maxmin_allocate([Flow(name="f", resources=("ghost",))], {"r": 1.0})
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            maxmin_allocate([Flow(name="f", resources=("r",))], {"r": 0.0})
+
+    def test_unused_resources_ignored(self):
+        rates = maxmin_allocate(
+            [Flow(name="f", resources=("r",))], {"r": 1.0, "dead": -5.0}
+        )
+        assert rates["f"] == pytest.approx(1.0)
+
+
+class TestMaxMinProperty:
+    def test_feasibility(self):
+        flows = [
+            Flow(name="a", resources=("x", "y")),
+            Flow(name="b", resources=("y", "z")),
+            Flow(name="c", resources=("x", "z")),
+        ]
+        caps = {"x": 5.0, "y": 3.0, "z": 4.0}
+        rates = maxmin_allocate(flows, caps)
+        loads = {r: 0.0 for r in caps}
+        for f in flows:
+            for r in f.resources:
+                loads[r] += rates[f.name]
+        for r, load in loads.items():
+            assert load <= caps[r] + 1e-9
+
+    def test_bottleneck_saturated(self):
+        flows = [Flow(name=f"f{i}", resources=("r",)) for i in range(3)]
+        rates = maxmin_allocate(flows, {"r": 9.0})
+        assert sum(rates.values()) == pytest.approx(9.0)

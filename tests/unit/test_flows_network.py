@@ -1,0 +1,87 @@
+"""Time-domain flow simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flows.flow import Flow
+from repro.flows.network import FlowNetwork
+from repro.units import gbps_to_bytes_per_s
+
+
+class TestSimulate:
+    def test_single_flow_duration(self):
+        net = FlowNetwork({"r": 8.0})
+        size = gbps_to_bytes_per_s(8.0) * 10  # 10 seconds at full rate
+        out = net.simulate([Flow(name="f", resources=("r",), size_bytes=size)])
+        assert out["f"].finish_s == pytest.approx(10.0)
+        assert out["f"].avg_gbps == pytest.approx(8.0)
+
+    def test_equal_flows_finish_together(self):
+        net = FlowNetwork({"r": 10.0})
+        size = gbps_to_bytes_per_s(5.0) * 4
+        flows = [Flow(name=f"f{i}", resources=("r",), size_bytes=size)
+                 for i in range(2)]
+        out = net.simulate(flows)
+        assert out["f0"].finish_s == pytest.approx(out["f1"].finish_s)
+        assert out["f0"].avg_gbps == pytest.approx(5.0)
+
+    def test_survivor_speeds_up(self):
+        # Two flows share; the small one finishes, the big one then gets
+        # the whole resource.
+        net = FlowNetwork({"r": 10.0})
+        small = gbps_to_bytes_per_s(5.0) * 2  # 2 s at half rate
+        big = gbps_to_bytes_per_s(5.0) * 6
+        out = net.simulate([
+            Flow(name="small", resources=("r",), size_bytes=small),
+            Flow(name="big", resources=("r",), size_bytes=big),
+        ])
+        assert out["small"].finish_s == pytest.approx(2.0)
+        # big: 2 s at 5 Gbps, remaining 20 Gbit at 10 Gbps -> 2 more s.
+        assert out["big"].finish_s == pytest.approx(4.0)
+        assert out["big"].avg_gbps > 5.0
+
+    def test_staggered_arrival(self):
+        net = FlowNetwork({"r": 10.0})
+        size = gbps_to_bytes_per_s(10.0) * 2
+        out = net.simulate([
+            Flow(name="early", resources=("r",), size_bytes=size, start_s=0.0),
+            Flow(name="late", resources=("r",), size_bytes=size, start_s=100.0),
+        ])
+        assert out["early"].finish_s == pytest.approx(2.0)
+        assert out["late"].start_s == 100.0
+        assert out["late"].finish_s == pytest.approx(102.0)
+
+    def test_requires_sizes(self):
+        net = FlowNetwork({"r": 1.0})
+        with pytest.raises(SimulationError):
+            net.simulate([Flow(name="f", resources=("r",))])
+
+    def test_rates_only_api(self):
+        net = FlowNetwork({"r": 6.0})
+        rates = net.rates([Flow(name=f"f{i}", resources=("r",)) for i in range(3)])
+        assert sum(rates.values()) == pytest.approx(6.0)
+
+
+class TestAggregate:
+    def test_aggregate_over_busy_interval(self):
+        net = FlowNetwork({"r": 10.0})
+        size = gbps_to_bytes_per_s(5.0) * 4
+        out = net.simulate([
+            Flow(name=f"f{i}", resources=("r",), size_bytes=size) for i in range(2)
+        ])
+        assert net.aggregate_gbps(out) == pytest.approx(10.0)
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            FlowNetwork({}).aggregate_gbps({})
+
+
+class TestOutcome:
+    def test_outcome_fields(self):
+        net = FlowNetwork({"r": 8.0})
+        size = gbps_to_bytes_per_s(8.0) * 1
+        out = net.simulate([Flow(name="f", resources=("r",), size_bytes=size)])
+        o = out["f"]
+        assert o.name == "f"
+        assert o.bytes_moved == pytest.approx(size)
+        assert o.duration_s == pytest.approx(1.0)

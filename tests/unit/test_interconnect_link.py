@@ -1,0 +1,85 @@
+"""Directed HT link model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.interconnect.link import DirectedLink, LinkKind, link_pair
+from repro.units import NS
+
+
+class TestCapacities:
+    def test_raw_capacity_x16(self):
+        link = DirectedLink(src=0, dst=1, width_bits=16, gts=3.2)
+        assert link.raw_gbps == pytest.approx(51.2)
+
+    def test_raw_capacity_x8(self):
+        link = DirectedLink(src=0, dst=1, width_bits=8, gts=3.2)
+        assert link.raw_gbps == pytest.approx(25.6)
+
+    def test_dma_credit_derates(self):
+        link = DirectedLink(src=0, dst=1, width_bits=16, gts=3.2, dma_credit=0.5)
+        assert link.dma_gbps == pytest.approx(25.6)
+
+    def test_pio_default_is_60_percent(self):
+        link = DirectedLink(src=0, dst=1, width_bits=16, gts=3.2)
+        assert link.pio_gbps == pytest.approx(0.6 * 51.2)
+
+    def test_pio_explicit_cap(self):
+        link = DirectedLink(src=0, dst=1, width_bits=16, gts=3.2, pio_cap_gbps=14.5)
+        assert link.pio_gbps == 14.5
+
+    def test_ends(self):
+        assert DirectedLink(src=3, dst=7, width_bits=8, gts=3.2).ends == (3, 7)
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            DirectedLink(src=1, dst=1, width_bits=16, gts=3.2)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(TopologyError):
+            DirectedLink(src=0, dst=1, width_bits=13, gts=3.2)
+
+    def test_credit_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            DirectedLink(src=0, dst=1, width_bits=16, gts=3.2, dma_credit=0.0)
+        with pytest.raises(TopologyError):
+            DirectedLink(src=0, dst=1, width_bits=16, gts=3.2, dma_credit=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(TopologyError):
+            DirectedLink(src=0, dst=1, width_bits=16, gts=3.2, pio_latency_s=-1e-9)
+
+    def test_zero_gts_rejected(self):
+        with pytest.raises(TopologyError):
+            DirectedLink(src=0, dst=1, width_bits=16, gts=0)
+
+    def test_non_positive_pio_cap_rejected(self):
+        with pytest.raises(TopologyError):
+            DirectedLink(src=0, dst=1, width_bits=16, gts=3.2, pio_cap_gbps=0)
+
+
+class TestLinkPair:
+    def test_symmetric_by_default(self):
+        fwd, rev = link_pair(0, 7, 16, 3.2, dma_credit=0.87)
+        assert fwd.ends == (0, 7)
+        assert rev.ends == (7, 0)
+        assert fwd.dma_credit == rev.dma_credit == 0.87
+
+    def test_reverse_overrides(self):
+        fwd, rev = link_pair(
+            2, 7, 16, 3.2,
+            dma_credit=0.52, dma_credit_rev=0.95,
+            pio_cap_gbps=14.5, pio_cap_rev_gbps=21.5,
+        )
+        assert fwd.dma_credit == 0.52
+        assert rev.dma_credit == 0.95
+        assert fwd.pio_gbps == 14.5
+        assert rev.pio_gbps == 21.5
+
+    def test_kind_and_latency_shared(self):
+        fwd, rev = link_pair(0, 1, 16, 3.2, LinkKind.SRI, pio_latency_s=5 * NS)
+        assert fwd.kind is LinkKind.SRI
+        assert rev.kind is LinkKind.SRI
+        assert fwd.pio_latency_s == rev.pio_latency_s == 5 * NS

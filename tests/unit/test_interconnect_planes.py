@@ -1,0 +1,22 @@
+"""Traffic plane identifiers."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.interconnect.planes import ALL_PLANES, PLANE_DMA, PLANE_PIO, validate_plane
+
+
+def test_known_planes():
+    assert PLANE_PIO in ALL_PLANES
+    assert PLANE_DMA in ALL_PLANES
+    assert len(ALL_PLANES) == 2
+
+
+def test_validate_accepts_known():
+    assert validate_plane(PLANE_PIO) == PLANE_PIO
+    assert validate_plane(PLANE_DMA) == PLANE_DMA
+
+
+def test_validate_rejects_unknown():
+    with pytest.raises(RoutingError):
+        validate_plane("isochronous")

@@ -1,0 +1,21 @@
+"""Controller resource adapters."""
+
+from repro.memory.controller import MemoryController, controller_capacities
+
+
+class TestResourceNames:
+    def test_names_are_stable(self):
+        ctrl = MemoryController(node_id=7, dram_gbps=56.0, pio_ctrl_gbps=31.0)
+        assert ctrl.dma_resource == "ctrl-dma:7"
+        assert ctrl.pio_resource == "ctrl-pio:7"
+
+
+class TestCapacities:
+    def test_covers_every_node(self, host):
+        caps = controller_capacities(host)
+        for nid in host.node_ids:
+            assert caps[f"ctrl-dma:{nid}"] == host.node(nid).dram_gbps
+            assert caps[f"ctrl-pio:{nid}"] == host.node(nid).pio_ctrl_gbps
+
+    def test_count(self, host):
+        assert len(controller_capacities(host)) == 2 * host.n_nodes

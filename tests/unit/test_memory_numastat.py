@@ -1,0 +1,41 @@
+"""numastat counter accounting."""
+
+from repro.memory.numastat import NumaStat
+
+
+class TestRecording:
+    def test_hit_counted(self):
+        stats = NumaStat(node_ids=(0, 1))
+        stats.record(placed_node=0, intended_node=0, cpu_node=0, pages=10)
+        assert stats.numa_hit[0] == 10
+        assert stats.numa_miss[0] == 0
+        assert stats.local_node[0] == 10
+
+    def test_miss_and_foreign(self):
+        stats = NumaStat(node_ids=(0, 1))
+        stats.record(placed_node=1, intended_node=0, cpu_node=0, pages=4)
+        assert stats.numa_miss[1] == 4
+        assert stats.numa_foreign[0] == 4
+        assert stats.other_node[1] == 4
+
+    def test_interleave_hit(self):
+        stats = NumaStat(node_ids=(0, 1))
+        stats.record(placed_node=1, intended_node=1, cpu_node=0, pages=2,
+                     interleaved=True)
+        assert stats.interleave_hit[1] == 2
+        assert stats.numa_hit[1] == 2
+
+    def test_counters_initialised_to_zero(self):
+        stats = NumaStat(node_ids=(0, 1, 2))
+        assert all(v == 0 for v in stats.numa_hit.values())
+        assert set(stats.numa_hit) == {0, 1, 2}
+
+
+class TestRender:
+    def test_render_contains_all_fields(self):
+        stats = NumaStat(node_ids=(0, 1))
+        text = stats.render()
+        for field in ("numa_hit", "numa_miss", "numa_foreign",
+                      "interleave_hit", "local_node", "other_node"):
+            assert field in text
+        assert "node0" in text and "node1" in text

@@ -1,0 +1,44 @@
+"""Memory policies and bindings."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.policy import AllocPolicy, MemBinding
+
+
+class TestConstructors:
+    def test_local_default(self):
+        binding = MemBinding.local()
+        assert binding.policy is AllocPolicy.LOCAL_PREFERRED
+        assert binding.nodes == ()
+
+    def test_bind(self):
+        binding = MemBinding.bind(3, 5)
+        assert binding.policy is AllocPolicy.BIND
+        assert binding.nodes == (3, 5)
+
+    def test_interleave(self):
+        binding = MemBinding.interleave(0, 1, 2)
+        assert binding.policy is AllocPolicy.INTERLEAVE
+
+    def test_preferred(self):
+        binding = MemBinding.preferred(4)
+        assert binding.nodes == (4,)
+
+
+class TestValidation:
+    def test_local_preferred_rejects_nodes(self):
+        with pytest.raises(AllocationError):
+            MemBinding(policy=AllocPolicy.LOCAL_PREFERRED, nodes=(1,))
+
+    def test_bind_requires_nodes(self):
+        with pytest.raises(AllocationError):
+            MemBinding(policy=AllocPolicy.BIND, nodes=())
+
+    def test_preferred_takes_exactly_one(self):
+        with pytest.raises(AllocationError):
+            MemBinding(policy=AllocPolicy.PREFERRED, nodes=(1, 2))
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(AllocationError):
+            MemBinding.bind(1, 1)

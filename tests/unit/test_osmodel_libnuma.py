@@ -1,0 +1,50 @@
+"""libnuma-shaped API."""
+
+import pytest
+
+from repro.errors import AffinityError, AllocationError
+from repro.memory.allocator import PageAllocator
+from repro.osmodel import libnuma
+from repro.units import MiB
+
+
+class TestIntrospection:
+    def test_node_and_cpu_counts(self, host):
+        assert libnuma.numa_num_configured_nodes(host) == 8
+        assert libnuma.numa_num_configured_cpus(host) == 32
+
+    def test_node_of_cpu(self, host):
+        assert libnuma.numa_node_of_cpu(host, 0) == 0
+        assert libnuma.numa_node_of_cpu(host, 31) == 7
+
+    def test_node_of_unknown_cpu(self, host):
+        with pytest.raises(AffinityError):
+            libnuma.numa_node_of_cpu(host, 999)
+
+
+class TestAllocation:
+    def test_alloc_onnode_and_free(self, host):
+        allocator = PageAllocator(host)
+        before = allocator.free_bytes(5)
+        allocation = libnuma.numa_alloc_onnode(allocator, 64 * MiB, 5)
+        assert allocation.nodes == (5,)
+        libnuma.numa_free(allocator, allocation)
+        assert allocator.free_bytes(5) == before
+
+    def test_alloc_onnode_strict(self, host):
+        allocator = PageAllocator(host)
+        with pytest.raises(AllocationError):
+            libnuma.numa_alloc_onnode(allocator, 100 * 1024**3, 5)
+
+
+class TestRunOnNode:
+    def test_valid(self, host):
+        assert libnuma.numa_run_on_node(host, 7) == 7
+
+    def test_invalid(self, host):
+        with pytest.raises(AffinityError):
+            libnuma.numa_run_on_node(host, 42)
+
+    def test_distance_ok(self, host):
+        assert libnuma.numa_distance_ok(host, 0, 7)
+        assert not libnuma.numa_distance_ok(host, 0, 42)

@@ -1,0 +1,47 @@
+"""Measurement noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.osmodel.noise import NoiseModel
+from repro.rng import RngRegistry
+
+
+@pytest.fixture()
+def noise(registry):
+    return NoiseModel(registry.stream("test/noise"))
+
+
+class TestFactor:
+    def test_zero_sigma_is_identity(self, noise):
+        assert noise.factor(0.0) == 1.0
+        assert (noise.factors(0.0, 5) == 1.0).all()
+
+    def test_mean_is_one(self, registry):
+        noise = NoiseModel(registry.stream("test/mean"))
+        draws = noise.factors(0.05, 20000)
+        assert float(np.mean(draws)) == pytest.approx(1.0, abs=0.005)
+
+    def test_dispersion_scales_with_sigma(self, registry):
+        quiet = NoiseModel(registry.stream("q")).factors(0.01, 5000)
+        loud = NoiseModel(registry.stream("q")).factors(0.05, 5000)
+        assert float(np.std(loud)) > 3 * float(np.std(quiet))
+
+    def test_deterministic_per_stream(self, registry):
+        a = NoiseModel(registry.stream("same")).factors(0.02, 10)
+        b = NoiseModel(RngRegistry().stream("same")).factors(0.02, 10)
+        assert (a == b).all()
+
+    def test_negative_sigma_rejected(self, noise):
+        with pytest.raises(SimulationError):
+            noise.factor(-0.1)
+        with pytest.raises(SimulationError):
+            noise.factors(-0.1, 3)
+
+    def test_zero_draws_rejected(self, noise):
+        with pytest.raises(SimulationError):
+            noise.factors(0.01, 0)
+
+    def test_factors_positive(self, noise):
+        assert (noise.factors(0.1, 1000) > 0).all()

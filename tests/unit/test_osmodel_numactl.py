@@ -1,0 +1,58 @@
+"""numactl front-end."""
+
+import pytest
+
+from repro.errors import AffinityError
+from repro.memory.policy import AllocPolicy
+from repro.osmodel.numactl import Numactl
+
+
+@pytest.fixture()
+def numactl(host):
+    return Numactl(host)
+
+
+class TestRun:
+    def test_plain(self, numactl):
+        task = numactl.run("t")
+        assert task.binding.cpu_node is None
+        assert task.binding.mem.policy is AllocPolicy.LOCAL_PREFERRED
+
+    def test_cpunodebind_membind(self, numactl):
+        task = numactl.run("t", cpunodebind=7, membind=(6,))
+        assert task.binding.cpu_node == 7
+        assert task.binding.mem.policy is AllocPolicy.BIND
+        assert task.binding.mem.nodes == (6,)
+
+    def test_interleave(self, numactl):
+        task = numactl.run("t", interleave=(0, 1))
+        assert task.binding.mem.policy is AllocPolicy.INTERLEAVE
+
+    def test_preferred(self, numactl):
+        task = numactl.run("t", preferred=3)
+        assert task.binding.mem.policy is AllocPolicy.PREFERRED
+
+    def test_conflicting_policies_rejected(self, numactl):
+        with pytest.raises(AffinityError):
+            numactl.run("t", membind=(1,), interleave=(2,))
+
+    def test_unknown_node_rejected(self, numactl):
+        with pytest.raises(AffinityError):
+            numactl.run("t", cpunodebind=99)
+
+
+class TestHardware:
+    def test_header(self, numactl):
+        text = numactl.hardware()
+        assert text.startswith("available: 8 nodes (0-7)")
+
+    def test_shows_paper_free_memory_pattern(self, numactl):
+        # ~1.5 GB free on node 0, ~3.8 GB elsewhere (§IV-A).
+        text = numactl.hardware()
+        assert "node 0 free: 1610 MB" in text  # 1.5 GiB in decimal MB
+        assert "node 3 free: 4026 MB" in text  # 3.75 GiB in decimal MB
+
+    def test_distances_rendered(self, numactl):
+        text = numactl.hardware()
+        assert "node distances:" in text
+        assert " 10" in text  # the SLIT diagonal

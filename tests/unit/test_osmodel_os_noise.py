@@ -1,0 +1,68 @@
+"""OS noise daemons on the event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.osmodel.noise import OsNoiseDaemons
+
+
+@pytest.fixture()
+def daemons(host, registry):
+    return OsNoiseDaemons(host, registry.stream("osnoise"),
+                          period_s=1.0, busy_s=0.02)
+
+
+class TestSimulate:
+    def test_every_node_gets_bursts(self, daemons, host):
+        traces = daemons.simulate(window_s=30.0)
+        assert set(traces) == set(host.node_ids)
+        for node, intervals in traces.items():
+            # ~1 burst per second, jittered.
+            assert 20 <= len(intervals) <= 40, node
+
+    def test_intervals_ordered_and_bounded(self, daemons):
+        traces = daemons.simulate(window_s=10.0)
+        for intervals in traces.values():
+            for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+                assert s1 < e1 <= s2
+            assert all(0 <= s and e <= 10.0 for s, e in intervals)
+
+    def test_burst_lengths_near_nominal(self, daemons):
+        traces = daemons.simulate(window_s=30.0)
+        lengths = [e - s for iv in traces.values() for s, e in iv]
+        assert 0.01 - 1e-9 <= min(lengths)
+        assert max(lengths) <= 0.03 + 1e-9
+
+
+class TestAvailability:
+    def test_availability_near_one(self, daemons):
+        avail = daemons.availability(window_s=60.0)
+        for node, a in avail.items():
+            # 2 % of one core out of four: ~0.5 % steal.
+            assert 0.99 < a < 1.0, node
+
+    def test_heavier_noise_lowers_availability(self, host, registry):
+        light = OsNoiseDaemons(host, registry.stream("l"), busy_s=0.01)
+        heavy = OsNoiseDaemons(host, registry.stream("h"), busy_s=0.2)
+        assert (sum(heavy.availability(30.0).values())
+                < sum(light.availability(30.0).values()))
+
+    def test_deterministic(self, host, registry):
+        from repro.rng import RngRegistry
+
+        a = OsNoiseDaemons(host, RngRegistry().stream("d")).availability(10.0)
+        b = OsNoiseDaemons(host, RngRegistry().stream("d")).availability(10.0)
+        assert a == b
+
+
+class TestValidation:
+    def test_bad_parameters(self, host, registry):
+        rng = registry.stream("bad")
+        with pytest.raises(SimulationError):
+            OsNoiseDaemons(host, rng, period_s=0)
+        with pytest.raises(SimulationError):
+            OsNoiseDaemons(host, rng, period_s=1.0, busy_s=2.0)
+
+    def test_bad_window(self, daemons):
+        with pytest.raises(SimulationError):
+            daemons.simulate(0)

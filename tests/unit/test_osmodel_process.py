@@ -1,0 +1,40 @@
+"""Task and binding records."""
+
+import pytest
+
+from repro.errors import AffinityError
+from repro.memory.policy import AllocPolicy
+from repro.osmodel.process import SimTask, TaskBinding
+
+
+class TestTaskBinding:
+    def test_default_is_unbound_local(self):
+        binding = TaskBinding()
+        assert binding.cpu_node is None
+        assert binding.mem.policy is AllocPolicy.LOCAL_PREFERRED
+
+    def test_on_node(self):
+        binding = TaskBinding.on_node(5)
+        assert binding.cpu_node == 5
+        assert binding.mem.policy is AllocPolicy.LOCAL_PREFERRED
+
+    def test_bound(self):
+        binding = TaskBinding.bound(cpu_node=5, mem_node=2)
+        assert binding.cpu_node == 5
+        assert binding.mem.nodes == (2,)
+
+
+class TestSimTask:
+    def test_defaults(self):
+        task = SimTask(name="t")
+        assert task.threads == 1
+        assert not task.scheduled
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(AffinityError):
+            SimTask(name="t", threads=0)
+
+    def test_scheduled_after_cores_granted(self):
+        task = SimTask(name="t")
+        task.cores = (3,)
+        assert task.scheduled

@@ -1,0 +1,68 @@
+"""CPU scheduler placement."""
+
+import pytest
+
+from repro.errors import AffinityError
+from repro.osmodel.process import SimTask, TaskBinding
+from repro.osmodel.scheduler import CpuScheduler
+
+
+class TestPlacement:
+    def test_bound_task_lands_on_node(self, host):
+        sched = CpuScheduler(host)
+        task = sched.place(SimTask(name="t", binding=TaskBinding.on_node(5)))
+        assert sched.node_of("t") == 5
+        assert len(task.cores) == 1
+
+    def test_threads_get_distinct_cores(self, host):
+        sched = CpuScheduler(host)
+        task = sched.place(SimTask(name="t", threads=4,
+                                   binding=TaskBinding.on_node(2)))
+        assert len(set(task.cores)) == 4
+
+    def test_unbound_goes_to_least_loaded(self, host):
+        sched = CpuScheduler(host)
+        sched.place(SimTask(name="busy", threads=4, binding=TaskBinding.on_node(0)))
+        task = sched.place(SimTask(name="t"))
+        assert sched.node_of("t") == 1  # lowest id among empty nodes
+
+    def test_node_capacity_enforced(self, host):
+        sched = CpuScheduler(host)
+        sched.place(SimTask(name="a", threads=4, binding=TaskBinding.on_node(3)))
+        with pytest.raises(AffinityError):
+            sched.place(SimTask(name="b", threads=1, binding=TaskBinding.on_node(3)))
+
+    def test_oversubscription_when_allowed(self, host):
+        sched = CpuScheduler(host, allow_oversubscribe=True)
+        sched.place(SimTask(name="a", threads=4, binding=TaskBinding.on_node(3)))
+        task = sched.place(SimTask(name="b", threads=2, binding=TaskBinding.on_node(3)))
+        assert len(task.cores) == 2
+
+    def test_duplicate_name_rejected(self, host):
+        sched = CpuScheduler(host)
+        sched.place(SimTask(name="t"))
+        with pytest.raises(AffinityError):
+            sched.place(SimTask(name="t"))
+
+    def test_unknown_node_rejected(self, host):
+        sched = CpuScheduler(host)
+        with pytest.raises(AffinityError):
+            sched.place(SimTask(name="t", binding=TaskBinding.on_node(42)))
+
+
+class TestRemoval:
+    def test_remove_frees_cores(self, host):
+        sched = CpuScheduler(host)
+        sched.place(SimTask(name="t", threads=4, binding=TaskBinding.on_node(3)))
+        assert sched.load(3) == 4
+        sched.remove("t")
+        assert sched.load(3) == 0
+        sched.place(SimTask(name="u", threads=4, binding=TaskBinding.on_node(3)))
+
+    def test_remove_unknown_rejected(self, host):
+        with pytest.raises(AffinityError):
+            CpuScheduler(host).remove("ghost")
+
+    def test_node_of_unscheduled_rejected(self, host):
+        with pytest.raises(AffinityError):
+            CpuScheduler(host).node_of("ghost")

@@ -1,0 +1,51 @@
+"""Path capacity and latency summaries."""
+
+import pytest
+
+from repro.interconnect.link import DirectedLink
+from repro.interconnect.planes import PLANE_DMA
+from repro.routing.paths import Path
+from repro.units import NS
+
+
+def _link(a, b, credit=1.0, pio=None, lat=10 * NS):
+    return DirectedLink(src=a, dst=b, width_bits=16, gts=3.2,
+                        dma_credit=credit, pio_cap_gbps=pio, pio_latency_s=lat)
+
+
+class TestPath:
+    def test_local_path(self):
+        p = Path(plane=PLANE_DMA, hops=(3,), links=())
+        assert p.is_local
+        assert p.n_hops == 0
+        assert p.dma_bottleneck_gbps() == float("inf")
+        assert p.pio_bottleneck_gbps() == float("inf")
+        assert p.latency_one_way_s() == 0.0
+
+    def test_endpoints(self):
+        p = Path(plane=PLANE_DMA, hops=(0, 1, 2),
+                 links=(_link(0, 1), _link(1, 2)))
+        assert p.src == 0
+        assert p.dst == 2
+        assert p.n_hops == 2
+        assert not p.is_local
+
+    def test_dma_bottleneck_is_min(self):
+        p = Path(plane=PLANE_DMA, hops=(0, 1, 2),
+                 links=(_link(0, 1, credit=1.0), _link(1, 2, credit=0.5)))
+        assert p.dma_bottleneck_gbps() == pytest.approx(25.6)
+
+    def test_pio_bottleneck_is_min(self):
+        p = Path(plane=PLANE_DMA, hops=(0, 1, 2),
+                 links=(_link(0, 1, pio=20.0), _link(1, 2, pio=14.5)))
+        assert p.pio_bottleneck_gbps() == pytest.approx(14.5)
+
+    def test_latency_sums(self):
+        p = Path(plane=PLANE_DMA, hops=(0, 1, 2),
+                 links=(_link(0, 1, lat=10 * NS), _link(1, 2, lat=15 * NS)))
+        assert p.latency_one_way_s() == pytest.approx(25 * NS)
+
+    def test_mismatched_links_rejected(self):
+        with pytest.raises(AssertionError):
+            Path(plane=PLANE_DMA, hops=(0, 1, 2),
+                 links=(_link(0, 1), _link(2, 1)))

@@ -1,0 +1,91 @@
+"""Simulator clock and run loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simtime.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(("b", sim.now)))
+        sim.schedule(1.0, lambda: seen.append(("a", sim.now)))
+        sim.run()
+        assert seen == [("a", 1.0), ("b", 2.0)]
+
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [2.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_run_until_advances_idle_clock(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_steps_counted(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.steps == 3
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.schedule(4.0, lambda: None)
+        assert sim.peek() == 4.0

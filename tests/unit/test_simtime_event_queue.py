@@ -1,0 +1,65 @@
+"""Event queue ordering and cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simtime.event_queue import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, lambda: "c")
+        q.push(1.0, lambda: "a")
+        q.push(2.0, lambda: "b")
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("first"))
+        q.push(1.0, lambda: order.append("second"))
+        q.pop().callback()
+        q.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1.0, lambda: None)
+        assert q
+        assert len(q) == 1
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        ev.cancel()
+        assert q.pop().time == 2.0
+
+    def test_cancelled_not_counted(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        ev.cancel()
+        assert len(q) == 0
+        assert not q
+        assert q.peek_time() is None
+
+
+class TestErrors:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)

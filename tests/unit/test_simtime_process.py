@@ -1,0 +1,77 @@
+"""Generator-based simulated processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simtime import SimProcess, Simulator, Timeout
+
+
+class TestProcess:
+    def test_process_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield Timeout(1.5)
+            log.append(sim.now)
+            yield Timeout(0.5)
+            log.append(sim.now)
+
+        SimProcess(sim, worker())
+        sim.run()
+        assert log == [0.0, 1.5, 2.0]
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+            return "done"
+
+        proc = SimProcess(sim, worker())
+        sim.run()
+        assert proc.finished
+        assert proc.result == "done"
+
+    def test_on_done_callback(self):
+        sim = Simulator()
+        results = []
+
+        def worker():
+            yield Timeout(1.0)
+            return 42
+
+        SimProcess(sim, worker(), on_done=results.append)
+        sim.run()
+        assert results == [42]
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def make(name, delay):
+            def worker():
+                yield Timeout(delay)
+                log.append((name, sim.now))
+
+            return worker()
+
+        SimProcess(sim, make("slow", 2.0))
+        SimProcess(sim, make("fast", 1.0))
+        sim.run()
+        assert log == [("fast", 1.0), ("slow", 2.0)]
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def worker():
+            yield "not a timeout"
+
+        SimProcess(sim, worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-0.1)

@@ -1,0 +1,41 @@
+"""Port-budget audit."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.audit import port_budget_report, render_port_budget
+from repro.topology.builders import magny_cours_4p, parametric_machine
+
+
+class TestPortReport:
+    def test_reference_host_exceeds_honestly(self, host):
+        """The calibrated host trades port realism for bandwidth
+        fidelity; the audit must say so instead of hiding it."""
+        rows = {r.node_id: r for r in port_budget_report(host)}
+        assert rows[7].over_budget  # SRI + 0 + 2 + 4 + I/O hub
+        text = render_port_budget(host)
+        assert "OVER BUDGET" in text
+        assert "calibrated" in text
+
+    def test_device_counts_one_hub_port(self, host, bare_host):
+        with_io = {r.node_id: r for r in port_budget_report(host)}
+        without = {r.node_id: r for r in port_budget_report(bare_host)}
+        # NIC and SSD share node 7's single hub port.
+        assert with_io[7].io_ports == 1
+        assert without[7].io_ports == 0
+        assert with_io[7].fabric_ports == without[7].fabric_ports
+
+    def test_parametric_ring_is_plausible(self):
+        machine = parametric_machine(4, nodes_per_package=2)
+        assert all(not r.over_budget for r in port_budget_report(machine))
+        assert "physically plausible" in render_port_budget(machine)
+
+    def test_variant_machines_within_budget(self):
+        for v in "bd":
+            machine = magny_cours_4p(v)
+            rows = port_budget_report(machine)
+            assert all(r.total <= 4 for r in rows), v
+
+    def test_invalid_budget(self, host):
+        with pytest.raises(TopologyError):
+            port_budget_report(host, budget=0)

@@ -1,0 +1,106 @@
+"""Machine builders."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.builders import (
+    amd_4s8n,
+    amd_8s8n,
+    hp_blade_32n,
+    intel_4s4n,
+    magny_cours_4p,
+    parametric_machine,
+    reference_host,
+)
+from repro.topology.distance import hop_matrix
+from repro.units import GiB
+
+
+class TestReferenceHost:
+    def test_shape(self, host):
+        assert host.n_nodes == 8
+        assert host.n_cores == 32
+        assert len(host.packages) == 4
+
+    def test_devices_attached_to_node7(self, host):
+        assert host.devices["nic"].node_id == 7
+        assert host.devices["ssd"].node_id == 7
+
+    def test_without_devices(self, bare_host):
+        assert bare_host.devices == {}
+
+    def test_node0_holds_the_os(self, host):
+        assert host.node(0).os_resident_bytes == int(2.5 * GiB)
+        assert host.node(3).os_resident_bytes == int(0.25 * GiB)
+
+    def test_calibrated_write_classes(self, host):
+        values = {i: host.dma_path_gbps(i, 7) for i in host.node_ids}
+        assert values[0] == values[1] == values[4] == values[5]
+        assert values[2] == values[3]
+        assert values[6] > values[0] > values[2]
+
+    def test_calibrated_read_classes(self, host):
+        values = {i: host.dma_path_gbps(7, i) for i in host.node_ids}
+        assert values[2] > values[0]  # the paper's reversal
+        assert values[4] < values[0]  # node 4 is the outlier
+
+
+class TestMagnyCours:
+    @pytest.mark.parametrize("variant", ["a", "b", "c", "d"])
+    def test_variants_build_and_connect(self, variant):
+        machine = magny_cours_4p(variant)
+        assert machine.n_nodes == 8
+        hop_matrix(machine)  # raises if disconnected
+
+    def test_variants_are_distinct(self):
+        matrices = [hop_matrix(magny_cours_4p(v)).tolist() for v in "abcd"]
+        assert len({str(m) for m in matrices}) == 4
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(TopologyError):
+            magny_cours_4p("z")
+
+
+class TestTable1Machines:
+    def test_intel_full_mesh(self):
+        machine = intel_4s4n()
+        assert machine.n_nodes == 4
+        assert (hop_matrix(machine) <= 1).all()
+
+    def test_amd_4s8n_shape(self):
+        machine = amd_4s8n()
+        assert machine.n_nodes == 8
+        assert len(machine.packages) == 4
+
+    def test_amd_8s8n_is_single_die_packages(self):
+        machine = amd_8s8n()
+        assert all(len(p.node_ids) == 1 for p in machine.packages.values())
+
+    def test_blade_shape(self):
+        machine = hp_blade_32n()
+        assert machine.n_nodes == 32
+        assert len(machine.packages) == 8
+
+
+class TestParametric:
+    def test_ring_connects(self):
+        machine = parametric_machine(5, nodes_per_package=2)
+        assert machine.n_nodes == 10
+        hop_matrix(machine)
+
+    def test_single_package(self):
+        machine = parametric_machine(1, nodes_per_package=2)
+        assert machine.n_nodes == 2
+
+    def test_two_packages_single_link(self):
+        machine = parametric_machine(2)
+        hop_matrix(machine)
+
+    def test_chords_shorten_paths(self):
+        plain = hop_matrix(parametric_machine(8, nodes_per_package=1))
+        chorded = hop_matrix(parametric_machine(8, nodes_per_package=1, chords=2))
+        assert chorded.max() < plain.max()
+
+    def test_rejects_zero_packages(self):
+        with pytest.raises(TopologyError):
+            parametric_machine(0)

@@ -1,0 +1,55 @@
+"""Hop and SLIT distance matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.interconnect.link import link_pair
+from repro.topology.distance import distance_matrix, hop_matrix
+from repro.topology.machine import Machine
+from repro.topology.node import Core, NumaNode, Package
+
+
+class TestHopMatrix:
+    def test_diagonal_is_zero(self, host):
+        hops = hop_matrix(host)
+        assert (np.diag(hops) == 0).all()
+
+    def test_symmetric(self, host):
+        hops = hop_matrix(host)
+        assert (hops == hops.T).all()
+
+    def test_neighbors_are_one_hop(self, host):
+        hops = hop_matrix(host)
+        assert hops[6, 7] == 1
+        assert hops[0, 1] == 1
+
+    def test_variant_a_example(self, variant_a):
+        # Paper §II-A: node 7 is one hop from {0,2,4}, two from {1,3,5}.
+        hops = hop_matrix(variant_a)
+        for near in (0, 2, 4):
+            assert hops[7, near] == 1
+        for far in (1, 3, 5):
+            assert hops[7, far] == 2
+
+    def test_disconnected_raises(self):
+        nodes = [
+            NumaNode(node_id=i, package_id=i,
+                     cores=(Core(core_id=i, node_id=i),))
+            for i in range(3)
+        ]
+        packages = [Package(package_id=i, node_ids=(i,)) for i in range(3)]
+        machine = Machine("split", nodes, packages, link_pair(0, 1, 16, 3.2))
+        with pytest.raises(TopologyError):
+            hop_matrix(machine)
+
+
+class TestDistanceMatrix:
+    def test_local_is_ten(self, host):
+        dist = distance_matrix(host)
+        assert (np.diag(dist) == 10).all()
+
+    def test_linear_in_hops(self, host):
+        hops = hop_matrix(host)
+        dist = distance_matrix(host, per_hop=6, base=10)
+        assert (dist == 10 + 6 * hops).all()

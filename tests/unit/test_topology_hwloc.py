@@ -1,0 +1,33 @@
+"""hwloc-style rendering."""
+
+from repro.topology.hwloc import render_links, render_machine
+
+
+class TestRenderMachine:
+    def test_mentions_every_node(self, host):
+        text = render_machine(host)
+        for nid in host.node_ids:
+            assert f"NUMANode N{nid}" in text
+
+    def test_mentions_packages_and_devices(self, host):
+        text = render_machine(host)
+        assert "Package P0" in text
+        assert "nic" in text
+        assert "ssd" in text
+
+    def test_node0_shows_less_free_memory(self, host):
+        text = render_machine(host)
+        node0_line = next(l for l in text.splitlines() if "NUMANode N0" in l)
+        node3_line = next(l for l in text.splitlines() if "NUMANode N3" in l)
+        assert "1.5 GiB free" in node0_line
+        assert "3.8 GiB free" in node3_line
+
+
+class TestRenderLinks:
+    def test_lists_every_directed_link(self, host):
+        text = render_links(host)
+        # 22 directed links + header.
+        assert len(text.splitlines()) == len(host.links) + 1
+
+    def test_shows_widths(self, host):
+        assert "x16" in render_links(host)

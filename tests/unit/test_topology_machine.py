@@ -1,0 +1,142 @@
+"""Machine structure, relations, and capacity models."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.interconnect.link import link_pair
+from repro.interconnect.planes import PLANE_DMA, PLANE_PIO
+from repro.topology.machine import Machine, MachineParams, Relation
+from repro.topology.node import Core, NumaNode, Package
+
+
+def _two_node_machine(**param_kw):
+    nodes = [
+        NumaNode(node_id=i, package_id=i,
+                 cores=tuple(Core(core_id=4 * i + c, node_id=i) for c in range(4)))
+        for i in range(2)
+    ]
+    packages = [Package(package_id=i, node_ids=(i,)) for i in range(2)]
+    links = link_pair(0, 1, 16, 3.2)
+    return Machine("duo", nodes, packages, links, MachineParams(**param_kw))
+
+
+class TestStructure:
+    def test_basic_queries(self, host):
+        assert host.n_nodes == 8
+        assert host.n_cores == 32
+        assert host.node_ids == tuple(range(8))
+        assert host.cores_per_node() == 4
+
+    def test_node_lookup_unknown_raises(self, host):
+        with pytest.raises(TopologyError):
+            host.node(99)
+
+    def test_link_lookup(self, host):
+        link = host.link(0, 7)
+        assert link.ends == (0, 7)
+        with pytest.raises(TopologyError):
+            host.link(0, 5)
+
+    def test_packages_partition_nodes(self, host):
+        listed = sorted(n for p in host.packages.values() for n in p.node_ids)
+        assert listed == list(host.node_ids)
+
+    def test_duplicate_link_rejected(self):
+        nodes = [
+            NumaNode(node_id=i, package_id=i,
+                     cores=(Core(core_id=i, node_id=i),))
+            for i in range(2)
+        ]
+        packages = [Package(package_id=i, node_ids=(i,)) for i in range(2)]
+        links = list(link_pair(0, 1, 16, 3.2)) + list(link_pair(0, 1, 8, 3.2))
+        with pytest.raises(TopologyError):
+            Machine("dup", nodes, packages, links)
+
+    def test_unknown_link_endpoint_rejected(self):
+        nodes = [NumaNode(node_id=0, package_id=0,
+                          cores=(Core(core_id=0, node_id=0),))]
+        packages = [Package(package_id=0, node_ids=(0,))]
+        with pytest.raises(TopologyError):
+            Machine("bad", nodes, packages, link_pair(0, 9, 16, 3.2))
+
+
+class TestRelations:
+    def test_local(self, host):
+        assert host.relation(3, 3) is Relation.LOCAL
+
+    def test_neighbor_same_package(self, host):
+        assert host.relation(6, 7) is Relation.NEIGHBOR
+        assert host.relation(0, 1) is Relation.NEIGHBOR
+
+    def test_remote_cross_package(self, host):
+        assert host.relation(0, 7) is Relation.REMOTE
+
+
+class TestDmaPathModel:
+    def test_local_bound_by_controller(self, host):
+        assert host.dma_path_gbps(7, 7) == pytest.approx(56.0)
+
+    def test_remote_bound_by_bottleneck_link(self, host):
+        assert host.dma_path_gbps(0, 7) == pytest.approx(0.87 * 51.2)
+
+    def test_asymmetric_directions(self, host):
+        # The 4<->7 pair: healthy request direction, starved response.
+        assert host.dma_path_gbps(4, 7) > 1.5 * host.dma_path_gbps(7, 4)
+
+    def test_multi_hop_takes_min(self, host):
+        # 7 -> 5 routes via node 6; bottleneck is the 6->5 direction.
+        assert host.dma_path_gbps(7, 5) == pytest.approx(0.79 * 51.2)
+
+
+class TestPioModel:
+    def test_local_latency(self, host):
+        assert host.pio_round_trip_s(3, 3) == pytest.approx(100e-9)
+
+    def test_remote_adds_link_latency(self, host):
+        assert host.pio_round_trip_s(7, 0) == pytest.approx(125e-9)
+
+    def test_os_node_advantage(self, host):
+        # Node 0 local STREAM beats the other locals (shared libs local).
+        assert host.pio_stream_gbps(0, 0) > host.pio_stream_gbps(3, 3)
+
+    def test_threads_scale_until_caps(self, host):
+        one = host.pio_stream_gbps(7, 0, threads=1)
+        four = host.pio_stream_gbps(7, 0, threads=4)
+        assert four > 2 * one
+
+    def test_invalid_threads(self, host):
+        with pytest.raises(TopologyError):
+            host.pio_stream_gbps(0, 0, threads=0)
+
+    def test_paper_asymmetric_pair(self, host):
+        assert host.pio_stream_gbps(7, 4) == pytest.approx(21.34, rel=0.02)
+        assert host.pio_stream_gbps(4, 7) == pytest.approx(18.45, rel=0.02)
+
+
+class TestParams:
+    def test_param_validation(self):
+        with pytest.raises(TopologyError):
+            MachineParams(local_latency_s=0)
+        with pytest.raises(TopologyError):
+            MachineParams(oslib_penalty=0)
+        with pytest.raises(TopologyError):
+            MachineParams(dma_per_thread_gbps=-1)
+
+    def test_heterogeneous_core_count_detected(self):
+        nodes = [
+            NumaNode(node_id=0, package_id=0,
+                     cores=(Core(core_id=0, node_id=0),)),
+            NumaNode(node_id=1, package_id=1,
+                     cores=(Core(core_id=1, node_id=1), Core(core_id=2, node_id=1))),
+        ]
+        packages = [Package(package_id=i, node_ids=(i,)) for i in range(2)]
+        machine = Machine("hetero", nodes, packages, link_pair(0, 1, 16, 3.2))
+        with pytest.raises(TopologyError):
+            machine.cores_per_node()
+
+    def test_path_planes_differ(self, host):
+        # PIO 7<->2 goes direct; DMA 7->3 detours via 2.
+        pio = host.path(PLANE_PIO, 7, 2)
+        dma = host.path(PLANE_DMA, 7, 3)
+        assert pio.hops == (7, 2)
+        assert dma.hops == (7, 2, 3)

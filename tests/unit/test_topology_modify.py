@@ -1,0 +1,73 @@
+"""What-if machine modifications."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.builders import parametric_machine
+from repro.topology.modify import with_dram_gbps, with_link_credit, with_link_removed
+
+
+class TestWithLinkCredit:
+    def test_changes_one_direction_only(self, bare_host):
+        modified = with_link_credit(bare_host, 2, 7, 0.87)
+        assert modified.link(2, 7).dma_credit == 0.87
+        assert modified.link(7, 2).dma_credit == bare_host.link(7, 2).dma_credit
+
+    def test_original_untouched(self, bare_host):
+        with_link_credit(bare_host, 2, 7, 0.87)
+        assert bare_host.link(2, 7).dma_credit == 0.52
+
+    def test_dissolves_write_class3(self, bare_host):
+        from repro.core.iomodel import IOModelBuilder
+
+        repaired = with_link_credit(bare_host, 2, 7, 0.87)
+        model = IOModelBuilder(repaired, runs=5).build(7, "write")
+        assert [sorted(c.node_ids) for c in model.classes] == [
+            [6, 7], [0, 1, 2, 3, 4, 5]
+        ]
+
+    def test_renamed(self, bare_host):
+        assert "credit2>7" in with_link_credit(bare_host, 2, 7, 0.9).name
+
+    def test_missing_link_rejected(self, bare_host):
+        with pytest.raises(TopologyError):
+            with_link_credit(bare_host, 0, 5, 0.9)
+
+
+class TestWithLinkRemoved:
+    def test_removes_both_directions(self, bare_host):
+        modified = with_link_removed(bare_host, 3, 4)
+        with pytest.raises(TopologyError):
+            modified.link(3, 4)
+        with pytest.raises(TopologyError):
+            modified.link(4, 3)
+
+    def test_traffic_reroutes(self, bare_host):
+        # Without the 2<->7 cable, node 2's writes detour; the bottleneck
+        # changes because the starved 2->7 direction is gone.
+        modified = with_link_removed(bare_host, 2, 7)
+        assert modified.dma_path_gbps(2, 7) != bare_host.dma_path_gbps(2, 7)
+
+    def test_disconnection_refused(self):
+        machine = parametric_machine(2)  # single inter-package cable
+        gateway_link = next(
+            (a, b) for (a, b) in machine.links
+            if machine.node(a).package_id != machine.node(b).package_id
+        )
+        with pytest.raises(TopologyError):
+            with_link_removed(machine, *gateway_link)
+
+
+class TestWithDram:
+    def test_slower_memory_caps_local_copies(self, bare_host):
+        modified = with_dram_gbps(bare_host, 7, 30.0)
+        assert modified.dma_path_gbps(7, 7) == pytest.approx(30.0)
+        assert bare_host.dma_path_gbps(7, 7) == pytest.approx(56.0)
+
+    def test_invalid_value_rejected(self, bare_host):
+        with pytest.raises(TopologyError):
+            with_dram_gbps(bare_host, 7, 0)
+
+    def test_unknown_node_rejected(self, bare_host):
+        with pytest.raises(TopologyError):
+            with_dram_gbps(bare_host, 42, 50.0)

@@ -1,0 +1,66 @@
+"""Node/core/package records."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.node import Core, NumaNode, Package
+from repro.units import GiB
+
+
+def _cores(node_id, n=4, base=0):
+    return tuple(Core(core_id=base + i, node_id=node_id) for i in range(n))
+
+
+class TestCore:
+    def test_valid(self):
+        core = Core(core_id=5, node_id=1)
+        assert core.core_id == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            Core(core_id=-1, node_id=0)
+
+
+class TestNumaNode:
+    def test_valid_node(self):
+        node = NumaNode(node_id=0, package_id=0, cores=_cores(0))
+        assert node.n_cores == 4
+        assert node.free_bytes == node.memory_bytes
+
+    def test_free_bytes_subtracts_os(self):
+        node = NumaNode(
+            node_id=0, package_id=0, cores=_cores(0),
+            memory_bytes=4 * GiB, os_resident_bytes=int(2.5 * GiB),
+        )
+        assert node.free_bytes == 4 * GiB - int(2.5 * GiB)
+
+    def test_core_home_mismatch_rejected(self):
+        with pytest.raises(TopologyError):
+            NumaNode(node_id=0, package_id=0, cores=_cores(1))
+
+    def test_empty_cores_rejected(self):
+        with pytest.raises(TopologyError):
+            NumaNode(node_id=0, package_id=0, cores=())
+
+    def test_os_resident_bounds(self):
+        with pytest.raises(TopologyError):
+            NumaNode(node_id=0, package_id=0, cores=_cores(0),
+                     memory_bytes=GiB, os_resident_bytes=2 * GiB)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(TopologyError):
+            NumaNode(node_id=0, package_id=0, cores=_cores(0), dram_gbps=0)
+
+
+class TestPackage:
+    def test_valid(self):
+        pkg = Package(package_id=0, node_ids=(0, 1))
+        assert pkg.node_ids == (0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Package(package_id=0, node_ids=())
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(TopologyError):
+            Package(package_id=0, node_ids=(1, 1))

@@ -1,0 +1,53 @@
+"""The scaled reference-style host builder."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.builders import scaled_host
+from repro.topology.distance import hop_matrix
+
+
+class TestScaledHost:
+    def test_shape(self):
+        machine = scaled_host(8)
+        assert machine.n_nodes == 16
+        assert len(machine.packages) == 8
+
+    def test_connected_at_all_sizes(self):
+        for n in (2, 3, 5, 16):
+            hop_matrix(scaled_host(n))  # raises if disconnected
+
+    def test_deterministic_per_seed(self):
+        a = scaled_host(6, seed=3)
+        b = scaled_host(6, seed=3)
+        assert {e: l.dma_credit for e, l in a.links.items()} == {
+            e: l.dma_credit for e, l in b.links.items()
+        }
+
+    def test_seeds_differ(self):
+        a = scaled_host(6, seed=3)
+        b = scaled_host(6, seed=4)
+        assert {e: l.dma_credit for e, l in a.links.items()} != {
+            e: l.dma_credit for e, l in b.links.items()
+        }
+
+    def test_zero_asymmetry_has_no_starved_links(self):
+        machine = scaled_host(6, asymmetry_fraction=0.0)
+        inter = [l for l in machine.links.values() if l.kind.value == "ht"]
+        assert all(l.dma_credit > 0.8 for l in inter)
+
+    def test_full_asymmetry_starves_everything(self):
+        machine = scaled_host(6, asymmetry_fraction=1.0)
+        inter = [l for l in machine.links.values() if l.kind.value == "ht"]
+        assert all(l.dma_credit < 0.61 for l in inter)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            scaled_host(1)
+
+    def test_algorithm1_finds_structure(self):
+        from repro.core.iomodel import IOModelBuilder
+
+        machine = scaled_host(8, asymmetry_fraction=0.4)
+        model = IOModelBuilder(machine, runs=5).build(0, "write")
+        assert model.n_classes >= 2

@@ -1,0 +1,66 @@
+"""Machine (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.interconnect.planes import PLANE_DMA, PLANE_PIO
+from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+
+class TestRoundTrip:
+    def test_reference_host_roundtrips(self, bare_host):
+        rebuilt = machine_from_dict(machine_to_dict(bare_host))
+        assert rebuilt.name == bare_host.name
+        assert rebuilt.node_ids == bare_host.node_ids
+        assert rebuilt.links.keys() == bare_host.links.keys()
+        assert rebuilt.params == bare_host.params
+
+    def test_capacity_models_survive(self, bare_host):
+        rebuilt = machine_from_dict(machine_to_dict(bare_host))
+        for src in bare_host.node_ids:
+            for dst in bare_host.node_ids:
+                assert rebuilt.dma_path_gbps(src, dst) == pytest.approx(
+                    bare_host.dma_path_gbps(src, dst)
+                )
+                assert rebuilt.pio_stream_gbps(src, dst) == pytest.approx(
+                    bare_host.pio_stream_gbps(src, dst)
+                )
+
+    def test_routing_survives(self, bare_host):
+        rebuilt = machine_from_dict(machine_to_dict(bare_host))
+        for plane in (PLANE_PIO, PLANE_DMA):
+            for src in bare_host.node_ids:
+                for dst in bare_host.node_ids:
+                    assert (rebuilt.routing.route(plane, src, dst)
+                            == bare_host.routing.route(plane, src, dst))
+
+    def test_json_compatible(self, bare_host):
+        text = json.dumps(machine_to_dict(bare_host))
+        rebuilt = machine_from_dict(json.loads(text))
+        assert rebuilt.n_nodes == bare_host.n_nodes
+
+    def test_devices_not_serialised(self, host):
+        rebuilt = machine_from_dict(machine_to_dict(host))
+        assert rebuilt.devices == {}
+
+
+class TestValidation:
+    def test_version_checked(self, bare_host):
+        data = machine_to_dict(bare_host)
+        data["format_version"] = 99
+        with pytest.raises(TopologyError):
+            machine_from_dict(data)
+
+    def test_missing_fields_rejected(self, bare_host):
+        data = machine_to_dict(bare_host)
+        del data["nodes"][0]["dram_gbps"]
+        with pytest.raises(TopologyError):
+            machine_from_dict(data)
+
+    def test_malformed_links_rejected(self, bare_host):
+        data = machine_to_dict(bare_host)
+        data["links"][0].pop("width_bits")
+        with pytest.raises(TopologyError):
+            machine_from_dict(data)

@@ -1,0 +1,94 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestBandwidthConversions:
+    def test_gbps_to_bytes_per_s(self):
+        assert units.gbps_to_bytes_per_s(8.0) == 1e9
+
+    def test_bytes_per_s_to_gbps(self):
+        assert units.bytes_per_s_to_gbps(1e9) == 8.0
+
+    def test_roundtrip(self):
+        for value in (0.001, 1.0, 25.0, 400.0):
+            assert units.bytes_per_s_to_gbps(
+                units.gbps_to_bytes_per_s(value)
+            ) == pytest.approx(value)
+
+    def test_gbps_from_transfer(self):
+        # 1 GB in 1 second = 8 Gbps.
+        assert units.gbps(1e9, 1.0) == pytest.approx(8.0)
+
+    def test_gbps_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            units.gbps(100, 0.0)
+
+    def test_gbps_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            units.gbps(100, -1.0)
+
+    def test_transfer_time(self):
+        assert units.transfer_time(1e9, 8.0) == pytest.approx(1.0)
+
+    def test_transfer_time_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(100, 0.0)
+
+
+class TestHtRaw:
+    def test_x16_at_3p2(self):
+        assert units.ht_raw_gbps(16, 3.2) == pytest.approx(51.2)
+
+    def test_x8_at_3p2(self):
+        assert units.ht_raw_gbps(8, 3.2) == pytest.approx(25.6)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            units.ht_raw_gbps(0, 3.2)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.ht_raw_gbps(16, -1)
+
+
+class TestPcie:
+    def test_gen2_x8_is_32gbps(self):
+        # The paper's NIC: 40 Gbps raw, 32 usable after 8b/10b.
+        assert units.pcie_data_gbps(8, 2) == pytest.approx(32.0)
+
+    def test_gen1_x8(self):
+        assert units.pcie_data_gbps(8, 1) == pytest.approx(16.0)
+
+    def test_gen3_encoding(self):
+        assert units.pcie_data_gbps(1, 3) == pytest.approx(8.0 * 128 / 130)
+
+    def test_rejects_unknown_gen(self):
+        with pytest.raises(ValueError):
+            units.pcie_data_gbps(8, 9)
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ValueError):
+            units.pcie_data_gbps(0, 2)
+
+
+class TestFormatting:
+    def test_fmt_gbps(self):
+        assert units.fmt_gbps(21.339) == "21.34 Gbps"
+
+    def test_fmt_bytes_small(self):
+        assert units.fmt_bytes(512) == "512 B"
+
+    def test_fmt_bytes_kib(self):
+        assert units.fmt_bytes(131072) == "128.0 KiB"
+
+    def test_fmt_bytes_gib(self):
+        assert units.fmt_bytes(4 * units.GiB) == "4.0 GiB"
+
+    def test_size_constants(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GB == 10**9
+        assert units.CACHE_LINE == 64

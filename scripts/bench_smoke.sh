@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Solver-layer benchmark smoke: run the library-performance suite under
+# pytest-benchmark and snapshot the results to BENCH_solver.json at the
+# repo root.  Compare against a previous snapshot with
+#   PYTHONPATH=src python -m pytest benchmarks/bench_library_performance.py \
+#       --benchmark-compare
+# or just diff the min/mean fields of two json files.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m pytest benchmarks/bench_library_performance.py \
+    -q --benchmark-only --benchmark-json=BENCH_solver.json "$@"
+
+PYTHONPATH=src python - <<'EOF'
+import json
+
+with open("BENCH_solver.json") as fh:
+    data = json.load(fh)
+print("\nBENCH_solver.json snapshot:")
+for bench in sorted(data["benchmarks"], key=lambda b: b["name"]):
+    stats = bench["stats"]
+    print(f"  {bench['name']:45s} mean {stats['mean'] * 1e3:8.2f} ms  "
+          f"min {stats['min'] * 1e3:8.2f} ms")
+EOF

@@ -18,12 +18,11 @@ run, showing where the bytes went.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.bench.engines import (
     StreamPlacement,
     device_service_levels,
-    link_capacities,
     link_resource,
     resolve_placements,
 )
@@ -31,13 +30,13 @@ from repro.bench.jobfile import FioJob
 from repro.bench.results import JobResult
 from repro.errors import BenchmarkError
 from repro.flows.flow import Flow
-from repro.flows.network import FlowNetwork
 from repro.interconnect.planes import PLANE_DMA
 from repro.memory.allocator import PageAllocator
-from repro.memory.controller import MemoryController, controller_capacities
+from repro.memory.controller import MemoryController
 from repro.osmodel.counters import TrafficCounters
 from repro.osmodel.noise import NoiseModel
 from repro.rng import RngRegistry
+from repro.solver.session import get_session
 from repro.topology.machine import Machine
 
 __all__ = ["ConcurrentResult", "ConcurrentRunner"]
@@ -49,6 +48,7 @@ class ConcurrentResult:
 
     per_job: dict[str, JobResult]
     counters: TrafficCounters
+    solver_stats: dict = field(default_factory=dict)
 
     @property
     def total_gbps(self) -> float:
@@ -68,6 +68,7 @@ class ConcurrentRunner:
     def __init__(self, machine: Machine, registry: RngRegistry | None = None) -> None:
         self.machine = machine
         self.registry = registry or RngRegistry()
+        self.session = get_session(machine)
 
     def _stream_route(self, direction: str, mem_node: int, device) -> list[str]:
         """Host-side resources one stream's data crosses."""
@@ -97,7 +98,7 @@ class ConcurrentRunner:
 
         machine = self.machine
         allocator = PageAllocator(machine)
-        capacities = {**controller_capacities(machine), **link_capacities(machine)}
+        capacities = self.session.capacities()
         flows: list[Flow] = []
         flow_meta: dict[str, tuple[str, tuple[int, int]]] = {}
         job_caps: dict[str, float] = {}
@@ -125,7 +126,8 @@ class ConcurrentRunner:
                 placements, allocs = resolve_placements(machine, allocator, job)
                 allocations.extend(allocs)
                 levels = device_service_levels(
-                    machine, device, profile, placements, job.direction
+                    machine, device, profile, placements, job.direction,
+                    session=self.session,
                 )
                 noise = NoiseModel(
                     self.registry.stream(f"concurrent/{job.name}/run{run_idx}")
@@ -184,8 +186,7 @@ class ConcurrentRunner:
                     )
                 job_caps[job.name] = capacities[dev_resource]
 
-            network = FlowNetwork(capacities)
-            outcomes = network.simulate(flows)
+            outcomes = self.session.simulate(flows, capacities)
         finally:
             for allocation in allocations:
                 allocator.release(allocation)
@@ -213,5 +214,10 @@ class ConcurrentRunner:
                 aggregate_gbps=sum(o.avg_gbps for o in job_outcomes.values()),
                 duration_s=max(o.finish_s for o in job_outcomes.values()),
                 tags={"concurrent": True, "device_cap": job_caps[job.name]},
+                solver_stats=self.session.stats.snapshot(),
             )
-        return ConcurrentResult(per_job=per_job, counters=counters)
+        return ConcurrentResult(
+            per_job=per_job,
+            counters=counters,
+            solver_stats=self.session.stats.snapshot(),
+        )

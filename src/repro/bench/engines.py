@@ -23,14 +23,15 @@ from repro.bench.jobfile import FioJob
 from repro.bench.results import JobResult
 from repro.errors import BenchmarkError
 from repro.flows.flow import Flow
-from repro.flows.network import FlowNetwork
 from repro.interconnect.planes import PLANE_DMA
 from repro.memory.allocator import PageAllocator
-from repro.memory.controller import MemoryController, controller_capacities
+from repro.memory.controller import MemoryController
 from repro.memory.policy import MemBinding
 from repro.osmodel.noise import NoiseModel
 from repro.osmodel.process import SimTask, TaskBinding
 from repro.osmodel.scheduler import CpuScheduler
+from repro.solver.capacity import link_capacities, link_resource
+from repro.solver.session import SolverSession, get_session
 from repro.topology.machine import Machine
 
 __all__ = [
@@ -57,22 +58,25 @@ def device_service_levels(
     profile,
     placements,
     direction: str,
+    session: SolverSession | None = None,
 ) -> list[float]:
     """NUMA-limited service level of each stream against one device.
 
     Combines the device's calibrated response to the stream's DMA path,
     the IRQ-locality factor, and the node-oversubscription derating.
-    Shared by the fio engine and the online placement simulator.
+    Shared by the fio engine and the online placement simulator.  DMA
+    path bandwidths come from the machine's solver session (memoized).
     """
+    session = session if session is not None else get_session(machine)
     streams_on_node: dict[int, int] = {}
     for p in placements:
         streams_on_node[p.cpu_node] = streams_on_node.get(p.cpu_node, 0) + 1
     levels = []
     for p in placements:
         if direction == "write":
-            path = machine.dma_path_gbps(p.mem_node, device.node_id)
+            path = session.dma_path_gbps(p.mem_node, device.node_id)
         else:
-            path = machine.dma_path_gbps(device.node_id, p.mem_node)
+            path = session.dma_path_gbps(device.node_id, p.mem_node)
         level = profile.curve.value(path)
         level *= device.irq.factor(p.cpu_node, profile.irq_sensitivity)
         cores = machine.node(p.cpu_node).n_cores
@@ -83,17 +87,25 @@ def device_service_levels(
     return levels
 
 
-def bulk_copy_gbps(machine: Machine, src: int, dst: int, threads: int) -> float:
+def bulk_copy_gbps(
+    machine: Machine,
+    src: int,
+    dst: int,
+    threads: int,
+    session: SolverSession | None = None,
+) -> float:
     """Noise-free aggregate bandwidth of ``threads`` bulk copies src -> dst.
 
     The deterministic core of :class:`MemcpyEngine`: per-thread DMA-style
     contexts contending on both controllers and every link of the
     DMA-plane route.  Algorithm 1 samples this with noise; tests and the
-    analytic layers use it directly.
+    analytic layers use it directly.  Capacity maps and allocations go
+    through the machine's :class:`~repro.solver.session.SolverSession`
+    (pass ``session`` to share one across a characterization run).
     """
     if threads < 1:
         raise BenchmarkError(f"need >= 1 copy thread, got {threads}")
-    capacities = {**controller_capacities(machine), **link_capacities(machine)}
+    session = session if session is not None else get_session(machine)
     src_ctrl = MemoryController(src, 0, 0).dma_resource
     dst_ctrl = MemoryController(dst, 0, 0).dma_resource
     resources = [src_ctrl]
@@ -110,21 +122,8 @@ def bulk_copy_gbps(machine: Machine, src: int, dst: int, threads: int) -> float:
         )
         for i in range(threads)
     ]
-    rates = FlowNetwork(capacities).rates(flows)
+    rates = session.rates(flows)
     return sum(rates.values())
-
-
-def link_resource(src: int, dst: int) -> str:
-    """Stable flow-resource name for a directed fabric link (DMA plane)."""
-    return f"link-dma:{src}>{dst}"
-
-
-def link_capacities(machine: Machine) -> dict[str, float]:
-    """DMA capacities of every directed link, keyed by resource name."""
-    return {
-        link_resource(src, dst): link.dma_gbps
-        for (src, dst), link in machine.links.items()
-    }
 
 
 @dataclass(frozen=True)
@@ -178,6 +177,7 @@ class DeviceIOEngine:
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
+        self.session = get_session(machine)
 
     def run(self, job: FioJob, rng: np.random.Generator) -> JobResult:
         """Execute ``job`` once and return its result."""
@@ -213,7 +213,8 @@ class DeviceIOEngine:
         base = [
             level * bs_factor
             for level in device_service_levels(
-                machine, device, profile, placements, job.direction
+                machine, device, profile, placements, job.direction,
+                session=self.session,
             )
         ]
 
@@ -260,7 +261,7 @@ class DeviceIOEngine:
         # ceiling is the stream-weighted MEAN of the service levels —
         # the physical basis of the paper's Eq. 1.
         agg_cap = sum(base) / len(base)
-        network = FlowNetwork({resource: agg_cap * mix * agg_noise})
+        network = self.session.network({resource: agg_cap * mix * agg_noise})
         if time_based:
             # fio time_based: constant rates for runtime seconds.
             rates = network.rates(flows)
@@ -280,6 +281,7 @@ class DeviceIOEngine:
             aggregate_gbps=sum(per_stream.values()),
             duration_s=duration,
             tags={"device": device.name, "direction": job.direction, "mix": mix},
+            solver_stats=self.session.stats.snapshot(),
         )
 
 
@@ -299,6 +301,7 @@ class MemcpyEngine:
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
+        self.session = get_session(machine)
 
     def run(self, job: FioJob, rng: np.random.Generator) -> JobResult:
         """Execute ``job`` once and return its result."""
@@ -316,7 +319,6 @@ class MemcpyEngine:
 
         machine = self.machine
         noise = NoiseModel(rng)
-        capacities = {**controller_capacities(machine), **link_capacities(machine)}
 
         src_ctrl = MemoryController(src, 0, 0).dma_resource
         dst_ctrl = MemoryController(dst, 0, 0).dma_resource
@@ -338,8 +340,7 @@ class MemcpyEngine:
             )
             for i in range(job.numjobs)
         ]
-        network = FlowNetwork(capacities)
-        outcomes = network.simulate(flows)
+        outcomes = self.session.simulate(flows)
         aggregate = sum(o.avg_gbps for o in outcomes.values()) * noise.factor(self.sigma)
         duration = max(o.finish_s for o in outcomes.values())
         return JobResult(
@@ -350,4 +351,5 @@ class MemcpyEngine:
             aggregate_gbps=aggregate,
             duration_s=duration,
             tags={"src": src, "dst": dst, "target": target},
+            solver_stats=self.session.stats.snapshot(),
         )

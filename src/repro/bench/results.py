@@ -120,7 +120,12 @@ class BandwidthMatrix:
 
 @dataclass(frozen=True)
 class JobResult:
-    """Outcome of one fio job."""
+    """Outcome of one fio job.
+
+    ``solver_stats`` is a cumulative snapshot of the executing engine's
+    :class:`~repro.solver.stats.SolverStats` taken when the result was
+    produced (solve count, cache hit rate, events processed).
+    """
 
     job_name: str
     engine: str
@@ -129,6 +134,7 @@ class JobResult:
     aggregate_gbps: float
     duration_s: float
     tags: dict = field(default_factory=dict)
+    solver_stats: dict = field(default_factory=dict)
 
     @property
     def numjobs(self) -> int:

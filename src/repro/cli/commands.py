@@ -31,6 +31,7 @@ __all__ = [
     "cmd_predict",
     "cmd_advise",
     "cmd_experiment",
+    "cmd_stats",
     "cmd_numastat",
 ]
 
@@ -314,6 +315,42 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
     result = ConcurrentRunner(machine, _registry(args)).run(jobs)
     print(result.render())
     print(f"total: {result.total_gbps:.2f} Gbps")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro-numa stats``: solver-session instrumentation for a workload.
+
+    Runs one representative workload through a fresh solver session and
+    prints what the session actually did — max-min solves, allocation
+    cache hit rate, simulation events, capacity builds, per-phase wall
+    time.  The numbers a contributor watches when touching the solver.
+    """
+    from repro.solver import get_session, reset_sessions
+
+    reset_sessions()
+    machine = _machine(args)
+    registry = _registry(args)
+    if args.workload == "iomodel":
+        builder = IOModelBuilder(machine, registry=registry, runs=args.runs)
+        builder.build_both(args.target)
+    elif args.workload == "stream":
+        StreamBenchmark(machine, registry=registry, runs=args.runs).matrix()
+    else:  # fio
+        runner = FioRunner(machine, registry=registry)
+        runner.run(
+            FioJob(
+                name="stats-memcpy",
+                engine="memcpy",
+                rw="write",
+                numjobs=4,
+                cpunodebind=machine.node_ids[0],
+                target_node=args.target,
+            )
+        )
+    session = get_session(machine)
+    print(f"workload: {args.workload} on {machine.name}")
+    print(session.stats.render())
     return 0
 
 

@@ -106,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with 'all': write each artifact to <outdir>/<id>.txt")
     p.set_defaults(func=commands.cmd_experiment)
 
+    p = sub.add_parser(
+        "stats", help="solver-session instrumentation for a workload"
+    )
+    p.add_argument("--workload", default="iomodel",
+                   choices=("iomodel", "stream", "fio"),
+                   help="which workload to instrument")
+    p.add_argument("--target", type=int, default=7, help="target node")
+    p.add_argument("--runs", type=int, default=25)
+    p.set_defaults(func=commands.cmd_stats)
+
     p = sub.add_parser("plan", help="rank nodes as device attachment points")
     p.add_argument("--write-weight", type=float, default=0.5,
                    help="fraction of expected traffic that is device-write")

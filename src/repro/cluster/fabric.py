@@ -16,9 +16,9 @@ from repro.cluster.link import EthernetLink
 from repro.cluster.twohost import _ENGINE_PROFILES
 from repro.errors import BenchmarkError
 from repro.flows.flow import Flow
-from repro.flows.network import FlowNetwork
 from repro.osmodel.noise import NoiseModel
 from repro.rng import RngRegistry
+from repro.solver.session import SolverSession
 from repro.topology.machine import Machine
 from repro.units import GB
 
@@ -102,6 +102,10 @@ class SwitchedCluster:
         self.backplane_gbps = backplane_gbps
         self.registry = registry or RngRegistry()
         self.nic_name = nic_name
+        # Cluster capacity maps are assembled per run, so the session is
+        # machine-less: it contributes the shared allocation memo and the
+        # instrumentation across repeated run() calls.
+        self.session = SolverSession()
 
     # --- helpers ----------------------------------------------------------
     def _host(self, name: str) -> Machine:
@@ -212,7 +216,7 @@ class SwitchedCluster:
             meta[t.name] = t
             placements[t.name] = ((t.src_host, src_node), (t.dst_host, dst_node))
 
-        outcomes = FlowNetwork(capacities).simulate(flows)
+        outcomes = self.session.simulate(flows, capacities)
         results: dict[str, TransferOutcome] = {}
         for name, t in meta.items():
             mine = {k: o for k, o in outcomes.items()

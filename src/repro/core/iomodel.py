@@ -26,6 +26,7 @@ from repro.memory.allocator import PageAllocator
 from repro.osmodel import libnuma
 from repro.osmodel.noise import NoiseModel
 from repro.rng import RngRegistry
+from repro.solver.session import get_session
 from repro.topology.machine import Machine
 from repro.units import MiB
 
@@ -75,6 +76,10 @@ class IOModelBuilder:
         self.buffer_bytes = buffer_bytes
         self.rel_gap = rel_gap
         self.sigma = sigma
+        # One solver session per characterization run: every probe of the
+        # Algorithm 1 loop shares the cached capacity map and allocation
+        # memo instead of building N cold networks.
+        self.session = get_session(machine)
 
     def threads_per_node(self) -> int:
         """Algorithm 1 line 2: cores divided by nodes."""
@@ -99,7 +104,9 @@ class IOModelBuilder:
         snk = libnuma.numa_alloc_onnode(allocator, m * self.buffer_bytes, dst_node)
         try:
             libnuma.numa_run_on_node(machine, target_node)  # bind copy threads to k
-            base = bulk_copy_gbps(machine, src_node, dst_node, threads=m)
+            base = bulk_copy_gbps(
+                machine, src_node, dst_node, threads=m, session=self.session
+            )
             noise = NoiseModel(
                 self.registry.stream(
                     f"iomodel/{mode}/k{target_node}-i{other_node}-m{m}"

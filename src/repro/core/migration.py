@@ -34,10 +34,10 @@ import numpy as np
 from repro.bench.engines import StreamPlacement, device_service_levels
 from repro.errors import ModelError, SimulationError
 from repro.flows.flow import Flow
-from repro.flows.maxmin import maxmin_allocate
 from repro.core.model import IOPerformanceModel
 from repro.core.scheduler_advisor import PlacementAdvisor
 from repro.rng import RngRegistry
+from repro.solver.session import get_session
 from repro.topology.machine import Machine
 from repro.units import GB, gbps, gbps_to_bytes_per_s
 
@@ -137,6 +137,7 @@ class PolicyOutcome:
     aggregate_gbps: float
     migrations: int
     per_stream_completion_s: dict[str, float]
+    solver_stats: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """One summary line."""
@@ -210,6 +211,9 @@ class OnlineSimulator:
         self.advisor = PlacementAdvisor(machine, model, tolerance=tolerance)
         self.epoch_s = epoch_s
         self.migration_cost_s = migration_cost_s
+        # Event-loop allocations share the machine's solver session, so
+        # recurring active sets are served from the memo.
+        self.session = get_session(machine)
         # Candidate nodes for the class-aware policies, best class first.
         self._candidates = list(self.advisor.candidate_nodes())
 
@@ -270,7 +274,8 @@ class OnlineSimulator:
         directions = {j.direction for j in running}
         by_direction = {
             d: device_service_levels(
-                self.machine, self.device, self.profiles[d], placements, d
+                self.machine, self.device, self.profiles[d], placements, d,
+                session=self.session,
             )
             for d in directions
         }
@@ -288,7 +293,7 @@ class OnlineSimulator:
                 demand = min(demand, profile.cpu_gbps_per_stream)
             flows.append(Flow(name=j.name, resources=(resource,), demand_gbps=demand))
         agg = sum(levels) / len(levels)
-        return maxmin_allocate(flows, {resource: agg})
+        return self.session.rates(flows, {resource: agg})
 
     # --- the event loop ---------------------------------------------------
     def run(self, jobs: list[StreamJob], policy: str) -> PolicyOutcome:
@@ -378,6 +383,7 @@ class OnlineSimulator:
             aggregate_gbps=gbps(total_bytes, makespan),
             migrations=migrations + sum(j.migrations for j in done),
             per_stream_completion_s=completions,
+            solver_stats=self.session.stats.snapshot(),
         )
 
     def compare(self, jobs: list[StreamJob], policies=POLICIES) -> dict[str, PolicyOutcome]:

@@ -5,7 +5,9 @@ recomputing the max-min allocation at every *rate-change event* — a flow
 arriving or completing — and integrating bytes between events.  With
 identical, simultaneous streams the allocation is constant and the loop
 converges in one step; with staggered or mixed workloads the piecewise-
-constant rate profile is captured exactly.
+constant rate profile is captured exactly.  Allocations go through an
+:class:`~repro.solver.incremental.AllocationCache`, so the loop only
+solves cold when the active-flow *multiset* is one it has not seen.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from typing import Iterable
 
 from repro.errors import SimulationError
 from repro.flows.flow import Flow
-from repro.flows.maxmin import maxmin_allocate
+from repro.solver.incremental import AllocationCache
 from repro.units import gbps, gbps_to_bytes_per_s
 
 __all__ = ["FlowOutcome", "FlowNetwork"]
@@ -51,14 +53,30 @@ class FlowNetwork:
     ----------
     capacities:
         Resource name -> capacity in Gbps.
+    allocator:
+        Optional shared :class:`~repro.solver.incremental.AllocationCache`
+        (a :class:`~repro.solver.session.SolverSession` passes its own so
+        every network it hands out shares one memo).  By default each
+        network owns a private cache, which already collapses the
+        repeated solves of a ``simulate`` event loop.
+    stats:
+        Optional :class:`~repro.solver.stats.SolverStats` that simulation
+        events are counted into.
     """
 
-    def __init__(self, capacities: dict[str, float]) -> None:
+    def __init__(
+        self,
+        capacities: dict[str, float],
+        allocator: AllocationCache | None = None,
+        stats=None,
+    ) -> None:
         self.capacities = dict(capacities)
+        self._allocator = allocator if allocator is not None else AllocationCache()
+        self._stats = stats
 
     def rates(self, flows: Iterable[Flow]) -> dict[str, float]:
         """Instantaneous max-min rates for a set of concurrent flows."""
-        return maxmin_allocate(flows, self.capacities)
+        return self._allocator.rates(flows, self.capacities)
 
     def simulate(self, flows: Iterable[Flow]) -> dict[str, FlowOutcome]:
         """Run finite flows to completion; returns per-flow outcomes.
@@ -82,6 +100,8 @@ class FlowNetwork:
             guard += 1
             if guard > 1_000_000:  # pragma: no cover - safety valve
                 raise SimulationError("flow simulation failed to converge")
+            if self._stats is not None:
+                self._stats.events += 1
             while pending and pending[0].start_s <= now + _TIME_EPS:
                 f = pending.pop(0)
                 active[f.name] = f
@@ -89,7 +109,7 @@ class FlowNetwork:
                 now = pending[0].start_s
                 continue
 
-            current = maxmin_allocate(active.values(), self.capacities)
+            current = self._allocator.rates(active.values(), self.capacities)
             # Horizon: next arrival or earliest completion at current rates.
             horizon = pending[0].start_s - now if pending else math.inf
             for name, f in active.items():

@@ -91,7 +91,10 @@ class Simulator:
             Optional simulated-time horizon; the clock is advanced to
             exactly ``until`` when the horizon is hit first.
         max_events:
-            Safety valve against runaway event loops.
+            Safety valve against runaway event loops: at most
+            ``max_events`` events execute, and
+            :class:`~repro.errors.SimulationError` is raised only if
+            more are still pending.
         """
         executed = 0
         while True:
@@ -101,10 +104,10 @@ class Simulator:
             if until is not None and next_time > until:
                 self._now = until
                 return
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; event loop runaway?")
             if not self.step():  # pragma: no cover - peek said non-empty
                 break
             executed += 1
-            if executed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}; event loop runaway?")
         if until is not None and until > self._now:
             self._now = until

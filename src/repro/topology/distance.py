@@ -17,13 +17,21 @@ from repro.topology.machine import Machine
 
 __all__ = ["hop_matrix", "distance_matrix"]
 
+_HOP_CACHE_ATTR = "_hop_matrix_cache"
+
 
 def hop_matrix(machine: Machine) -> np.ndarray:
     """Minimal hop counts between all node pairs (undirected reachability).
 
     Returns an ``(n, n)`` integer array indexed by position in
-    ``machine.node_ids``.
+    ``machine.node_ids``.  Machines are immutable, so the BFS result is
+    cached on the machine object (callers get a fresh copy each time);
+    edited copies from :mod:`repro.topology.modify` are new objects and
+    recompute.
     """
+    cached = getattr(machine, _HOP_CACHE_ATTR, None)
+    if cached is not None:
+        return cached.copy()
     ids = machine.node_ids
     index = {nid: i for i, nid in enumerate(ids)}
     n = len(ids)
@@ -47,7 +55,11 @@ def hop_matrix(machine: Machine) -> np.ndarray:
             dist[index[start], index[nid]] = hops
     if (dist < 0).any():
         raise TopologyError(f"machine {machine.name!r} fabric is not connected")
-    return dist
+    try:
+        setattr(machine, _HOP_CACHE_ATTR, dist)
+    except AttributeError:  # pragma: no cover - exotic machine subclasses
+        return dist
+    return dist.copy()
 
 
 def distance_matrix(machine: Machine, per_hop: int = 6, base: int = 10) -> np.ndarray:

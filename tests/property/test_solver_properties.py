@@ -1,0 +1,134 @@
+"""Property-based equivalence of the incremental solver.
+
+The memoized/vectorized :class:`repro.solver.incremental.AllocationCache`
+must be an observationally exact replacement for a cold
+:func:`repro.flows.maxmin.maxmin_allocate` call: same rates (within
+1e-9) on any problem, whether the answer is solved cold, served from the
+signature-multiset cache, or re-keyed after a capacity change.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.flow import Flow
+from repro.flows.maxmin import maxmin_allocate
+from repro.solver.incremental import AllocationCache, flow_signature
+
+RESOURCES = ["r0", "r1", "r2", "r3", "r4"]
+
+TOL = 1e-9
+
+
+@st.composite
+def problems(draw):
+    n_resources = draw(st.integers(min_value=1, max_value=5))
+    names = RESOURCES[:n_resources]
+    caps = {
+        r: draw(st.floats(min_value=0.5, max_value=100.0,
+                          allow_nan=False, allow_infinity=False))
+        for r in names
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    flows = []
+    for i in range(n_flows):
+        subset = draw(
+            st.sets(st.sampled_from(names), min_size=1, max_size=n_resources)
+        )
+        demand = draw(
+            st.one_of(
+                st.just(math.inf),
+                st.floats(min_value=0.1, max_value=50.0,
+                          allow_nan=False, allow_infinity=False),
+            )
+        )
+        weight = draw(st.floats(min_value=0.25, max_value=4.0,
+                                allow_nan=False, allow_infinity=False))
+        flows.append(
+            Flow(name=f"f{i}", resources=tuple(sorted(subset)),
+                 demand_gbps=demand, weight=weight)
+        )
+    # Duplicated signatures exercise the group-collapse path.
+    if draw(st.booleans()) and flows:
+        twin = flows[0]
+        flows.append(
+            Flow(name="twin", resources=twin.resources,
+                 demand_gbps=twin.demand_gbps, weight=twin.weight)
+        )
+    return flows, caps
+
+
+@given(problems())
+@settings(max_examples=300, deadline=None)
+def test_cold_solve_matches_maxmin(problem):
+    flows, caps = problem
+    expected = maxmin_allocate(flows, caps)
+    actual = AllocationCache().rates(flows, caps)
+    assert set(actual) == set(expected)
+    for name in expected:
+        assert actual[name] == expected[name] or (
+            abs(actual[name] - expected[name]) <= TOL
+        ), name
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_cached_solve_matches_maxmin(problem):
+    """The second lookup (a cache hit) must return the same rates."""
+    flows, caps = problem
+    expected = maxmin_allocate(flows, caps)
+    cache = AllocationCache()
+    cache.rates(flows, caps)  # warm
+    cached = cache.rates(flows, caps)
+    for name in expected:
+        assert abs(cached[name] - expected[name]) <= TOL, name
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_renamed_flows_reuse_cached_rates_correctly(problem):
+    """A cache hit keyed on the signature multiset must hand the right
+    rate to each flow even when names and ordering differ."""
+    flows, caps = problem
+    cache = AllocationCache()
+    cache.rates(flows, caps)  # warm with the original names
+    renamed = [
+        Flow(name=f"alias-{i}", resources=f.resources,
+             demand_gbps=f.demand_gbps, weight=f.weight)
+        for i, f in enumerate(reversed(flows))
+    ]
+    actual = cache.rates(renamed, caps)
+    expected = maxmin_allocate(renamed, caps)
+    for name in expected:
+        assert abs(actual[name] - expected[name]) <= TOL, name
+
+
+@given(problems(), st.floats(min_value=0.5, max_value=2.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_capacity_change_is_not_served_stale(problem, scale):
+    """Scaling a capacity changes the cache key, so the answer tracks the
+    new capacities instead of replaying the old allocation."""
+    flows, caps = problem
+    cache = AllocationCache()
+    cache.rates(flows, caps)  # warm at the original capacities
+    scaled_caps = {r: c * scale for r, c in caps.items()}
+    actual = cache.rates(flows, scaled_caps)
+    expected = maxmin_allocate(flows, scaled_caps)
+    for name in expected:
+        assert abs(actual[name] - expected[name]) <= TOL, name
+
+
+@given(problems())
+@settings(max_examples=100, deadline=None)
+def test_identical_signatures_get_identical_rates(problem):
+    """The memoization premise itself: equal signatures, equal rates."""
+    flows, caps = problem
+    rates = AllocationCache().rates(flows, caps)
+    by_signature = {}
+    for f in flows:
+        by_signature.setdefault(flow_signature(f), []).append(rates[f.name])
+    for values in by_signature.values():
+        assert max(values) - min(values) <= TOL

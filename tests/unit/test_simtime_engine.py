@@ -84,6 +84,27 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_is_exact(self):
+        """Regression: the guard used to fire one event late — exactly
+        ``max_events`` events may execute, never ``max_events + 1``."""
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+        assert sim.steps == 5
+
+    def test_max_events_not_raised_when_queue_drains(self):
+        """A run that finishes at exactly the budget is not an error."""
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=5)
+        assert sim.steps == 5
+
     def test_peek(self):
         sim = Simulator()
         assert sim.peek() is None

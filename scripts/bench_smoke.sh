@@ -23,3 +23,37 @@ for bench in sorted(data["benchmarks"], key=lambda b: b["name"]):
     print(f"  {bench['name']:45s} mean {stats['mean'] * 1e3:8.2f} ms  "
           f"min {stats['min'] * 1e3:8.2f} ms")
 EOF
+
+# Fault-layer overhead gate: the fault subsystem is strictly opt-in, so a
+# healthy STREAM matrix on a zero-fault FaultedMachine view must cost
+# within 5 % of the same matrix on the plain host (min-of-5 each).
+PYTHONPATH=src python - <<'EOF'
+import time
+
+from repro.bench.stream import StreamBenchmark
+from repro.faults.plan import FaultedMachine
+from repro.topology.builders import reference_host
+
+
+def best_of(machine, repeats=5, runs=20):
+    times = []
+    for _ in range(repeats):
+        bench = StreamBenchmark(machine, runs=runs)
+        t0 = time.perf_counter()
+        bench.matrix()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+host = reference_host()
+best_of(host, repeats=1)  # warmup (imports, caches)
+healthy = best_of(host)
+faulted = best_of(FaultedMachine(host, ()))
+ratio = faulted / healthy
+print(f"\nfault-layer overhead on healthy stream matrix: "
+      f"healthy {healthy * 1e3:.1f} ms, zero-fault view {faulted * 1e3:.1f} ms "
+      f"({(ratio - 1) * 100:+.1f} %)")
+if ratio > 1.05:
+    raise SystemExit("FAIL: fault layer adds >5% overhead to the healthy path")
+print("OK: fault layer overhead within 5%")
+EOF

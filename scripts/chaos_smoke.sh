@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Chaos-harness smoke: run the three seeded fault scenarios and prove the
+# resilience report is bit-identical across runs (same seed -> same
+# report, the chaos layer's reproducibility contract).  Pass --full to
+# run the full-size workloads instead of --quick.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE="--quick"
+if [ "${1:-}" = "--full" ]; then
+    MODE=""
+fi
+
+TMPDIR="${TMPDIR:-/tmp}"
+A="$TMPDIR/chaos_smoke_a.$$"
+B="$TMPDIR/chaos_smoke_b.$$"
+trap 'rm -f "$A" "$B"' EXIT
+
+for scenario in single-link-loss cascading-node-isolation flapping-uplink; do
+    echo "== scenario: $scenario"
+    PYTHONPATH=src python -m repro.cli.main --seed 7 chaos \
+        --scenario "$scenario" $MODE
+    echo
+done
+
+echo "== determinism: full report twice with seed 7"
+PYTHONPATH=src python -m repro.cli.main --seed 7 chaos $MODE > "$A"
+PYTHONPATH=src python -m repro.cli.main --seed 7 chaos $MODE > "$B"
+if ! cmp -s "$A" "$B"; then
+    echo "FAIL: chaos report is not bit-identical across runs" >&2
+    diff "$A" "$B" >&2 || true
+    exit 1
+fi
+echo "OK: report bit-identical across runs"

@@ -137,9 +137,17 @@ class FioJob:
                 f"rw={self.rw!r} (accepts {_ENGINE_DIRECTIONS[self.engine]})"
             )
         if self.numjobs < 1:
-            raise BenchmarkError(f"job {self.name!r}: numjobs must be >= 1")
-        if self.blocksize <= 0 or self.size_bytes <= 0:
-            raise BenchmarkError(f"job {self.name!r}: sizes must be positive")
+            raise BenchmarkError(
+                f"job {self.name!r}: numjobs must be >= 1, got {self.numjobs}"
+            )
+        if self.blocksize <= 0:
+            raise BenchmarkError(
+                f"job {self.name!r}: blocksize must be positive, got {self.blocksize}"
+            )
+        if self.size_bytes <= 0:
+            raise BenchmarkError(
+                f"job {self.name!r}: size must be positive, got {self.size_bytes}"
+            )
         if self.iodepth < 1:
             raise BenchmarkError(f"job {self.name!r}: iodepth must be >= 1")
         if self.size_bytes < self.blocksize:
@@ -262,6 +270,48 @@ def write_jobfile(jobs: list[FioJob]) -> str:
     return "\n\n".join(sections) + "\n"
 
 
+#: fio options this model does not interpret but accepts and carries in
+#: ``FioJob.extra`` (they are meaningful to real fio and round-trip
+#: through :func:`write_jobfile`).  Anything else is a typo and rejected.
+_PASSTHROUGH_KEYS = frozenset({
+    "direct",
+    "directory",
+    "filename",
+    "group_reporting",
+    "invalidate",
+    "ramp_time",
+    "startdelay",
+    "thread",
+    "time_based",
+    "verify",
+})
+
+
+def _int_option(name: str, key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise BenchmarkError(
+            f"job {name!r}: option {key}={value!r} is not an integer"
+        ) from exc
+
+
+def _float_option(name: str, key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError as exc:
+        raise BenchmarkError(
+            f"job {name!r}: option {key}={value!r} is not a number"
+        ) from exc
+
+
+def _size_option(name: str, key: str, value: str) -> int:
+    try:
+        return parse_size(value)
+    except BenchmarkError as exc:
+        raise BenchmarkError(f"job {name!r}: option {key}: {exc}") from exc
+
+
 def _job_from_options(name: str, opts: dict[str, str]) -> FioJob:
     known: dict = {"name": name}
     for key, value in opts.items():
@@ -270,25 +320,30 @@ def _job_from_options(name: str, opts: dict[str, str]) -> FioJob:
         elif key == "rw":
             known["rw"] = value
         elif key == "numjobs":
-            known["numjobs"] = int(value)
+            known["numjobs"] = _int_option(name, key, value)
         elif key == "bs":
-            known["blocksize"] = parse_size(value)
+            known["blocksize"] = _size_option(name, key, value)
         elif key == "iodepth":
-            known["iodepth"] = int(value)
+            known["iodepth"] = _int_option(name, key, value)
         elif key == "size":
-            known["size_bytes"] = parse_size(value)
+            known["size_bytes"] = _size_option(name, key, value)
         elif key == "runtime":
-            known["runtime_s"] = float(value)
+            known["runtime_s"] = _float_option(name, key, value)
         elif key == "cpunodebind":
-            known["cpunodebind"] = int(value)
+            known["cpunodebind"] = _int_option(name, key, value)
         elif key == "membind":
-            known["membind"] = int(value)
+            known["membind"] = _int_option(name, key, value)
         elif key == "device":
             known["device"] = value
         elif key == "target_node":
-            known["target_node"] = int(value)
-        else:
+            known["target_node"] = _int_option(name, key, value)
+        elif key in _PASSTHROUGH_KEYS:
             known.setdefault("extra", {})[key] = value
+        else:
+            raise BenchmarkError(
+                f"job {name!r}: unknown option {key!r} "
+                f"(pass-through keys are {sorted(_PASSTHROUGH_KEYS)})"
+            )
     if "engine" not in known or "rw" not in known:
         raise BenchmarkError(f"job {name!r}: ioengine and rw are required")
     return FioJob(**known)

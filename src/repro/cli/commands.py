@@ -33,6 +33,7 @@ __all__ = [
     "cmd_experiment",
     "cmd_stats",
     "cmd_numastat",
+    "cmd_chaos",
 ]
 
 _MACHINES = {
@@ -351,6 +352,30 @@ def cmd_stats(args: argparse.Namespace) -> int:
     session = get_session(machine)
     print(f"workload: {args.workload} on {machine.name}")
     print(session.stats.render())
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro-numa chaos``: seeded fault scenarios + resilience report.
+
+    The machine-level scenarios run on ``--machine``; the
+    ``flapping-uplink`` scenario always builds its own small cluster of
+    reference hosts.  Same seed, same report — bit for bit.
+    """
+    from repro.faults.chaos import SCENARIOS, run_chaos
+
+    machine = _machine(args)
+    registry = _registry(args)
+    names = tuple(SCENARIOS) if args.scenario == "all" else (args.scenario,)
+    report = run_chaos(
+        machine=machine, registry=registry, scenarios=names, quick=args.quick
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
     return 0
 
 

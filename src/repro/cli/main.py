@@ -140,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="save the generated workload to this trace file")
     p.set_defaults(func=commands.cmd_online)
 
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection scenarios with a resilience report",
+    )
+    p.add_argument(
+        "--scenario",
+        default="all",
+        choices=("single-link-loss", "cascading-node-isolation",
+                 "flapping-uplink", "all"),
+        help="which scenario to run (default: all three)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured report as JSON")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller transfers and fewer streams")
+    p.set_defaults(func=commands.cmd_chaos)
+
     p = sub.add_parser("export", help="dump the machine description as JSON")
     p.set_defaults(func=commands.cmd_export)
 

@@ -57,13 +57,24 @@ class Transfer:
 
 @dataclass(frozen=True)
 class TransferOutcome:
-    """Result of one transfer within a cluster run."""
+    """Result of one transfer within a cluster run.
+
+    Healthy runs always report ``status="ok"``.  Under a fault plan a
+    transfer may instead report ``"recovered"`` (streams waited out a
+    fault via retries), ``"rerouted"`` (streams continued on an
+    alternative route) or ``"failed"`` (retry budget exhausted; the
+    aggregate covers the partial bytes moved and ``reason`` says why).
+    """
 
     name: str
     aggregate_gbps: float
     duration_s: float
     src_placement: tuple[str, int]
     dst_placement: tuple[str, int]
+    status: str = "ok"
+    reason: str | None = None
+    retries: int = 0
+    reroutes: int = 0
 
 
 class SwitchedCluster:
@@ -132,8 +143,30 @@ class SwitchedCluster:
         )
 
     # --- execution -----------------------------------------------------------
-    def run(self, transfers: list[Transfer], run_idx: int = 0) -> dict[str, TransferOutcome]:
-        """Run all ``transfers`` concurrently across the cluster."""
+    def run(
+        self,
+        transfers: list[Transfer],
+        run_idx: int = 0,
+        fault_plan=None,
+        retry=None,
+    ) -> dict[str, TransferOutcome]:
+        """Run all ``transfers`` concurrently across the cluster.
+
+        Parameters
+        ----------
+        transfers, run_idx:
+            The workload and the per-run RNG namespace.
+        fault_plan:
+            Optional :class:`~repro.faults.plan.FaultPlan`.  When given,
+            the run goes through the degraded-mode simulator: streams hit
+            by an active fault retry with seeded exponential backoff and
+            transfers whose budget is exhausted complete with
+            ``status="failed"`` instead of raising.  ``None`` (the
+            default) keeps the healthy fast path bit-identical.
+        retry:
+            Optional :class:`~repro.faults.degraded.RetryPolicy`
+            (fault-plan runs only).
+        """
         if not transfers:
             raise BenchmarkError("need at least one transfer")
         names = [t.name for t in transfers]
@@ -216,6 +249,10 @@ class SwitchedCluster:
             meta[t.name] = t
             placements[t.name] = ((t.src_host, src_node), (t.dst_host, dst_node))
 
+        if fault_plan is not None:
+            return self._run_degraded(
+                flows, capacities, meta, placements, fault_plan, retry, run_idx
+            )
         outcomes = self.session.simulate(flows, capacities)
         results: dict[str, TransferOutcome] = {}
         for name, t in meta.items():
@@ -227,5 +264,45 @@ class SwitchedCluster:
                 duration_s=max(o.finish_s for o in mine.values()),
                 src_placement=placements[name][0],
                 dst_placement=placements[name][1],
+            )
+        return results
+
+    def _run_degraded(
+        self, flows, capacities, meta, placements, fault_plan, retry, run_idx
+    ) -> dict[str, TransferOutcome]:
+        """Fault-plan path of :meth:`run`: structured partial results."""
+        from repro.faults.degraded import DegradedFlowRunner
+
+        runner = DegradedFlowRunner(
+            capacities,
+            plan=fault_plan,
+            rng=self.registry.stream(f"cluster/faults/run{run_idx}"),
+            retry=retry,
+            stats=self.session.stats,
+        )
+        outcomes = runner.simulate(flows)
+        results: dict[str, TransferOutcome] = {}
+        for name in meta:
+            mine = [o for k, o in sorted(outcomes.items())
+                    if k.rsplit("/", 1)[0] == name]
+            failed = [o for o in mine if o.status == "failed"]
+            if failed:
+                status, reason = "failed", failed[0].reason
+            elif any(o.status == "rerouted" for o in mine):
+                status, reason = "rerouted", None
+            elif any(o.status == "recovered" for o in mine):
+                status, reason = "recovered", None
+            else:
+                status, reason = "ok", None
+            results[name] = TransferOutcome(
+                name=name,
+                aggregate_gbps=sum(o.avg_gbps for o in mine),
+                duration_s=max(o.finish_s for o in mine),
+                src_placement=placements[name][0],
+                dst_placement=placements[name][1],
+                status=status,
+                reason=reason,
+                retries=sum(o.retries for o in mine),
+                reroutes=sum(o.reroutes for o in mine),
             )
         return results

@@ -44,3 +44,11 @@ class ModelError(ReproError):
 
 class DeviceError(ReproError):
     """A PCIe device description or operation is invalid."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is invalid or a fault cannot be applied."""
+
+
+class RouteLostError(FaultError):
+    """A transfer's route vanished under faults and no alternative survives."""

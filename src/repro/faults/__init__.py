@@ -1,0 +1,66 @@
+"""Fault injection: declarative fault plans, degraded-mode solving, chaos.
+
+The package has three layers:
+
+* :mod:`repro.faults.events` — the fault taxonomy (link degradation and
+  failure, memory-controller throttling, NIC port flaps, SSD wear, IRQ
+  storms) and the timed :class:`FaultEvent` wrapper;
+* :mod:`repro.faults.plan` — :class:`FaultPlan` (the schedule) and
+  :class:`FaultedMachine` (the static what-if view with its own solver
+  fingerprint);
+* :mod:`repro.faults.degraded` — the degraded-mode flow simulator:
+  re-route, seeded-backoff retry, or structured failure;
+* :mod:`repro.faults.chaos` — the seeded chaos scenarios behind the
+  ``repro-numa chaos`` CLI and their resilience report.
+"""
+
+from repro.faults.chaos import (
+    SCENARIOS,
+    ChaosReport,
+    OutcomeRow,
+    ScenarioResult,
+    run_chaos,
+    run_scenario,
+)
+from repro.faults.degraded import (
+    DegradedFlowRunner,
+    DegradedOutcome,
+    RetryPolicy,
+    machine_rerouter,
+    reroute_resources,
+)
+from repro.faults.events import (
+    Fault,
+    FaultEvent,
+    IrqStorm,
+    LinkDegrade,
+    LinkFail,
+    MemoryThrottle,
+    NicPortFlap,
+    SsdWearThrottle,
+)
+from repro.faults.plan import FaultedMachine, FaultPlan
+
+__all__ = [
+    "Fault",
+    "FaultEvent",
+    "LinkDegrade",
+    "LinkFail",
+    "MemoryThrottle",
+    "IrqStorm",
+    "NicPortFlap",
+    "SsdWearThrottle",
+    "FaultPlan",
+    "FaultedMachine",
+    "RetryPolicy",
+    "DegradedOutcome",
+    "DegradedFlowRunner",
+    "reroute_resources",
+    "machine_rerouter",
+    "OutcomeRow",
+    "ScenarioResult",
+    "ChaosReport",
+    "SCENARIOS",
+    "run_scenario",
+    "run_chaos",
+]

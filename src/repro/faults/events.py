@@ -1,0 +1,335 @@
+"""The fault taxonomy: what can go wrong on (and around) a NUMA host.
+
+Every fault is a small frozen dataclass with two faces:
+
+* **runtime** — :meth:`~Fault.capacity_factors` maps flow-solver
+  resource names to multiplicative derating factors in ``[0, 1]``
+  (``0.0`` is an outright failure).  The degraded-mode simulator
+  multiplies the healthy capacity map by the active factors at each
+  time slice, so a faulted capacity can never exceed its healthy value;
+* **static** — topology faults additionally implement
+  :meth:`~Fault.mutate_description`, rewriting the canonical machine
+  description dict.  :class:`~repro.faults.plan.FaultedMachine` rebuilds
+  a machine from the mutated description, so the faulted host has a new
+  fingerprint and :class:`~repro.solver.session.SolverSession` naturally
+  rebuilds capacities and routes for it.
+
+Resource-level faults (NIC port flap, SSD wear throttling) have no
+topology footprint; calling :meth:`mutate_description` on them raises
+:class:`~repro.errors.FaultError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import FaultError
+from repro.solver.capacity import link_resource
+from repro.units import ht_raw_gbps
+
+__all__ = [
+    "Fault",
+    "FaultEvent",
+    "LinkDegrade",
+    "LinkFail",
+    "MemoryThrottle",
+    "IrqStorm",
+    "NicPortFlap",
+    "SsdWearThrottle",
+]
+
+
+def _check_factor(factor: float, what: str) -> None:
+    if not 0.0 < factor <= 1.0:
+        raise FaultError(f"{what} factor must be in (0, 1], got {factor!r}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class of every injectable fault."""
+
+    #: Short taxonomy tag; stable across releases (reports key on it).
+    kind = "fault"
+
+    #: Whether the fault rewrites the machine description
+    #: (:meth:`mutate_description` works) or only derates capacities.
+    topological = False
+
+    def capacity_factors(self) -> dict[str, float]:
+        """Resource name -> multiplicative derating factor in ``[0, 1]``."""
+        raise NotImplementedError
+
+    def mutate_description(self, data: dict[str, Any]) -> None:
+        """Rewrite a :func:`~repro.topology.serialize.machine_to_dict` dict."""
+        raise FaultError(
+            f"{self.kind} is not a topology fault; it can only be applied "
+            "dynamically through a FaultPlan's capacity factors"
+        )
+
+    def describe(self) -> str:
+        """Compact, deterministic tag used in names and reports."""
+        raise NotImplementedError
+
+
+def _find_link(data: dict[str, Any], src: int, dst: int) -> dict[str, Any]:
+    for entry in data["links"]:
+        if entry["src"] == src and entry["dst"] == dst:
+            return entry
+    raise FaultError(
+        f"machine {data.get('name')!r} has no link {src}->{dst} to fault"
+    )
+
+
+@dataclass(frozen=True)
+class LinkDegrade(Fault):
+    """One direction of a fabric link loses DMA credits / PIO headroom.
+
+    Models buffer-credit starvation and link retraining to a degraded
+    width: the ``src -> dst`` direction keeps ``factor`` of its healthy
+    bulk capacity (and of its streaming PIO cap).
+    """
+
+    src: int
+    dst: int
+    factor: float
+
+    kind = "link-degrade"
+    topological = True
+
+    def __post_init__(self) -> None:
+        _check_factor(self.factor, "link degradation")
+        if self.src == self.dst:
+            raise FaultError(f"link endpoints must differ, got {self.src}")
+
+    def capacity_factors(self) -> dict[str, float]:
+        return {link_resource(self.src, self.dst): self.factor}
+
+    def mutate_description(self, data: dict[str, Any]) -> None:
+        entry = _find_link(data, self.src, self.dst)
+        entry["dma_credit"] = entry["dma_credit"] * self.factor
+        # The PIO plane loses the same headroom; resolve the derived
+        # default (60 % of raw) first so the derating is explicit.
+        if entry["pio_cap_gbps"] is None:
+            entry["pio_cap_gbps"] = 0.6 * ht_raw_gbps(
+                entry["width_bits"], entry["gts"]
+            )
+        entry["pio_cap_gbps"] = entry["pio_cap_gbps"] * self.factor
+
+    def describe(self) -> str:
+        return f"degrade:{self.src}>{self.dst}x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class LinkFail(Fault):
+    """A physical cable fails: both directions of ``a <-> b`` go dark.
+
+    Unlike :func:`repro.topology.modify.with_link_removed` this does
+    *not* refuse to disconnect the fabric — isolating a node is exactly
+    the scenario the chaos harness studies.
+    """
+
+    a: int
+    b: int
+
+    kind = "link-fail"
+    topological = True
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise FaultError(f"link endpoints must differ, got {self.a}")
+
+    def capacity_factors(self) -> dict[str, float]:
+        return {
+            link_resource(self.a, self.b): 0.0,
+            link_resource(self.b, self.a): 0.0,
+        }
+
+    def mutate_description(self, data: dict[str, Any]) -> None:
+        # Idempotent: failing an already-failed (or never-present) cable
+        # between two real nodes is a no-op, so composed fault sets with
+        # overlapping failures apply cleanly.
+        known = {entry["node_id"] for entry in data["nodes"]}
+        for node in (self.a, self.b):
+            if node not in known:
+                raise FaultError(
+                    f"machine {data.get('name')!r} has no node {node} to "
+                    "disconnect"
+                )
+        data["links"] = [
+            entry
+            for entry in data["links"]
+            if {entry["src"], entry["dst"]} != {self.a, self.b}
+        ]
+
+    def describe(self) -> str:
+        lo, hi = sorted((self.a, self.b))
+        return f"fail:{lo}<>{hi}"
+
+
+@dataclass(frozen=True)
+class MemoryThrottle(Fault):
+    """A node's memory controller throttles (thermal / refresh storms).
+
+    Both the DMA and the reported-PIO controller rates keep ``factor``
+    of their healthy value.
+    """
+
+    node: int
+    factor: float
+
+    kind = "memory-throttle"
+    topological = True
+
+    def __post_init__(self) -> None:
+        _check_factor(self.factor, "memory throttle")
+
+    def capacity_factors(self) -> dict[str, float]:
+        return {
+            f"ctrl-dma:{self.node}": self.factor,
+            f"ctrl-pio:{self.node}": self.factor,
+        }
+
+    def mutate_description(self, data: dict[str, Any]) -> None:
+        for entry in data["nodes"]:
+            if entry["node_id"] == self.node:
+                entry["dram_gbps"] = entry["dram_gbps"] * self.factor
+                entry["pio_ctrl_gbps"] = entry["pio_ctrl_gbps"] * self.factor
+                return
+        raise FaultError(
+            f"machine {data.get('name')!r} has no node {self.node} to throttle"
+        )
+
+    def describe(self) -> str:
+        return f"memthrottle:{self.node}x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class IrqStorm(Fault):
+    """An interrupt storm pins the node's cores in handler context.
+
+    Coherent (PIO) accesses from the node are starved while DMA engines
+    keep running — so only the reported-PIO controller rate is derated.
+    """
+
+    node: int
+    factor: float
+
+    kind = "irq-storm"
+    topological = True
+
+    def __post_init__(self) -> None:
+        _check_factor(self.factor, "IRQ storm")
+
+    def capacity_factors(self) -> dict[str, float]:
+        return {f"ctrl-pio:{self.node}": self.factor}
+
+    def mutate_description(self, data: dict[str, Any]) -> None:
+        for entry in data["nodes"]:
+            if entry["node_id"] == self.node:
+                entry["pio_ctrl_gbps"] = entry["pio_ctrl_gbps"] * self.factor
+                return
+        raise FaultError(
+            f"machine {data.get('name')!r} has no node {self.node} for an IRQ storm"
+        )
+
+    def describe(self) -> str:
+        return f"irqstorm:{self.node}x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class NicPortFlap(Fault):
+    """A NIC port drops link.
+
+    With ``host`` set, the fault zeroes the cluster-level resources of
+    that host (its NIC tx/rx aggregates and switch uplink, the names
+    :class:`~repro.cluster.fabric.SwitchedCluster` assembles); without a
+    host it zeroes the single-machine device resources
+    ``dev:<device>:write`` / ``dev:<device>:read``.  Pair with a
+    :class:`~repro.faults.plan.FaultEvent` recovery window to model the
+    port retraining and coming back.
+    """
+
+    host: str | None = None
+    device: str = "nic"
+
+    kind = "nic-flap"
+
+    def capacity_factors(self) -> dict[str, float]:
+        if self.host is not None:
+            return {
+                f"nic-tx:{self.host}": 0.0,
+                f"nic-rx:{self.host}": 0.0,
+                f"uplink-tx:{self.host}": 0.0,
+                f"uplink-rx:{self.host}": 0.0,
+            }
+        return {
+            f"dev:{self.device}:write": 0.0,
+            f"dev:{self.device}:read": 0.0,
+        }
+
+    def describe(self) -> str:
+        where = self.host if self.host is not None else self.device
+        return f"nicflap:{where}"
+
+
+@dataclass(frozen=True)
+class SsdWearThrottle(Fault):
+    """An SSD hits its wear-leveling write cliff and throttles.
+
+    Derates the device resources ``dev:<device>:write`` (by ``factor``)
+    and ``dev:<device>:read`` (by the milder ``read_factor``).
+    """
+
+    factor: float
+    read_factor: float = 1.0
+    device: str = "ssd"
+
+    kind = "ssd-wear"
+
+    def __post_init__(self) -> None:
+        _check_factor(self.factor, "SSD wear")
+        _check_factor(self.read_factor, "SSD wear read")
+
+    def capacity_factors(self) -> dict[str, float]:
+        return {
+            f"dev:{self.device}:write": self.factor,
+            f"dev:{self.device}:read": self.read_factor,
+        }
+
+    def describe(self) -> str:
+        return f"ssdwear:{self.device}x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault with its activation window on the simulation clock.
+
+    Active over ``[at_s, until_s)``; ``until_s=None`` means the fault is
+    permanent (never recovers).
+    """
+
+    fault: Fault
+    at_s: float = 0.0
+    until_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise FaultError(f"fault cannot start before t=0 (at_s={self.at_s!r})")
+        if self.until_s is not None and self.until_s <= self.at_s:
+            raise FaultError(
+                f"fault recovery must follow activation "
+                f"(at_s={self.at_s!r}, until_s={self.until_s!r})"
+            )
+
+    def active_at(self, t: float) -> bool:
+        """Whether the fault is live at simulated time ``t``."""
+        return self.at_s <= t and (self.until_s is None or t < self.until_s)
+
+    def describe(self) -> str:
+        """Deterministic one-line tag including the window."""
+        window = (
+            f"@{self.at_s:g}s" if self.until_s is None
+            else f"@[{self.at_s:g},{self.until_s:g})s"
+        )
+        return f"{self.fault.describe()}{window}"

@@ -1,0 +1,191 @@
+"""Declarative fault plans and the static :class:`FaultedMachine` view.
+
+A :class:`FaultPlan` is an ordered set of timed
+:class:`~repro.faults.events.FaultEvent` records.  It serves two
+consumers:
+
+* the **degraded-mode simulator** asks for the combined capacity
+  derating factors at a time ``t`` (:meth:`FaultPlan.scaled_capacities`)
+  and for the time boundaries where the factor set changes
+  (:meth:`FaultPlan.boundaries`);
+* **static what-if studies** ask for a :class:`FaultedMachine` — a full
+  :class:`~repro.topology.machine.Machine` rebuilt from the mutated
+  canonical description.  Its fingerprint differs from the healthy
+  machine's, so :func:`repro.solver.session.get_session` hands out a
+  fresh session and no cached capacity or route survives the fault.
+  :meth:`FaultedMachine.restore` rebuilds the healthy host from its
+  recorded description; the restored fingerprint is byte-identical to
+  the original (the property tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import FaultError
+from repro.faults.events import Fault, FaultEvent
+from repro.topology.machine import Machine
+from repro.topology.serialize import components_from_dict, machine_to_dict
+
+__all__ = ["FaultPlan", "FaultedMachine"]
+
+
+class FaultPlan:
+    """An immutable, time-ordered collection of fault events.
+
+    Parameters
+    ----------
+    events:
+        :class:`FaultEvent` records, or bare :class:`Fault` objects
+        (wrapped as permanent faults active from ``t=0``).
+    """
+
+    def __init__(self, events: Iterable[FaultEvent | Fault] = ()) -> None:
+        wrapped = [
+            e if isinstance(e, FaultEvent) else FaultEvent(fault=e)
+            for e in events
+        ]
+        for e in wrapped:
+            if not isinstance(e.fault, Fault):
+                raise FaultError(f"not a fault: {e.fault!r}")
+        # Stable sort: activation time first, insertion order among ties.
+        self._events = tuple(sorted(wrapped, key=lambda e: e.at_s))
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """The plan's events, ordered by activation time."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def describe(self) -> str:
+        """Deterministic one-line summary of the plan."""
+        if not self._events:
+            return "no faults"
+        return ", ".join(e.describe() for e in self._events)
+
+    # --- time queries -----------------------------------------------------
+    def active_at(self, t: float) -> tuple[Fault, ...]:
+        """The faults live at simulated time ``t``, in plan order."""
+        return tuple(e.fault for e in self._events if e.active_at(t))
+
+    def boundaries(self) -> tuple[float, ...]:
+        """Sorted unique times at which the active-fault set changes."""
+        times = set()
+        for e in self._events:
+            times.add(e.at_s)
+            if e.until_s is not None:
+                times.add(e.until_s)
+        return tuple(sorted(times))
+
+    def next_boundary(self, t: float) -> float | None:
+        """The first boundary strictly after ``t``, if any."""
+        for b in self.boundaries():
+            if b > t:
+                return b
+        return None
+
+    # --- capacity derating ------------------------------------------------
+    def capacity_factors_at(self, t: float) -> dict[str, float]:
+        """Combined resource derating factors at time ``t``.
+
+        Factors of overlapping faults on the same resource multiply, so
+        the combined factor is still in ``[0, 1]``.
+        """
+        combined: dict[str, float] = {}
+        for fault in self.active_at(t):
+            for resource, factor in fault.capacity_factors().items():
+                combined[resource] = combined.get(resource, 1.0) * factor
+        return combined
+
+    def scaled_capacities(
+        self, healthy: Mapping[str, float], t: float
+    ) -> dict[str, float]:
+        """The healthy capacity map derated by the faults active at ``t``.
+
+        Resources named by a fault but absent from ``healthy`` are
+        ignored — a plan written for a cluster can be reused against a
+        single machine's capacity map and vice versa.
+        """
+        scaled = dict(healthy)
+        for resource, factor in self.capacity_factors_at(t).items():
+            if resource in scaled:
+                scaled[resource] = scaled[resource] * factor
+        return scaled
+
+    # --- static application -----------------------------------------------
+    def topology_faults_at(self, t: float) -> tuple[Fault, ...]:
+        """The live faults at ``t`` that rewrite the machine description."""
+        return tuple(f for f in self.active_at(t) if f.topological)
+
+    def apply(self, machine: Machine, at_s: float = 0.0) -> "FaultedMachine":
+        """The static :class:`FaultedMachine` view for time ``at_s``.
+
+        Only topology faults participate; resource-level faults (NIC
+        flap, SSD wear) have no static footprint and are skipped.
+        """
+        return FaultedMachine(machine, self.topology_faults_at(at_s))
+
+
+class FaultedMachine(Machine):
+    """A machine view with topology faults applied.
+
+    Built by mutating the healthy machine's canonical description and
+    re-validating it through the ordinary constructor, so a faulted
+    machine is a *real* machine: same routing, same capacity models,
+    different fingerprint.  Device attachments are carried over from the
+    healthy host (devices are not part of the fingerprint).
+
+    Unlike :func:`repro.topology.modify.with_link_removed`, a
+    :class:`~repro.faults.events.LinkFail` here may disconnect the
+    fabric; route lookups on unreachable pairs then raise
+    :class:`~repro.errors.RoutingError`, which the degraded-mode
+    simulator converts into structured ``"failed"`` outcomes.
+    """
+
+    def __init__(
+        self,
+        base: Machine,
+        faults: Iterable[Fault],
+        name: str | None = None,
+    ) -> None:
+        applied = tuple(faults)
+        for fault in applied:
+            if not isinstance(fault, Fault):
+                raise FaultError(f"not a fault: {fault!r}")
+        healthy: dict[str, Any] = machine_to_dict(base)
+        data = machine_to_dict(base)
+        for fault in applied:
+            fault.mutate_description(data)
+        if name is None:
+            tags = ",".join(f.describe() for f in applied) or "none"
+            name = f"{base.name}+faults[{tags}]"
+        data["name"] = name
+        _, nodes, packages, links, params = components_from_dict(data)
+        Machine.__init__(self, name, nodes, packages, links, params)
+        self.devices = dict(base.devices)
+        #: The healthy host this view was derived from.
+        self.base = base
+        #: The faults baked into this view, in application order.
+        self.applied_faults = applied
+        self._healthy_description = healthy
+
+    def restore(self) -> Machine:
+        """Rebuild the healthy machine from the recorded description.
+
+        The result is a *fresh* object whose fingerprint is byte-identical
+        to the original host's, demonstrating that fault application is
+        fully reversible.  Device attachments are carried over.
+        """
+        _, nodes, packages, links, params = components_from_dict(
+            self._healthy_description
+        )
+        machine = Machine(
+            self._healthy_description["name"], nodes, packages, links, params
+        )
+        machine.devices = dict(self.base.devices)
+        return machine

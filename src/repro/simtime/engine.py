@@ -82,7 +82,12 @@ class Simulator:
         self._steps += 1
         return True
 
-    def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int = 10_000_000,
+        max_wall_seconds: float | None = None,
+    ) -> None:
         """Execute events until the queue is empty or ``until`` is reached.
 
         Parameters
@@ -95,7 +100,25 @@ class Simulator:
             ``max_events`` events execute, and
             :class:`~repro.errors.SimulationError` is raised only if
             more are still pending.
+        max_wall_seconds:
+            Optional *wall-clock* watchdog.  A pathological model can
+            stay under ``max_events`` while each event takes forever (or
+            schedules ever-closer events); when the run loop has spent
+            more than this many real seconds, it raises
+            :class:`~repro.errors.SimulationError` reporting the
+            simulated time reached and the events still pending.
         """
+        import time as _time
+
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise SimulationError(
+                f"max_wall_seconds must be positive, got {max_wall_seconds!r}"
+            )
+        deadline = (
+            _time.monotonic() + max_wall_seconds
+            if max_wall_seconds is not None
+            else None
+        )
         executed = 0
         while True:
             next_time = self._queue.peek_time()
@@ -106,6 +129,12 @@ class Simulator:
                 return
             if executed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; event loop runaway?")
+            if deadline is not None and _time.monotonic() > deadline:
+                raise SimulationError(
+                    f"simulation watchdog fired after {max_wall_seconds:g}s "
+                    f"wall time: {len(self._queue)} events still pending at "
+                    f"simulated t={self._now:g}s ({executed} executed)"
+                )
             if not self.step():  # pragma: no cover - peek said non-empty
                 break
             executed += 1

@@ -21,7 +21,7 @@ from repro.interconnect.link import DirectedLink, LinkKind
 from repro.topology.machine import Machine, MachineParams
 from repro.topology.node import Core, NumaNode, Package
 
-__all__ = ["machine_to_dict", "machine_from_dict"]
+__all__ = ["machine_to_dict", "machine_from_dict", "components_from_dict"]
 
 _FORMAT_VERSION = 1
 
@@ -76,8 +76,15 @@ def machine_to_dict(machine: Machine) -> dict[str, Any]:
     }
 
 
-def machine_from_dict(data: Mapping[str, Any]) -> Machine:
-    """Rebuild a :class:`Machine` from :func:`machine_to_dict` output."""
+def components_from_dict(
+    data: Mapping[str, Any],
+) -> tuple[str, list[NumaNode], list[Package], list[DirectedLink], MachineParams]:
+    """Validate a description dict into ``Machine`` constructor arguments.
+
+    Shared by :func:`machine_from_dict` and machine *views* that subclass
+    :class:`Machine` (e.g. :class:`repro.faults.plan.FaultedMachine`) and
+    therefore cannot go through the plain factory.
+    """
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
         raise TopologyError(
@@ -121,4 +128,10 @@ def machine_from_dict(data: Mapping[str, Any]) -> Machine:
         ]
     except (KeyError, TypeError) as exc:
         raise TopologyError(f"malformed machine description: {exc}") from exc
-    return Machine(data["name"], nodes, packages, links, params)
+    return data["name"], nodes, packages, links, params
+
+
+def machine_from_dict(data: Mapping[str, Any]) -> Machine:
+    """Rebuild a :class:`Machine` from :func:`machine_to_dict` output."""
+    name, nodes, packages, links, params = components_from_dict(data)
+    return Machine(name, nodes, packages, links, params)

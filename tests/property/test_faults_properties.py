@@ -1,0 +1,140 @@
+"""Property-based tests for the fault-injection layer.
+
+Invariants:
+
+* a fault plan can only *derate*: per-resource scaled capacity never
+  exceeds the healthy value, at any time, for any plan;
+* a statically faulted machine's capacity map is dominated by the
+  healthy machine's (absent resources excepted — a failed link has no
+  capacity at all);
+* applying and reverting faults is lossless: ``restore()`` yields the
+  healthy fingerprint byte-identically;
+* the process-wide session registry never serves stale capacities
+  across an apply/revert cycle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.events import (
+    FaultEvent,
+    IrqStorm,
+    LinkDegrade,
+    LinkFail,
+    MemoryThrottle,
+    NicPortFlap,
+    SsdWearThrottle,
+)
+from repro.faults.plan import FaultedMachine, FaultPlan
+from repro.solver.capacity import build_capacities, machine_fingerprint
+from repro.solver.session import get_session, reset_sessions
+from repro.topology.builders import reference_host
+
+_HOST = reference_host(with_devices=False)
+_LINKS = sorted(_HOST.links)
+_CABLES = sorted({tuple(sorted(ends)) for ends in _HOST.links})
+_HEALTHY = build_capacities(_HOST)
+
+factors = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+nodes = st.sampled_from(_HOST.node_ids)
+
+
+@st.composite
+def any_fault(draw):
+    kind = draw(st.sampled_from(
+        ["degrade", "fail", "throttle", "irq", "nic", "ssd"]
+    ))
+    if kind == "degrade":
+        src, dst = draw(st.sampled_from(_LINKS))
+        return LinkDegrade(src=src, dst=dst, factor=draw(factors))
+    if kind == "fail":
+        a, b = draw(st.sampled_from(_CABLES))
+        return LinkFail(a=a, b=b)
+    if kind == "throttle":
+        return MemoryThrottle(node=draw(nodes), factor=draw(factors))
+    if kind == "irq":
+        return IrqStorm(node=draw(nodes), factor=draw(factors))
+    if kind == "nic":
+        return NicPortFlap(host=draw(st.sampled_from(["h0", "h1", None])))
+    return SsdWearThrottle(factor=draw(factors), read_factor=draw(factors))
+
+
+@st.composite
+def timed_plan(draw):
+    events = []
+    for fault in draw(st.lists(any_fault(), min_size=0, max_size=6)):
+        at_s = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+        if draw(st.booleans()):
+            until_s = at_s + draw(
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+            )
+        else:
+            until_s = None
+        events.append(FaultEvent(fault, at_s=at_s, until_s=until_s))
+    return FaultPlan(events)
+
+
+@st.composite
+def topology_faults(draw):
+    faults = draw(st.lists(
+        any_fault().filter(lambda f: f.topological), min_size=0, max_size=4
+    ))
+    # Degrading a cable that another fault in the set fails is ill-formed
+    # when the fail applies first (the link is gone); keep the sets clean.
+    failed = {
+        tuple(sorted((f.a, f.b))) for f in faults if isinstance(f, LinkFail)
+    }
+    return [
+        f for f in faults
+        if not (isinstance(f, LinkDegrade)
+                and tuple(sorted((f.src, f.dst))) in failed)
+    ]
+
+
+@given(timed_plan(), st.floats(min_value=0.0, max_value=25.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_scaled_capacities_never_exceed_healthy(plan, t):
+    scaled = plan.scaled_capacities(_HEALTHY, t)
+    assert scaled.keys() == _HEALTHY.keys()
+    for resource, healthy in _HEALTHY.items():
+        assert 0.0 <= scaled[resource] <= healthy + 1e-12
+
+
+@given(topology_faults())
+@settings(max_examples=60, deadline=None)
+def test_faulted_capacities_dominated_by_healthy(faults):
+    view = FaultedMachine(_HOST, faults)
+    for resource, value in build_capacities(view).items():
+        assert value <= _HEALTHY[resource] + 1e-9
+
+
+@given(topology_faults())
+@settings(max_examples=60, deadline=None)
+def test_restore_roundtrips_fingerprint(faults):
+    view = FaultedMachine(_HOST, faults)
+    restored = view.restore()
+    assert machine_fingerprint(restored) == machine_fingerprint(_HOST)
+    assert build_capacities(restored) == _HEALTHY
+
+
+@given(topology_faults().filter(lambda fs: fs))
+@settings(max_examples=40, deadline=None)
+def test_sessions_never_serve_stale_capacities(faults):
+    reset_sessions()
+    try:
+        healthy_session = get_session(_HOST)
+        before = healthy_session.capacities()
+        view = FaultedMachine(_HOST, faults)
+        faulted_session = get_session(view)
+        assert faulted_session is not healthy_session
+        faulted_caps = faulted_session.capacities()
+        for resource, value in faulted_caps.items():
+            assert value <= before[resource] + 1e-9
+        # Reverting routes back to the healthy session and map.
+        restored_session = get_session(view.restore())
+        assert restored_session is healthy_session
+        assert restored_session.capacities() == before
+    finally:
+        reset_sessions()

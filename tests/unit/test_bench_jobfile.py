@@ -131,9 +131,11 @@ class TestParseJobfile:
         )
         assert [j.name for j in jobs] == ["a", "b"]
 
-    def test_unknown_keys_preserved(self):
-        jobs = parse_jobfile("[j]\nioengine=tcp\nrw=send\ndirect=1\n")
-        assert jobs[0].extra == {"direct": "1"}
+    def test_passthrough_keys_preserved(self):
+        jobs = parse_jobfile(
+            "[j]\nioengine=tcp\nrw=send\ndirect=1\ntime_based=1\n"
+        )
+        assert jobs[0].extra == {"direct": "1", "time_based": "1"}
 
     def test_option_before_section_rejected(self):
         with pytest.raises(BenchmarkError):
@@ -146,3 +148,43 @@ class TestParseJobfile:
     def test_empty_rejected(self):
         with pytest.raises(BenchmarkError):
             parse_jobfile("[global]\nbs=4k\n")
+
+
+class TestHardening:
+    """Every rejection names the offending field and job."""
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*unknown option 'bandwith'"):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\nbandwith=10\n")
+
+    def test_non_integer_numjobs_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*numjobs=.*not an integer"):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\nnumjobs=four\n")
+
+    def test_non_positive_numjobs_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*numjobs must be >= 1"):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\nnumjobs=0\n")
+
+    def test_non_positive_blocksize_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*blocksize must be positive"):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\nbs=0\n")
+
+    def test_bad_size_string_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*size.*cannot parse"):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\nsize=lots\n")
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*size must be positive"):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\nsize=0\n")
+
+    def test_bad_engine_rejected_with_name(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*unknown engine 'nvme'"):
+            parse_jobfile("[j]\nioengine=nvme\nrw=read\n")
+
+    def test_non_numeric_runtime_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*runtime=.*not a number"):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\nruntime=soon\n")
+
+    def test_non_integer_cpunodebind_rejected(self):
+        with pytest.raises(BenchmarkError, match=r"job 'j'.*cpunodebind="):
+            parse_jobfile("[j]\nioengine=tcp\nrw=send\ncpunodebind=first\n")

@@ -84,6 +84,29 @@ class TestCommands:
         assert main(["numastat"]) == 0
         assert "numa_hit" in capsys.readouterr().out
 
+    def test_chaos_report(self, capsys):
+        assert main(["--seed", "7", "chaos", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CHAOS RESILIENCE REPORT" in out
+        assert "seed 7" in out
+        assert "rerouted" in out
+        assert "failed" in out
+
+    def test_chaos_deterministic(self, capsys):
+        assert main(["--seed", "7", "chaos", "--quick"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--seed", "7", "chaos", "--quick"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_single_scenario_json(self, capsys):
+        import json
+
+        assert main(["--seed", "7", "chaos", "--scenario", "flapping-uplink",
+                     "--quick", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["seed"] == 7
+        assert [s["name"] for s in data["scenarios"]] == ["flapping-uplink"]
+
     def test_seed_changes_noise(self, capsys):
         main(["--seed", "1", "stream", "--cpu", "7", "--mem", "4", "--runs", "3"])
         first = capsys.readouterr().out

@@ -100,3 +100,59 @@ class TestValidation:
     def test_empty_rejected(self, cluster):
         with pytest.raises(BenchmarkError):
             cluster.run([])
+
+
+class TestFaultPlans:
+    def _transfer(self, size=4e9):
+        return Transfer(name="t", src_host="h0", dst_host="h1", numjobs=2,
+                        size_bytes=size)
+
+    def test_empty_plan_behaves_healthy(self, cluster):
+        from repro.faults.plan import FaultPlan
+
+        healthy = cluster.run([self._transfer()])["t"]
+        degraded = cluster.run([self._transfer()], fault_plan=FaultPlan())["t"]
+        assert degraded.status == "ok"
+        assert degraded.retries == 0 and degraded.reroutes == 0
+        assert degraded.aggregate_gbps == pytest.approx(
+            healthy.aggregate_gbps, rel=1e-6
+        )
+
+    def test_flap_window_recovers(self, cluster):
+        from repro.faults.events import FaultEvent, NicPortFlap
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan([
+            FaultEvent(NicPortFlap(host="h0"), at_s=0.2, until_s=0.7)
+        ])
+        outcome = cluster.run([self._transfer()], fault_plan=plan)["t"]
+        assert outcome.status == "recovered"
+        assert outcome.retries > 0
+        assert outcome.reason is None
+
+    def test_permanent_outage_fails_with_reason(self, cluster):
+        from repro.faults.events import FaultEvent, NicPortFlap
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan([FaultEvent(NicPortFlap(host="h0"), at_s=0.2)])
+        outcome = cluster.run([self._transfer()], fault_plan=plan)["t"]
+        assert outcome.status == "failed"
+        assert outcome.reason is not None and "retries" in outcome.reason
+        # Partial progress still reported, not an exception.
+        assert outcome.aggregate_gbps > 0
+
+    def test_unaffected_transfer_stays_ok(self, cluster):
+        from repro.faults.events import FaultEvent, NicPortFlap
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan([FaultEvent(NicPortFlap(host="h0"), at_s=0.2)])
+        outcomes = cluster.run(
+            [
+                self._transfer(),
+                Transfer(name="u", src_host="h2", dst_host="h3", numjobs=2,
+                         size_bytes=4e9),
+            ],
+            fault_plan=plan,
+        )
+        assert outcomes["t"].status == "failed"
+        assert outcomes["u"].status == "ok"

@@ -16,6 +16,8 @@ from repro import errors
         errors.BenchmarkError,
         errors.ModelError,
         errors.DeviceError,
+        errors.FaultError,
+        errors.RouteLostError,
     ],
 )
 def test_all_errors_derive_from_repro_error(subtype):
@@ -26,3 +28,7 @@ def test_all_errors_derive_from_repro_error(subtype):
 
 def test_repro_error_is_an_exception():
     assert issubclass(errors.ReproError, Exception)
+
+
+def test_route_lost_is_a_fault_error():
+    assert issubclass(errors.RouteLostError, errors.FaultError)

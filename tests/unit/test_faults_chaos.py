@@ -1,0 +1,89 @@
+"""The chaos harness: seeded scenarios and the resilience report."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.chaos import SCENARIOS, run_chaos, run_scenario
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos(registry=RngRegistry(7), quick=True)
+
+
+class TestScenarios:
+    def test_all_three_run(self, report):
+        assert [r.name for r in report.results] == list(SCENARIOS)
+
+    def test_single_link_loss_reroutes(self, report):
+        result = report.results[0]
+        counts = result.counts()
+        assert counts["rerouted"] > 0
+        assert counts["failed"] == 0
+        assert result.isolated_nodes == ()
+
+    def test_cascading_isolation_fails_structurally(self, report):
+        result = next(
+            r for r in report.results if r.name == "cascading-node-isolation"
+        )
+        counts = result.counts()
+        assert counts["failed"] > 0
+        assert result.isolated_nodes != ()
+        # The isolated node left the healthy class structure.
+        faulted_members = {n for c in result.faulted_classes for n in c}
+        assert not set(result.isolated_nodes) & faulted_members
+        failed = [row for row in result.rows if row.status == "failed"]
+        assert all(row.reason for row in failed)
+
+    def test_flapping_uplink_recovers(self, report):
+        result = next(r for r in report.results if r.name == "flapping-uplink")
+        counts = result.counts()
+        assert counts["recovered"] > 0
+        assert counts["failed"] == 0
+        assert sum(row.retries for row in result.rows) > 0
+        assert result.degraded_gbps < result.healthy_gbps
+
+    def test_bandwidth_retained_reported(self, report):
+        for result in report.results:
+            assert result.healthy_gbps > 0
+            assert result.retained > 0
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, report):
+        again = run_chaos(registry=RngRegistry(7), quick=True)
+        assert again.render() == report.render()
+        assert again.to_dict() == report.to_dict()
+
+    def test_different_seed_changes_report(self, report):
+        other = run_chaos(registry=RngRegistry(8), quick=True)
+        assert other.render() != report.render()
+
+
+class TestApi:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultError):
+            run_scenario("meteor-strike")
+
+    def test_single_scenario_selection(self):
+        report = run_chaos(
+            registry=RngRegistry(7), scenarios=("single-link-loss",), quick=True
+        )
+        assert len(report.results) == 1
+
+    def test_to_dict_shape(self, report):
+        data = report.to_dict()
+        assert data["seed"] == 7
+        assert len(data["scenarios"]) == 3
+        for scenario in data["scenarios"]:
+            assert set(scenario) >= {
+                "name", "plan", "healthy_gbps", "degraded_gbps",
+                "retained", "counts", "outcomes",
+            }
+
+    def test_render_mentions_plan_and_classes(self, report):
+        text = report.render()
+        assert "CHAOS RESILIENCE REPORT" in text
+        assert "fault plan:" in text
+        assert "classes (healthy):" in text

@@ -1,0 +1,164 @@
+"""The fault taxonomy: factors, description mutation, windows."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.events import (
+    FaultEvent,
+    IrqStorm,
+    LinkDegrade,
+    LinkFail,
+    MemoryThrottle,
+    NicPortFlap,
+    SsdWearThrottle,
+)
+from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+
+class TestFactorValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_degrade_factor_bounds(self, bad):
+        with pytest.raises(FaultError):
+            LinkDegrade(src=0, dst=7, factor=bad)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(FaultError):
+            LinkDegrade(src=3, dst=3, factor=0.5)
+        with pytest.raises(FaultError):
+            LinkFail(a=3, b=3)
+
+    def test_throttle_factor_bounds(self):
+        with pytest.raises(FaultError):
+            MemoryThrottle(node=0, factor=0.0)
+        with pytest.raises(FaultError):
+            IrqStorm(node=0, factor=2.0)
+        with pytest.raises(FaultError):
+            SsdWearThrottle(factor=-1.0)
+
+
+class TestCapacityFactors:
+    def test_link_degrade_one_direction(self):
+        fault = LinkDegrade(src=2, dst=7, factor=0.5)
+        assert fault.capacity_factors() == {"link-dma:2>7": 0.5}
+
+    def test_link_fail_both_directions(self):
+        fault = LinkFail(a=2, b=7)
+        assert fault.capacity_factors() == {
+            "link-dma:2>7": 0.0,
+            "link-dma:7>2": 0.0,
+        }
+
+    def test_memory_throttle_hits_both_controllers(self):
+        assert MemoryThrottle(node=3, factor=0.4).capacity_factors() == {
+            "ctrl-dma:3": 0.4,
+            "ctrl-pio:3": 0.4,
+        }
+
+    def test_irq_storm_hits_pio_only(self):
+        assert IrqStorm(node=3, factor=0.4).capacity_factors() == {
+            "ctrl-pio:3": 0.4,
+        }
+
+    def test_nic_flap_host_mode(self):
+        factors = NicPortFlap(host="h1").capacity_factors()
+        assert factors == {
+            "nic-tx:h1": 0.0,
+            "nic-rx:h1": 0.0,
+            "uplink-tx:h1": 0.0,
+            "uplink-rx:h1": 0.0,
+        }
+
+    def test_nic_flap_device_mode(self):
+        assert NicPortFlap().capacity_factors() == {
+            "dev:nic:write": 0.0,
+            "dev:nic:read": 0.0,
+        }
+
+    def test_ssd_wear_asymmetric(self):
+        assert SsdWearThrottle(factor=0.3, read_factor=0.9).capacity_factors() == {
+            "dev:ssd:write": 0.3,
+            "dev:ssd:read": 0.9,
+        }
+
+
+class TestDescriptionMutation:
+    def test_link_degrade_scales_credit(self, bare_host):
+        data = machine_to_dict(bare_host)
+        before = next(
+            e for e in data["links"] if e["src"] == 0 and e["dst"] == 7
+        )["dma_credit"]
+        LinkDegrade(src=0, dst=7, factor=0.5).mutate_description(data)
+        entry = next(e for e in data["links"] if e["src"] == 0 and e["dst"] == 7)
+        assert entry["dma_credit"] == pytest.approx(0.5 * before)
+        assert entry["pio_cap_gbps"] is not None
+        machine_from_dict(data)  # still a valid machine
+
+    def test_link_fail_removes_both_directions(self, bare_host):
+        data = machine_to_dict(bare_host)
+        LinkFail(a=0, b=7).mutate_description(data)
+        pairs = {(e["src"], e["dst"]) for e in data["links"]}
+        assert (0, 7) not in pairs and (7, 0) not in pairs
+
+    def test_link_fail_is_idempotent(self, bare_host):
+        data = machine_to_dict(bare_host)
+        LinkFail(a=0, b=7).mutate_description(data)
+        n_links = len(data["links"])
+        LinkFail(a=0, b=7).mutate_description(data)  # no-op, no error
+        assert len(data["links"]) == n_links
+
+    def test_link_fail_unknown_node_rejected(self, bare_host):
+        data = machine_to_dict(bare_host)
+        with pytest.raises(FaultError):
+            LinkFail(a=0, b=99).mutate_description(data)
+
+    def test_missing_link_rejected(self, bare_host):
+        data = machine_to_dict(bare_host)
+        with pytest.raises(FaultError):
+            LinkDegrade(src=0, dst=6, factor=0.5).mutate_description(data)
+
+    def test_memory_throttle_scales_node(self, bare_host):
+        data = machine_to_dict(bare_host)
+        before = data["nodes"][2]["dram_gbps"]
+        MemoryThrottle(node=data["nodes"][2]["node_id"], factor=0.25
+                       ).mutate_description(data)
+        assert data["nodes"][2]["dram_gbps"] == pytest.approx(0.25 * before)
+
+    def test_unknown_node_rejected(self, bare_host):
+        data = machine_to_dict(bare_host)
+        with pytest.raises(FaultError):
+            MemoryThrottle(node=99, factor=0.5).mutate_description(data)
+
+    def test_resource_faults_have_no_static_form(self, bare_host):
+        data = machine_to_dict(bare_host)
+        with pytest.raises(FaultError):
+            NicPortFlap().mutate_description(data)
+        with pytest.raises(FaultError):
+            SsdWearThrottle(factor=0.5).mutate_description(data)
+
+
+class TestFaultEvent:
+    def test_window_semantics(self):
+        event = FaultEvent(LinkFail(a=0, b=7), at_s=1.0, until_s=2.0)
+        assert not event.active_at(0.5)
+        assert event.active_at(1.0)
+        assert event.active_at(1.999)
+        assert not event.active_at(2.0)
+
+    def test_permanent_event(self):
+        event = FaultEvent(LinkFail(a=0, b=7), at_s=1.0)
+        assert event.active_at(1e9)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(LinkFail(a=0, b=7), at_s=-1.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(LinkFail(a=0, b=7), at_s=2.0, until_s=2.0)
+
+    def test_describe_is_deterministic(self):
+        event = FaultEvent(LinkFail(a=7, b=0), at_s=1.5, until_s=3.0)
+        assert event.describe() == "fail:0<>7@[1.5,3)s"
+        assert FaultEvent(LinkDegrade(src=2, dst=7, factor=0.5)).describe() == (
+            "degrade:2>7x0.5@0s"
+        )

@@ -1,0 +1,111 @@
+"""Fault plans and the static FaultedMachine view."""
+
+import pytest
+
+from repro.errors import FaultError, RoutingError
+from repro.faults.events import FaultEvent, LinkFail, MemoryThrottle, NicPortFlap
+from repro.faults.plan import FaultedMachine, FaultPlan
+from repro.solver.capacity import machine_fingerprint
+
+
+class TestFaultPlan:
+    def test_bare_faults_become_permanent_events(self):
+        plan = FaultPlan([LinkFail(a=0, b=7)])
+        assert len(plan) == 1
+        assert plan.events[0].at_s == 0.0
+        assert plan.events[0].until_s is None
+
+    def test_events_sorted_by_activation(self):
+        plan = FaultPlan([
+            FaultEvent(LinkFail(a=0, b=7), at_s=5.0),
+            FaultEvent(MemoryThrottle(node=1, factor=0.5), at_s=1.0),
+        ])
+        assert [e.at_s for e in plan.events] == [1.0, 5.0]
+
+    def test_non_fault_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(["not-a-fault"])
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan().describe() == "no faults"
+        assert FaultPlan().capacity_factors_at(0.0) == {}
+
+    def test_boundaries_and_next(self):
+        plan = FaultPlan([
+            FaultEvent(NicPortFlap(host="h0"), at_s=1.0, until_s=2.0),
+            FaultEvent(LinkFail(a=0, b=7), at_s=1.0),
+        ])
+        assert plan.boundaries() == (1.0, 2.0)
+        assert plan.next_boundary(0.0) == 1.0
+        assert plan.next_boundary(1.0) == 2.0
+        assert plan.next_boundary(2.0) is None
+
+    def test_overlapping_factors_multiply(self):
+        plan = FaultPlan([
+            MemoryThrottle(node=1, factor=0.5),
+            MemoryThrottle(node=1, factor=0.5),
+        ])
+        assert plan.capacity_factors_at(0.0)["ctrl-dma:1"] == pytest.approx(0.25)
+
+    def test_scaled_capacities_ignore_unknown_resources(self):
+        plan = FaultPlan([NicPortFlap(host="elsewhere")])
+        healthy = {"ctrl-dma:0": 40.0}
+        assert plan.scaled_capacities(healthy, 0.0) == healthy
+
+    def test_scaled_capacities_derate_known_resources(self):
+        plan = FaultPlan([MemoryThrottle(node=0, factor=0.5)])
+        scaled = plan.scaled_capacities({"ctrl-dma:0": 40.0, "x": 1.0}, 0.0)
+        assert scaled == {"ctrl-dma:0": 20.0, "x": 1.0}
+
+    def test_inactive_faults_do_not_derate(self):
+        plan = FaultPlan([FaultEvent(MemoryThrottle(node=0, factor=0.5), at_s=10.0)])
+        assert plan.scaled_capacities({"ctrl-dma:0": 40.0}, 5.0) == {
+            "ctrl-dma:0": 40.0
+        }
+
+    def test_apply_uses_only_topology_faults(self, bare_host):
+        plan = FaultPlan([LinkFail(a=0, b=7), NicPortFlap(host="h0")])
+        view = plan.apply(bare_host)
+        assert view.applied_faults == (LinkFail(a=0, b=7),)
+
+
+class TestFaultedMachine:
+    def test_fingerprint_changes(self, bare_host):
+        view = FaultedMachine(bare_host, [LinkFail(a=0, b=7)])
+        assert machine_fingerprint(view) != machine_fingerprint(bare_host)
+
+    def test_no_faults_still_new_name(self, bare_host):
+        view = FaultedMachine(bare_host, [])
+        assert view.name.endswith("+faults[none]")
+
+    def test_failed_link_gone(self, bare_host):
+        view = FaultedMachine(bare_host, [LinkFail(a=0, b=7)])
+        assert (0, 7) not in view.links and (7, 0) not in view.links
+        # The machine still routes around the missing cable.
+        assert view.dma_path_gbps(0, 7) > 0
+
+    def test_isolation_raises_routing_error(self, bare_host):
+        # Node 0's only physical cables on the reference host: 0-1, 0-7.
+        view = FaultedMachine(bare_host, [LinkFail(a=0, b=1), LinkFail(a=0, b=7)])
+        with pytest.raises(RoutingError):
+            view.dma_path_gbps(0, 7)
+        # Unaffected pairs still route.
+        assert view.dma_path_gbps(2, 7) > 0
+
+    def test_restore_fingerprint_identical(self, bare_host):
+        view = FaultedMachine(bare_host, [LinkFail(a=0, b=7)])
+        assert machine_fingerprint(view.restore()) == machine_fingerprint(bare_host)
+
+    def test_devices_carried_over(self, host):
+        view = FaultedMachine(host, [LinkFail(a=0, b=7)])
+        assert sorted(view.devices) == sorted(host.devices)
+        assert sorted(view.restore().devices) == sorted(host.devices)
+
+    def test_non_fault_rejected(self, bare_host):
+        with pytest.raises(FaultError):
+            FaultedMachine(bare_host, ["nope"])
+
+    def test_resource_fault_rejected_statically(self, bare_host):
+        with pytest.raises(FaultError):
+            FaultedMachine(bare_host, [NicPortFlap()])

@@ -110,3 +110,33 @@ class TestRunControl:
         assert sim.peek() is None
         sim.schedule(4.0, lambda: None)
         assert sim.peek() == 4.0
+
+
+class TestWallClockWatchdog:
+    def test_watchdog_fires_on_runaway_loop(self):
+        import time
+
+        sim = Simulator()
+
+        def rearm():
+            time.sleep(0.01)
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run(max_wall_seconds=0.05)
+        message = str(excinfo.value)
+        assert "watchdog" in message
+        assert "events still pending" in message
+        assert f"t={sim.now:g}s" in message
+
+    def test_watchdog_quiet_on_fast_runs(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_wall_seconds=30.0)
+        assert sim.steps == 10
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().run(max_wall_seconds=0.0)

@@ -1,0 +1,94 @@
+"""Batched routing + vectorized characterization benchmarks.
+
+The evidence behind BENCH_routing.json: all-pairs route computation at
+8/32/64 nodes through the batched engine, the vectorized Algorithm 1
+sweep, and the parallel ``repro-numa experiment all --jobs`` runner.
+Recorded and gated by ``scripts/bench_smoke.sh`` with the same
+pytest-benchmark machinery as BENCH_solver.json.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+from repro.core.characterize import HostCharacterizer
+from repro.rng import RngRegistry
+from repro.routing.table import RoutingTable
+from repro.topology.builders import hp_blade_32n, reference_host, scaled_host
+
+
+def _route_all_pairs(machine):
+    table = RoutingTable(machine.links)
+    count = 0
+    for plane in ("pio", "dma"):
+        for src in machine.node_ids:
+            for dst in machine.node_ids:
+                if src != dst:
+                    table.route(plane, src, dst)
+                    count += 1
+    return count
+
+
+@pytest.fixture(scope="module")
+def host8():
+    return reference_host(with_devices=False)
+
+
+@pytest.fixture(scope="module")
+def blade32():
+    return hp_blade_32n()
+
+
+@pytest.fixture(scope="module")
+def host64():
+    return scaled_host(32)  # 64 nodes, seeded credit asymmetries
+
+
+def test_perf_routing_all_pairs_8_nodes(benchmark, host8):
+    """Every (pair, plane) of the reference host via the batched engine."""
+    assert benchmark(_route_all_pairs, host8) == 2 * 8 * 7
+
+
+def test_perf_routing_all_pairs_32_nodes_batched(benchmark, blade32):
+    """Every (pair, plane) of the 32-node blade via the batched engine."""
+    assert benchmark(_route_all_pairs, blade32) == 2 * 32 * 31
+
+
+def test_perf_routing_all_pairs_64_nodes(benchmark, host64):
+    """Every (pair, plane) of a 64-node asymmetric host."""
+    assert benchmark(_route_all_pairs, host64) == 2 * 64 * 63
+
+
+def test_perf_routing_populate_64_nodes(benchmark, host64):
+    """The batch populate itself (both planes), no per-pair lookups."""
+
+    def populate_both():
+        table = RoutingTable(host64.links)
+        table.populate("pio")
+        table.populate("dma")
+        return table
+
+    benchmark(populate_both)
+
+
+def test_perf_iomodel_sweep_32_nodes(benchmark, blade32):
+    """Vectorized Algorithm 1: both modes for two targets in one sweep."""
+
+    def sweep():
+        characterizer = HostCharacterizer(
+            blade32, registry=RngRegistry(), runs=25
+        )
+        return characterizer.characterize_many((0, 16))
+
+    results = benchmark(sweep)
+    assert sorted(results) == [0, 16]
+
+
+def test_perf_experiment_all_two_jobs(benchmark):
+    """The parallel CLI runner: all 21 quick experiments, two workers."""
+
+    def run_all():
+        return main(["experiment", "all", "--quick", "--jobs", "2"])
+
+    assert benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0) == 0

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Gate a fresh pytest-benchmark run against a committed baseline.
+
+Usage::
+
+    python scripts/bench_gate.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Benchmarks are matched by name.  A benchmark whose current mean exceeds
+the baseline mean by more than ``tolerance`` (relative) is a regression
+and fails the gate (exit 1).  Improvements and new benchmarks pass;
+benchmarks present only in the baseline are reported as missing but do
+not fail (suites grow and shrink deliberately, via commits).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench["stats"]["mean"] for bench in data["benchmarks"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json snapshot")
+    parser.add_argument("current", help="freshly recorded benchmark JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative mean increase before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+
+    regressions = []
+    print(f"benchmark gate: {args.current} vs {args.baseline} "
+          f"(tolerance +{args.tolerance:.0%})")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"  {name:50s} MISSING from current run")
+            continue
+        if name not in baseline:
+            print(f"  {name:50s} NEW {current[name] * 1e3:8.2f} ms")
+            continue
+        old, new = baseline[name], current[name]
+        delta = (new - old) / old
+        status = "FAIL" if delta > args.tolerance else "ok"
+        print(f"  {name:50s} {old * 1e3:8.2f} -> {new * 1e3:8.2f} ms "
+              f"({delta:+7.1%}) {status}")
+        if delta > args.tolerance:
+            regressions.append((name, delta))
+
+    if regressions:
+        names = ", ".join(f"{n} ({d:+.0%})" for n, d in regressions)
+        print(f"FAIL: benchmark regression beyond tolerance: {names}")
+        return 1
+    print("OK: no benchmark regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

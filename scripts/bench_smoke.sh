@@ -1,27 +1,55 @@
 #!/usr/bin/env sh
-# Solver-layer benchmark smoke: run the library-performance suite under
-# pytest-benchmark and snapshot the results to BENCH_solver.json at the
-# repo root.  Compare against a previous snapshot with
-#   PYTHONPATH=src python -m pytest benchmarks/bench_library_performance.py \
-#       --benchmark-compare
-# or just diff the min/mean fields of two json files.
+# Benchmark smoke with regression gating.
+#
+# Runs the solver-layer and routing-engine benchmark suites under
+# pytest-benchmark, compares the fresh means against the committed
+# BENCH_solver.json / BENCH_routing.json baselines (scripts/bench_gate.py,
+# tolerance +25%), and only installs the fresh snapshots at the repo root
+# once both gates pass.  A benchmark whose mean regressed by more than the
+# tolerance fails the script; improvements and new benchmarks pass.
+#
+# Pass BENCH_TOLERANCE=0.40 (etc.) in the environment to loosen the gate
+# on noisy machines.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+TOLERANCE="${BENCH_TOLERANCE:-0.25}"
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+
 PYTHONPATH=src python -m pytest benchmarks/bench_library_performance.py \
-    -q --benchmark-only --benchmark-json=BENCH_solver.json "$@"
+    -q --benchmark-only --benchmark-json="$TMPDIR_BENCH/solver.json" "$@"
+
+PYTHONPATH=src python -m pytest benchmarks/bench_routing_engine.py \
+    -q --benchmark-only --benchmark-json="$TMPDIR_BENCH/routing.json" "$@"
+
+# Gate each fresh run against its committed baseline before snapshotting.
+for suite in solver routing; do
+    baseline="BENCH_${suite}.json"
+    fresh="$TMPDIR_BENCH/${suite}.json"
+    if [ -f "$baseline" ]; then
+        PYTHONPATH=src python scripts/bench_gate.py "$baseline" "$fresh" \
+            --tolerance "$TOLERANCE"
+    else
+        echo "no committed $baseline baseline; recording a first snapshot"
+    fi
+done
+
+cp "$TMPDIR_BENCH/solver.json" BENCH_solver.json
+cp "$TMPDIR_BENCH/routing.json" BENCH_routing.json
 
 PYTHONPATH=src python - <<'EOF'
 import json
 
-with open("BENCH_solver.json") as fh:
-    data = json.load(fh)
-print("\nBENCH_solver.json snapshot:")
-for bench in sorted(data["benchmarks"], key=lambda b: b["name"]):
-    stats = bench["stats"]
-    print(f"  {bench['name']:45s} mean {stats['mean'] * 1e3:8.2f} ms  "
-          f"min {stats['min'] * 1e3:8.2f} ms")
+for path in ("BENCH_solver.json", "BENCH_routing.json"):
+    with open(path) as fh:
+        data = json.load(fh)
+    print(f"\n{path} snapshot:")
+    for bench in sorted(data["benchmarks"], key=lambda b: b["name"]):
+        stats = bench["stats"]
+        print(f"  {bench['name']:50s} mean {stats['mean'] * 1e3:8.2f} ms  "
+              f"min {stats['min'] * 1e3:8.2f} ms")
 EOF
 
 # Fault-layer overhead gate: the fault subsystem is strictly opt-in, so a

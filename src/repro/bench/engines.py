@@ -40,6 +40,7 @@ __all__ = [
     "link_resource",
     "link_capacities",
     "bulk_copy_gbps",
+    "bulk_copy_gbps_many",
     "device_service_levels",
     "OVERSUBSCRIPTION_EXPONENT",
 ]
@@ -87,6 +88,28 @@ def device_service_levels(
     return levels
 
 
+def _bulk_copy_flows(machine: Machine, src: int, dst: int, threads: int) -> list[Flow]:
+    """The per-thread DMA-context flow list of one bulk copy src -> dst."""
+    if threads < 1:
+        raise BenchmarkError(f"need >= 1 copy thread, got {threads}")
+    src_ctrl = MemoryController(src, 0, 0).dma_resource
+    dst_ctrl = MemoryController(dst, 0, 0).dma_resource
+    resources = [src_ctrl]
+    if dst_ctrl != src_ctrl:
+        resources.append(dst_ctrl)
+    if src != dst:
+        for link in machine.path(PLANE_DMA, src, dst).links:
+            resources.append(link_resource(*link.ends))
+    return [
+        Flow(
+            name=f"copy/t{i}",
+            resources=tuple(resources),
+            demand_gbps=machine.params.dma_per_thread_gbps,
+        )
+        for i in range(threads)
+    ]
+
+
 def bulk_copy_gbps(
     machine: Machine,
     src: int,
@@ -103,27 +126,27 @@ def bulk_copy_gbps(
     through the machine's :class:`~repro.solver.session.SolverSession`
     (pass ``session`` to share one across a characterization run).
     """
-    if threads < 1:
-        raise BenchmarkError(f"need >= 1 copy thread, got {threads}")
     session = session if session is not None else get_session(machine)
-    src_ctrl = MemoryController(src, 0, 0).dma_resource
-    dst_ctrl = MemoryController(dst, 0, 0).dma_resource
-    resources = [src_ctrl]
-    if dst_ctrl != src_ctrl:
-        resources.append(dst_ctrl)
-    if src != dst:
-        for link in machine.path(PLANE_DMA, src, dst).links:
-            resources.append(link_resource(*link.ends))
-    flows = [
-        Flow(
-            name=f"copy/t{i}",
-            resources=tuple(resources),
-            demand_gbps=machine.params.dma_per_thread_gbps,
-        )
-        for i in range(threads)
-    ]
-    rates = session.rates(flows)
+    rates = session.rates(_bulk_copy_flows(machine, src, dst, threads))
     return sum(rates.values())
+
+
+def bulk_copy_gbps_many(
+    machine: Machine,
+    pairs,
+    threads: int,
+    session: SolverSession | None = None,
+) -> list[float]:
+    """:func:`bulk_copy_gbps` for many ``(src, dst)`` pairs in one batch.
+
+    All capacity queries go through the session's
+    :meth:`~repro.solver.session.SolverSession.rates_many`, so a dense
+    Algorithm 1 sweep pays one stats phase and one capacity lookup for
+    the whole node loop.  Values are identical to per-pair calls.
+    """
+    session = session if session is not None else get_session(machine)
+    problems = [_bulk_copy_flows(machine, src, dst, threads) for src, dst in pairs]
+    return [sum(rates.values()) for rates in session.rates_many(problems)]
 
 
 @dataclass(frozen=True)

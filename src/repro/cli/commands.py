@@ -221,8 +221,32 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _experiment_worker(task: tuple[str, bool]) -> tuple[str, bool, str, str, list[str], float]:
+    """Run one experiment in a worker process; returns primitives only.
+
+    ``ExperimentResult.data`` can hold arbitrary objects, so workers
+    pre-render everything the parent prints or writes and ship strings
+    back across the process boundary.
+    """
+    import time
+
+    exp_id, quick = task
+    start = time.perf_counter()
+    result = run_experiment(exp_id, quick=quick)
+    wall_s = time.perf_counter() - start
+    failed_lines = [c.render() for c in result.failed_checks()]
+    return (exp_id, result.passed, result.title, result.render(), failed_lines, wall_s)
+
+
 def _run_all_experiments(args: argparse.Namespace) -> int:
-    """``repro-numa experiment all [--outdir DIR]``."""
+    """``repro-numa experiment all [--outdir DIR] [--jobs N]``.
+
+    Without ``--jobs`` the experiments run sequentially with the
+    historical output format.  With ``--jobs N`` they fan out over a
+    multiprocessing pool; results are merged back in registry order
+    (deterministic regardless of completion order) and the report gains
+    a per-experiment wall-time column.
+    """
     import pathlib
 
     from repro.experiments import EXPERIMENTS
@@ -230,19 +254,50 @@ def _run_all_experiments(args: argparse.Namespace) -> int:
     outdir = pathlib.Path(args.outdir) if args.outdir else None
     if outdir is not None:
         outdir.mkdir(parents=True, exist_ok=True)
+    jobs = getattr(args, "jobs", None)
     failed = []
-    for exp_id in EXPERIMENTS:
-        result = run_experiment(exp_id, quick=args.quick)
-        status = "PASS" if result.passed else "FAIL"
-        print(f"{exp_id:5s} {status}  {result.title}")
-        if not result.passed:
-            failed.append(exp_id)
-            for check in result.failed_checks():
-                print(f"      {check.render()}")
-        if outdir is not None:
-            (outdir / f"{exp_id}.txt").write_text(
-                result.render() + "\n", encoding="utf-8"
-            )
+    if jobs is None:
+        for exp_id in EXPERIMENTS:
+            result = run_experiment(exp_id, quick=args.quick)
+            status = "PASS" if result.passed else "FAIL"
+            print(f"{exp_id:5s} {status}  {result.title}")
+            if not result.passed:
+                failed.append(exp_id)
+                for check in result.failed_checks():
+                    print(f"      {check.render()}")
+            if outdir is not None:
+                (outdir / f"{exp_id}.txt").write_text(
+                    result.render() + "\n", encoding="utf-8"
+                )
+    else:
+        if jobs < 1:
+            raise ReproError(f"--jobs must be >= 1, got {jobs}")
+        import time
+
+        tasks = [(exp_id, args.quick) for exp_id in EXPERIMENTS]
+        start = time.perf_counter()
+        if jobs == 1:
+            outcomes = [_experiment_worker(t) for t in tasks]
+        else:
+            import multiprocessing
+
+            with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+                outcomes = pool.map(_experiment_worker, tasks)
+        total_s = time.perf_counter() - start
+        for exp_id, passed, title, rendered, failed_lines, wall_s in outcomes:
+            status = "PASS" if passed else "FAIL"
+            print(f"{exp_id:5s} {status}  {wall_s:6.2f} s  {title}")
+            if not passed:
+                failed.append(exp_id)
+                for line in failed_lines:
+                    print(f"      {line}")
+            if outdir is not None:
+                (outdir / f"{exp_id}.txt").write_text(rendered + "\n", encoding="utf-8")
+        busy_s = sum(o[5] for o in outcomes)
+        print(
+            f"{len(outcomes)} experiments in {total_s:.2f} s wall "
+            f"({busy_s:.2f} s of experiment time, {jobs} jobs)"
+        )
     if outdir is not None:
         print(f"artifacts written to {outdir}/")
     if failed:

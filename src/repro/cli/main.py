@@ -104,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the structured result data to this file")
     p.add_argument("--outdir",
                    help="with 'all': write each artifact to <outdir>/<id>.txt")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="with 'all': run experiments in N worker processes "
+                        "(deterministic merge order, per-experiment wall time)")
     p.set_defaults(func=commands.cmd_experiment)
 
     p = sub.add_parser(

@@ -153,19 +153,35 @@ class HostCharacterizer:
 
     def characterize(self, target_node: int) -> HostCharacterization:
         """Write+read models for ``target_node``."""
-        write_model, read_model = self.builder.build_both(target_node)
-        return HostCharacterization(
-            machine_name=self.machine.name,
-            target_node=target_node,
-            write_model=write_model,
-            read_model=read_model,
-        )
+        return self.characterize_many((target_node,))[target_node]
+
+    def characterize_many(
+        self, nodes: "tuple[int, ...] | list[int]"
+    ) -> dict[int, HostCharacterization]:
+        """Write+read models for several targets in one vectorized sweep.
+
+        All targets' capacity probes go through the solver session in
+        one batch per mode (:meth:`IOModelBuilder.build_many`); results
+        are identical to characterising the nodes one by one.
+        """
+        targets = tuple(nodes)
+        write_models = self.builder.build_many(targets, "write")
+        read_models = self.builder.build_many(targets, "read")
+        return {
+            node: HostCharacterization(
+                machine_name=self.machine.name,
+                target_node=node,
+                write_model=write_models[node],
+                read_model=read_models[node],
+            )
+            for node in targets
+        }
 
     def characterize_devices(self) -> dict[int, HostCharacterization]:
-        """Characterise every device-attached node."""
+        """Characterise every device-attached node (one batched sweep)."""
         nodes = self.device_nodes()
         if not nodes:
             raise ModelError(
                 f"machine {self.machine.name!r} has no devices to characterise"
             )
-        return {node: self.characterize(node) for node in nodes}
+        return self.characterize_many(nodes)

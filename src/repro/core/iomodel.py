@@ -17,7 +17,9 @@ TCP/RDMA/SSD runs.
 
 from __future__ import annotations
 
-from repro.bench.engines import bulk_copy_gbps
+import numpy as np
+
+from repro.bench.engines import bulk_copy_gbps, bulk_copy_gbps_many
 from repro.bench.results import Measurement
 from repro.core.classify import classify_nodes
 from repro.core.model import IOPerformanceModel
@@ -65,6 +67,8 @@ class IOModelBuilder:
     ) -> None:
         if runs < 1:
             raise ModelError(f"runs must be >= 1, got {runs}")
+        if sigma < 0:
+            raise ModelError(f"noise sigma must be >= 0, got {sigma}")
         if buffer_bytes < 4 * machine.params.llc_bytes:
             raise ModelError(
                 f"copy buffers must be >= 4x LLC ({4 * machine.params.llc_bytes} "
@@ -118,24 +122,93 @@ class IOModelBuilder:
             libnuma.numa_free(allocator, snk)
             libnuma.numa_free(allocator, src)
 
-    def build(self, target_node: int, mode: str) -> IOPerformanceModel:
-        """The full Algorithm 1 loop over every node ``i``."""
-        machine = self.machine
-        if target_node not in machine.node_ids:
-            raise ModelError(f"unknown target node {target_node}")
-        values = {
-            i: self.measure_pair(i, target_node, mode).gbps for i in machine.node_ids
-        }
-        classes = classify_nodes(values, machine, target_node, rel_gap=self.rel_gap)
-        return IOPerformanceModel(
-            machine_name=machine.name,
-            target_node=target_node,
-            mode=mode,
-            values=values,
-            classes=classes,
-            threads=self.threads_per_node(),
-            runs=self.runs,
+    def _noise_matrix(self, target_node: int, mode: str, m: int) -> "np.ndarray":
+        """The (nodes x runs) noise matrix of one model, one ``exp`` call.
+
+        Each node keeps its own registry stream
+        (``iomodel/{mode}/k…-i…-m…``) and the draws match
+        :class:`~repro.osmodel.noise.NoiseModel` row by row, so the
+        vectorized sweep stays bit-identical to per-pair measurement.
+        """
+        if self.sigma == 0:
+            return np.ones((self.machine.n_nodes, self.runs))
+        mu = -0.5 * self.sigma * self.sigma
+        return np.exp(
+            np.stack(
+                [
+                    self.registry.stream(
+                        f"iomodel/{mode}/k{target_node}-i{i}-m{m}"
+                    ).normal(mu, self.sigma, size=self.runs)
+                    for i in self.machine.node_ids
+                ]
+            )
         )
+
+    def build(self, target_node: int, mode: str) -> IOPerformanceModel:
+        """The full Algorithm 1 loop over every node ``i``, vectorized."""
+        return self.build_many((target_node,), mode)[target_node]
+
+    def build_many(
+        self, targets: "tuple[int, ...] | list[int]", mode: str
+    ) -> dict[int, IOPerformanceModel]:
+        """Algorithm 1 for several target nodes in one batched sweep.
+
+        Semantically the per-node :meth:`measure_pair` loop per target,
+        executed as a sweep: buffer allocation and thread binding still
+        happen per (node, target) probe — so a node without memory fails
+        exactly as before — but every bulk-copy capacity query of the
+        whole sweep goes through the solver session in one
+        :meth:`~repro.solver.session.SolverSession.rates_many` batch,
+        and each model's noise matrix is drawn with a single vectorized
+        ``exp``.  Values are bit-identical to node-by-node measurement.
+        """
+        machine = self.machine
+        for target_node in targets:
+            if target_node not in machine.node_ids:
+                raise ModelError(f"unknown target node {target_node}")
+        if mode not in ("write", "read"):
+            raise ModelError(f"mode must be 'write' or 'read', got {mode!r}")
+        m = self.threads_per_node()
+        copy_pairs = []
+        for target_node in targets:
+            for i in machine.node_ids:
+                allocator = PageAllocator(machine)
+                src_node, dst_node = (
+                    (i, target_node) if mode == "write" else (target_node, i)
+                )
+                src = libnuma.numa_alloc_onnode(
+                    allocator, m * self.buffer_bytes, src_node
+                )
+                snk = libnuma.numa_alloc_onnode(
+                    allocator, m * self.buffer_bytes, dst_node
+                )
+                try:
+                    libnuma.numa_run_on_node(machine, target_node)
+                    copy_pairs.append((src_node, dst_node))
+                finally:
+                    libnuma.numa_free(allocator, snk)
+                    libnuma.numa_free(allocator, src)
+        bases = bulk_copy_gbps_many(machine, copy_pairs, m, session=self.session)
+        n = machine.n_nodes
+        models: dict[int, IOPerformanceModel] = {}
+        for t_idx, target_node in enumerate(targets):
+            base_row = np.asarray(bases[t_idx * n:(t_idx + 1) * n])
+            samples = base_row[:, None] * self._noise_matrix(target_node, mode, m)
+            values = {
+                i: Measurement.from_samples(samples[row], protocol="mean").gbps
+                for row, i in enumerate(machine.node_ids)
+            }
+            classes = classify_nodes(values, machine, target_node, rel_gap=self.rel_gap)
+            models[target_node] = IOPerformanceModel(
+                machine_name=machine.name,
+                target_node=target_node,
+                mode=mode,
+                values=values,
+                classes=classes,
+                threads=m,
+                runs=self.runs,
+            )
+        return models
 
     def build_both(self, target_node: int) -> tuple[IOPerformanceModel, IOPerformanceModel]:
         """Write and read models for one target (the Fig. 10 pair)."""

@@ -9,7 +9,8 @@ deterministic.  Explicit per-pair overrides are supported for machines
 whose BIOS programs something the heuristic would not pick.
 """
 
+from repro.routing.batch import batch_routes
 from repro.routing.paths import Path
-from repro.routing.table import RoutingTable, enumerate_min_hop_routes
+from repro.routing.table import RoutingTable, enumerate_min_hop_routes, select_route
 
-__all__ = ["Path", "RoutingTable", "enumerate_min_hop_routes"]
+__all__ = ["Path", "RoutingTable", "batch_routes", "enumerate_min_hop_routes", "select_route"]

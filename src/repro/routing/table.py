@@ -21,6 +21,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import RoutingError, TopologyError
 from repro.interconnect.link import DirectedLink
 from repro.interconnect.planes import PLANE_DMA, PLANE_PIO, Plane, validate_plane
+from repro.routing.batch import batch_routes
 
 __all__ = ["RoutingTable", "enumerate_min_hop_routes", "select_route"]
 
@@ -38,13 +39,15 @@ def _adjacency(links: LinkMap) -> dict[int, list[int]]:
 
 
 def enumerate_min_hop_routes(
-    links: LinkMap, src: int, dst: int
+    links: LinkMap, src: int, dst: int, adj: dict[int, list[int]] | None = None
 ) -> list[tuple[int, ...]]:
     """All directed routes from ``src`` to ``dst`` with minimal hop count.
 
     Uses a BFS distance labelling followed by a predecessor walk.  The
     result is sorted lexicographically, so callers that pick the first
-    element of a filtered subset stay deterministic.
+    element of a filtered subset stay deterministic.  Callers holding a
+    cached adjacency map (:attr:`RoutingTable.adjacency`) pass it as
+    ``adj`` to skip the rebuild.
 
     Raises
     ------
@@ -53,7 +56,8 @@ def enumerate_min_hop_routes(
     """
     if src == dst:
         return [(src,)]
-    adj = _adjacency(links)
+    if adj is None:
+        adj = _adjacency(links)
     if src not in adj or dst not in adj:
         raise RoutingError(f"unknown endpoint in route request {src}->{dst}")
 
@@ -97,7 +101,8 @@ def _route_links(
 
 
 def select_route(
-    links: LinkMap, plane: Plane, src: int, dst: int
+    links: LinkMap, plane: Plane, src: int, dst: int,
+    adj: dict[int, list[int]] | None = None,
 ) -> tuple[int, ...]:
     """Pick the route a static routing register would hold.
 
@@ -110,7 +115,7 @@ def select_route(
     finally lexicographically smallest node sequence.
     """
     validate_plane(plane)
-    candidates = enumerate_min_hop_routes(links, src, dst)
+    candidates = enumerate_min_hop_routes(links, src, dst, adj=adj)
     if len(candidates) == 1:
         return candidates[0]
 
@@ -142,6 +147,52 @@ class RoutingTable:
         self._links = links
         self._overrides: dict[tuple[Plane, int, int], tuple[int, ...]] = {}
         self._cache: dict[tuple[Plane, int, int], tuple[int, ...]] = {}
+        self._adj: dict[int, list[int]] | None = None
+        self._populated: set[Plane] = set()
+
+    @property
+    def adjacency(self) -> dict[int, list[int]]:
+        """The link map's adjacency structure, built once and cached.
+
+        The link map is immutable once routing begins (see the class
+        docstring), so the adjacency never needs invalidation.
+        """
+        if self._adj is None:
+            self._adj = _adjacency(self._links)
+        return self._adj
+
+    def populate(
+        self, plane: Plane, nodes: Iterable[int] | None = None, strict: bool = True
+    ) -> None:
+        """Batch-compute every pair's route for ``plane`` in one pass.
+
+        One BFS per source node plus a dynamic program over the BFS
+        layer DAG (:mod:`repro.routing.batch`) fills the route cache
+        with answers bit-identical to :func:`select_route`; explicit
+        overrides installed with :meth:`set_route` still win on lookup.
+
+        Parameters
+        ----------
+        plane:
+            Traffic plane to populate.
+        nodes:
+            Endpoints to cover (default: every node with a link).
+        strict:
+            When true, a pair with no route — a partitioned fabric —
+            raises :class:`~repro.errors.RoutingError` naming the pair;
+            when false such pairs are left uncached and per-pair lookups
+            keep raising lazily, as before.
+        """
+        validate_plane(plane)
+        routes = batch_routes(
+            self._links, plane, nodes=nodes, adj=self.adjacency, strict=strict
+        )
+        for (src, dst), hops in routes.items():
+            key = (plane, src, dst)
+            if key not in self._overrides:
+                self._cache[key] = hops
+        if nodes is None:
+            self._populated.add(plane)
 
     def set_route(self, plane: Plane, hops: Iterable[int]) -> None:
         """Install an explicit route (overrides the heuristic).
@@ -159,14 +210,28 @@ class RoutingTable:
         self._cache.pop(key, None)
 
     def route(self, plane: Plane, src: int, dst: int) -> tuple[int, ...]:
-        """The node sequence traffic takes from ``src`` to ``dst``."""
+        """The node sequence traffic takes from ``src`` to ``dst``.
+
+        The first lookup on a plane batch-populates every pair's route
+        (non-strict, so partitioned fabrics still fail lazily per pair);
+        later lookups are dictionary hits.
+        """
         validate_plane(plane)
         key = (plane, src, dst)
-        if key in self._overrides:
-            return self._overrides[key]
-        if key not in self._cache:
-            self._cache[key] = select_route(self._links, plane, src, dst)
-        return self._cache[key]
+        hit = self._overrides.get(key)
+        if hit is not None:
+            return hit
+        hit = self._cache.get(key)
+        if hit is None:
+            if plane not in self._populated:
+                self.populate(plane, strict=False)
+                hit = self._cache.get(key)
+            if hit is None:
+                # Unknown or unreachable endpoints: the per-pair path
+                # raises the precise RoutingError for this pair.
+                hit = select_route(self._links, plane, src, dst, adj=self.adjacency)
+                self._cache[key] = hit
+        return hit
 
     def route_links(self, plane: Plane, src: int, dst: int) -> tuple[DirectedLink, ...]:
         """The directed links along :meth:`route`."""

@@ -94,6 +94,22 @@ class SolverSession:
         with self.stats.phase("allocate"):
             return self._alloc.rates(flows, caps)
 
+    def rates_many(
+        self,
+        problems: Iterable[Iterable],
+        capacities: Mapping[str, float] | None = None,
+    ) -> list[dict[str, float]]:
+        """Max-min rates for several flow lists under one ``allocate`` phase.
+
+        The batched entry point for characterization sweeps: one stats
+        phase and one capacity lookup cover the whole batch, and every
+        problem still lands in (and reuses) the shared allocation cache.
+        Results are returned in problem order.
+        """
+        caps = capacities if capacities is not None else self._fabric_capacities()
+        with self.stats.phase("allocate"):
+            return [self._alloc.rates(flows, caps) for flows in problems]
+
     def network(self, capacities: Mapping[str, float] | None = None) -> FlowNetwork:
         """A :class:`FlowNetwork` sharing this session's cache and stats."""
         caps = capacities if capacities is not None else self._fabric_capacities()

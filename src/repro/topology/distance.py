@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.routing.batch import bfs_layers
 from repro.topology.machine import Machine
 
 __all__ = ["hop_matrix", "distance_matrix"]
@@ -24,10 +25,11 @@ def hop_matrix(machine: Machine) -> np.ndarray:
     """Minimal hop counts between all node pairs (undirected reachability).
 
     Returns an ``(n, n)`` integer array indexed by position in
-    ``machine.node_ids``.  Machines are immutable, so the BFS result is
-    cached on the machine object (callers get a fresh copy each time);
-    edited copies from :mod:`repro.topology.modify` are new objects and
-    recompute.
+    ``machine.node_ids``.  One :func:`~repro.routing.batch.bfs_layers`
+    sweep per source over an undirected view of the fabric.  Machines
+    are immutable, so the result is cached on the machine object
+    (callers get a fresh copy each time); edited copies from
+    :mod:`repro.topology.modify` are new objects and recompute.
     """
     cached = getattr(machine, _HOP_CACHE_ATTR, None)
     if cached is not None:
@@ -41,16 +43,7 @@ def hop_matrix(machine: Machine) -> np.ndarray:
         adj[src].add(dst)
         adj[dst].add(src)
     for start in ids:
-        seen = {start: 0}
-        frontier = [start]
-        while frontier:
-            nxt = []
-            for here in frontier:
-                for there in adj[here]:
-                    if there not in seen:
-                        seen[there] = seen[here] + 1
-                        nxt.append(there)
-            frontier = nxt
+        seen, _layers = bfs_layers(adj, start)
         for nid, hops in seen.items():
             dist[index[start], index[nid]] = hops
     if (dist < 0).any():

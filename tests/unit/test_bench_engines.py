@@ -6,6 +6,7 @@ from repro.bench.engines import (
     DeviceIOEngine,
     MemcpyEngine,
     bulk_copy_gbps,
+    bulk_copy_gbps_many,
     link_capacities,
     link_resource,
     resolve_placements,
@@ -35,6 +36,15 @@ class TestBulkCopy:
     def test_threads_must_be_positive(self, host):
         with pytest.raises(BenchmarkError):
             bulk_copy_gbps(host, 0, 7, threads=0)
+
+    def test_batched_pairs_match_per_pair_calls(self, host):
+        pairs = [(i, 7) for i in host.node_ids] + [(7, i) for i in host.node_ids]
+        batched = bulk_copy_gbps_many(host, pairs, threads=4)
+        assert batched == [bulk_copy_gbps(host, s, d, threads=4) for s, d in pairs]
+
+    def test_batched_threads_must_be_positive(self, host):
+        with pytest.raises(BenchmarkError):
+            bulk_copy_gbps_many(host, [(0, 7)], threads=0)
 
     def test_link_capacities_cover_all_links(self, host):
         caps = link_capacities(host)

@@ -38,6 +38,25 @@ class TestExperimentJson:
         assert "t1.txt" in files and "fw2.txt" in files
         assert len(files) == 21
 
+    def test_all_with_jobs_merges_in_registry_order(self, tmp_path, capsys):
+        outdir = tmp_path / "artifacts"
+        assert main(["experiment", "all", "--quick", "--jobs", "2",
+                     "--outdir", str(outdir)]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if " PASS " in line]
+        assert [line.split()[0] for line in lines] == [
+            "t1", "t2", "t3", "f3", "f4", "f5", "f6", "f7", "f10",
+            "t4", "t5", "eq1", "s1",
+            "a1", "a2", "a3", "a4", "a5", "a6", "fw1", "fw2",
+        ]
+        # Per-experiment wall time column plus the wall-clock summary.
+        assert all(" s  " in line for line in lines)
+        assert "21 experiments in" in out
+        assert len(list(outdir.glob("*.txt"))) == 21
+
+    def test_all_rejects_nonpositive_jobs(self, capsys):
+        assert main(["experiment", "all", "--quick", "--jobs", "0"]) == 2
+
 
 class TestOnlineTraces:
     def test_save_then_replay(self, tmp_path, capsys):

@@ -22,6 +22,13 @@ class TestCharacterize:
         assert result.read_model.mode == "read"
         assert result.target_node == 7
 
+    def test_characterize_many_matches_one_by_one(self, characterizer):
+        swept = characterizer.characterize_many((0, 7))
+        for node in (0, 7):
+            single = characterizer.characterize(node)
+            assert swept[node].write_model.values == single.write_model.values
+            assert swept[node].read_model.values == single.read_model.values
+
     def test_cost_accounting(self, characterizer):
         result = characterizer.characterize(7)
         # 3 write classes + 4 read classes vs 16 exhaustive probes.

@@ -33,6 +33,33 @@ class TestBuilder:
         with pytest.raises(ModelError):
             IOModelBuilder(host).build(42, "write")
 
+    def test_build_mode_validated(self, host):
+        with pytest.raises(ModelError):
+            IOModelBuilder(host).build(7, "sideways")
+
+    def test_negative_sigma_rejected(self, host):
+        with pytest.raises(ModelError):
+            IOModelBuilder(host, sigma=-0.1)
+
+    def test_vectorized_build_matches_measure_pair_loop(self, host, registry):
+        builder = IOModelBuilder(host, registry=registry, runs=10)
+        for mode in ("write", "read"):
+            model = builder.build(7, mode)
+            assert model.values == {
+                i: builder.measure_pair(i, 7, mode).gbps for i in host.node_ids
+            }
+
+    def test_build_many_matches_single_builds(self, host, registry):
+        builder = IOModelBuilder(host, registry=registry, runs=10)
+        swept = builder.build_many((0, 7), "write")
+        assert sorted(swept) == [0, 7]
+        for target in (0, 7):
+            assert swept[target].values == builder.build(target, "write").values
+
+    def test_build_many_unknown_target_rejected(self, host):
+        with pytest.raises(ModelError):
+            IOModelBuilder(host).build_many((7, 42), "write")
+
 
 class TestModels:
     def test_write_model_matches_paper(self, host, registry):

@@ -112,3 +112,50 @@ class TestRoutingTable:
         table = RoutingTable(diamond)
         with pytest.raises(TopologyError):
             table.set_route(PLANE_DMA, (0,))
+
+    def test_route_unknown_endpoint_raises(self, diamond):
+        table = RoutingTable(diamond)
+        with pytest.raises(RoutingError):
+            table.route(PLANE_DMA, 0, 99)
+
+
+class TestPopulate:
+    def test_populate_matches_select_route(self, diamond):
+        table = RoutingTable(diamond)
+        table.populate(PLANE_DMA)
+        table.populate(PLANE_PIO)
+        for plane in (PLANE_DMA, PLANE_PIO):
+            for src in range(4):
+                for dst in range(4):
+                    assert table.route(plane, src, dst) == select_route(
+                        diamond, plane, src, dst
+                    )
+
+    def test_populate_respects_prior_override(self, diamond):
+        table = RoutingTable(diamond)
+        table.set_route(PLANE_DMA, (0, 2, 3))
+        table.populate(PLANE_DMA)
+        assert table.route(PLANE_DMA, 0, 3) == (0, 2, 3)
+
+    def test_override_after_populate_wins(self, diamond):
+        table = RoutingTable(diamond)
+        table.populate(PLANE_DMA)
+        table.set_route(PLANE_DMA, (0, 2, 3))
+        assert table.route(PLANE_DMA, 0, 3) == (0, 2, 3)
+
+    def test_populate_unknown_node_raises(self, diamond):
+        table = RoutingTable(diamond)
+        with pytest.raises(RoutingError):
+            table.populate(PLANE_DMA, nodes=(0, 1, 2, 3, 99))
+
+    def test_populate_disconnected_names_pair(self):
+        links = _links((0, 1, {}))
+        links.update(_links((5, 6, {})))
+        table = RoutingTable(links)
+        with pytest.raises(RoutingError, match="no route from node 0 to node 5"):
+            table.populate(PLANE_DMA)
+
+    def test_adjacency_is_cached(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.adjacency is table.adjacency
+        assert table.adjacency[0] == [1, 2]

@@ -143,6 +143,23 @@ class TestAllocationMemoization:
         assert session.stats.solves == 1
         assert session.stats.cache_hits == 1
 
+    def test_rates_many_matches_sequential_rates(self, bare_host):
+        session = SolverSession(bare_host)
+        problems = [
+            [Flow(name=f"f{i}", resources=(f"ctrl-dma:{i}",), demand_gbps=4.0 + i)]
+            for i in range(4)
+        ]
+        batched = session.rates_many(problems)
+        reference = SolverSession(bare_host)
+        assert batched == [reference.rates(flows) for flows in problems]
+
+    def test_rates_many_shares_the_allocation_cache(self, bare_host):
+        session = SolverSession(bare_host)
+        flows = [Flow(name="a", resources=("ctrl-dma:0",), demand_gbps=5.0)]
+        session.rates_many([flows, flows, flows])
+        assert session.stats.solves == 1
+        assert session.stats.cache_hits == 2
+
     def test_path_lookups_memoized(self, bare_host):
         session = SolverSession(bare_host)
         for _ in range(3):

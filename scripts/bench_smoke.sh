@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Benchmark smoke with regression gating.
 #
-# Runs the solver-layer and routing-engine benchmark suites under
-# pytest-benchmark, compares the fresh means against the committed
-# BENCH_solver.json / BENCH_routing.json baselines (scripts/bench_gate.py,
-# tolerance +25%), and only installs the fresh snapshots at the repo root
-# once both gates pass.  A benchmark whose mean regressed by more than the
+# Runs the solver-layer, routing-engine, and per-figure experiment
+# benchmark suites under pytest-benchmark, compares the fresh means
+# against the committed BENCH_solver.json / BENCH_routing.json /
+# BENCH_experiments.json baselines (scripts/bench_gate.py, tolerance
+# +25%), and only installs the fresh snapshots at the repo root once
+# every gate passes.  A benchmark whose mean regressed by more than the
 # tolerance fails the script; improvements and new benchmarks pass.
 #
 # Pass BENCH_TOLERANCE=0.40 (etc.) in the environment to loosen the gate
@@ -24,8 +25,21 @@ PYTHONPATH=src python -m pytest benchmarks/bench_library_performance.py \
 PYTHONPATH=src python -m pytest benchmarks/bench_routing_engine.py \
     -q --benchmark-only --benchmark-json="$TMPDIR_BENCH/routing.json" "$@"
 
+PYTHONPATH=src python -m pytest \
+    benchmarks/bench_fig3_stream_matrix.py \
+    benchmarks/bench_fig4_node7_models.py \
+    benchmarks/bench_fig5_tcp.py \
+    benchmarks/bench_fig6_rdma.py \
+    benchmarks/bench_fig7_ssd.py \
+    benchmarks/bench_fig10_iomodel.py \
+    benchmarks/bench_table1_numa_factor.py \
+    benchmarks/bench_table2_table3_configs.py \
+    benchmarks/bench_table4_write_model.py \
+    benchmarks/bench_table5_read_model.py \
+    -q --benchmark-only --benchmark-json="$TMPDIR_BENCH/experiments.json" "$@"
+
 # Gate each fresh run against its committed baseline before snapshotting.
-for suite in solver routing; do
+for suite in solver routing experiments; do
     baseline="BENCH_${suite}.json"
     fresh="$TMPDIR_BENCH/${suite}.json"
     if [ -f "$baseline" ]; then
@@ -38,11 +52,12 @@ done
 
 cp "$TMPDIR_BENCH/solver.json" BENCH_solver.json
 cp "$TMPDIR_BENCH/routing.json" BENCH_routing.json
+cp "$TMPDIR_BENCH/experiments.json" BENCH_experiments.json
 
 PYTHONPATH=src python - <<'EOF'
 import json
 
-for path in ("BENCH_solver.json", "BENCH_routing.json"):
+for path in ("BENCH_solver.json", "BENCH_routing.json", "BENCH_experiments.json"):
     with open(path) as fh:
         data = json.load(fh)
     print(f"\n{path} snapshot:")
@@ -84,4 +99,46 @@ print(f"\nfault-layer overhead on healthy stream matrix: "
 if ratio > 1.05:
     raise SystemExit("FAIL: fault layer adds >5% overhead to the healthy path")
 print("OK: fault layer overhead within 5%")
+EOF
+
+# Telemetry overhead gate: recording spans/counters must cost within 5 %
+# of the identical workload with telemetry off (min-of-5 each).  The
+# no-op path (no recorder installed) is covered by the unit suite; this
+# gates the *enabled* path.
+PYTHONPATH=src python - <<'EOF'
+import tempfile
+import time
+
+from repro.bench.stream import StreamBenchmark
+from repro.obs import recording
+from repro.topology.builders import reference_host
+
+
+def best_of(recorded, repeats=5, runs=20):
+    times = []
+    for i in range(repeats):
+        bench = StreamBenchmark(reference_host(), runs=runs)
+        if recorded:
+            with tempfile.TemporaryDirectory() as obs_dir:
+                with recording(obs_dir, command="bench"):
+                    t0 = time.perf_counter()
+                    bench.matrix()
+                    times.append(time.perf_counter() - t0)
+        else:
+            t0 = time.perf_counter()
+            bench.matrix()
+            times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+best_of(False, repeats=1)  # warmup (imports, caches)
+off = best_of(False)
+on = best_of(True)
+ratio = on / off
+print(f"\ntelemetry overhead on stream matrix: "
+      f"off {off * 1e3:.1f} ms, recording {on * 1e3:.1f} ms "
+      f"({(ratio - 1) * 100:+.1f} %)")
+if ratio > 1.05:
+    raise SystemExit("FAIL: enabled telemetry adds >5% overhead")
+print("OK: enabled telemetry overhead within 5%")
 EOF

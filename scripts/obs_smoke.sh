@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Telemetry smoke: record one experiment run with --obs-dir, validate
+# the emitted manifest against the schema, prove the command's stdout is
+# byte-identical with telemetry on and off (the determinism contract),
+# and render the report both as text and as JSON.  Also records the same
+# experiment a second time and asserts the manifest diff calls the two
+# runs deterministic twins (identical counters and config).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMPDIR="${TMPDIR:-/tmp}"
+WORK="$TMPDIR/obs_smoke.$$"
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK"
+
+EXP="${OBS_SMOKE_EXPERIMENT:-fig10}"
+
+echo "== record: experiment $EXP with --obs-dir"
+PYTHONPATH=src python -m repro.cli.main experiment "$EXP" --quick \
+    --obs-dir "$WORK/run_a" > "$WORK/stdout_obs.txt"
+
+echo "== determinism: same experiment without telemetry"
+PYTHONPATH=src python -m repro.cli.main experiment "$EXP" --quick \
+    > "$WORK/stdout_plain.txt"
+if ! cmp -s "$WORK/stdout_obs.txt" "$WORK/stdout_plain.txt"; then
+    echo "FAIL: enabling --obs-dir changed the experiment's stdout" >&2
+    diff "$WORK/stdout_plain.txt" "$WORK/stdout_obs.txt" >&2 || true
+    exit 1
+fi
+echo "stdout byte-identical with telemetry on and off"
+
+echo "== validate: manifest schema + trace parse"
+PYTHONPATH=src OBS_SMOKE_DIR="$WORK/run_a" python - <<'EOF'
+import os
+
+from repro.obs import load_manifest, load_trace
+
+obs_dir = os.environ["OBS_SMOKE_DIR"]
+manifest = load_manifest(os.path.join(obs_dir, "manifest.json"))  # validates
+events = load_trace(obs_dir)
+assert manifest["spans"]["total"] == len(events), (
+    manifest["spans"]["total"], len(events))
+assert manifest["seed"]["streams"], "no RNG stream draws recorded"
+assert manifest["metrics"]["counters"], "no counters recorded"
+print(f"manifest valid: {len(events)} spans, "
+      f"{len(manifest['metrics']['counters'])} counters, "
+      f"{len(manifest['seed']['streams'])} RNG streams")
+EOF
+
+echo "== report: text and JSON"
+PYTHONPATH=src python -m repro.cli.main obs report "$WORK/run_a"
+PYTHONPATH=src python -m repro.cli.main obs report "$WORK/run_a" --json \
+    > "$WORK/report.json"
+
+echo "== diff: a second recording must be a deterministic twin"
+PYTHONPATH=src python -m repro.cli.main experiment "$EXP" --quick \
+    --obs-dir "$WORK/run_b" > /dev/null
+PYTHONPATH=src python -m repro.cli.main obs report "$WORK/run_a" "$WORK/run_b" \
+    | tee "$WORK/diff.txt"
+if ! grep -q "deterministic twins" "$WORK/diff.txt"; then
+    echo "FAIL: repeated recording was not a deterministic twin" >&2
+    exit 1
+fi
+
+echo
+echo "obs smoke passed"

@@ -34,6 +34,7 @@ __all__ = [
     "cmd_stats",
     "cmd_numastat",
     "cmd_chaos",
+    "cmd_obs_report",
 ]
 
 _MACHINES = {
@@ -431,6 +432,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """``repro-numa obs report DIR [DIR2]``: render or diff recordings."""
+    from repro.obs import render_diff, render_report, report_json
+
+    if len(args.dirs) > 2:
+        raise ReproError(
+            f"obs report takes one dir to summarize or two to diff, "
+            f"got {len(args.dirs)}"
+        )
+    if args.json:
+        import json
+
+        other = args.dirs[1] if len(args.dirs) > 1 else None
+        print(json.dumps(report_json(args.dirs[0], other), indent=2, sort_keys=True))
+        return 0
+    if len(args.dirs) > 1:
+        print(render_diff(args.dirs[0], args.dirs[1]))
+    else:
+        print(render_report(args.dirs[0], top=args.top))
     return 0
 
 

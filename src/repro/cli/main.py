@@ -24,6 +24,18 @@ MACHINE_CHOICES = (
 )
 
 
+def _add_obs_dir(parser: argparse.ArgumentParser) -> None:
+    """Attach the telemetry opt-in flag to one subcommand parser."""
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="record a span trace and run manifest into DIR "
+             "(telemetry is off without this flag; computed output is "
+             "byte-identical either way)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -57,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="copy",
                    choices=("copy", "scale", "add", "triad"))
     p.add_argument("--runs", type=int, default=100)
+    _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_stream)
 
     p = sub.add_parser("fio", help="run fio jobs")
@@ -66,12 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--numjobs", type=int, default=4)
     p.add_argument("--node", type=int, help="cpunodebind")
     p.add_argument("--target", type=int, help="memcpy target node")
+    _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_fio)
 
     p = sub.add_parser("iomodel", help="Algorithm 1: memcpy I/O performance model")
     p.add_argument("--target", type=int, default=7, help="device-attached node")
     p.add_argument("--mode", default="both", choices=("write", "read", "both"))
     p.add_argument("--runs", type=int, default=100)
+    _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_iomodel)
 
     p = sub.add_parser("predict", help="Eq. 1 mixture prediction")
@@ -107,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="with 'all': run experiments in N worker processes "
                         "(deterministic merge order, per-experiment wall time)")
+    _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_experiment)
 
     p = sub.add_parser(
@@ -158,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the structured report as JSON")
     p.add_argument("--quick", action="store_true",
                    help="smaller transfers and fewer streams")
+    _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_chaos)
 
     p = sub.add_parser("export", help="dump the machine description as JSON")
@@ -168,16 +185,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a job file's jobs simultaneously with traffic counters",
     )
     p.add_argument("jobfile", help="ini-format fio job file")
+    _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_concurrent)
+
+    p = sub.add_parser(
+        "obs", help="inspect telemetry recorded with --obs-dir"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    rp = obs_sub.add_parser(
+        "report", help="summarize one recorded run, or diff two"
+    )
+    rp.add_argument(
+        "dirs",
+        nargs="+",
+        metavar="DIR",
+        help="one obs dir to summarize, or two to diff (A B)",
+    )
+    rp.add_argument(
+        "--json", action="store_true", help="emit the structured form"
+    )
+    rp.add_argument(
+        "--top", type=int, default=10, help="slowest spans to list (default 10)"
+    )
+    rp.set_defaults(func=commands.cmd_obs_report)
 
     return parser
 
 
+def _obs_config(args: argparse.Namespace) -> dict:
+    """The manifest ``config`` block: the run's plain-value options."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("func", "obs_dir")
+        and isinstance(value, (str, int, float, bool, type(None)))
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    When the subcommand was given ``--obs-dir``, the whole dispatch runs
+    under a telemetry recording: spans and counters are captured and a
+    trace + manifest land in that directory.  Everything the command
+    prints stays byte-identical to an unrecorded run.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs_dir = getattr(args, "obs_dir", None)
     try:
+        if obs_dir:
+            from repro.obs import recording
+            from repro.rng import DEFAULT_SEED
+
+            with recording(
+                obs_dir,
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                seed=args.seed if args.seed is not None else DEFAULT_SEED,
+                config=_obs_config(args),
+            ):
+                return args.func(args)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.core.iomodel import IOModelBuilder
 from repro.core.model import IOPerformanceModel
 from repro.errors import ModelError
+from repro.obs import recorder as _obs
 from repro.rng import RngRegistry
 from repro.topology.machine import Machine
 from repro.units import GB, MiB
@@ -165,8 +166,9 @@ class HostCharacterizer:
         are identical to characterising the nodes one by one.
         """
         targets = tuple(nodes)
-        write_models = self.builder.build_many(targets, "write")
-        read_models = self.builder.build_many(targets, "read")
+        with _obs.span("characterize.many", targets=len(targets)):
+            write_models = self.builder.build_many(targets, "write")
+            read_models = self.builder.build_many(targets, "read")
         return {
             node: HostCharacterization(
                 machine_name=self.machine.name,

@@ -25,6 +25,7 @@ from repro.core.classify import classify_nodes
 from repro.core.model import IOPerformanceModel
 from repro.errors import ModelError
 from repro.memory.allocator import PageAllocator
+from repro.obs import recorder as _obs
 from repro.osmodel import libnuma
 from repro.osmodel.noise import NoiseModel
 from repro.rng import RngRegistry
@@ -168,6 +169,15 @@ class IOModelBuilder:
                 raise ModelError(f"unknown target node {target_node}")
         if mode not in ("write", "read"):
             raise ModelError(f"mode must be 'write' or 'read', got {mode!r}")
+        with _obs.span(
+            "iomodel.build_many", mode=mode, targets=len(targets)
+        ):
+            return self._build_many(targets, mode)
+
+    def _build_many(
+        self, targets: "tuple[int, ...] | list[int]", mode: str
+    ) -> dict[int, IOPerformanceModel]:
+        machine = self.machine
         m = self.threads_per_node()
         copy_pairs = []
         for target_node in targets:
@@ -199,6 +209,7 @@ class IOModelBuilder:
                 for row, i in enumerate(machine.node_ids)
             }
             classes = classify_nodes(values, machine, target_node, rel_gap=self.rel_gap)
+            _obs.count("iomodel.models_built")
             models[target_node] = IOPerformanceModel(
                 machine_name=machine.name,
                 target_node=target_node,

@@ -50,5 +50,9 @@ class FaultError(ReproError):
     """A fault-injection plan is invalid or a fault cannot be applied."""
 
 
+class ObsError(ReproError):
+    """A telemetry recording, manifest, or trace is invalid or misused."""
+
+
 class RouteLostError(FaultError):
     """A transfer's route vanished under faults and no alternative survives."""

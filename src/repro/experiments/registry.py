@@ -7,11 +7,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.errors import ReproError
+from repro.obs import recorder as _obs
 
 __all__ = [
     "Check",
     "ExperimentResult",
     "EXPERIMENTS",
+    "normalize_experiment_id",
     "get_experiment",
     "run_experiment",
     "list_experiments",
@@ -96,9 +98,26 @@ _EXPERIMENT_LOCATIONS: dict[str, tuple[str, str]] = {
 EXPERIMENTS: tuple[str, ...] = tuple(_EXPERIMENT_LOCATIONS)
 
 
+def normalize_experiment_id(exp_id: str) -> str:
+    """Canonical registry id for ``exp_id``, accepting long-form aliases.
+
+    ``fig10``/``figure10`` mean ``f10``, ``table4`` means ``t4``; exact
+    ids pass through unchanged (so ``fw1`` is never rewritten).
+    """
+    key = exp_id.lower()
+    if key in _EXPERIMENT_LOCATIONS:
+        return key
+    for prefix, short in (("figure", "f"), ("fig", "f"), ("table", "t")):
+        if key.startswith(prefix):
+            alias = short + key[len(prefix):]
+            if alias in _EXPERIMENT_LOCATIONS:
+                return alias
+    return key
+
+
 def get_experiment(exp_id: str) -> ExperimentFn:
     """The runner for ``exp_id``; raises on unknown ids."""
-    key = exp_id.lower()
+    key = normalize_experiment_id(exp_id)
     if key not in _EXPERIMENT_LOCATIONS:
         raise ReproError(
             f"unknown experiment {exp_id!r}; known ids: {', '.join(EXPERIMENTS)}"
@@ -109,7 +128,10 @@ def get_experiment(exp_id: str) -> ExperimentFn:
 
 def run_experiment(exp_id: str, machine=None, registry=None, quick: bool = False) -> ExperimentResult:
     """Run one experiment by id."""
-    return get_experiment(exp_id)(machine=machine, registry=registry, quick=quick)
+    key = normalize_experiment_id(exp_id)
+    runner = get_experiment(key)
+    with _obs.span("experiment." + key, quick=quick):
+        return runner(machine=machine, registry=registry, quick=quick)
 
 
 def list_experiments() -> dict[str, str]:

@@ -31,6 +31,7 @@ from repro.faults.plan import FaultedMachine, FaultPlan
 from repro.flows.flow import Flow
 from repro.interconnect.planes import PLANE_DMA
 from repro.memory.controller import MemoryController
+from repro.obs import recorder as _obs
 from repro.solver.capacity import link_resource
 from repro.solver.incremental import AllocationCache
 from repro.units import gbps, gbps_to_bytes_per_s
@@ -212,6 +213,7 @@ class DegradedFlowRunner:
             ):
                 state.flow = replace(state.flow, resources=tuple(alternative))
                 state.reroutes += 1
+                _obs.count("faults.reroutes")
                 return True
         if state.retries >= self.retry.max_retries:
             outcomes[state.flow.name] = self._fail(
@@ -220,16 +222,25 @@ class DegradedFlowRunner:
                 f"resources {sorted(dead)} unavailable after "
                 f"{state.retries} retries",
             )
+            _obs.count("faults.flows_failed")
             return False
         delay = self.retry.delay_s(state.retries, self._rng)
         state.retries += 1
         state.wake_s = now + delay
         waiting[state.flow.name] = state
+        _obs.count("faults.retries")
         return False
 
     # --- simulation -------------------------------------------------------
     def simulate(self, flows: Iterable[Flow]) -> dict[str, DegradedOutcome]:
         """Run finite flows to completion or structured failure."""
+        with _obs.span(
+            "faults.degraded_run", faults=len(self.plan)
+        ):
+            _obs.count("faults.injected", len(self.plan))
+            return self._simulate(flows)
+
+    def _simulate(self, flows: Iterable[Flow]) -> dict[str, DegradedOutcome]:
         pending = sorted(flows, key=lambda f: (f.start_s, f.name))
         for f in pending:
             if f.size_bytes is None:

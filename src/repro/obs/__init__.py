@@ -1,0 +1,75 @@
+"""Unified telemetry: spans, counters and run manifests.
+
+``repro.obs`` is the observability seam of the reproduction — zero
+external dependencies, off by default, and deterministic-safe (enabling
+it never changes a computed number, only what gets recorded about the
+computation).  Three pieces:
+
+* **spans** — :func:`span` context-manager timers with nesting and
+  tags, recorded by a :class:`TraceRecorder` (a shared no-op when no
+  recorder is installed);
+* **metrics** — the process-wide :class:`MetricsRegistry`
+  (:data:`metrics`) of named counters and gauges, written through
+  :func:`count` / :func:`gauge`;
+* **manifests** — :class:`recording` wraps a run, then writes a JSONL
+  span trace plus a validated ``manifest.json`` (git SHA, config, seed
+  registry state, per-phase timings, metric snapshot) that
+  ``repro-numa obs report`` renders and diffs.
+
+:class:`SolverStats` lives here too: the solver layer's counter surface
+is an obs-backed view (its phases emit spans), re-exported from
+:mod:`repro.solver.stats` for compatibility.
+"""
+
+from repro.obs.metrics import MetricsRegistry, metrics
+from repro.obs.recorder import (
+    NullRecorder,
+    TraceRecorder,
+    count,
+    enabled,
+    gauge,
+    get_recorder,
+    install,
+    recording,
+    span,
+    uninstall,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    diff_manifests,
+    git_sha,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.stats import SolverStats, solver_totals
+from repro.obs.report import load_trace, render_diff, render_report, report_json
+
+__all__ = [
+    "MetricsRegistry",
+    "metrics",
+    "NullRecorder",
+    "TraceRecorder",
+    "span",
+    "count",
+    "gauge",
+    "enabled",
+    "get_recorder",
+    "install",
+    "uninstall",
+    "recording",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "validate_manifest",
+    "write_manifest",
+    "load_manifest",
+    "diff_manifests",
+    "git_sha",
+    "load_trace",
+    "render_report",
+    "render_diff",
+    "report_json",
+    "SolverStats",
+    "solver_totals",
+]

@@ -1,0 +1,226 @@
+"""Run manifests: the auditable summary written beside every trace.
+
+A manifest is one JSON document recording *what ran and what it did*:
+the command and argv, the git revision, the effective config, the seed
+registry state (root seed plus per-stream draw counts), per-phase span
+aggregates, and the full metric snapshot.  Together with the JSONL
+trace it makes every number a run printed attributable after the fact.
+
+The schema is validated structurally (:func:`validate_manifest`) with a
+plain declarative spec — no external JSON-schema dependency.  Wall
+times live only here and in the trace; byte-compared outputs (stdout,
+EXPERIMENTS.md) never contain them.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+from repro.errors import ObsError
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "MANIFEST_SCHEMA",
+    "git_sha",
+    "build_manifest",
+    "validate_manifest",
+    "write_manifest",
+    "load_manifest",
+    "diff_manifests",
+]
+
+#: Bumped whenever a field is added/renamed; readers check compatibility.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Declarative structural schema: field -> type, or a nested dict of the
+#: same shape.  ``(type, None)`` marks a nullable field.
+MANIFEST_SCHEMA: dict = {
+    "schema_version": int,
+    "command": str,
+    "argv": list,
+    "git_sha": str,
+    "config": dict,
+    "seed": {
+        "root_seed": (int, type(None)),
+        "streams": dict,
+    },
+    "phases": dict,
+    "metrics": {
+        "counters": dict,
+        "gauges": dict,
+    },
+    "spans": {
+        "total": int,
+        "max_depth": int,
+    },
+    "error": (str, type(None)),
+    "trace_file": str,
+}
+
+
+def git_sha() -> str:
+    """The working tree's HEAD commit, or ``"unknown"`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def build_manifest(
+    recorder,
+    command: str = "",
+    argv: "list[str] | None" = None,
+    seed: int | None = None,
+    config: dict | None = None,
+    error: str | None = None,
+) -> dict:
+    """Assemble the manifest dict for one finished recording.
+
+    ``recorder`` is the :class:`~repro.obs.recorder.TraceRecorder` that
+    just ran; its metrics registry supplies the counter snapshot and the
+    per-stream RNG draw counts (``rng.draws/<stream>`` counters).
+    """
+    snapshot = recorder.metrics.snapshot()
+    prefix = "rng.draws/"
+    streams = {
+        name[len(prefix):]: value
+        for name, value in snapshot["counters"].items()
+        if name.startswith(prefix)
+    }
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "command": command,
+        "argv": list(argv) if argv is not None else [],
+        "git_sha": git_sha(),
+        "config": dict(config) if config else {},
+        "seed": {"root_seed": seed, "streams": streams},
+        "phases": recorder.phase_totals(),
+        "metrics": snapshot,
+        "spans": {"total": len(recorder.events), "max_depth": recorder.max_depth},
+        "error": error,
+        "trace_file": "trace.jsonl",
+    }
+
+
+def _check(spec, value, path: str, problems: list[str]) -> None:
+    if isinstance(spec, dict):
+        if not isinstance(value, dict):
+            problems.append(f"{path}: expected object, got {type(value).__name__}")
+            return
+        for key, sub in spec.items():
+            if key not in value:
+                problems.append(f"{path}.{key}: missing")
+            else:
+                _check(sub, value[key], f"{path}.{key}", problems)
+        return
+    types = spec if isinstance(spec, tuple) else (spec,)
+    # bool is an int subclass; a True where an int belongs is a bug.
+    if isinstance(value, bool) and bool not in types:
+        problems.append(f"{path}: expected {spec}, got bool")
+    elif not isinstance(value, types):
+        expected = "/".join(t.__name__ for t in types)
+        problems.append(f"{path}: expected {expected}, got {type(value).__name__}")
+
+
+def validate_manifest(data: dict) -> None:
+    """Raise :class:`~repro.errors.ObsError` unless ``data`` fits the schema."""
+    if not isinstance(data, dict):
+        raise ObsError(f"manifest must be an object, got {type(data).__name__}")
+    problems: list[str] = []
+    _check(MANIFEST_SCHEMA, data, "manifest", problems)
+    version = data.get("schema_version")
+    if isinstance(version, int) and version > MANIFEST_SCHEMA_VERSION:
+        problems.append(
+            f"manifest.schema_version: {version} is newer than supported "
+            f"{MANIFEST_SCHEMA_VERSION}"
+        )
+    for name, entry in (data.get("phases") or {}).items():
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("count"), int)
+            or not isinstance(entry.get("wall_s"), (int, float))
+        ):
+            problems.append(f"manifest.phases[{name!r}]: expected {{count, wall_s}}")
+    if problems:
+        raise ObsError("invalid manifest: " + "; ".join(problems))
+
+
+def write_manifest(data: dict, path) -> None:
+    """Validate ``data`` and write it as pretty JSON to ``path``."""
+    validate_manifest(data)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_manifest(path) -> dict:
+    """Read and validate a manifest file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError as exc:
+        raise ObsError(f"no manifest at {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"manifest {path} is not valid JSON: {exc}") from exc
+    validate_manifest(data)
+    return data
+
+
+def diff_manifests(a: dict, b: dict) -> dict:
+    """Structured comparison of two manifests.
+
+    Returns::
+
+        {"identity": {...},          # command/seed/git differences
+         "config": {key: [a, b]},    # differing config entries
+         "counters": {name: [a, b]}, # differing counter values
+         "gauges": {name: [a, b]},
+         "phases": {name: {"wall_s": [a, b], "count": [a, b]}},
+         "deterministic": bool}      # True when counters+config agree
+
+    Wall times always differ between runs; determinism is judged on
+    counters and config only.
+    """
+    identity = {}
+    for key in ("command", "git_sha"):
+        if a.get(key) != b.get(key):
+            identity[key] = [a.get(key), b.get(key)]
+    if a["seed"]["root_seed"] != b["seed"]["root_seed"]:
+        identity["root_seed"] = [a["seed"]["root_seed"], b["seed"]["root_seed"]]
+
+    def _dict_diff(da: dict, db: dict) -> dict:
+        out = {}
+        for key in sorted(set(da) | set(db)):
+            va, vb = da.get(key), db.get(key)
+            if va != vb:
+                out[key] = [va, vb]
+        return out
+
+    config = _dict_diff(a.get("config", {}), b.get("config", {}))
+    counters = _dict_diff(a["metrics"]["counters"], b["metrics"]["counters"])
+    gauges = _dict_diff(a["metrics"]["gauges"], b["metrics"]["gauges"])
+    phases = {}
+    for name in sorted(set(a["phases"]) | set(b["phases"])):
+        pa = a["phases"].get(name, {"count": 0, "wall_s": 0.0})
+        pb = b["phases"].get(name, {"count": 0, "wall_s": 0.0})
+        entry = {}
+        if pa["count"] != pb["count"]:
+            entry["count"] = [pa["count"], pb["count"]]
+        entry["wall_s"] = [pa["wall_s"], pb["wall_s"]]
+        phases[name] = entry
+    return {
+        "identity": identity,
+        "config": config,
+        "counters": counters,
+        "gauges": gauges,
+        "phases": phases,
+        "deterministic": not identity.get("root_seed") and not config and not counters,
+    }

@@ -1,0 +1,286 @@
+"""Span recording: hierarchical context-manager timers with a no-op fast path.
+
+Telemetry is **off by default**: :func:`span` hands back a shared
+stateless null context manager and :func:`count`/:func:`gauge` return
+immediately, so instrumented hot paths pay one module-global read and a
+``None`` check.  Installing a :class:`TraceRecorder` (usually via
+:func:`recording`) turns every instrumentation point live: spans append
+events carrying wall time, nesting depth and tags, and counters land in
+the process-wide :data:`~repro.obs.metrics.metrics` registry.
+
+Spans never touch the simulation's random streams or its outputs —
+enabling a recorder changes what is *observed*, never what is computed,
+which is what keeps EXPERIMENTS.md byte-identical with telemetry on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Mapping
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry, metrics
+
+__all__ = [
+    "NullRecorder",
+    "TraceRecorder",
+    "span",
+    "count",
+    "gauge",
+    "enabled",
+    "get_recorder",
+    "install",
+    "uninstall",
+    "recording",
+]
+
+
+class _NullSpan:
+    """The shared do-nothing span (stateless, safe to re-enter)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def tag(self, **tags) -> None:
+        """Discard tags (live spans attach them to their event)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    Exists so code can hold "a recorder" unconditionally;
+    :func:`get_recorder` returns one when nothing is installed.
+    """
+
+    __slots__ = ()
+
+    events: tuple = ()
+
+    def span(self, name: str, tags: Mapping | None = None) -> _NullSpan:
+        """A span that times nothing."""
+        return _NULL_SPAN
+
+
+class _LiveSpan:
+    """One open span of a :class:`TraceRecorder`."""
+
+    __slots__ = ("_recorder", "_event", "_start")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, tags) -> None:
+        self._recorder = recorder
+        self._event = {"name": name, "tags": dict(tags) if tags else {}}
+        self._start = 0.0
+
+    def tag(self, **tags) -> None:
+        """Attach tags to this span's event (merged, last write wins)."""
+        self._event["tags"].update(tags)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._recorder._open(self._event)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._start
+        if exc_type is not None:
+            self._event["tags"]["error"] = exc_type.__name__
+        self._recorder._close(self._event, wall)
+        return False
+
+
+class TraceRecorder:
+    """Collects span events (and brokers counters) for one run.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry counters land in; defaults to the process-wide
+        :data:`~repro.obs.metrics.metrics`.
+
+    Events are plain dicts ordered by span *open* time::
+
+        {"seq": 3, "name": "solver.allocate", "parent": 1, "depth": 2,
+         "start_s": 0.0142, "wall_s": 0.0009, "tags": {}}
+
+    ``start_s`` is relative to recorder creation (monotonic clock — no
+    absolute timestamps anywhere, by design).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.metrics = registry if registry is not None else metrics
+        self.events: list[dict] = []
+        self._stack: list[int] = []
+        self._t0 = time.perf_counter()
+
+    def span(self, name: str, tags: Mapping | None = None) -> _LiveSpan:
+        """A live span; use as a context manager."""
+        return _LiveSpan(self, name, tags)
+
+    def _open(self, event: dict) -> None:
+        seq = len(self.events)
+        event["seq"] = seq
+        event["parent"] = self._stack[-1] if self._stack else None
+        event["depth"] = len(self._stack)
+        event["start_s"] = time.perf_counter() - self._t0
+        self.events.append(event)
+        self._stack.append(seq)
+
+    def _close(self, event: dict, wall_s: float) -> None:
+        event["wall_s"] = wall_s
+        # Spans close strictly LIFO (context managers), but tolerate a
+        # leaked span rather than corrupting the stack.
+        if self._stack and self._stack[-1] == event["seq"]:
+            self._stack.pop()
+        elif event["seq"] in self._stack:  # pragma: no cover - leak guard
+            self._stack.remove(event["seq"])
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest nesting level seen (0 for a flat trace)."""
+        return max((e["depth"] for e in self.events), default=-1) + 1
+
+    def phase_totals(self) -> dict[str, dict]:
+        """Per-span-name aggregates: ``{name: {count, wall_s}}``."""
+        totals: dict[str, dict] = {}
+        for event in self.events:
+            entry = totals.setdefault(event["name"], {"count": 0, "wall_s": 0.0})
+            entry["count"] += 1
+            entry["wall_s"] += event.get("wall_s", 0.0)
+        return {name: totals[name] for name in sorted(totals)}
+
+    def write_trace(self, path) -> None:
+        """Write the event list as JSONL (one span per line, seq order)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+#: The installed recorder, or ``None`` (the off-by-default fast path).
+_RECORDER: TraceRecorder | None = None
+
+_NULL_RECORDER = NullRecorder()
+
+
+def enabled() -> bool:
+    """Whether a recorder is installed (telemetry live)."""
+    return _RECORDER is not None
+
+
+def get_recorder() -> TraceRecorder | NullRecorder:
+    """The installed recorder, or the shared :class:`NullRecorder`."""
+    return _RECORDER if _RECORDER is not None else _NULL_RECORDER
+
+
+def install(recorder: TraceRecorder) -> None:
+    """Install ``recorder`` as the process recorder (one at a time)."""
+    global _RECORDER
+    if _RECORDER is not None:
+        raise ObsError("a telemetry recorder is already installed")
+    _RECORDER = recorder
+
+
+def uninstall() -> TraceRecorder | None:
+    """Remove and return the installed recorder (``None`` if none)."""
+    global _RECORDER
+    recorder, _RECORDER = _RECORDER, None
+    return recorder
+
+
+def span(name: str, **tags) -> "_LiveSpan | _NullSpan":
+    """A context-manager timer; the shared null span when disabled."""
+    recorder = _RECORDER
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(name, tags or None)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump counter ``name`` by ``n`` — no-op unless recording."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.metrics.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` — no-op unless recording."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.metrics.gauge(name, value)
+
+
+class recording:
+    """Record one run into ``obs_dir``: a JSONL trace plus a manifest.
+
+    Context manager used by the CLI's ``--obs-dir`` plumbing (and usable
+    directly from library code)::
+
+        with recording("/tmp/obs", command="experiment", argv=["f10"]):
+            run_experiment("f10")
+
+    On entry it resets the process metrics registry, snapshots the
+    solver-session counter baseline, and installs a fresh
+    :class:`TraceRecorder`; on exit (even on error) it folds the solver
+    counter deltas into the metrics registry, then writes
+    ``trace.jsonl`` and ``manifest.json`` under ``obs_dir``.
+    """
+
+    def __init__(
+        self,
+        obs_dir,
+        command: str = "",
+        argv: "list[str] | None" = None,
+        seed: int | None = None,
+        config: Mapping | None = None,
+    ) -> None:
+        self.obs_dir = obs_dir
+        self.command = command
+        self.argv = list(argv) if argv is not None else []
+        self.seed = seed
+        self.config = dict(config) if config else {}
+        self.recorder: TraceRecorder | None = None
+        self._solver_baseline: dict[str, int] = {}
+
+    def __enter__(self) -> TraceRecorder:
+        from repro.obs.stats import solver_totals
+
+        metrics.reset()
+        self._solver_baseline = solver_totals()
+        self.recorder = TraceRecorder(metrics)
+        install(self.recorder)
+        return self.recorder
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        import pathlib
+
+        from repro.obs.manifest import build_manifest, write_manifest
+        from repro.obs.stats import solver_totals
+
+        uninstall()
+        recorder = self.recorder
+        assert recorder is not None
+        for name, total in solver_totals().items():
+            delta = total - self._solver_baseline.get(name, 0)
+            if delta:
+                metrics.count(f"solver.{name}", delta)
+        outdir = pathlib.Path(self.obs_dir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        recorder.write_trace(outdir / "trace.jsonl")
+        manifest = build_manifest(
+            recorder,
+            command=self.command,
+            argv=self.argv,
+            seed=self.seed,
+            config=self.config,
+            error=exc_type.__name__ if exc_type is not None else None,
+        )
+        write_manifest(manifest, outdir / "manifest.json")
+        return False

@@ -1,0 +1,161 @@
+"""``repro-numa obs report``: render and diff recorded runs.
+
+Given one ``--obs-dir`` the report summarizes the trace (span
+aggregates by name, slowest spans, nesting) and the manifest (identity,
+seed state, metrics).  Given two it diffs the manifests: identical
+counters and config mean the runs were deterministic twins; wall-time
+deltas are reported per phase.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ObsError
+from repro.obs.manifest import diff_manifests, load_manifest
+
+__all__ = ["load_trace", "render_report", "render_diff", "report_json"]
+
+
+def load_trace(obs_dir) -> list[dict]:
+    """The span events of ``obs_dir``'s trace, in seq order."""
+    path = pathlib.Path(obs_dir) / "trace.jsonl"
+    if not path.exists():
+        raise ObsError(f"no trace at {path}")
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ObsError(f"{path}:{lineno}: invalid trace line: {exc}") from exc
+    return events
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:10.2f}"
+
+
+def render_report(obs_dir, top: int = 10) -> str:
+    """Human-readable summary of one recorded run."""
+    obs_dir = pathlib.Path(obs_dir)
+    manifest = load_manifest(obs_dir / "manifest.json")
+    events = load_trace(obs_dir)
+
+    lines = [f"OBS RUN REPORT — {obs_dir}"]
+    argv = " ".join(manifest["argv"])
+    invocation = argv if argv else manifest["command"]
+    lines.append(f"command: repro-numa {invocation}  (git {manifest['git_sha'][:12]})")
+    seed = manifest["seed"]
+    lines.append(
+        f"seed: root {seed['root_seed']}, {len(seed['streams'])} RNG streams, "
+        f"{sum(seed['streams'].values())} draws"
+    )
+    if manifest.get("error"):
+        lines.append(f"error: run aborted with {manifest['error']}")
+    spans = manifest["spans"]
+    lines.append(f"spans: {spans['total']} total, max depth {spans['max_depth']}")
+
+    if manifest["phases"]:
+        lines.append("")
+        lines.append(f"{'span':40s} {'count':>7s} {'total ms':>10s} {'mean ms':>10s}")
+        ordered = sorted(
+            manifest["phases"].items(), key=lambda kv: -kv[1]["wall_s"]
+        )
+        for name, entry in ordered:
+            mean = entry["wall_s"] / entry["count"] if entry["count"] else 0.0
+            lines.append(
+                f"{name:40s} {entry['count']:7d} "
+                f"{_fmt_ms(entry['wall_s'])} {_fmt_ms(mean)}"
+            )
+
+    slowest = sorted(
+        (e for e in events if "wall_s" in e), key=lambda e: -e["wall_s"]
+    )[:top]
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest spans (top {len(slowest)}):")
+        for event in slowest:
+            tags = (
+                " ".join(f"{k}={v}" for k, v in sorted(event["tags"].items()))
+                if event.get("tags")
+                else ""
+            )
+            indent = "  " * event["depth"]
+            lines.append(
+                f"  {_fmt_ms(event['wall_s'])} ms  {indent}{event['name']}"
+                + (f"  [{tags}]" if tags else "")
+            )
+
+    counters = manifest["metrics"]["counters"]
+    gauges = manifest["metrics"]["gauges"]
+    lines.append("")
+    lines.append(f"counters ({len(counters)}):")
+    for name, value in counters.items():
+        lines.append(f"  {name:56s} {value:>12d}")
+    if gauges:
+        lines.append(f"gauges ({len(gauges)}):")
+        for name, value in gauges.items():
+            lines.append(f"  {name:56s} {value:>12g}")
+    return "\n".join(lines)
+
+
+def render_diff(dir_a, dir_b) -> str:
+    """Human-readable manifest diff of two recorded runs."""
+    a = load_manifest(pathlib.Path(dir_a) / "manifest.json")
+    b = load_manifest(pathlib.Path(dir_b) / "manifest.json")
+    diff = diff_manifests(a, b)
+
+    lines = [f"OBS MANIFEST DIFF — A={dir_a}  B={dir_b}"]
+    if diff["identity"]:
+        for key, (va, vb) in diff["identity"].items():
+            lines.append(f"identity: {key}: {va!r} -> {vb!r}")
+    else:
+        lines.append("identity: same command, git revision and root seed")
+    if diff["config"]:
+        lines.append("config:")
+        for key, (va, vb) in diff["config"].items():
+            lines.append(f"  {key}: {va!r} -> {vb!r}")
+    else:
+        lines.append("config: identical")
+    if diff["counters"]:
+        lines.append(f"counters: {len(diff['counters'])} differ")
+        for name, (va, vb) in diff["counters"].items():
+            lines.append(f"  {name:56s} {va!r} -> {vb!r}")
+    else:
+        lines.append(
+            f"counters: identical ({len(a['metrics']['counters'])} counters)"
+        )
+    if diff["gauges"]:
+        lines.append(f"gauges: {len(diff['gauges'])} differ")
+        for name, (va, vb) in diff["gauges"].items():
+            lines.append(f"  {name:56s} {va!r} -> {vb!r}")
+    lines.append("phases (wall ms, A -> B):")
+    for name, entry in diff["phases"].items():
+        wall_a, wall_b = entry["wall_s"]
+        note = ""
+        if "count" in entry:
+            note = f"  (count {entry['count'][0]} -> {entry['count'][1]})"
+        lines.append(
+            f"  {name:40s} {_fmt_ms(wall_a)} -> {_fmt_ms(wall_b)}{note}"
+        )
+    lines.append(
+        "verdict: deterministic twins (counters+config identical)"
+        if diff["deterministic"]
+        else "verdict: runs differ beyond wall time"
+    )
+    return "\n".join(lines)
+
+
+def report_json(obs_dir, other=None) -> dict:
+    """The machine-readable form of the report (or diff, with ``other``)."""
+    if other is not None:
+        a = load_manifest(pathlib.Path(obs_dir) / "manifest.json")
+        b = load_manifest(pathlib.Path(other) / "manifest.json")
+        return diff_manifests(a, b)
+    manifest = load_manifest(pathlib.Path(obs_dir) / "manifest.json")
+    return manifest

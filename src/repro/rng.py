@@ -11,6 +11,14 @@ using ``numpy``'s :class:`~numpy.random.SeedSequence` spawning, so
 
 Names are free-form strings, conventionally ``"<subsystem>/<detail>"``,
 e.g. ``"bench/stream/cpu7-mem4/run13"``.
+
+Streams are handed out wrapped in a :class:`CountingGenerator`, which
+forwards every draw verbatim (sequences are bit-identical to the bare
+generator) while accounting how many values each named stream produced.
+Per-registry totals are readable via :attr:`RngRegistry.draw_counts`;
+when a telemetry recorder is installed the counts also land in the
+process metrics registry as ``rng.draws/<stream-name>`` — which is how
+run manifests capture the seed registry state.
 """
 
 from __future__ import annotations
@@ -19,7 +27,9 @@ import zlib
 
 import numpy as np
 
-__all__ = ["RngRegistry", "DEFAULT_SEED"]
+from repro.obs import recorder as _obs
+
+__all__ = ["RngRegistry", "CountingGenerator", "DEFAULT_SEED"]
 
 #: Root seed used by every experiment unless overridden.  Chosen once and
 #: recorded so EXPERIMENTS.md numbers are reproducible bit-for-bit.
@@ -29,6 +39,91 @@ DEFAULT_SEED = 20130701  # ICPP 2013 was held in July.
 def _name_key(name: str) -> int:
     """Stable 32-bit key for a stream name (crc32 is stable across runs)."""
     return zlib.crc32(name.encode("utf-8"))
+
+
+def _draws(size) -> int:
+    """Number of scalar values a ``size`` argument asks for."""
+    if size is None:
+        return 1
+    if isinstance(size, (int, np.integer)):
+        return int(size)
+    out = 1
+    for dim in size:
+        out *= int(dim)
+    return out
+
+
+class CountingGenerator:
+    """A :class:`numpy.random.Generator` proxy that accounts its draws.
+
+    Forwards every method to the wrapped generator unchanged — the
+    random sequence is identical to using the generator directly — and
+    counts the values produced by the draw methods the library uses
+    (``normal``, ``standard_normal``, ``uniform``, ``random``,
+    ``integers``, ``exponential``, ``choice``).  Any other attribute is
+    forwarded un-counted.
+    """
+
+    __slots__ = ("_gen", "_name", "_counts")
+
+    def __init__(self, gen: np.random.Generator, name: str, counts: dict) -> None:
+        self._gen = gen
+        self._name = name
+        self._counts = counts
+
+    @property
+    def stream_name(self) -> str:
+        """The registry name this generator was derived for."""
+        return self._name
+
+    def _record(self, size) -> None:
+        n = _draws(size)
+        counts = self._counts
+        counts[self._name] = counts.get(self._name, 0) + n
+        if _obs._RECORDER is not None:
+            _obs.count("rng.draws/" + self._name, n)
+
+    # --- counted draw methods --------------------------------------------
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        """Counted :meth:`numpy.random.Generator.normal`."""
+        self._record(size)
+        return self._gen.normal(loc, scale, size)
+
+    def standard_normal(self, size=None, *args, **kwargs):
+        """Counted :meth:`numpy.random.Generator.standard_normal`."""
+        self._record(size)
+        return self._gen.standard_normal(size, *args, **kwargs)
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        """Counted :meth:`numpy.random.Generator.uniform`."""
+        self._record(size)
+        return self._gen.uniform(low, high, size)
+
+    def random(self, size=None, *args, **kwargs):
+        """Counted :meth:`numpy.random.Generator.random`."""
+        self._record(size)
+        return self._gen.random(size, *args, **kwargs)
+
+    def integers(self, low, high=None, size=None, *args, **kwargs):
+        """Counted :meth:`numpy.random.Generator.integers`."""
+        self._record(size)
+        return self._gen.integers(low, high, size, *args, **kwargs)
+
+    def exponential(self, scale=1.0, size=None):
+        """Counted :meth:`numpy.random.Generator.exponential`."""
+        self._record(size)
+        return self._gen.exponential(scale, size)
+
+    def choice(self, a, size=None, *args, **kwargs):
+        """Counted :meth:`numpy.random.Generator.choice`."""
+        self._record(size)
+        return self._gen.choice(a, size, *args, **kwargs)
+
+    def __getattr__(self, attr):
+        return getattr(self._gen, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CountingGenerator({self._name!r})"
 
 
 class RngRegistry:
@@ -48,17 +143,25 @@ class RngRegistry:
     >>> b = RngRegistry(7).stream("noise/run0").standard_normal(3)
     >>> bool((a == b).all())
     True
+    >>> r.draw_counts
+    {'noise/run0': 3}
     """
 
     def __init__(self, seed: int = DEFAULT_SEED) -> None:
         self._seed = int(seed)
+        self._draws: dict[str, int] = {}
 
     @property
     def seed(self) -> int:
         """The root seed this registry derives every stream from."""
         return self._seed
 
-    def stream(self, name: str) -> np.random.Generator:
+    @property
+    def draw_counts(self) -> dict[str, int]:
+        """Values drawn so far, per stream name (a copy, sorted by name)."""
+        return {name: self._draws[name] for name in sorted(self._draws)}
+
+    def stream(self, name: str) -> CountingGenerator:
         """Return a fresh generator for ``name``.
 
         Each call returns a *new* generator positioned at the start of the
@@ -66,7 +169,9 @@ class RngRegistry:
         sequence must hold on to the generator they were given.
         """
         seq = np.random.SeedSequence(entropy=self._seed, spawn_key=(_name_key(name),))
-        return np.random.Generator(np.random.PCG64(seq))
+        return CountingGenerator(
+            np.random.Generator(np.random.PCG64(seq)), name, self._draws
+        )
 
     def child(self, name: str) -> "RngRegistry":
         """A registry whose streams are independent of this one's.

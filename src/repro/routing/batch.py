@@ -33,6 +33,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.errors import RoutingError
 from repro.interconnect.planes import PLANE_DMA, Plane, validate_plane
+from repro.obs import recorder as _obs
 
 __all__ = ["bfs_layers", "plane_weights", "routes_from_source", "batch_routes"]
 
@@ -146,22 +147,26 @@ def batch_routes(
     node_list = tuple(sorted(adj)) if nodes is None else tuple(nodes)
     weights = plane_weights(links, plane)
     out: dict[tuple[int, int], tuple[int, ...]] = {}
-    for src in node_list:
-        if src not in adj:
-            others = [d for d in node_list if d != src]
-            if strict and others:
-                raise RoutingError(
-                    f"no route from node {src} to node {others[0]}: "
-                    f"node {src} has no fabric links"
-                )
-            out[(src, src)] = (src,)
-            continue
-        routes = routes_from_source(adj, weights, src)
-        for dst in node_list:
-            hops = routes.get(dst)
-            if hops is None:
-                if strict:
-                    raise RoutingError(f"no route from node {src} to node {dst}")
+    with _obs.span("routing.batch", plane=plane, nodes=len(node_list)):
+        for src in node_list:
+            if src not in adj:
+                others = [d for d in node_list if d != src]
+                if strict and others:
+                    raise RoutingError(
+                        f"no route from node {src} to node {others[0]}: "
+                        f"node {src} has no fabric links"
+                    )
+                out[(src, src)] = (src,)
                 continue
-            out[(src, dst)] = hops
+            routes = routes_from_source(adj, weights, src)
+            _obs.count("routing.batch.bfs")
+            for dst in node_list:
+                hops = routes.get(dst)
+                if hops is None:
+                    if strict:
+                        raise RoutingError(
+                            f"no route from node {src} to node {dst}"
+                        )
+                    continue
+                out[(src, dst)] = hops
     return out

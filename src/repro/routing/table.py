@@ -21,6 +21,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import RoutingError, TopologyError
 from repro.interconnect.link import DirectedLink
 from repro.interconnect.planes import PLANE_DMA, PLANE_PIO, Plane, validate_plane
+from repro.obs import recorder as _obs
 from repro.routing.batch import batch_routes
 
 __all__ = ["RoutingTable", "enumerate_min_hop_routes", "select_route"]
@@ -184,9 +185,11 @@ class RoutingTable:
             keep raising lazily, as before.
         """
         validate_plane(plane)
-        routes = batch_routes(
-            self._links, plane, nodes=nodes, adj=self.adjacency, strict=strict
-        )
+        with _obs.span("routing.populate", plane=plane):
+            routes = batch_routes(
+                self._links, plane, nodes=nodes, adj=self.adjacency, strict=strict
+            )
+        _obs.count("routing.populates")
         for (src, dst), hops in routes.items():
             key = (plane, src, dst)
             if key not in self._overrides:
@@ -220,6 +223,7 @@ class RoutingTable:
         key = (plane, src, dst)
         hit = self._overrides.get(key)
         if hit is not None:
+            _obs.count("routing.route.cached")
             return hit
         hit = self._cache.get(key)
         if hit is None:
@@ -229,8 +233,14 @@ class RoutingTable:
             if hit is None:
                 # Unknown or unreachable endpoints: the per-pair path
                 # raises the precise RoutingError for this pair.
-                hit = select_route(self._links, plane, src, dst, adj=self.adjacency)
+                with _obs.span("routing.select", plane=plane, src=src, dst=dst):
+                    hit = select_route(
+                        self._links, plane, src, dst, adj=self.adjacency
+                    )
                 self._cache[key] = hit
+            _obs.count("routing.route.computed")
+        else:
+            _obs.count("routing.route.cached")
         return hit
 
     def route_links(self, plane: Plane, src: int, dst: int) -> tuple[DirectedLink, ...]:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs import recorder as _obs
 from repro.simtime.event_queue import Event, EventQueue
 
 __all__ = ["Simulator"]
@@ -120,23 +121,30 @@ class Simulator:
             else None
         )
         executed = 0
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self._now = until
-                return
-            if executed >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}; event loop runaway?")
-            if deadline is not None and _time.monotonic() > deadline:
-                raise SimulationError(
-                    f"simulation watchdog fired after {max_wall_seconds:g}s "
-                    f"wall time: {len(self._queue)} events still pending at "
-                    f"simulated t={self._now:g}s ({executed} executed)"
-                )
-            if not self.step():  # pragma: no cover - peek said non-empty
-                break
-            executed += 1
-        if until is not None and until > self._now:
-            self._now = until
+        with _obs.span("simtime.run") as sp:
+            try:
+                while True:
+                    next_time = self._queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        self._now = until
+                        return
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; event loop runaway?"
+                        )
+                    if deadline is not None and _time.monotonic() > deadline:
+                        raise SimulationError(
+                            f"simulation watchdog fired after {max_wall_seconds:g}s "
+                            f"wall time: {len(self._queue)} events still pending at "
+                            f"simulated t={self._now:g}s ({executed} executed)"
+                        )
+                    if not self.step():  # pragma: no cover - peek said non-empty
+                        break
+                    executed += 1
+                if until is not None and until > self._now:
+                    self._now = until
+            finally:
+                sp.tag(events=executed)
+                _obs.count("simtime.events", executed)

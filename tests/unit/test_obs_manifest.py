@@ -1,0 +1,113 @@
+"""Manifest schema round-trip, validation, and diffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    MetricsRegistry,
+    TraceRecorder,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def _recorded_run(counter_values: dict | None = None) -> TraceRecorder:
+    recorder = TraceRecorder(MetricsRegistry())
+    with recorder.span("outer"):
+        with recorder.span("inner"):
+            pass
+    for name, value in (counter_values or {}).items():
+        recorder.metrics.count(name, value)
+    return recorder
+
+
+def test_build_write_load_validate_round_trip(tmp_path):
+    recorder = _recorded_run({"rng.draws/noise/run0": 12, "solver.solves": 3})
+    manifest = build_manifest(
+        recorder, command="experiment", argv=["f10"], seed=7, config={"quick": True}
+    )
+    validate_manifest(manifest)  # no raise
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest, path)
+    back = load_manifest(path)
+    assert back == json.loads(json.dumps(manifest))  # JSON-stable
+    assert back["schema_version"] == MANIFEST_SCHEMA_VERSION
+    assert back["spans"] == {"total": 2, "max_depth": 2}
+    # rng.draws/ counters are folded into the seed block, stream-keyed.
+    assert back["seed"] == {"root_seed": 7, "streams": {"noise/run0": 12}}
+    assert back["phases"]["outer"]["count"] == 1
+
+
+def test_validate_rejects_missing_field():
+    manifest = build_manifest(_recorded_run(), command="x")
+    del manifest["git_sha"]
+    with pytest.raises(ObsError, match="git_sha"):
+        validate_manifest(manifest)
+
+
+def test_validate_rejects_bool_where_int_expected():
+    manifest = build_manifest(_recorded_run(), command="x")
+    manifest["spans"]["total"] = True
+    with pytest.raises(ObsError, match="bool"):
+        validate_manifest(manifest)
+
+
+def test_validate_rejects_newer_schema_version():
+    manifest = build_manifest(_recorded_run(), command="x")
+    manifest["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+    with pytest.raises(ObsError, match="newer"):
+        validate_manifest(manifest)
+
+
+def test_validate_rejects_malformed_phase_entry():
+    manifest = build_manifest(_recorded_run(), command="x")
+    manifest["phases"]["bad"] = {"count": "three"}
+    with pytest.raises(ObsError, match="phases"):
+        validate_manifest(manifest)
+
+
+def test_write_manifest_refuses_invalid_data(tmp_path):
+    with pytest.raises(ObsError):
+        write_manifest({"schema_version": 1}, tmp_path / "manifest.json")
+    assert not (tmp_path / "manifest.json").exists()
+
+
+def test_load_manifest_missing_and_corrupt(tmp_path):
+    with pytest.raises(ObsError, match="no manifest"):
+        load_manifest(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ObsError, match="not valid JSON"):
+        load_manifest(bad)
+
+
+def test_diff_identical_runs_are_deterministic_twins():
+    a = build_manifest(_recorded_run({"n": 5}), command="x", seed=7)
+    b = build_manifest(_recorded_run({"n": 5}), command="x", seed=7)
+    diff = diff_manifests(a, b)
+    assert diff["deterministic"] is True
+    assert diff["counters"] == {} and diff["config"] == {}
+    # Wall times are reported but never affect the verdict.
+    assert set(diff["phases"]) == {"outer", "inner"}
+
+
+def test_diff_flags_counter_config_and_seed_changes():
+    a = build_manifest(
+        _recorded_run({"n": 5}), command="x", seed=7, config={"quick": True}
+    )
+    b = build_manifest(
+        _recorded_run({"n": 6}), command="x", seed=8, config={"quick": False}
+    )
+    diff = diff_manifests(a, b)
+    assert diff["deterministic"] is False
+    assert diff["counters"]["n"] == [5, 6]
+    assert diff["config"]["quick"] == [True, False]
+    assert diff["identity"]["root_seed"] == [7, 8]

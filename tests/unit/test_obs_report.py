@@ -1,0 +1,128 @@
+"""The obs report renderer and the CLI's --obs-dir / obs report plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.errors import ObsError
+from repro.obs import load_trace, render_diff, render_report
+
+
+@pytest.fixture(autouse=True)
+def _fresh_solver_sessions():
+    """Recordings fold solver counters; isolate them per test."""
+    from repro.solver import reset_sessions
+
+    reset_sessions()
+    yield
+    reset_sessions()
+
+
+def _record_run(obs_dir, seed=None) -> str:
+    argv = ["experiment", "f10", "--quick", "--obs-dir", str(obs_dir)]
+    if seed is not None:
+        argv = ["--seed", str(seed)] + argv
+    assert main(argv) == 0
+    return str(obs_dir)
+
+
+def test_obs_dir_records_without_changing_stdout(tmp_path, capsys):
+    assert main(["experiment", "f10", "--quick"]) == 0
+    plain = capsys.readouterr().out
+    _record_run(tmp_path / "run")
+    recorded = capsys.readouterr().out
+    assert recorded == plain  # telemetry never changes computed output
+    assert (tmp_path / "run" / "manifest.json").exists()
+    assert (tmp_path / "run" / "trace.jsonl").exists()
+
+
+def test_report_renders_spans_and_counters(tmp_path, capsys):
+    run = _record_run(tmp_path / "run")
+    capsys.readouterr()
+    assert main(["obs", "report", run]) == 0
+    out = capsys.readouterr().out
+    assert "OBS RUN REPORT" in out
+    assert "experiment.f10" in out
+    assert "rng.draws/" in out
+    assert "solver.solves" in out
+
+
+def test_report_diff_on_two_seeded_runs_is_deterministic(tmp_path, capsys):
+    a = _record_run(tmp_path / "a", seed=7)
+    from repro.solver import reset_sessions
+
+    reset_sessions()
+    b = _record_run(tmp_path / "b", seed=7)
+    capsys.readouterr()
+    assert main(["obs", "report", a, b]) == 0
+    out = capsys.readouterr().out
+    assert "counters: identical" in out
+    assert "deterministic twins" in out
+
+
+def test_report_diff_flags_different_seeds(tmp_path, capsys):
+    a = _record_run(tmp_path / "a", seed=7)
+    from repro.solver import reset_sessions
+
+    reset_sessions()
+    b = _record_run(tmp_path / "b", seed=8)
+    capsys.readouterr()
+    assert main(["obs", "report", a, b]) == 0
+    out = capsys.readouterr().out
+    assert "root_seed" in out
+    assert "runs differ beyond wall time" in out
+
+
+def test_report_json_round_trips(tmp_path, capsys):
+    run = _record_run(tmp_path / "run")
+    capsys.readouterr()
+    assert main(["obs", "report", run, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "experiment"
+    assert payload["metrics"]["counters"]
+
+
+def test_trace_events_nest_consistently(tmp_path):
+    run = _record_run(tmp_path / "run")
+    events = load_trace(run)
+    assert events, "trace must not be empty"
+    by_seq = {e["seq"]: e for e in events}
+    for event in events:
+        assert event["wall_s"] >= 0.0
+        assert "start_s" in event  # relative clock, no absolute timestamps
+        if event["parent"] is not None:
+            assert by_seq[event["parent"]]["depth"] == event["depth"] - 1
+
+
+def test_render_report_missing_dir_raises(tmp_path):
+    with pytest.raises(ObsError):
+        render_report(tmp_path / "nowhere")
+
+
+def test_render_diff_requires_manifests(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    with pytest.raises(ObsError):
+        render_diff(tmp_path / "a", tmp_path / "b")
+
+
+def test_obs_report_rejects_three_dirs(tmp_path, capsys):
+    run = _record_run(tmp_path / "run")
+    capsys.readouterr()
+    assert main(["obs", "report", run, run, run]) == 2
+    assert "one dir" in capsys.readouterr().err
+
+
+def test_experiment_id_aliases():
+    from repro.experiments.registry import normalize_experiment_id
+
+    assert normalize_experiment_id("fig10") == "f10"
+    assert normalize_experiment_id("FIG10") == "f10"
+    assert normalize_experiment_id("figure10") == "f10"
+    assert normalize_experiment_id("table4") == "t4"
+    assert normalize_experiment_id("f10") == "f10"
+    assert normalize_experiment_id("fw1") == "fw1"  # never rewritten
+    assert normalize_experiment_id("bogus") == "bogus"

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# Service smoke: replay the scripted soak trace twice — once healthy,
+# once with the fault plan firing mid-stream — and prove the
+# deterministic-twin contract: same seed -> byte-identical response
+# streams, every request answered exactly once, breaker tripped and
+# recovered.  Then drive the stdio transport with a scripted session
+# and check it, too, answers identically across runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMPDIR="${TMPDIR:-/tmp}"
+A="$TMPDIR/service_smoke_a.$$"
+B="$TMPDIR/service_smoke_b.$$"
+trap 'rm -f "$A" "$B"' EXIT
+
+echo "== chaos soak: fault plan firing mid-stream"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak \
+    --requests 120 --runs 3
+
+echo
+echo "== determinism: faulted soak twice with seed 7 (full JSON report)"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak \
+    --requests 120 --runs 3 --json > "$A"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak \
+    --requests 120 --runs 3 --json > "$B"
+if ! cmp -s "$A" "$B"; then
+    echo "FAIL: faulted soak report is not bit-identical across runs" >&2
+    diff "$A" "$B" >&2 || true
+    exit 1
+fi
+echo "OK: faulted response stream bit-identical across runs"
+
+echo
+echo "== determinism: healthy soak twice with seed 7"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak \
+    --requests 120 --runs 3 --no-fault --json > "$A"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak \
+    --requests 120 --runs 3 --no-fault --json > "$B"
+if ! cmp -s "$A" "$B"; then
+    echo "FAIL: healthy soak report is not bit-identical across runs" >&2
+    diff "$A" "$B" >&2 || true
+    exit 1
+fi
+echo "OK: healthy response stream bit-identical across runs"
+
+echo
+echo "== stdio transport: scripted session twice"
+TRACE='{"jsonrpc":"2.0","id":1,"method":"ready"}
+{"jsonrpc":"2.0","id":2,"method":"classify","params":{"target":7}}
+{"jsonrpc":"2.0","id":3,"method":"advise","params":{"target":7,"tasks":4,"avoid_irq_node":true}}
+{"jsonrpc":"2.0","id":4,"method":"predict_eq1","params":{"target":7,"streams":[0,1,6]}}
+{"jsonrpc":"2.0","id":5,"method":"advise","params":{"target":99,"tasks":1}}
+not even json
+{"jsonrpc":"2.0","id":7,"method":"classify","params":{"target":7,"deadline_ms":0}}'
+printf '%s\n' "$TRACE" | PYTHONPATH=src python -m repro.cli.main --seed 7 \
+    serve --stdio --runs 3 > "$A"
+printf '%s\n' "$TRACE" | PYTHONPATH=src python -m repro.cli.main --seed 7 \
+    serve --stdio --runs 3 > "$B"
+if ! cmp -s "$A" "$B"; then
+    echo "FAIL: stdio response stream is not bit-identical across runs" >&2
+    diff "$A" "$B" >&2 || true
+    exit 1
+fi
+RESPONSES=$(wc -l < "$A" | tr -d ' ')
+if [ "$RESPONSES" != "7" ]; then
+    echo "FAIL: expected 7 responses (one per request), got $RESPONSES" >&2
+    exit 1
+fi
+echo "OK: stdio session answered 7/7 requests, bit-identical across runs"

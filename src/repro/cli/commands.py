@@ -34,6 +34,7 @@ __all__ = [
     "cmd_stats",
     "cmd_numastat",
     "cmd_chaos",
+    "cmd_serve",
     "cmd_obs_report",
 ]
 
@@ -229,9 +230,16 @@ def _experiment_worker(task: tuple[str, bool]) -> tuple[str, bool, str, str, lis
     pre-render everything the parent prints or writes and ship strings
     back across the process boundary.
     """
+    import os
     import time
 
     exp_id, quick = task
+    if os.environ.get("REPRO_CHAOS_KILL_EXPERIMENT") == exp_id:
+        # Test hook: die exactly like a worker hit by the OOM killer,
+        # so the merge path's crash handling can be exercised for real.
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
     start = time.perf_counter()
     result = run_experiment(exp_id, quick=quick)
     wall_s = time.perf_counter() - start
@@ -280,13 +288,29 @@ def _run_all_experiments(args: argparse.Namespace) -> int:
         if jobs == 1:
             outcomes = [_experiment_worker(t) for t in tasks]
         else:
-            import multiprocessing
+            # ProcessPoolExecutor (not multiprocessing.Pool): a SIGKILLed
+            # worker breaks the pool with BrokenProcessPool instead of
+            # hanging the map forever, so a crash degrades to structured
+            # "crashed" rows and a nonzero exit — never a stuck merge.
+            from concurrent.futures import ProcessPoolExecutor
 
-            with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-                outcomes = pool.map(_experiment_worker, tasks)
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                futures = [(t[0], pool.submit(_experiment_worker, t)) for t in tasks]
+                outcomes = []
+                for exp_id, future in futures:
+                    try:
+                        outcomes.append(future.result())
+                    except Exception as exc:  # worker died or pool broke
+                        reason = (
+                            f'status="crashed": experiment {exp_id!r} worker '
+                            f"died before returning a result "
+                            f"({type(exc).__name__})"
+                        )
+                        outcomes.append((exp_id, None, "(worker crashed)",
+                                         reason, [reason], 0.0))
         total_s = time.perf_counter() - start
         for exp_id, passed, title, rendered, failed_lines, wall_s in outcomes:
-            status = "PASS" if passed else "FAIL"
+            status = "CRASH" if passed is None else "PASS" if passed else "FAIL"
             print(f"{exp_id:5s} {status}  {wall_s:6.2f} s  {title}")
             if not passed:
                 failed.append(exp_id)
@@ -315,6 +339,96 @@ def cmd_plan(args: argparse.Namespace) -> int:
     print(planner.render())
     best = planner.best()
     print(f"recommendation: attach at node {best.node}")
+    return 0
+
+
+def _serve_machine(args: argparse.Namespace):
+    """The machine ``serve`` operates on: ``--machine-file`` wins."""
+    if getattr(args, "machine_file", None):
+        from repro.topology.serialize import machine_from_json_file
+
+        return machine_from_json_file(args.machine_file)
+    return _machine(args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro-numa serve``: the placement-advisory JSON-RPC service.
+
+    Three modes: ``--soak`` runs the deterministic chaos soak and exits
+    nonzero unless every request was answered exactly once (and, with
+    the fault window on, the breaker recovered); ``--stdio`` answers
+    line requests serially on stdin/stdout; the default binds the
+    asyncio TCP transport and serves until interrupted.
+    """
+    import asyncio
+
+    from repro.rng import DEFAULT_SEED
+    from repro.service import (
+        AdvisoryBackend,
+        AsyncPlacementServer,
+        CircuitBreaker,
+        PlacementService,
+        ServiceConfig,
+        run_soak,
+        serve_stdio,
+    )
+
+    if args.soak:
+        import json
+
+        report = run_soak(
+            machine=_serve_machine(args),
+            requests=args.requests,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            runs=min(args.runs, 10),  # soak favours wall-time over noise
+            fault=args.fault,
+            failure_threshold=min(args.failure_threshold, 2),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        total = report.answered == report.requests
+        healthy_end = report.recovered if args.fault else not report.tripped
+        return 0 if total and healthy_end else 1
+
+    machine = _serve_machine(args)
+    backend = AdvisoryBackend(machine, registry=_registry(args), runs=args.runs)
+    service = PlacementService(
+        backend,
+        breaker=CircuitBreaker(failure_threshold=args.failure_threshold),
+    )
+    backend.warm()
+
+    if args.stdio:
+        serve_stdio(service)
+        return 0
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        failure_threshold=args.failure_threshold,
+    )
+
+    async def _run() -> None:
+        server = AsyncPlacementServer(service, config)
+        await server.start()
+        print(
+            f"serving {machine.name} on {config.host}:{server.port} "
+            f"(queue {config.queue_limit}, workers {config.workers})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.drain()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

@@ -177,6 +177,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_chaos)
 
+    p = sub.add_parser(
+        "serve",
+        help="placement-advisory JSON-RPC service (TCP, stdio, or chaos soak)",
+    )
+    p.add_argument("--stdio", action="store_true",
+                   help="serve line requests serially on stdin/stdout")
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p.add_argument("--port", type=int, default=8713,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--machine-file", dest="machine_file", metavar="JSON",
+                   help="serve a machine loaded from a JSON description "
+                        "instead of --machine")
+    p.add_argument("--runs", type=int, default=25,
+                   help="Algorithm 1 copies per probe (latency/accuracy)")
+    p.add_argument("--queue-limit", type=int, default=32,
+                   help="bounded admission queue size (TCP backpressure)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="concurrent solver workers (TCP transport)")
+    p.add_argument("--failure-threshold", type=int, default=3,
+                   help="consecutive solver failures that trip the breaker")
+    p.add_argument("--soak", action="store_true",
+                   help="run the deterministic chaos soak instead of serving")
+    p.add_argument("--requests", type=int, default=120,
+                   help="scripted requests in the soak trace")
+    p.add_argument("--no-fault", dest="fault", action="store_false",
+                   help="soak without the fault window (healthy twin)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the soak report as JSON")
+    _add_obs_dir(p)
+    p.set_defaults(func=commands.cmd_serve)
+
     p = sub.add_parser("export", help="dump the machine description as JSON")
     p.set_defaults(func=commands.cmd_export)
 

@@ -56,3 +56,18 @@ class ObsError(ReproError):
 
 class RouteLostError(FaultError):
     """A transfer's route vanished under faults and no alternative survives."""
+
+
+class ServiceError(ReproError):
+    """A placement-advisory request failed with a typed, wire-safe error.
+
+    Carries a machine-readable ``kind`` (one of the service protocol's
+    error taxonomy, e.g. ``"invalid_params"``, ``"deadline_exceeded"``,
+    ``"overloaded"``) plus optional structured ``data``; the service
+    serialises these onto the wire instead of tracebacks.
+    """
+
+    def __init__(self, kind: str, message: str, data: dict | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.data = dict(data) if data else {}

@@ -26,12 +26,13 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.errors import FaultError, RouteLostError, RoutingError, SimulationError
+from repro.errors import RouteLostError, RoutingError, SimulationError
 from repro.faults.plan import FaultedMachine, FaultPlan
 from repro.flows.flow import Flow
 from repro.interconnect.planes import PLANE_DMA
 from repro.memory.controller import MemoryController
 from repro.obs import recorder as _obs
+from repro.retrying import RetryPolicy
 from repro.solver.capacity import link_resource
 from repro.solver.incremental import AllocationCache
 from repro.units import gbps, gbps_to_bytes_per_s
@@ -50,37 +51,6 @@ _DEAD_EPS = 1e-12
 #: A rerouter maps (flow name, dead resources, time) to a surviving
 #: resource set, or ``None`` when no alternative exists.
 Rerouter = Callable[[str, tuple[str, ...], float], "tuple[str, ...] | None"]
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Seeded exponential backoff with a bounded budget.
-
-    A blocked flow waits ``base_delay_s * multiplier**attempt`` seconds
-    (jittered by ``±jitter`` relative, drawn from the runner's seeded
-    generator) before re-checking its resources; after ``max_retries``
-    failed checks it gives up.
-    """
-
-    max_retries: int = 4
-    base_delay_s: float = 0.25
-    multiplier: float = 2.0
-    jitter: float = 0.25
-
-    def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise FaultError(f"max_retries must be >= 0, got {self.max_retries}")
-        if self.base_delay_s <= 0 or self.multiplier < 1.0:
-            raise FaultError("backoff delay must be positive and non-shrinking")
-        if not 0.0 <= self.jitter < 1.0:
-            raise FaultError(f"jitter must be in [0, 1), got {self.jitter!r}")
-
-    def delay_s(self, attempt: int, rng: np.random.Generator | None) -> float:
-        """Backoff before retry number ``attempt`` (0-based)."""
-        delay = self.base_delay_s * self.multiplier**attempt
-        if rng is not None and self.jitter > 0.0:
-            delay *= 1.0 + self.jitter * float(2.0 * rng.random() - 1.0)
-        return delay
 
 
 @dataclass(frozen=True)

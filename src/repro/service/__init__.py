@@ -1,0 +1,62 @@
+"""The resilient placement-advisory service.
+
+``repro.service`` is the operational front end the paper argues for in
+§V–VI: the class model exists so a scheduler can ask "where do I place
+this I/O task" cheaply — and keep asking while the fabric misbehaves.
+Stdlib-only asyncio JSON-RPC over TCP or stdio, backed by the warm
+:class:`~repro.solver.session.SolverSession` registry so repeated
+placement queries amortise capacity and allocation caches.
+
+The robustness machinery is the point:
+
+* schema-validated requests with **typed errors** (never a traceback
+  over the wire);
+* per-request **deadlines** with real cancellation;
+* a bounded admission queue with explicit **backpressure** rejection;
+* a **circuit breaker** that trips on repeated solver failures and
+  serves *degraded class-level answers* (last-good per-class bandwidths
+  from the most recent characterization) until half-open probes succeed;
+* graceful **drain** on shutdown;
+* a deterministic **chaos soak** that drives scripted traffic while a
+  :class:`~repro.faults.plan.FaultPlan` fires mid-stream.
+"""
+
+from repro.service.backend import AdvisoryBackend, ClassSnapshot, SessionPool
+from repro.service.breaker import CircuitBreaker
+from repro.service.protocol import (
+    ERROR_CODES,
+    METHODS,
+    decode_request,
+    encode_message,
+    error_response,
+    result_response,
+    validate_params,
+)
+from repro.service.server import (
+    AsyncPlacementServer,
+    PlacementService,
+    ServiceConfig,
+    serve_stdio,
+)
+from repro.service.soak import SoakReport, build_soak_plan, run_soak
+
+__all__ = [
+    "AdvisoryBackend",
+    "ClassSnapshot",
+    "SessionPool",
+    "CircuitBreaker",
+    "ERROR_CODES",
+    "METHODS",
+    "decode_request",
+    "encode_message",
+    "error_response",
+    "result_response",
+    "validate_params",
+    "AsyncPlacementServer",
+    "PlacementService",
+    "ServiceConfig",
+    "serve_stdio",
+    "SoakReport",
+    "build_soak_plan",
+    "run_soak",
+]

@@ -1,0 +1,432 @@
+"""The advisory backend: models, warm sessions, and last-good answers.
+
+The backend owns everything behind the wire protocol:
+
+* a **warm session pool** — placement queries are solver-cache-bound,
+  so the pool pins one :class:`~repro.solver.session.SolverSession` per
+  machine fingerprint (on top of the process-wide registry) and accounts
+  hits/misses for ``health``;
+* a **model cache** — Algorithm 1 characterizations keyed by
+  ``(fingerprint, target, mode)``; a faulted machine view has a new
+  fingerprint, so fault injection naturally invalidates models without
+  touching the healthy entries;
+* the **last-good snapshot** — every successful characterization
+  records its class-level summary (:class:`ClassSnapshot`).  When the
+  circuit breaker is open, the service answers *from these snapshots*:
+  class-level placement, classification and Eq. 1 prediction that need
+  no solver at all.  That is the Dynamo-style contract: always
+  answerable, possibly degraded.
+
+Backend calls raise :class:`~repro.errors.ServiceError` for caller
+mistakes (unknown node, bad stream list) and let solver-layer errors
+(:data:`SOLVER_FAILURES`) propagate for the breaker to count.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.analysis.planner import DeviceAttachmentPlanner
+from repro.core.iomodel import IOModelBuilder
+from repro.core.model import IOPerformanceModel
+from repro.core.scheduler_advisor import PlacementAdvisor
+from repro.errors import (
+    FaultError,
+    RoutingError,
+    ServiceError,
+    SimulationError,
+    TopologyError,
+)
+from repro.rng import RngRegistry
+from repro.solver.capacity import machine_fingerprint
+from repro.solver.session import SolverSession, get_session
+from repro.topology.machine import Machine
+
+__all__ = [
+    "SOLVER_FAILURES",
+    "SessionPool",
+    "ClassSnapshot",
+    "AdvisoryBackend",
+]
+
+#: Exception classes the circuit breaker counts as solver failures.
+#: (:class:`~repro.errors.RouteLostError` is a :class:`FaultError`.)
+SOLVER_FAILURES = (RoutingError, TopologyError, SimulationError, FaultError)
+
+
+class SessionPool:
+    """Warm solver sessions, pinned per machine fingerprint (LRU).
+
+    A thin accounting layer over the process-wide session registry:
+    ``acquire`` returns the shared session for a machine's topology and
+    holds a strong reference so the global LRU cannot evict a session
+    the service is amortising caches through.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"session pool maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._sessions: OrderedDict[str, SolverSession] = OrderedDict()
+
+    def acquire(self, machine: Machine) -> SolverSession:
+        """The warm session for ``machine``'s topology."""
+        fingerprint = machine_fingerprint(machine)
+        session = self._sessions.get(fingerprint)
+        if session is None:
+            self.misses += 1
+            session = get_session(machine)
+            self._sessions[fingerprint] = session
+            while len(self._sessions) > self.maxsize:
+                self._sessions.popitem(last=False)
+        else:
+            self.hits += 1
+            self._sessions.move_to_end(fingerprint)
+        return session
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def stats(self) -> dict:
+        """JSON-able pool state for ``health`` responses."""
+        return {"size": len(self), "hits": self.hits, "misses": self.misses}
+
+
+@dataclass(frozen=True)
+class ClassSnapshot:
+    """Class-level summary of one characterization — the degraded answer.
+
+    ``classes`` rows are ``(rank, node_ids, avg, lo, hi)`` in rank
+    order: everything a class-level placement, classification or Eq. 1
+    prediction needs, nothing that requires a live solver.
+    """
+
+    machine_name: str
+    target_node: int
+    mode: str
+    classes: tuple[tuple[int, tuple[int, ...], float, float, float], ...]
+
+    @classmethod
+    def from_model(cls, model: IOPerformanceModel) -> "ClassSnapshot":
+        """Snapshot the class structure of a freshly built model."""
+        return cls(
+            machine_name=model.machine_name,
+            target_node=model.target_node,
+            mode=model.mode,
+            classes=tuple(
+                (c.rank, tuple(c.node_ids), c.avg, c.lo, c.hi)
+                for c in model.classes
+            ),
+        )
+
+    def rank_of(self, node: int) -> "int | None":
+        """The class rank holding ``node``, or ``None`` if unknown."""
+        for rank, node_ids, _avg, _lo, _hi in self.classes:
+            if node in node_ids:
+                return rank
+        return None
+
+    def class_avgs(self) -> dict[int, float]:
+        """``rank -> avg Gbps`` for every class."""
+        return {rank: avg for rank, _nodes, avg, _lo, _hi in self.classes}
+
+    def equivalent_classes(self, tolerance: float) -> tuple[int, ...]:
+        """Ranks within ``tolerance`` (relative) of the best class."""
+        avgs = self.class_avgs()
+        best = max(avgs.values())
+        return tuple(
+            rank for rank, avg in sorted(avgs.items())
+            if (best - avg) / best <= tolerance
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the ``classify`` degraded payload)."""
+        return {
+            "machine": self.machine_name,
+            "target": self.target_node,
+            "mode": self.mode,
+            "classes": [
+                {
+                    "rank": rank,
+                    "node_ids": list(node_ids),
+                    "avg_gbps": avg,
+                    "lo_gbps": lo,
+                    "hi_gbps": hi,
+                }
+                for rank, node_ids, avg, lo, hi in self.classes
+            ],
+        }
+
+
+class AdvisoryBackend:
+    """Placement answers over one host, fault-swappable, degradable.
+
+    Parameters
+    ----------
+    machine:
+        The healthy host the service advises for.
+    registry:
+        Seeded RNG registry; characterization streams restart per name,
+        so rebuilding a model is bit-deterministic.
+    runs:
+        Algorithm 1 copies per probe (trade accuracy for latency).
+    pool:
+        Warm session pool (defaults to a fresh one).
+    model_cache:
+        LRU bound on cached characterizations.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        registry: RngRegistry | None = None,
+        runs: int = 25,
+        pool: SessionPool | None = None,
+        model_cache: int = 32,
+    ) -> None:
+        self.healthy_machine = machine
+        self.machine = machine
+        self.registry = registry if registry is not None else RngRegistry()
+        self.runs = runs
+        self.pool = pool if pool is not None else SessionPool()
+        self._model_cache_size = model_cache
+        self._models: OrderedDict[tuple[str, int, str], IOPerformanceModel]
+        self._models = OrderedDict()
+        self._last_good: dict[tuple[int, str], ClassSnapshot] = {}
+        self._last_good_plans: dict[float, dict] = {}
+        self.warmed = False
+
+    # --- machine lifecycle -------------------------------------------------
+    def set_machine(self, machine: Machine) -> None:
+        """Swap the live machine view (fault injection / recovery).
+
+        Model and session caches are fingerprint-keyed so nothing is
+        dropped; last-good snapshots survive by design — they are the
+        degraded answers served while the new view is unsolvable.
+        """
+        self.machine = machine
+
+    def restore_machine(self) -> None:
+        """Swap back to the healthy host."""
+        self.machine = self.healthy_machine
+
+    # --- characterization --------------------------------------------------
+    def _check_node(self, node: int, what: str) -> None:
+        if node not in self.healthy_machine.node_ids:
+            raise ServiceError(
+                "invalid_params",
+                f"{what} {node} is not a node of "
+                f"{self.healthy_machine.name!r} "
+                f"(nodes {list(self.healthy_machine.node_ids)})",
+                data={"param": what},
+            )
+
+    def model(self, target: int, mode: str) -> IOPerformanceModel:
+        """The (cached) Algorithm 1 model for ``(target, mode)``.
+
+        A successful build refreshes the last-good snapshot; a solver
+        failure propagates for the breaker to count.
+        """
+        self._check_node(target, "target")
+        session = self.pool.acquire(self.machine)  # warm the capacity cache
+        key = (machine_fingerprint(self.machine), target, mode)
+        model = self._models.get(key)
+        if model is None:
+            builder = IOModelBuilder(
+                self.machine, registry=self.registry, runs=self.runs
+            )
+            builder.session = session  # reuse the pinned warm session
+            model = builder.build(target, mode)
+            self._models[key] = model
+            while len(self._models) > self._model_cache_size:
+                self._models.popitem(last=False)
+        else:
+            self._models.move_to_end(key)
+        self._last_good[(target, mode)] = ClassSnapshot.from_model(model)
+        return model
+
+    def warm(self, targets: "tuple[int, ...] | None" = None) -> None:
+        """Pre-build both models for ``targets`` (device nodes by default)."""
+        if targets is None:
+            device_nodes = tuple(
+                sorted({d.node_id for d in self.healthy_machine.devices.values()})
+            )
+            targets = device_nodes or (self.healthy_machine.node_ids[-1],)
+        for target in targets:
+            for mode in ("write", "read"):
+                self.model(target, mode)
+        self.warmed = True
+
+    # --- live answers ------------------------------------------------------
+    def advise(
+        self,
+        target: int,
+        mode: str,
+        tasks: int,
+        avoid_irq_node: bool = False,
+        tolerance: float = 0.05,
+    ) -> dict:
+        """Full class-aware placement over the live machine."""
+        model = self.model(target, mode)
+        advisor = PlacementAdvisor(self.machine, model, tolerance=tolerance)
+        plan = advisor.advise(tasks, avoid_irq_node=avoid_irq_node)
+        return {
+            "degraded": False,
+            "source": "characterization",
+            "machine": self.machine.name,
+            "target": target,
+            "mode": mode,
+            "tasks_per_node": {
+                str(n): c for n, c in sorted(plan.tasks_per_node.items()) if c
+            },
+            "classes_used": list(plan.classes_used),
+            "stream_nodes": plan.stream_nodes(),
+        }
+
+    def plan(self, write_weight: float = 0.5) -> dict:
+        """Analytic device-attachment ranking over the live machine."""
+        planner = DeviceAttachmentPlanner(self.machine, write_weight=write_weight)
+        scores = [planner.score(n) for n in self.machine.node_ids]
+        scores.sort(key=lambda s: (-s.combined_gbps, s.node))
+        result = {
+            "degraded": False,
+            "source": "characterization",
+            "machine": self.machine.name,
+            "write_weight": write_weight,
+            "best_node": scores[0].node,
+            "ranking": [
+                {
+                    "node": s.node,
+                    "combined_gbps": s.combined_gbps,
+                    "write_mean_gbps": s.write_mean_gbps,
+                    "read_mean_gbps": s.read_mean_gbps,
+                }
+                for s in scores
+            ],
+        }
+        self._last_good_plans[round(float(write_weight), 9)] = result
+        return result
+
+    def predict_eq1(self, target: int, mode: str, streams: list[int]) -> dict:
+        """Eq. 1 aggregate prediction from the memcpy class model."""
+        for node in streams:
+            self._check_node(node, "stream node")
+        model = self.model(target, mode)
+        alpha: dict[int, float] = {}
+        for node in streams:
+            rank = model.class_of(node).rank
+            alpha[rank] = alpha.get(rank, 0.0) + 1.0
+        avgs = {c.rank: c.avg for c in model.classes}
+        total = sum(alpha.values())
+        predicted = sum(
+            (share / total) * avgs[rank] for rank, share in alpha.items()
+        )
+        return {
+            "degraded": False,
+            "source": "characterization",
+            "machine": self.machine.name,
+            "target": target,
+            "mode": mode,
+            "streams": list(streams),
+            "predicted_gbps": predicted,
+            "class_fractions": {
+                str(rank): share / total for rank, share in sorted(alpha.items())
+            },
+        }
+
+    def classify(self, target: int, mode: str) -> dict:
+        """The class structure for ``(target, mode)`` on the live machine."""
+        model = self.model(target, mode)
+        payload = ClassSnapshot.from_model(model).to_dict()
+        payload["values"] = {str(n): v for n, v in sorted(model.values.items())}
+        payload["degraded"] = False
+        payload["source"] = "characterization"
+        return payload
+
+    # --- degraded answers --------------------------------------------------
+    def snapshot(self, target: int, mode: str) -> "ClassSnapshot | None":
+        """The last-good snapshot for ``(target, mode)``, if any."""
+        return self._last_good.get((target, mode))
+
+    def degraded_answer(self, method: str, params: dict) -> "dict | None":
+        """A class-level answer from the last-good characterization.
+
+        Returns ``None`` when no snapshot covers the request — the
+        dispatcher then refuses with a typed ``unavailable`` error.
+        Every answer is marked ``degraded: true`` with its provenance.
+        """
+        if method == "plan":
+            cached = self._last_good_plans.get(
+                round(float(params["write_weight"]), 9)
+            )
+            if cached is None:
+                return None
+            return dict(
+                cached, degraded=True, source="last-good-characterization"
+            )
+        if method not in ("advise", "predict_eq1", "classify"):
+            return None
+        snapshot = self.snapshot(params["target"], params["mode"])
+        if snapshot is None:
+            return None
+        if method == "classify":
+            payload = snapshot.to_dict()
+            payload["degraded"] = True
+            payload["source"] = "last-good-characterization"
+            return payload
+        if method == "advise":
+            ranks = set(snapshot.equivalent_classes(params["tolerance"]))
+            avgs = snapshot.class_avgs()
+            nodes: list[int] = []
+            for rank, node_ids, _avg, _lo, _hi in sorted(
+                snapshot.classes, key=lambda row: -avgs[row[0]]
+            ):
+                if rank in ranks:
+                    nodes.extend(node_ids)
+            if params["avoid_irq_node"] and len(nodes) > 1:
+                nodes = [n for n in nodes if n != snapshot.target_node]
+            placement = {n: 0 for n in nodes}
+            for i in range(params["tasks"]):
+                placement[nodes[i % len(nodes)]] += 1
+            stream_nodes: list[int] = []
+            for node in sorted(placement):
+                stream_nodes.extend([node] * placement[node])
+            return {
+                "degraded": True,
+                "source": "last-good-characterization",
+                "machine": snapshot.machine_name,
+                "target": params["target"],
+                "mode": params["mode"],
+                "tasks_per_node": {
+                    str(n): c for n, c in sorted(placement.items()) if c
+                },
+                "classes_used": list(ranks and sorted(ranks)),
+                "stream_nodes": stream_nodes,
+            }
+        # predict_eq1
+        alpha: dict[int, float] = {}
+        for node in params["streams"]:
+            rank = snapshot.rank_of(node)
+            if rank is None:
+                return None
+            alpha[rank] = alpha.get(rank, 0.0) + 1.0
+        avgs = snapshot.class_avgs()
+        total = sum(alpha.values())
+        predicted = sum(
+            (share / total) * avgs[rank] for rank, share in alpha.items()
+        )
+        return {
+            "degraded": True,
+            "source": "last-good-characterization",
+            "machine": snapshot.machine_name,
+            "target": params["target"],
+            "mode": params["mode"],
+            "streams": list(params["streams"]),
+            "predicted_gbps": predicted,
+            "class_fractions": {
+                str(rank): share / total for rank, share in sorted(alpha.items())
+            },
+        }

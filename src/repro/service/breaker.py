@@ -1,0 +1,145 @@
+"""The circuit breaker guarding the solver-backed request path.
+
+Classic three-state machine, tuned for the advisory service:
+
+* **closed** — requests hit the solver; ``failure_threshold``
+  *consecutive* solver failures trip the breaker;
+* **open** — the solver is not consulted at all; the service answers
+  from the last-good characterization (degraded class-level answers)
+  for a backoff window whose length grows with each consecutive trip
+  (the shared :class:`~repro.retrying.RetryPolicy`, seeded jitter and
+  all);
+* **half-open** — once the window elapses, exactly **one** probe
+  request is admitted to the solver.  Success closes the breaker;
+  failure re-opens it with the next (longer) window.
+
+Time comes from an injectable ``clock`` so the chaos soak can drive the
+breaker on a logical clock and stay bit-deterministic under a fixed
+seed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.obs import recorder as _obs
+from repro.retrying import RetryPolicy
+
+__all__ = ["CircuitBreaker"]
+
+#: Cap on the backoff exponent so repeated trips cannot overflow.
+_MAX_TRIP_ATTEMPT = 16
+
+
+class CircuitBreaker:
+    """Trip on consecutive failures, recover through half-open probes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    backoff:
+        Open-window policy; window ``k`` (0-based consecutive trip)
+        lasts ``backoff.delay_s(k, rng)`` seconds.  ``max_retries`` is
+        ignored — a breaker never gives up.
+    rng:
+        Seeded generator for window jitter (``None`` disables jitter).
+    clock:
+        Monotonic time source; injectable for deterministic tests/soaks.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        backoff: RetryPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.backoff = backoff if backoff is not None else RetryPolicy(
+            max_retries=0, base_delay_s=0.5, multiplier=2.0, jitter=0.0
+        )
+        self._rng = rng
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._trips = 0  # consecutive trips without a success in between
+        self._open_until = 0.0
+        self._probe_in_flight = False
+        #: ``(time, state)`` transition log, for reports and tests.
+        self.transitions: list[tuple[float, str]] = []
+
+    @property
+    def state(self) -> str:
+        """Current state string (``closed`` / ``open`` / ``half-open``)."""
+        return self._state
+
+    @property
+    def trip_count(self) -> int:
+        """Trips since the last success (how deep into backoff we are)."""
+        return self._trips
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions.append((self._clock(), state))
+
+    # --- the three verbs ---------------------------------------------------
+    def allow(self) -> bool:
+        """May this request consult the solver right now?
+
+        Returns ``True`` while closed, and for exactly one in-flight
+        probe once an open window has elapsed (the half-open state).
+        ``False`` means: answer degraded (or refuse), do not touch the
+        solver.
+        """
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.OPEN and self._clock() >= self._open_until:
+            self._transition(self.HALF_OPEN)
+            self._probe_in_flight = True
+            _obs.count("service.breaker_probes")
+            return True
+        if self._state == self.HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            _obs.count("service.breaker_probes")
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A solver call succeeded: close and reset all backoff state."""
+        self._probe_in_flight = False
+        self._consecutive_failures = 0
+        self._trips = 0
+        if self._state != self.CLOSED:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """A solver call failed: count it, tripping when the budget is gone.
+
+        A half-open probe failure re-opens immediately (no fresh budget
+        for a solver that is still down).
+        """
+        was_probe = self._probe_in_flight
+        self._probe_in_flight = False
+        self._consecutive_failures += 1
+        if was_probe or self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        attempt = min(self._trips, _MAX_TRIP_ATTEMPT)
+        window = self.backoff.delay_s(attempt, self._rng)
+        self._trips += 1
+        self._consecutive_failures = 0
+        self._open_until = self._clock() + window
+        self._transition(self.OPEN)
+        _obs.count("service.breaker_trips")

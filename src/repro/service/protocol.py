@@ -1,0 +1,287 @@
+"""The service wire protocol: JSON-RPC 2.0 framing, schemas, typed errors.
+
+One request per line, one response per line, everything JSON.  The
+protocol layer is the service's outer wall: every byte that arrives is
+parsed, shape-checked and schema-validated *here*, so the dispatch and
+backend layers only ever see well-typed parameter dicts — and every
+failure mode maps to a typed error object (``kind`` + JSON-RPC ``code``
++ message + structured ``data``), never a traceback.
+
+Error taxonomy
+--------------
+
+===================  ======  =================================================
+kind                 code    meaning
+===================  ======  =================================================
+``parse_error``      -32700  the line is not valid JSON
+``invalid_request``  -32600  valid JSON, not a valid JSON-RPC request
+``method_not_found`` -32601  unknown ``method``
+``invalid_params``   -32602  params failed schema validation (names the field)
+``internal_error``   -32603  unexpected failure (sanitised, no traceback)
+``solver_error``     -32000  the solver/characterization layer failed
+``deadline_exceeded``-32001  the request's deadline expired
+``overloaded``       -32002  admission queue full — explicit backpressure
+``unavailable``      -32003  breaker open and no last-good degraded answer
+``shutting_down``    -32004  server is draining; retry elsewhere
+===================  ======  =================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "METHODS",
+    "Field",
+    "decode_request",
+    "validate_params",
+    "result_response",
+    "error_response",
+    "encode_message",
+]
+
+PROTOCOL_VERSION = "2.0"
+
+#: kind -> JSON-RPC error code.  Standard codes where they exist,
+#: implementation-defined (-32000..-32099) for the service's own taxonomy.
+ERROR_CODES = {
+    "parse_error": -32700,
+    "invalid_request": -32600,
+    "method_not_found": -32601,
+    "invalid_params": -32602,
+    "internal_error": -32603,
+    "solver_error": -32000,
+    "deadline_exceeded": -32001,
+    "overloaded": -32002,
+    "unavailable": -32003,
+    "shutting_down": -32004,
+}
+
+#: Reserved request param understood by the transport, not the methods.
+DEADLINE_PARAM = "deadline_ms"
+
+
+@dataclass(frozen=True)
+class Field:
+    """Schema for one request parameter."""
+
+    types: tuple
+    required: bool = False
+    default: Any = None
+    choices: tuple | None = None
+    minimum: float | None = None
+    maximum: float | None = None
+    below: float | None = None  # exclusive upper bound
+    item_types: tuple | None = None  # element types for list fields
+    nonempty: bool = False
+
+
+#: method -> {param name -> Field}.  ``deadline_ms`` is accepted on every
+#: method and handled by the transport layer.
+METHODS: dict[str, dict[str, Field]] = {
+    "advise": {
+        "target": Field((int,), required=True, minimum=0),
+        "mode": Field((str,), default="write", choices=("write", "read")),
+        "tasks": Field((int,), required=True, minimum=1),
+        "avoid_irq_node": Field((bool,), default=False),
+        "tolerance": Field((int, float), default=0.05, minimum=0.0, below=1.0),
+    },
+    "plan": {
+        "write_weight": Field((int, float), default=0.5, minimum=0.0, maximum=1.0),
+    },
+    "predict_eq1": {
+        "target": Field((int,), required=True, minimum=0),
+        "mode": Field((str,), default="read", choices=("write", "read")),
+        "streams": Field((list,), required=True, item_types=(int,), nonempty=True),
+    },
+    "classify": {
+        "target": Field((int,), required=True, minimum=0),
+        "mode": Field((str,), default="write", choices=("write", "read")),
+    },
+    "health": {},
+    "ready": {},
+}
+
+
+def _is_bool(value) -> bool:
+    return isinstance(value, bool)
+
+
+def _type_ok(value, types: tuple) -> bool:
+    """Type check that never lets ``True`` pass as an int (or vice versa)."""
+    if _is_bool(value):
+        return bool in types
+    return isinstance(value, tuple(t for t in types if t is not bool))
+
+
+def _type_names(types: tuple) -> str:
+    return " or ".join(t.__name__ for t in types)
+
+
+def _check_field(method: str, name: str, spec: Field, value):
+    where = f"method {method!r}: param {name!r}"
+    if not _type_ok(value, spec.types):
+        raise ServiceError(
+            "invalid_params",
+            f"{where} must be {_type_names(spec.types)}, "
+            f"got {type(value).__name__}",
+            data={"param": name},
+        )
+    if spec.choices is not None and value not in spec.choices:
+        raise ServiceError(
+            "invalid_params",
+            f"{where} must be one of {list(spec.choices)}, got {value!r}",
+            data={"param": name},
+        )
+    if spec.minimum is not None and value < spec.minimum:
+        raise ServiceError(
+            "invalid_params",
+            f"{where} must be >= {spec.minimum}, got {value!r}",
+            data={"param": name},
+        )
+    if spec.maximum is not None and value > spec.maximum:
+        raise ServiceError(
+            "invalid_params",
+            f"{where} must be <= {spec.maximum}, got {value!r}",
+            data={"param": name},
+        )
+    if spec.below is not None and value >= spec.below:
+        raise ServiceError(
+            "invalid_params",
+            f"{where} must be < {spec.below}, got {value!r}",
+            data={"param": name},
+        )
+    if spec.item_types is not None:
+        bad = [v for v in value if not _type_ok(v, spec.item_types)]
+        if bad:
+            raise ServiceError(
+                "invalid_params",
+                f"{where} must contain only {_type_names(spec.item_types)}, "
+                f"got {bad[0]!r}",
+                data={"param": name},
+            )
+    if spec.nonempty and not value:
+        raise ServiceError(
+            "invalid_params", f"{where} must not be empty", data={"param": name}
+        )
+
+
+def validate_params(method: str, params: Mapping | None) -> dict:
+    """Schema-validate ``params`` for ``method``; returns a filled dict.
+
+    Defaults are applied, unknown parameters are rejected *by name*, and
+    every violation raises :class:`~repro.errors.ServiceError` of kind
+    ``invalid_params`` (or ``method_not_found`` for an unknown method).
+    """
+    try:
+        schema = METHODS[method]
+    except KeyError:
+        raise ServiceError(
+            "method_not_found",
+            f"unknown method {method!r}; choose from {sorted(METHODS)}",
+        ) from None
+    params = dict(params) if params else {}
+    params.pop(DEADLINE_PARAM, None)
+    unknown = [k for k in params if k not in schema]
+    if unknown:
+        raise ServiceError(
+            "invalid_params",
+            f"method {method!r}: unknown param {unknown[0]!r} "
+            f"(accepts {sorted(schema) + [DEADLINE_PARAM]})",
+            data={"param": unknown[0]},
+        )
+    out: dict = {}
+    for name, spec in schema.items():
+        if name not in params:
+            if spec.required:
+                raise ServiceError(
+                    "invalid_params",
+                    f"method {method!r}: missing required param {name!r}",
+                    data={"param": name},
+                )
+            out[name] = spec.default
+            continue
+        value = params[name]
+        _check_field(method, name, spec, value)
+        out[name] = value
+    return out
+
+
+def decode_request(line: str) -> tuple[Any, str, dict, "float | None"]:
+    """Parse one request line into ``(id, method, raw params, deadline_ms)``.
+
+    Raises :class:`~repro.errors.ServiceError` (``parse_error`` /
+    ``invalid_request``) on malformed input; params are *not* yet
+    schema-validated (that is :func:`validate_params`, once the method
+    is known to exist).
+    """
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError("parse_error", f"request is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServiceError(
+            "invalid_request",
+            f"request must be a JSON object, got {type(obj).__name__}",
+        )
+    if obj.get("jsonrpc") != PROTOCOL_VERSION:
+        raise ServiceError(
+            "invalid_request",
+            f"request field 'jsonrpc' must be {PROTOCOL_VERSION!r}, "
+            f"got {obj.get('jsonrpc')!r}",
+        )
+    if "id" not in obj or not isinstance(obj["id"], (str, int)) or _is_bool(obj["id"]):
+        raise ServiceError(
+            "invalid_request", "request field 'id' must be a string or integer"
+        )
+    method = obj.get("method")
+    if not isinstance(method, str):
+        raise ServiceError(
+            "invalid_request", "request field 'method' must be a string"
+        )
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise ServiceError(
+            "invalid_request",
+            f"request field 'params' must be an object, "
+            f"got {type(params).__name__}",
+        )
+    deadline = params.get(DEADLINE_PARAM)
+    if deadline is not None and (
+        not _type_ok(deadline, (int, float)) or deadline < 0
+    ):
+        raise ServiceError(
+            "invalid_params",
+            f"param {DEADLINE_PARAM!r} must be a non-negative number, "
+            f"got {deadline!r}",
+            data={"param": DEADLINE_PARAM},
+        )
+    return obj["id"], method, params, deadline
+
+
+def result_response(req_id, result: Mapping) -> dict:
+    """A JSON-RPC success envelope."""
+    return {"jsonrpc": PROTOCOL_VERSION, "id": req_id, "result": dict(result)}
+
+
+def error_response(req_id, exc: ServiceError) -> dict:
+    """A JSON-RPC error envelope from a typed :class:`ServiceError`."""
+    error = {
+        "code": ERROR_CODES.get(exc.kind, ERROR_CODES["internal_error"]),
+        "kind": exc.kind,
+        "message": str(exc),
+    }
+    if exc.data:
+        error["data"] = dict(exc.data)
+    return {"jsonrpc": PROTOCOL_VERSION, "id": req_id, "error": error}
+
+
+def encode_message(message: Mapping) -> str:
+    """One wire line (sorted keys, compact separators — byte-stable)."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"

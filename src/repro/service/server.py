@@ -1,0 +1,432 @@
+"""The placement service: sync dispatch core + asyncio transports.
+
+Layering, outermost in:
+
+* :class:`AsyncPlacementServer` — TCP transport.  A bounded admission
+  queue gives **explicit backpressure** (queue full → immediate typed
+  ``overloaded`` rejection, never silent buffering); worker tasks apply
+  **per-request deadlines** with real cancellation at the await point;
+  :meth:`~AsyncPlacementServer.drain` stops admissions, finishes
+  queued work, then closes — every in-flight request still gets its
+  response.
+* :func:`serve_stdio` — the strictly serial stdio transport: read a
+  line, answer it, repeat.  Serial order makes the response stream a
+  pure function of the request stream (the deterministic-twin property
+  the smoke test pins).
+* :class:`PlacementService` — the shared synchronous dispatch core:
+  decode → validate → breaker gate → backend → encode.  Both
+  transports and the chaos soak drive this one object, so robustness
+  semantics cannot drift between them.
+
+Breaker semantics (the degraded-mode contract):
+
+* breaker **closed** → the solver is consulted.  A solver failure is
+  counted; when the count trips the breaker *and* a last-good snapshot
+  covers the request, the reply downgrades to the degraded answer in
+  the same turn — otherwise a typed ``solver_error``.
+* breaker **open** → the solver is not touched; last-good class-level
+  answers are served (marked ``degraded: true``), or ``unavailable``
+  when no snapshot covers the request.
+* breaker **half-open** → exactly one probe request reaches the solver;
+  success closes the breaker, failure re-opens it with a longer window.
+
+``health`` and ``ready`` never touch the solver and are answered even
+while the breaker is open or the server is draining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+from repro.obs import recorder as _obs
+from repro.service.backend import SOLVER_FAILURES, AdvisoryBackend
+from repro.service.breaker import CircuitBreaker
+from repro.service.protocol import (
+    decode_request,
+    encode_message,
+    error_response,
+    result_response,
+    validate_params,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "PlacementService",
+    "AsyncPlacementServer",
+    "serve_stdio",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for the service transports and robustness machinery."""
+
+    host: str = "127.0.0.1"
+    port: int = 8713
+    queue_limit: int = 32  # bounded admission queue (backpressure)
+    workers: int = 4  # concurrent solver-side workers (TCP transport)
+    failure_threshold: int = 3  # consecutive solver failures that trip
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ServiceError(
+                "invalid_params",
+                f"queue_limit must be >= 1, got {self.queue_limit}",
+            )
+        if self.workers < 1:
+            raise ServiceError(
+                "invalid_params", f"workers must be >= 1, got {self.workers}"
+            )
+
+
+class PlacementService:
+    """The synchronous dispatch core shared by every transport.
+
+    Parameters
+    ----------
+    backend:
+        The advisory backend (models, snapshots, warm sessions).
+    breaker:
+        Circuit breaker guarding the solver path (defaults to a
+        3-failure breaker on the wall clock).
+    clock:
+        Monotonic seconds; injected by the soak for determinism.
+    """
+
+    def __init__(
+        self,
+        backend: AdvisoryBackend,
+        breaker: CircuitBreaker | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.backend = backend
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.clock = clock
+        self.draining = False
+        self.requests = 0
+        self.degraded_served = 0
+        self.errors: dict[str, int] = {}
+
+    # --- bookkeeping -------------------------------------------------------
+    def _error(self, req_id, exc: ServiceError) -> dict:
+        self.errors[exc.kind] = self.errors.get(exc.kind, 0) + 1
+        _obs.count(f"service.error.{exc.kind}")
+        return error_response(req_id, exc)
+
+    def health_payload(self) -> dict:
+        """The ``health`` result: breaker, pool, counters."""
+        return {
+            "status": "degraded" if self.breaker.state != CircuitBreaker.CLOSED
+            else "ok",
+            "breaker": self.breaker.state,
+            "breaker_trips": self.breaker.trip_count,
+            "draining": self.draining,
+            "machine": self.backend.machine.name,
+            "requests": self.requests,
+            "degraded_served": self.degraded_served,
+            "errors": {k: self.errors[k] for k in sorted(self.errors)},
+            "session_pool": self.backend.pool.stats(),
+        }
+
+    def ready_payload(self) -> dict:
+        """The ``ready`` result: warm and not draining."""
+        ready = self.backend.warmed and not self.draining
+        return {"ready": ready, "warmed": self.backend.warmed,
+                "draining": self.draining}
+
+    # --- dispatch ----------------------------------------------------------
+    def _execute(self, method: str, params: dict) -> dict:
+        if method == "advise":
+            return self.backend.advise(**params)
+        if method == "plan":
+            return self.backend.plan(**params)
+        if method == "predict_eq1":
+            return self.backend.predict_eq1(**params)
+        if method == "classify":
+            return self.backend.classify(**params)
+        raise ServiceError("method_not_found", f"unknown method {method!r}")
+
+    def _degraded_or_error(self, req_id, method, params, exc: ServiceError):
+        answer = self.backend.degraded_answer(method, params)
+        if answer is not None:
+            self.degraded_served += 1
+            _obs.count("service.degraded_served")
+            return result_response(req_id, answer)
+        return self._error(req_id, exc)
+
+    def handle_request(self, req_id, method: str, params, deadline_ms) -> dict:
+        """Dispatch one decoded request; always returns a response dict."""
+        self.requests += 1
+        _obs.count("service.requests")
+        with _obs.span("service.request", method=method):
+            try:
+                filled = validate_params(method, params)
+            except ServiceError as exc:
+                return self._error(req_id, exc)
+            if method == "health":
+                return result_response(req_id, self.health_payload())
+            if method == "ready":
+                return result_response(req_id, self.ready_payload())
+            if self.draining:
+                return self._error(
+                    req_id,
+                    ServiceError(
+                        "shutting_down", "server is draining; not accepting work"
+                    ),
+                )
+            if deadline_ms is not None and deadline_ms <= 0:
+                return self._error(
+                    req_id,
+                    ServiceError(
+                        "deadline_exceeded",
+                        f"deadline of {deadline_ms} ms expired before dispatch",
+                        data={"deadline_ms": deadline_ms},
+                    ),
+                )
+            if not self.breaker.allow():
+                return self._degraded_or_error(
+                    req_id, method, filled,
+                    ServiceError(
+                        "unavailable",
+                        f"circuit breaker is {self.breaker.state} and no "
+                        f"last-good characterization covers this request",
+                        data={"breaker": self.breaker.state},
+                    ),
+                )
+            try:
+                result = self._execute(method, filled)
+            except ServiceError as exc:
+                # Caller mistake (e.g. unknown node): not a solver failure.
+                return self._error(req_id, exc)
+            except SOLVER_FAILURES as exc:
+                self.breaker.record_failure()
+                _obs.count("service.solver_failures")
+                if self.breaker.state != CircuitBreaker.CLOSED:
+                    return self._degraded_or_error(
+                        req_id, method, filled,
+                        ServiceError(
+                            "solver_error",
+                            f"{type(exc).__name__}: {exc}",
+                            data={"breaker": self.breaker.state},
+                        ),
+                    )
+                return self._error(
+                    req_id,
+                    ServiceError(
+                        "solver_error",
+                        f"{type(exc).__name__}: {exc}",
+                        data={"breaker": self.breaker.state},
+                    ),
+                )
+            self.breaker.record_success()
+            return result_response(req_id, result)
+
+    def handle_line(self, line: str) -> str:
+        """One wire line in, one wire line out — never a traceback."""
+        try:
+            req_id, method, params, deadline_ms = decode_request(line)
+        except ServiceError as exc:
+            return encode_message(self._error(None, exc))
+        try:
+            response = self.handle_request(req_id, method, params, deadline_ms)
+        except ServiceError as exc:
+            response = self._error(req_id, exc)
+        except Exception as exc:  # the sanitising wall: no tracebacks out
+            response = self._error(
+                req_id,
+                ServiceError("internal_error", f"internal error: {type(exc).__name__}"),
+            )
+        return encode_message(response)
+
+
+def serve_stdio(service: PlacementService, stdin=None, stdout=None) -> int:
+    """Serve line requests serially from ``stdin`` to ``stdout``.
+
+    Blank lines are skipped; EOF ends the loop.  Returns the number of
+    requests answered.  Strictly serial, so the response stream is a
+    deterministic function of the request stream.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    answered = 0
+    for raw in stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        stdout.write(service.handle_line(line))
+        stdout.flush()
+        answered += 1
+    return answered
+
+
+class AsyncPlacementServer:
+    """The TCP transport: bounded admission, deadlines, graceful drain."""
+
+    def __init__(
+        self, service: PlacementService, config: ServiceConfig | None = None
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else ServiceConfig()
+        self._queue: asyncio.Queue | None = None
+        self._workers: list[asyncio.Task] = []
+        self._server: asyncio.base_events.Server | None = None
+        self.rejected = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when configured with port 0)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    # --- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and launch the worker pool."""
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"service-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish queued work, close.
+
+        After ``drain`` returns, every admitted request has been
+        answered, every worker has exited, and the listener is closed.
+        """
+        self.service.draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._queue is not None:
+            await self._queue.join()
+        for worker in self._workers:
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    # --- data path ---------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()  # one response write at a time per client
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                await self._admit(line, writer, lock)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _admit(self, line, writer, lock) -> None:
+        """Bounded admission: reject instantly when the queue is full."""
+        assert self._queue is not None
+        if self.service.draining:
+            await self._reply(
+                writer, lock,
+                self._typed_line(line, "shutting_down",
+                                 "server is draining; not accepting work"),
+            )
+            return
+        item = (line, writer, lock, self.service.clock())
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.rejected += 1
+            _obs.count("service.rejected")
+            await self._reply(
+                writer, lock,
+                self._typed_line(
+                    line, "overloaded",
+                    f"admission queue full "
+                    f"({self.config.queue_limit} requests); retry later",
+                ),
+            )
+
+    def _typed_line(self, line: str, kind: str, message: str) -> str:
+        """A typed error line that still echoes the request id if parseable."""
+        try:
+            req_id, _method, _params, _deadline = decode_request(line)
+        except ServiceError:
+            req_id = None
+        return encode_message(
+            self.service._error(req_id, ServiceError(kind, message))
+        )
+
+    async def _reply(self, writer, lock, payload: str) -> None:
+        async with lock:
+            try:
+                writer.write(payload.encode("utf-8"))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to tell it
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            line, writer, lock, admitted_at = await self._queue.get()
+            try:
+                try:
+                    payload = await self._answer(line, admitted_at)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # keep the worker alive, always
+                    payload = self._typed_line(
+                        line, "internal_error",
+                        f"internal error: {type(exc).__name__}",
+                    )
+                await self._reply(writer, lock, payload)
+            finally:
+                self._queue.task_done()
+
+    async def _answer(self, line: str, admitted_at: float) -> str:
+        """Execute one request off-loop, enforcing its deadline."""
+        try:
+            _req_id, _method, params, deadline_ms = decode_request(line)
+        except ServiceError:
+            deadline_ms = None
+        if deadline_ms is None:
+            return await asyncio.to_thread(self.service.handle_line, line)
+        waited_s = self.service.clock() - admitted_at
+        remaining_s = deadline_ms / 1000.0 - waited_s
+        if remaining_s <= 0:
+            return self._typed_line(
+                line, "deadline_exceeded",
+                f"deadline of {deadline_ms} ms expired while queued",
+            )
+        try:
+            return await asyncio.wait_for(
+                asyncio.to_thread(self.service.handle_line, line),
+                timeout=remaining_s,
+            )
+        except asyncio.TimeoutError:
+            _obs.count("service.deadline_cancelled")
+            return self._typed_line(
+                line, "deadline_exceeded",
+                f"deadline of {deadline_ms} ms expired mid-solve; "
+                f"request cancelled",
+            )

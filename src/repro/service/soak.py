@@ -1,0 +1,282 @@
+"""The deterministic chaos soak: scripted traffic under a live fault plan.
+
+The soak drives the *exact* production dispatch path
+(:class:`~repro.service.server.PlacementService.handle_line`) with a
+scripted request trace while a :class:`~repro.faults.plan.FaultPlan`
+fires mid-stream: the device node's cables all fail at once, the
+fabric partitions, Algorithm 1 characterization becomes unsolvable, the
+circuit breaker trips, degraded class-level answers flow, the cables
+come back, a half-open probe succeeds, and the breaker closes.
+
+Three properties are checked (and pinned by tests and
+``scripts/service_smoke.sh``):
+
+* **totality** — every scripted request resolves to *exactly one* of
+  {result, degraded result, typed error}; nothing raises, nothing is
+  dropped, nothing answered twice;
+* **determinism** — time is a logical clock, every random draw comes
+  from named :class:`~repro.rng.RngRegistry` streams, so two runs with
+  the same seed produce byte-identical response streams;
+* **recovery** — with the fault window enabled, the breaker must trip
+  and must be closed again by the end of the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.faults.events import FaultEvent, LinkFail
+from repro.faults.plan import FaultPlan
+from repro.retrying import RetryPolicy
+from repro.rng import DEFAULT_SEED, RngRegistry
+from repro.service.backend import AdvisoryBackend
+from repro.service.breaker import CircuitBreaker
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import PlacementService
+from repro.topology.builders import reference_host
+from repro.topology.machine import Machine
+
+__all__ = ["LogicalClock", "SoakReport", "build_soak_plan", "run_soak"]
+
+#: Logical seconds between consecutive scripted requests.
+TICK_S = 0.1
+
+
+class LogicalClock:
+    """A monotonic clock the soak advances by hand — zero wall-time."""
+
+    def __init__(self, t0: float = 0.0) -> None:
+        self.t = t0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float = TICK_S) -> None:
+        self.t += dt
+
+
+def build_soak_plan(
+    machine: Machine, victim: int, at_s: float, until_s: float
+) -> FaultPlan:
+    """Fail every cable touching ``victim`` for ``[at_s, until_s)``.
+
+    Isolating the device node partitions the DMA fabric, which is the
+    harshest fault the advisory path can face: every characterization
+    attempt fails until the window closes.
+    """
+    cables = sorted(
+        {tuple(sorted(ends)) for ends in machine.links if victim in ends}
+    )
+    return FaultPlan([
+        FaultEvent(LinkFail(a, b), at_s=at_s, until_s=until_s)
+        for a, b in cables
+    ])
+
+
+def _request(req_id: int, method: str, params: dict | None = None) -> str:
+    msg = {"jsonrpc": PROTOCOL_VERSION, "id": req_id, "method": method}
+    if params is not None:
+        msg["params"] = params
+    return json.dumps(msg, sort_keys=True, separators=(",", ":"))
+
+
+def build_traffic(
+    registry: RngRegistry, machine: Machine, target: int, requests: int
+) -> list[str]:
+    """A scripted request trace: the full mix, including hostile lines.
+
+    Drawn from one named registry stream, so a seed pins the trace
+    bit-for-bit.  Roughly 70 % well-formed solver-backed calls, the
+    rest split across health checks, schema violations, unknown
+    methods, zero deadlines and outright parse junk — the soak must
+    answer *all* of them exactly once.
+    """
+    rng = registry.stream("service/soak/traffic")
+    nodes = list(machine.node_ids)
+    lines: list[str] = []
+    for i in range(requests):
+        roll = int(rng.integers(100))
+        if roll < 30:
+            lines.append(_request(i, "advise", {
+                "target": target,
+                "mode": "write" if int(rng.integers(2)) else "read",
+                "tasks": int(rng.integers(1, 9)),
+                "avoid_irq_node": bool(int(rng.integers(2))),
+            }))
+        elif roll < 45:
+            streams = [nodes[int(rng.integers(len(nodes)))]
+                       for _ in range(int(rng.integers(1, 5)))]
+            lines.append(_request(i, "predict_eq1", {
+                "target": target, "mode": "read", "streams": streams,
+            }))
+        elif roll < 55:
+            lines.append(_request(i, "classify", {
+                "target": target,
+                "mode": "write" if int(rng.integers(2)) else "read",
+            }))
+        elif roll < 70:
+            lines.append(_request(i, "plan", {
+                "write_weight": round(float(rng.random()), 3),
+            }))
+        elif roll < 80:
+            lines.append(_request(i, "health" if int(rng.integers(2)) else "ready"))
+        elif roll < 86:  # schema violation: bad mode / zero tasks
+            lines.append(_request(i, "advise", {
+                "target": target, "mode": "sideways", "tasks": 0,
+            }))
+        elif roll < 90:  # unknown method
+            lines.append(_request(i, "evacuate"))
+        elif roll < 95:  # already-expired deadline
+            lines.append(_request(i, "classify", {
+                "target": target, "mode": "write", "deadline_ms": 0,
+            }))
+        else:  # parse junk
+            lines.append('{"jsonrpc": "2.0", "id": %d, oops' % i)
+    return lines
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak run observed, JSON-able and renderable."""
+
+    seed: int
+    requests: int
+    fault_window: tuple[float, float] | None
+    plan_text: str
+    responses: list[str] = field(default_factory=list)
+    ok: int = 0
+    degraded: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+    breaker_transitions: list[tuple[float, str]] = field(default_factory=list)
+    final_breaker_state: str = CircuitBreaker.CLOSED
+
+    @property
+    def answered(self) -> int:
+        """Total responses (must equal ``requests`` — totality)."""
+        return self.ok + self.degraded + sum(self.errors.values())
+
+    @property
+    def tripped(self) -> bool:
+        """Did the breaker ever open during the run?"""
+        return any(s == CircuitBreaker.OPEN for _, s in self.breaker_transitions)
+
+    @property
+    def recovered(self) -> bool:
+        """Did the breaker close again after tripping?"""
+        return self.tripped and self.final_breaker_state == CircuitBreaker.CLOSED
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (the ``--json`` CLI output)."""
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "answered": self.answered,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "errors": {k: self.errors[k] for k in sorted(self.errors)},
+            "fault_window": list(self.fault_window) if self.fault_window else None,
+            "plan": self.plan_text,
+            "breaker_transitions": [
+                [round(t, 6), s] for t, s in self.breaker_transitions
+            ],
+            "final_breaker_state": self.final_breaker_state,
+            "tripped": self.tripped,
+            "recovered": self.recovered,
+            # The wire-level response stream itself: the twin-run smoke
+            # diff compares these byte-for-byte.
+            "responses": [r.rstrip("\n") for r in self.responses],
+        }
+
+    def render(self) -> str:
+        """Deterministic human summary."""
+        out = [
+            f"chaos soak: {self.requests} scripted requests, seed {self.seed}",
+            f"  fault plan    : {self.plan_text}",
+            f"  answered      : {self.answered} "
+            f"(ok {self.ok}, degraded {self.degraded}, "
+            f"errors {sum(self.errors.values())})",
+        ]
+        for kind in sorted(self.errors):
+            out.append(f"    error[{kind:18s}]: {self.errors[kind]}")
+        for t, s in self.breaker_transitions:
+            out.append(f"  breaker @ {t:7.2f} s -> {s}")
+        out.append(
+            f"  breaker final : {self.final_breaker_state} "
+            f"(tripped={str(self.tripped).lower()}, "
+            f"recovered={str(self.recovered).lower()})"
+        )
+        return "\n".join(out)
+
+
+def run_soak(
+    machine: Machine | None = None,
+    requests: int = 120,
+    seed: int = DEFAULT_SEED,
+    runs: int = 5,
+    fault: bool = True,
+    failure_threshold: int = 2,
+) -> SoakReport:
+    """Run the scripted chaos soak and return its report.
+
+    The fault window spans the middle ~35 % of the trace; with
+    ``fault=False`` the same trace runs against a healthy host (the
+    smoke script diffs the two to prove the degraded path is the only
+    divergence).
+    """
+    if machine is None:
+        machine = reference_host()
+    registry = RngRegistry(seed)
+    device_nodes = sorted({d.node_id for d in machine.devices.values()})
+    target = device_nodes[0] if device_nodes else machine.node_ids[-1]
+
+    clock = LogicalClock()
+    backend = AdvisoryBackend(machine, registry=registry, runs=runs)
+    breaker = CircuitBreaker(
+        failure_threshold=failure_threshold,
+        backoff=RetryPolicy(
+            max_retries=0, base_delay_s=0.8, multiplier=2.0, jitter=0.25
+        ),
+        rng=registry.stream("service/soak/breaker-jitter"),
+        clock=clock,
+    )
+    service = PlacementService(backend, breaker=breaker, clock=clock)
+    backend.warm((target,))  # the last-good snapshots degraded mode serves
+
+    duration = requests * TICK_S
+    window = (round(0.25 * duration, 3), round(0.5 * duration, 3))
+    plan = (
+        build_soak_plan(machine, target, *window) if fault else FaultPlan()
+    )
+    report = SoakReport(
+        seed=seed,
+        requests=requests,
+        fault_window=window if fault else None,
+        plan_text=plan.describe(),
+    )
+
+    traffic = build_traffic(registry, machine, target, requests)
+    active: frozenset = frozenset()
+    for line in traffic:
+        now = clock()
+        live = frozenset(f.describe() for f in plan.topology_faults_at(now))
+        if live != active:
+            if live:
+                backend.set_machine(plan.apply(machine, at_s=now))
+            else:
+                backend.restore_machine()
+            active = live
+        response = service.handle_line(line)
+        report.responses.append(response)
+        payload = json.loads(response)
+        if "error" in payload:
+            kind = payload["error"]["kind"]
+            report.errors[kind] = report.errors.get(kind, 0) + 1
+        elif payload["result"].get("degraded"):
+            report.degraded += 1
+        else:
+            report.ok += 1
+        clock.advance()
+    report.breaker_transitions = list(breaker.transitions)
+    report.final_breaker_state = breaker.state
+    return report

@@ -21,7 +21,12 @@ from repro.interconnect.link import DirectedLink, LinkKind
 from repro.topology.machine import Machine, MachineParams
 from repro.topology.node import Core, NumaNode, Package
 
-__all__ = ["machine_to_dict", "machine_from_dict", "components_from_dict"]
+__all__ = [
+    "machine_to_dict",
+    "machine_from_dict",
+    "machine_from_json_file",
+    "components_from_dict",
+]
 
 _FORMAT_VERSION = 1
 
@@ -76,6 +81,99 @@ def machine_to_dict(machine: Machine) -> dict[str, Any]:
     }
 
 
+#: ``section -> (field, required types)`` for the per-entry validation.
+#: ``bool`` is excluded from numeric fields explicitly (it *is* an int).
+_NODE_FIELDS = (
+    ("node_id", (int,)),
+    ("package_id", (int,)),
+    ("core_ids", (list, tuple)),
+    ("memory_bytes", (int,)),
+    ("dram_gbps", (int, float)),
+    ("pio_ctrl_gbps", (int, float)),
+    ("os_resident_bytes", (int,)),
+)
+_PACKAGE_FIELDS = (
+    ("package_id", (int,)),
+    ("node_ids", (list, tuple)),
+)
+_LINK_FIELDS = (
+    ("src", (int,)),
+    ("dst", (int,)),
+    ("width_bits", (int,)),
+    ("gts", (int, float)),
+    ("kind", (str,)),
+    ("dma_credit", (int, float)),
+    ("pio_cap_gbps", (int, float, type(None))),  # None: derived default
+    ("pio_latency_s", (int, float)),
+)
+_PARAM_FIELDS = {
+    "local_latency_s": (int, float),
+    "pio_core_gbps_ns": (int, float),
+    "oslib_penalty": (int, float),
+    "os_node": (int,),
+    "dma_per_thread_gbps": (int, float),
+    "pio_request_frac": (int, float),
+    "pio_response_frac": (int, float),
+    "router_latency_s": (int, float),
+    "llc_bytes": (int,),
+    "description": (str,),
+}
+
+
+def _typed(value: Any, types: tuple) -> bool:
+    if isinstance(value, bool):
+        return bool in types
+    return isinstance(value, types)
+
+
+def _type_names(types: tuple) -> str:
+    return " or ".join(t.__name__ for t in types)
+
+
+def _field(entry: Any, name: str, types: tuple, where: str) -> Any:
+    """One validated field of one description entry, or a named error."""
+    if not isinstance(entry, Mapping):
+        raise TopologyError(
+            f"malformed machine description: {where} must be an object, "
+            f"got {type(entry).__name__}"
+        )
+    if name not in entry:
+        raise TopologyError(
+            f"malformed machine description: {where}.{name} is missing"
+        )
+    value = entry[name]
+    if not _typed(value, types):
+        raise TopologyError(
+            f"malformed machine description: {where}.{name} must be "
+            f"{_type_names(types)}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _section(data: Mapping[str, Any], name: str) -> list:
+    if name not in data:
+        raise TopologyError(
+            f"malformed machine description: section {name!r} is missing"
+        )
+    section = data[name]
+    if not isinstance(section, (list, tuple)):
+        raise TopologyError(
+            f"malformed machine description: {name} must be a list, "
+            f"got {type(section).__name__}"
+        )
+    return list(section)
+
+
+def _int_list(values: Any, where: str) -> tuple[int, ...]:
+    bad = [v for v in values if not _typed(v, (int,))]
+    if bad:
+        raise TopologyError(
+            f"malformed machine description: {where} must contain only "
+            f"integers, got {bad[0]!r}"
+        )
+    return tuple(values)
+
+
 def components_from_dict(
     data: Mapping[str, Any],
 ) -> tuple[str, list[NumaNode], list[Package], list[DirectedLink], MachineParams]:
@@ -84,54 +182,154 @@ def components_from_dict(
     Shared by :func:`machine_from_dict` and machine *views* that subclass
     :class:`Machine` (e.g. :class:`repro.faults.plan.FaultedMachine`) and
     therefore cannot go through the plain factory.
+
+    Every malformed input — wrong shape, missing field, wrong type,
+    unknown link kind or host parameter — raises
+    :class:`~repro.errors.TopologyError` whose message *names the
+    offending field* (``nodes[2].core_ids``, ``links[3].kind``, ...);
+    no bare ``KeyError``/``ValueError``/``TypeError`` escapes.
     """
+    if not isinstance(data, Mapping):
+        raise TopologyError(
+            f"malformed machine description: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
         raise TopologyError(
             f"unsupported machine format version {version!r} "
             f"(this library writes {_FORMAT_VERSION})"
         )
+    name = _field(data, "name", (str,), "machine")
+
+    raw_params = data.get("params")
+    if not isinstance(raw_params, Mapping):
+        raise TopologyError(
+            "malformed machine description: params must be an object, "
+            f"got {type(raw_params).__name__}"
+        )
+    unknown = sorted(k for k in raw_params if k not in _PARAM_FIELDS)
+    if unknown:
+        raise TopologyError(
+            f"malformed machine description: params.{unknown[0]} is not a "
+            f"machine parameter (accepts {sorted(_PARAM_FIELDS)})"
+        )
+    params_kwargs = {
+        key: _field(raw_params, key, types, "params")
+        for key, types in _PARAM_FIELDS.items()
+    }
+
+    nodes = []
+    for i, entry in enumerate(_section(data, "nodes")):
+        where = f"nodes[{i}]"
+        fields = {
+            key: _field(entry, key, types, where) for key, types in _NODE_FIELDS
+        }
+        fields["core_ids"] = _int_list(fields["core_ids"], f"{where}.core_ids")
+        nodes.append(fields)
+
+    packages = []
+    for i, entry in enumerate(_section(data, "packages")):
+        where = f"packages[{i}]"
+        fields = {
+            key: _field(entry, key, types, where)
+            for key, types in _PACKAGE_FIELDS
+        }
+        fields["node_ids"] = _int_list(fields["node_ids"], f"{where}.node_ids")
+        packages.append(fields)
+
+    links = []
+    for i, entry in enumerate(_section(data, "links")):
+        where = f"links[{i}]"
+        fields = {
+            key: _field(entry, key, types, where) for key, types in _LINK_FIELDS
+        }
+        try:
+            fields["kind"] = LinkKind(fields["kind"])
+        except ValueError:
+            raise TopologyError(
+                f"malformed machine description: {where}.kind must be one of "
+                f"{sorted(k.value for k in LinkKind)}, "
+                f"got {fields['kind']!r}"
+            ) from None
+        links.append(fields)
+
+    # Shapes and types are vetted; component constructors may still
+    # reject *values* (negative bandwidth, duplicate core) — surface
+    # those as named TopologyErrors too instead of letting them escape.
     try:
-        params = MachineParams(**data["params"])
-        nodes = [
-            NumaNode(
-                node_id=entry["node_id"],
-                package_id=entry["package_id"],
-                cores=tuple(
-                    Core(core_id=cid, node_id=entry["node_id"])
-                    for cid in entry["core_ids"]
-                ),
-                memory_bytes=entry["memory_bytes"],
-                dram_gbps=entry["dram_gbps"],
-                pio_ctrl_gbps=entry["pio_ctrl_gbps"],
-                os_resident_bytes=entry["os_resident_bytes"],
+        built_params = MachineParams(**params_kwargs)
+    except (TypeError, ValueError, TopologyError) as exc:
+        raise TopologyError(
+            f"malformed machine description: params rejected: {exc}"
+        ) from exc
+    built_nodes = []
+    for i, fields in enumerate(nodes):
+        try:
+            built_nodes.append(
+                NumaNode(
+                    node_id=fields["node_id"],
+                    package_id=fields["package_id"],
+                    cores=tuple(
+                        Core(core_id=cid, node_id=fields["node_id"])
+                        for cid in fields["core_ids"]
+                    ),
+                    memory_bytes=fields["memory_bytes"],
+                    dram_gbps=fields["dram_gbps"],
+                    pio_ctrl_gbps=fields["pio_ctrl_gbps"],
+                    os_resident_bytes=fields["os_resident_bytes"],
+                )
             )
-            for entry in data["nodes"]
-        ]
-        packages = [
-            Package(package_id=entry["package_id"],
-                    node_ids=tuple(entry["node_ids"]))
-            for entry in data["packages"]
-        ]
-        links = [
-            DirectedLink(
-                src=entry["src"],
-                dst=entry["dst"],
-                width_bits=entry["width_bits"],
-                gts=entry["gts"],
-                kind=LinkKind(entry["kind"]),
-                dma_credit=entry["dma_credit"],
-                pio_cap_gbps=entry["pio_cap_gbps"],
-                pio_latency_s=entry["pio_latency_s"],
+        except (TypeError, ValueError, TopologyError) as exc:
+            raise TopologyError(
+                f"malformed machine description: nodes[{i}] rejected: {exc}"
+            ) from exc
+    built_packages = []
+    for i, fields in enumerate(packages):
+        try:
+            built_packages.append(
+                Package(package_id=fields["package_id"],
+                        node_ids=fields["node_ids"])
             )
-            for entry in data["links"]
-        ]
-    except (KeyError, TypeError) as exc:
-        raise TopologyError(f"malformed machine description: {exc}") from exc
-    return data["name"], nodes, packages, links, params
+        except (TypeError, ValueError, TopologyError) as exc:
+            raise TopologyError(
+                f"malformed machine description: packages[{i}] rejected: {exc}"
+            ) from exc
+    built_links = []
+    for i, fields in enumerate(links):
+        try:
+            built_links.append(DirectedLink(**fields))
+        except (TypeError, ValueError, TopologyError) as exc:
+            raise TopologyError(
+                f"malformed machine description: links[{i}] rejected: {exc}"
+            ) from exc
+    return name, built_nodes, built_packages, built_links, built_params
 
 
 def machine_from_dict(data: Mapping[str, Any]) -> Machine:
     """Rebuild a :class:`Machine` from :func:`machine_to_dict` output."""
     name, nodes, packages, links, params = components_from_dict(data)
     return Machine(name, nodes, packages, links, params)
+
+
+def machine_from_json_file(path: str) -> Machine:
+    """Load a machine description from a JSON file.
+
+    Unreadable files and invalid JSON raise
+    :class:`~repro.errors.TopologyError` (naming the file), so CLI
+    callers render one clean diagnostic instead of a traceback.
+    """
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise TopologyError(f"cannot read machine file {path!r}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(
+            f"machine file {path!r} is not valid JSON: {exc}"
+        ) from exc
+    return machine_from_dict(data)

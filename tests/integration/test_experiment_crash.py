@@ -1,0 +1,33 @@
+"""Worker death must not hang ``experiment all --jobs N``."""
+
+from repro.cli.main import main
+from repro.experiments import EXPERIMENTS
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_yields_crash_rows_and_nonzero_exit(
+        self, monkeypatch, capsys
+    ):
+        # The hook makes the worker for this experiment SIGKILL itself —
+        # the real failure mode of an OOM-killed process, which a plain
+        # multiprocessing.Pool.map would wait on forever.
+        monkeypatch.setenv("REPRO_CHAOS_KILL_EXPERIMENT", EXPERIMENTS[0])
+        rc = main(["experiment", "all", "--quick", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        lines = out.splitlines()
+        crash_line = next(l for l in lines if l.startswith(EXPERIMENTS[0]))
+        assert "CRASH" in crash_line
+        assert f'status="crashed": experiment {EXPERIMENTS[0]!r}' in out
+        # the merge still reports every experiment exactly once
+        reported = [l.split()[0] for l in lines
+                    if l.split() and l.split()[0] in EXPERIMENTS]
+        assert reported == list(EXPERIMENTS)
+
+    def test_healthy_parallel_run_unaffected(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CHAOS_KILL_EXPERIMENT", raising=False)
+        rc = main(["experiment", "all", "--quick", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CRASH" not in out
+        assert "crashed" not in out

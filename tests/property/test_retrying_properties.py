@@ -1,0 +1,103 @@
+"""The shared RetryPolicy: bit-identical draws, bounds, re-export compat."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultError
+from repro.retrying import RetryPolicy
+from repro.rng import RngRegistry
+
+POLICIES = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(0, 8),
+    base_delay_s=st.floats(1e-3, 10.0, allow_nan=False),
+    multiplier=st.floats(1.0, 4.0, allow_nan=False),
+    jitter=st.floats(0.0, 0.999, allow_nan=False),
+)
+
+
+def reference_delay(policy, attempt, u):
+    """The pre-extraction formula, written out against a raw uniform draw."""
+    delay = policy.base_delay_s * policy.multiplier**attempt
+    if policy.jitter > 0.0:
+        delay *= 1.0 + policy.jitter * float(2.0 * u - 1.0)
+    return delay
+
+
+class TestBitIdentity:
+    @given(policy=POLICIES, seed=st.integers(0, 2**32 - 1),
+           n=st.integers(1, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_delay_sequence_matches_reference_formula(self, policy, seed, n):
+        """One rng.random() per delay, exactly the historical draw order."""
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        for attempt in range(n):
+            got = policy.delay_s(attempt, rng_a)
+            want = reference_delay(
+                policy, attempt,
+                rng_b.random() if policy.jitter > 0.0 else 0.5,
+            )
+            assert got == want  # bit-identical, not approx
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_registry_stream_twins_are_identical(self, seed, n):
+        policy = RetryPolicy()
+
+        def sequence():
+            rng = RngRegistry(seed).stream("retry/backoff")
+            return [policy.delay_s(k, rng) for k in range(n)]
+
+        assert sequence() == sequence()
+
+    def test_golden_default_sequence(self):
+        """Pin the default policy's draws under the library seed.
+
+        This is the exact sequence the pre-extraction
+        repro.faults.degraded implementation produced; it must never
+        drift, or seeded chaos reports change under users' feet.
+        """
+        rng = RngRegistry().stream("chaos/backoff")
+        got = [RetryPolicy().delay_s(k, rng) for k in range(4)]
+        assert got == [
+            0.30437106920419593,
+            0.5710075569119227,
+            1.2016122323205567,
+            1.5865330840347447,
+        ]
+
+
+class TestContract:
+    @given(policy=POLICIES, attempt=st.integers(0, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_bounds(self, policy, attempt):
+        rng = np.random.default_rng(0)
+        base = policy.base_delay_s * policy.multiplier**attempt
+        delay = policy.delay_s(attempt, rng)
+        assert base * (1 - policy.jitter) <= delay <= base * (1 + policy.jitter)
+        assert delay > 0
+
+    @given(policy=POLICIES, attempt=st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_no_rng_means_no_jitter(self, policy, attempt):
+        assert policy.delay_s(attempt, None) == (
+            policy.base_delay_s * policy.multiplier**attempt
+        )
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(FaultError):
+            RetryPolicy(base_delay_s=0.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(FaultError):
+            RetryPolicy(jitter=1.0)
+
+    def test_degraded_module_still_reexports(self):
+        from repro.faults.degraded import RetryPolicy as Reexported
+
+        assert Reexported is RetryPolicy

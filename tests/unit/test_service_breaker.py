@@ -1,0 +1,111 @@
+"""Circuit breaker state machine on an injectable logical clock."""
+
+import pytest
+
+from repro.retrying import RetryPolicy
+from repro.rng import RngRegistry
+from repro.service.breaker import CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make(threshold=3, base=1.0, jitter=0.0, rng=None):
+    clock = Clock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        backoff=RetryPolicy(max_retries=0, base_delay_s=base,
+                            multiplier=2.0, jitter=jitter),
+        rng=rng,
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestRecovery:
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make(threshold=1, base=1.0)
+        breaker.record_failure()
+        clock.t = 1.5  # past the 1 s window
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # concurrent request: rejected
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1)
+        breaker.record_failure()
+        clock.t = 2.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.trip_count == 0
+
+    def test_probe_failure_reopens_with_longer_window(self):
+        breaker, clock = make(threshold=1, base=1.0)
+        breaker.record_failure()  # trip 1: window 1 s
+        clock.t = 1.5
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails: trip 2, window 2 s
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trip_count == 2
+        clock.t = 3.0  # 1.5 s into a 2 s window: still open
+        assert not breaker.allow()
+        clock.t = 3.6
+        assert breaker.allow()
+
+    def test_transitions_are_logged_with_times(self):
+        breaker, clock = make(threshold=1, base=1.0)
+        breaker.record_failure()
+        clock.t = 1.2
+        breaker.allow()
+        breaker.record_success()
+        states = [s for _, s in breaker.transitions]
+        assert states == [
+            CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN, CircuitBreaker.CLOSED,
+        ]
+
+    def test_jittered_windows_are_seed_deterministic(self):
+        def run():
+            rng = RngRegistry(7).stream("breaker")
+            breaker, clock = make(threshold=1, base=1.0, jitter=0.25, rng=rng)
+            opens = []
+            for _ in range(4):
+                breaker.record_failure()
+                opens.append(breaker._open_until - clock.t)
+                clock.t = breaker._open_until
+                assert breaker.allow()
+            return opens
+
+        assert run() == run()

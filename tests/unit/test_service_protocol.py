@@ -1,0 +1,133 @@
+"""Wire protocol: framing, schema validation, typed error taxonomy."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    ERROR_CODES,
+    METHODS,
+    decode_request,
+    encode_message,
+    error_response,
+    result_response,
+    validate_params,
+)
+
+
+def req(method, params=None, req_id=1):
+    msg = {"jsonrpc": "2.0", "id": req_id, "method": method}
+    if params is not None:
+        msg["params"] = params
+    return json.dumps(msg)
+
+
+class TestDecode:
+    def test_well_formed(self):
+        rid, method, params, deadline = decode_request(
+            req("advise", {"target": 7, "tasks": 4, "deadline_ms": 250})
+        )
+        assert (rid, method) == (1, "advise")
+        assert params["target"] == 7
+        assert deadline == 250
+
+    def test_no_deadline_is_none(self):
+        *_, deadline = decode_request(req("health"))
+        assert deadline is None
+
+    @pytest.mark.parametrize("line,kind", [
+        ("{not json", "parse_error"),
+        ("[1,2,3]", "invalid_request"),
+        (json.dumps({"jsonrpc": "1.0", "id": 1, "method": "health"}),
+         "invalid_request"),
+        (json.dumps({"jsonrpc": "2.0", "method": "health"}), "invalid_request"),
+        (json.dumps({"jsonrpc": "2.0", "id": True, "method": "health"}),
+         "invalid_request"),
+        (json.dumps({"jsonrpc": "2.0", "id": 1, "method": 7}),
+         "invalid_request"),
+        (json.dumps({"jsonrpc": "2.0", "id": 1, "method": "health",
+                     "params": [1]}), "invalid_request"),
+        (req("classify", {"target": 7, "deadline_ms": -5}), "invalid_params"),
+        (req("classify", {"target": 7, "deadline_ms": "soon"}),
+         "invalid_params"),
+    ])
+    def test_malformed_lines_raise_typed(self, line, kind):
+        with pytest.raises(ServiceError) as exc:
+            decode_request(line)
+        assert exc.value.kind == kind
+
+
+class TestValidate:
+    def test_defaults_applied(self):
+        params = validate_params("advise", {"target": 7, "tasks": 2})
+        assert params["mode"] == "write"
+        assert params["tolerance"] == 0.05
+        assert params["avoid_irq_node"] is False
+
+    def test_unknown_method(self):
+        with pytest.raises(ServiceError) as exc:
+            validate_params("evacuate", {})
+        assert exc.value.kind == "method_not_found"
+        assert "evacuate" in str(exc.value)
+
+    def test_unknown_param_named(self):
+        with pytest.raises(ServiceError) as exc:
+            validate_params("plan", {"wrote_weight": 0.5})
+        assert exc.value.kind == "invalid_params"
+        assert exc.value.data["param"] == "wrote_weight"
+
+    def test_missing_required_named(self):
+        with pytest.raises(ServiceError) as exc:
+            validate_params("advise", {"target": 7})
+        assert exc.value.data["param"] == "tasks"
+
+    def test_deadline_param_is_stripped(self):
+        params = validate_params("health", {"deadline_ms": 100})
+        assert params == {}
+
+    @pytest.mark.parametrize("params,param", [
+        ({"target": True, "tasks": 1}, "target"),  # bool is not an int here
+        ({"target": 7, "tasks": 0}, "tasks"),
+        ({"target": 7, "tasks": 1, "mode": "sideways"}, "mode"),
+        ({"target": 7, "tasks": 1, "tolerance": 1.0}, "tolerance"),
+        ({"target": -1, "tasks": 1}, "target"),
+        ({"target": 7, "tasks": 1, "avoid_irq_node": 1}, "avoid_irq_node"),
+    ])
+    def test_advise_violations_name_the_param(self, params, param):
+        with pytest.raises(ServiceError) as exc:
+            validate_params("advise", params)
+        assert exc.value.kind == "invalid_params"
+        assert exc.value.data["param"] == param
+
+    def test_streams_must_be_nonempty_ints(self):
+        with pytest.raises(ServiceError):
+            validate_params("predict_eq1", {"target": 7, "streams": []})
+        with pytest.raises(ServiceError):
+            validate_params("predict_eq1", {"target": 7, "streams": [1, "x"]})
+
+
+class TestEnvelopes:
+    def test_every_kind_has_a_code(self):
+        assert len(set(ERROR_CODES.values())) == len(ERROR_CODES)
+
+    def test_result_roundtrip(self):
+        line = encode_message(result_response(3, {"ok": True}))
+        payload = json.loads(line)
+        assert payload == {"jsonrpc": "2.0", "id": 3, "result": {"ok": True}}
+
+    def test_error_envelope_carries_kind_code_data(self):
+        exc = ServiceError("overloaded", "queue full", data={"limit": 4})
+        payload = error_response(9, exc)
+        assert payload["error"]["code"] == ERROR_CODES["overloaded"]
+        assert payload["error"]["kind"] == "overloaded"
+        assert payload["error"]["data"] == {"limit": 4}
+
+    def test_encoding_is_byte_stable(self):
+        msg = result_response(1, {"b": 2, "a": 1})
+        assert encode_message(msg) == encode_message(json.loads(encode_message(msg)))
+
+    def test_schema_covers_all_methods(self):
+        assert set(METHODS) == {
+            "advise", "plan", "predict_eq1", "classify", "health", "ready",
+        }

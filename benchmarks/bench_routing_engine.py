@@ -45,6 +45,11 @@ def host64():
     return scaled_host(32)  # 64 nodes, seeded credit asymmetries
 
 
+@pytest.fixture(scope="module")
+def host256():
+    return scaled_host(128)  # 256 nodes, the data-centre-scale tier
+
+
 def test_perf_routing_all_pairs_8_nodes(benchmark, host8):
     """Every (pair, plane) of the reference host via the batched engine."""
     assert benchmark(_route_all_pairs, host8) == 2 * 8 * 7
@@ -58,6 +63,15 @@ def test_perf_routing_all_pairs_32_nodes_batched(benchmark, blade32):
 def test_perf_routing_all_pairs_64_nodes(benchmark, host64):
     """Every (pair, plane) of a 64-node asymmetric host."""
     assert benchmark(_route_all_pairs, host64) == 2 * 64 * 63
+
+
+def test_perf_routing_all_pairs_256_nodes(benchmark, host256):
+    """Every (pair, plane) of a 256-node asymmetric host.
+
+    The scale tier: 130,560 routed pairs per round, dominated by the
+    batched BFS sweep rather than per-pair dictionary hits.
+    """
+    assert benchmark(_route_all_pairs, host256) == 2 * 256 * 255
 
 
 def test_perf_routing_populate_64_nodes(benchmark, host64):

@@ -1,0 +1,161 @@
+#!/usr/bin/env sh
+# Worker-fabric smoke: the determinism and hygiene contracts, end to end.
+#
+# Gates, in order:
+#   1. `iomodel --targets ... --jobs N` stdout is byte-identical to the
+#      serial run (the sharded-sweep contract).
+#   2. `experiment all --quick --jobs 2` writes byte-identical artifacts
+#      to the serial run, and the jobs run survives a SIGKILLed worker
+#      with every experiment still reported exactly once.
+#   3. With --obs-dir, the sharded run's manifest carries the same RNG
+#      draw ledger as the serial run (worker telemetry grafting).
+#   4. No arena segment is leaked in /dev/shm after: a normal run, a
+#      session-LRU eviction storm, a worker SIGKILL, and a
+#      `serve --stdio --solver-pool` drain.
+#   5. BENCH_fabric.json is re-recorded and gated against the committed
+#      baseline (tolerance +50% — process fork times are noisy).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMPDIR="${TMPDIR:-/tmp}"
+WORK="$TMPDIR/fabric_smoke.$$"
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK"
+
+TOLERANCE="${BENCH_TOLERANCE:-0.50}"
+
+leak_check() {
+    leaked="$(ls /dev/shm 2>/dev/null | grep '^repro_fab_' || true)"
+    if [ -n "$leaked" ]; then
+        echo "FAIL: leaked arena segments after $1: $leaked" >&2
+        exit 1
+    fi
+    echo "no leaked /dev/shm segments after $1"
+}
+
+echo "== 1. sharded iomodel sweep: stdout byte-identity"
+PYTHONPATH=src python -m repro.cli.main iomodel --targets all --mode both \
+    --runs 10 > "$WORK/io_serial.txt"
+PYTHONPATH=src python -m repro.cli.main iomodel --targets all --mode both \
+    --runs 10 --jobs 3 > "$WORK/io_jobs.txt"
+if ! cmp -s "$WORK/io_serial.txt" "$WORK/io_jobs.txt"; then
+    echo "FAIL: --jobs 3 changed the iomodel sweep's stdout" >&2
+    diff "$WORK/io_serial.txt" "$WORK/io_jobs.txt" >&2 || true
+    exit 1
+fi
+echo "iomodel sweep byte-identical at --jobs 3"
+leak_check "the iomodel sweep"
+
+echo "== 2. experiment artifacts: serial vs --jobs 2"
+PYTHONPATH=src python -m repro.cli.main experiment all --quick \
+    --outdir "$WORK/exp_serial" > /dev/null
+PYTHONPATH=src python -m repro.cli.main experiment all --quick --jobs 2 \
+    --outdir "$WORK/exp_jobs" > "$WORK/exp_jobs_stdout.txt"
+if ! diff -r "$WORK/exp_serial" "$WORK/exp_jobs" > /dev/null; then
+    echo "FAIL: --jobs 2 changed the experiment artifacts" >&2
+    diff -r "$WORK/exp_serial" "$WORK/exp_jobs" >&2 || true
+    exit 1
+fi
+if grep -q "CRASH" "$WORK/exp_jobs_stdout.txt"; then
+    echo "FAIL: healthy jobs run reported a crash" >&2
+    exit 1
+fi
+echo "experiment artifacts byte-identical at --jobs 2"
+leak_check "the experiment batch"
+
+echo "== 2b. chaos: SIGKILLed experiment worker degrades, never hangs"
+if PYTHONPATH=src REPRO_CHAOS_KILL_EXPERIMENT=t1 timeout 120 \
+    python -m repro.cli.main experiment all --quick --jobs 2 \
+    > "$WORK/exp_crash.txt" 2>&1; then
+    echo "FAIL: a killed worker should produce a nonzero exit" >&2
+    exit 1
+fi
+grep -q 'status="crashed"' "$WORK/exp_crash.txt"
+count="$(grep -c '^t1 ' "$WORK/exp_crash.txt" || true)"
+if [ "$count" != "1" ]; then
+    echo "FAIL: crashed experiment t1 reported $count times" >&2
+    exit 1
+fi
+echo "worker SIGKILL degraded to a structured crash row"
+leak_check "the worker crash"
+
+echo "== 3. telemetry grafting: manifest draw ledgers match"
+PYTHONPATH=src python -m repro.cli.main iomodel --targets 0,3,7 \
+    --mode write --runs 10 --obs-dir "$WORK/obs_serial" > /dev/null
+PYTHONPATH=src python -m repro.cli.main iomodel --targets 0,3,7 \
+    --mode write --runs 10 --jobs 3 --obs-dir "$WORK/obs_jobs" > /dev/null
+PYTHONPATH=src FABRIC_SMOKE_WORK="$WORK" python - <<'EOF'
+import json
+import os
+
+work = os.environ["FABRIC_SMOKE_WORK"]
+manifests = {}
+for tag in ("obs_serial", "obs_jobs"):
+    with open(os.path.join(work, tag, "manifest.json"), encoding="utf-8") as fh:
+        manifests[tag] = json.load(fh)
+serial = manifests["obs_serial"]["seed"]["streams"]
+jobs = manifests["obs_jobs"]["seed"]["streams"]
+assert serial, "serial manifest recorded no RNG streams"
+assert serial == jobs, "worker draws were lost or double-counted"
+with open(os.path.join(work, "obs_jobs", "trace.jsonl"), encoding="utf-8") as fh:
+    names = [json.loads(line)["name"] for line in fh]
+assert names.count("fabric.build_many") == 3, names
+print(f"draw ledgers identical ({len(serial)} streams); "
+      f"worker spans grafted into the parent trace")
+EOF
+leak_check "the telemetry runs"
+
+echo "== 4. session eviction + serve drain release their arenas"
+PYTHONPATH=src python - <<'EOF'
+from repro.fabric import get_arena, live_segments
+from repro.solver import session as session_mod
+from repro.solver.session import get_session, reset_sessions
+from repro.topology.builders import scaled_host
+
+machine = scaled_host(3, seed=5)
+arena = get_arena(machine)
+session = get_session(machine)
+session.attach_arena(arena)
+arena.release()
+for seed in range(session_mod._MAX_SESSIONS + 1):
+    get_session(scaled_host(2, seed=seed))
+assert arena.closed, "LRU eviction left the arena attached"
+assert live_segments() == [], live_segments()
+reset_sessions()
+print("session-LRU eviction released its arena")
+EOF
+leak_check "the eviction storm"
+
+printf '%s\n' \
+  '{"jsonrpc":"2.0","id":1,"method":"classify","params":{"target":7,"mode":"write"}}' \
+  '{"jsonrpc":"2.0","id":2,"method":"health","params":{}}' \
+  | PYTHONPATH=src python -m repro.cli.main serve --stdio --solver-pool 2 \
+      --runs 10 > "$WORK/serve_pool.txt" 2>/dev/null
+PYTHONPATH=src FABRIC_SMOKE_WORK="$WORK" python - <<'EOF'
+import json
+import os
+
+with open(os.path.join(os.environ["FABRIC_SMOKE_WORK"], "serve_pool.txt"),
+          encoding="utf-8") as fh:
+    replies = [json.loads(line) for line in fh if line.strip()]
+health = next(r for r in replies if r.get("id") == 2)
+stats = health["result"]["solver_pool"]
+assert stats["completed"] >= 2, stats
+print(f"solver-pool tier served {stats['completed']} builds "
+      f"({stats['jobs']} workers)")
+EOF
+leak_check "the serve --solver-pool drain"
+
+echo "== 5. record + gate BENCH_fabric.json"
+PYTHONPATH=src python scripts/bench_fabric.py "$WORK/fabric.json"
+if [ -f BENCH_fabric.json ]; then
+    PYTHONPATH=src python scripts/bench_gate.py BENCH_fabric.json \
+        "$WORK/fabric.json" --tolerance "$TOLERANCE"
+else
+    echo "no committed BENCH_fabric.json baseline; recording a first snapshot"
+fi
+cp "$WORK/fabric.json" BENCH_fabric.json
+leak_check "the fabric benchmarks"
+
+echo "fabric smoke passed"

@@ -121,20 +121,77 @@ def cmd_fio(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iomodel_targets(args: argparse.Namespace, machine) -> list[int]:
+    """The target list for ``iomodel``: ``--targets`` wins, ``all`` sweeps
+    every node, otherwise the single ``--target``."""
+    spec = getattr(args, "targets", None)
+    if not spec:
+        return [args.target]
+    if spec.strip().lower() == "all":
+        return list(machine.node_ids)
+    try:
+        return [int(tok) for tok in spec.split(",") if tok.strip()]
+    except ValueError as exc:
+        raise ReproError(f"cannot parse --targets {spec!r}") from exc
+
+
 def cmd_iomodel(args: argparse.Namespace) -> int:
-    """``repro-numa iomodel`` (the paper's numademo extension)."""
+    """``repro-numa iomodel`` (the paper's numademo extension).
+
+    ``--targets a,b,c`` (or ``all``) sweeps several targets in one
+    batched run; ``--jobs N`` shards that sweep over the shared-memory
+    worker fabric.  Output is byte-identical for any jobs value — the
+    fabric's determinism contract — so the sharded path needs no
+    separate golden files.
+    """
     machine = _machine(args)
-    if args.mode == "both":
-        characterizer = HostCharacterizer(
-            machine, registry=_registry(args), runs=args.runs
-        )
-        print(characterizer.characterize(args.target).render())
-    else:
-        builder = IOModelBuilder(machine, registry=_registry(args), runs=args.runs)
-        model = builder.build(args.target, args.mode)
-        print(model.render())
-        print()
-        print(render_node_sweep(f"per-node memcpy {args.mode} bandwidth", model.values))
+    registry = _registry(args)
+    targets = _iomodel_targets(args, machine)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {jobs}")
+    pool = None
+    try:
+        if jobs is not None and jobs > 1:
+            from repro.fabric import FabricPool
+
+            pool = FabricPool(jobs=min(jobs, max(len(targets), 1)))
+        if args.mode == "both":
+            if pool is not None:
+                results = pool.characterize_many(
+                    machine, targets, registry=registry, runs=args.runs
+                )
+            else:
+                characterizer = HostCharacterizer(
+                    machine, registry=registry, runs=args.runs
+                )
+                results = characterizer.characterize_many(tuple(targets))
+            for index, target in enumerate(targets):
+                if index:
+                    print()
+                print(results[target].render())
+        else:
+            if pool is not None:
+                models = pool.build_many(
+                    machine, targets, args.mode, registry=registry, runs=args.runs
+                )
+            else:
+                builder = IOModelBuilder(machine, registry=registry, runs=args.runs)
+                models = builder.build_many(tuple(targets), args.mode)
+            for index, target in enumerate(targets):
+                if index:
+                    print()
+                model = models[target]
+                print(model.render())
+                print()
+                print(
+                    render_node_sweep(
+                        f"per-node memcpy {args.mode} bandwidth", model.values
+                    )
+                )
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 
@@ -288,26 +345,17 @@ def _run_all_experiments(args: argparse.Namespace) -> int:
         if jobs == 1:
             outcomes = [_experiment_worker(t) for t in tasks]
         else:
-            # ProcessPoolExecutor (not multiprocessing.Pool): a SIGKILLed
-            # worker breaks the pool with BrokenProcessPool instead of
-            # hanging the map forever, so a crash degrades to structured
-            # "crashed" rows and a nonzero exit — never a stuck merge.
-            from concurrent.futures import ProcessPoolExecutor
+            # The shared-memory worker fabric: a persistent pool whose
+            # workers die loudly (a SIGKILLed worker degrades to a
+            # structured "crashed" row and a nonzero exit — never a
+            # stuck merge) and whose telemetry grafts back into the
+            # parent recorder, so --obs-dir keeps worker spans.
+            from repro.fabric import FabricPool
 
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-                futures = [(t[0], pool.submit(_experiment_worker, t)) for t in tasks]
-                outcomes = []
-                for exp_id, future in futures:
-                    try:
-                        outcomes.append(future.result())
-                    except Exception as exc:  # worker died or pool broke
-                        reason = (
-                            f'status="crashed": experiment {exp_id!r} worker '
-                            f"died before returning a result "
-                            f"({type(exc).__name__})"
-                        )
-                        outcomes.append((exp_id, None, "(worker crashed)",
-                                         reason, [reason], 0.0))
+            with FabricPool(jobs=min(jobs, len(tasks))) as pool:
+                outcomes = pool.run_experiments(
+                    [t[0] for t in tasks], quick=args.quick
+                )
         total_s = time.perf_counter() - start
         for exp_id, passed, title, rendered, failed_lines, wall_s in outcomes:
             status = "CRASH" if passed is None else "PASS" if passed else "FAIL"
@@ -393,43 +441,61 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0 if total and healthy_end else 1
 
     machine = _serve_machine(args)
-    backend = AdvisoryBackend(machine, registry=_registry(args), runs=args.runs)
-    service = PlacementService(
-        backend,
-        breaker=CircuitBreaker(failure_threshold=args.failure_threshold),
-    )
-    backend.warm()
+    solver_pool = None
+    if getattr(args, "solver_pool", None):
+        if args.solver_pool < 1:
+            raise ReproError(
+                f"--solver-pool must be >= 1, got {args.solver_pool}"
+            )
+        from repro.fabric import FabricPool
 
-    if args.stdio:
-        serve_stdio(service)
-        return 0
-
-    config = ServiceConfig(
-        host=args.host,
-        port=args.port,
-        queue_limit=args.queue_limit,
-        workers=args.workers,
-        failure_threshold=args.failure_threshold,
-    )
-
-    async def _run() -> None:
-        server = AsyncPlacementServer(service, config)
-        await server.start()
-        print(
-            f"serving {machine.name} on {config.host}:{server.port} "
-            f"(queue {config.queue_limit}, workers {config.workers})",
-            flush=True,
-        )
-        try:
-            await server.serve_forever()
-        finally:
-            await server.drain()
-
+        solver_pool = FabricPool(jobs=args.solver_pool)
     try:
-        asyncio.run(_run())
-    except KeyboardInterrupt:
-        pass
-    return 0
+        backend = AdvisoryBackend(
+            machine,
+            registry=_registry(args),
+            runs=args.runs,
+            solver_pool=solver_pool,
+        )
+        service = PlacementService(
+            backend,
+            breaker=CircuitBreaker(failure_threshold=args.failure_threshold),
+        )
+        backend.warm()
+
+        if args.stdio:
+            serve_stdio(service)
+            return 0
+
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            workers=args.workers,
+            failure_threshold=args.failure_threshold,
+        )
+
+        async def _run() -> None:
+            server = AsyncPlacementServer(service, config)
+            await server.start()
+            print(
+                f"serving {machine.name} on {config.host}:{server.port} "
+                f"(queue {config.queue_limit}, workers {config.workers})",
+                flush=True,
+            )
+            try:
+                await server.serve_forever()
+            finally:
+                await server.drain()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
+        return 0
+    finally:
+        if solver_pool is not None:
+            solver_pool.close()
 
 
 def cmd_numademo(args: argparse.Namespace) -> int:

@@ -84,8 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("iomodel", help="Algorithm 1: memcpy I/O performance model")
     p.add_argument("--target", type=int, default=7, help="device-attached node")
+    p.add_argument("--targets", metavar="A,B,... | all",
+                   help="sweep several target nodes (overrides --target; "
+                        "'all' sweeps every node)")
     p.add_argument("--mode", default="both", choices=("write", "read", "both"))
     p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="shard the target sweep over N fabric worker "
+                        "processes (output is byte-identical for any N)")
     _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_iomodel)
 
@@ -197,6 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent solver workers (TCP transport)")
     p.add_argument("--failure-threshold", type=int, default=3,
                    help="consecutive solver failures that trip the breaker")
+    p.add_argument("--solver-pool", type=int, default=None, metavar="N",
+                   help="build cold models in N fabric worker processes "
+                        "(shared-memory arenas) instead of in-process")
     p.add_argument("--soak", action="store_true",
                    help="run the deterministic chaos soak instead of serving")
     p.add_argument("--requests", type=int, default=120,

@@ -58,6 +58,10 @@ class RouteLostError(FaultError):
     """A transfer's route vanished under faults and no alternative survives."""
 
 
+class FabricError(ReproError):
+    """A shared-memory arena or worker-pool operation failed or is misused."""
+
+
 class ServiceError(ReproError):
     """A placement-advisory request failed with a typed, wire-safe error.
 

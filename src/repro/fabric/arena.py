@@ -1,0 +1,408 @@
+"""Shared-memory arenas: one machine's solver matrices, mapped not pickled.
+
+A :class:`MachineArena` packs everything a worker process needs to
+reconstruct a machine's solver state into one POSIX shared-memory
+segment keyed by :func:`~repro.solver.capacity.machine_fingerprint`:
+
+* the canonical machine description (JSON, for reconstruction),
+* the fabric **capacity values** (float64, names in the header),
+* the **hop matrix** (int64, N x N),
+* the DMA **adjacency matrix** (float64, N x N link Gbps).
+
+Segment layout: an 8-byte little-endian header length, the UTF-8 JSON
+header, then the arrays back to back at 16-byte aligned offsets in
+header-declared order.  Offsets are recomputed by the reader from the
+shapes, so the header never has to describe its own size.
+
+The attach-by-fingerprint protocol (:func:`get_arena`): attach the
+segment if some process already published it, build and publish it
+otherwise, racing publishers falling back to attach.  Every holder —
+sessions, pools, worker caches — takes a reference
+(:meth:`MachineArena.acquire`) and releases it when done; the last
+release closes the mapping, and the publishing process additionally
+unlinks the segment.  An :mod:`atexit` sweep force-closes anything
+still open so a normal interpreter exit never leaks ``/dev/shm``
+segments; a SIGKILLed *worker* cannot leak either, because workers only
+ever attach (the parent owns the unlink).
+
+Routing overrides are deliberately rejected: they are not part of the
+canonical serialized form, so a worker could not reproduce the parent's
+routes.  Callers fall back to shipping such machines whole.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import FabricError
+from repro.solver.capacity import build_capacities, machine_fingerprint
+from repro.topology.distance import hop_matrix
+from repro.topology.machine import Machine
+from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+__all__ = [
+    "MachineArena",
+    "segment_name",
+    "publish",
+    "attach",
+    "get_arena",
+    "release_all",
+    "live_segments",
+]
+
+#: Prefix of every arena segment in /dev/shm (also the leak-scan key).
+SEGMENT_PREFIX = "repro_fab_"
+
+_MAGIC = "repro-fabric-arena"
+_VERSION = 1
+_ALIGN = 16
+
+#: Process-local arena registry: fingerprint -> MachineArena.
+_ARENAS: "dict[str, MachineArena]" = {}
+
+
+def segment_name(fingerprint: str) -> str:
+    """The shared-memory segment name for a machine fingerprint."""
+    return SEGMENT_PREFIX + fingerprint[:32]
+
+
+def _shared_memory():
+    """The stdlib module, imported lazily so sandboxes without POSIX
+    shared memory fail at use, not import."""
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+class _untracked:
+    """Suppress resource-tracker registration while attaching.
+
+    Python registers every ``SharedMemory`` attachment with the
+    :mod:`multiprocessing.resource_tracker`, which *unlinks* tracked
+    segments when the registering process exits — correct for owners,
+    destructive for attachers sharing a segment with a still-running
+    parent.  (Python 3.13's ``track=False`` is this, spelled properly.)
+    Registration is suppressed rather than undone after the fact: forked
+    workers share one tracker process whose cache is a *set*, so N
+    register + N unregister messages for one segment underflow it and
+    the tracker prints KeyErrors at exit.
+    """
+
+    def __enter__(self):
+        from multiprocessing import resource_tracker
+
+        self._module = resource_tracker
+        self._original = resource_tracker.register
+
+        def _skip_shared_memory(name, rtype):
+            if rtype != "shared_memory":
+                self._original(name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._module.register = self._original
+        return False
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pack_header(machine: Machine, fingerprint: str) -> "tuple[dict, list]":
+    """The header dict plus the arrays to pack, in declared order."""
+    capacities = build_capacities(machine)
+    cap_names = list(capacities)
+    cap_values = np.asarray([capacities[name] for name in cap_names], dtype=np.float64)
+    hops = hop_matrix(machine).astype(np.int64, copy=False)
+    ids = machine.node_ids
+    index = {nid: i for i, nid in enumerate(ids)}
+    adjacency = np.zeros((len(ids), len(ids)), dtype=np.float64)
+    for (src, dst), link in machine.links.items():
+        adjacency[index[src], index[dst]] = link.dma_gbps
+    arrays = [
+        ("cap_values", cap_values),
+        ("hops", hops),
+        ("adjacency", adjacency),
+    ]
+    header = {
+        "magic": _MAGIC,
+        "version": _VERSION,
+        "fingerprint": fingerprint,
+        "machine": machine_to_dict(machine),
+        "cap_names": cap_names,
+        "arrays": [
+            {"name": name, "dtype": str(arr.dtype), "shape": list(arr.shape)}
+            for name, arr in arrays
+        ],
+    }
+    return header, arrays
+
+
+class MachineArena:
+    """One machine's solver matrices in a shared-memory segment.
+
+    Constructed via :func:`publish` / :func:`attach` / :func:`get_arena`,
+    never directly.  All array properties are zero-copy views into the
+    segment; treat them (and the shared :meth:`capacities` dict) as
+    read-only.
+    """
+
+    def __init__(self, shm, header: dict, offsets: "dict[str, int]",
+                 owner: bool) -> None:
+        self._shm = shm
+        self._header = header
+        self._offsets = offsets
+        self.owner = owner
+        self.refs = 0
+        self.closed = False
+        self._machine: Machine | None = None
+        self._capacities: dict[str, float] | None = None
+
+    # --- identity ---------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The machine fingerprint this arena was published under."""
+        return self._header["fingerprint"]
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name."""
+        return self._shm.name
+
+    # --- views ------------------------------------------------------------
+    def _array(self, name: str) -> np.ndarray:
+        for spec in self._header["arrays"]:
+            if spec["name"] == name:
+                arr = np.ndarray(
+                    tuple(spec["shape"]),
+                    dtype=np.dtype(spec["dtype"]),
+                    buffer=self._shm.buf,
+                    offset=self._offsets[name],
+                )
+                arr.flags.writeable = False
+                return arr
+        raise FabricError(f"arena {self.name} has no array {name!r}")
+
+    @property
+    def hops(self) -> np.ndarray:
+        """The N x N hop matrix (int64 view into the segment)."""
+        return self._array("hops")
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """The N x N DMA link-capacity matrix (float64 view)."""
+        return self._array("adjacency")
+
+    def capacities(self) -> "dict[str, float]":
+        """The fabric capacity map, built once from the shared values.
+
+        Shared across every session attached to this arena — callers
+        must not mutate it (:meth:`SolverSession.capacities` copies).
+        """
+        if self._capacities is None:
+            values = self._array("cap_values")
+            self._capacities = dict(
+                zip(self._header["cap_names"], values.tolist())
+            )
+        return self._capacities
+
+    def machine(self) -> Machine:
+        """The machine reconstructed from the arena's description.
+
+        The reconstruction is cached, stamped with the published
+        fingerprint (skipping re-serialization), and seeded with the
+        shared hop matrix so distance consumers never recompute the
+        BFS sweep in a worker.
+        """
+        if self._machine is None:
+            machine = machine_from_dict(self._header["machine"])
+            try:
+                machine._solver_fingerprint = self.fingerprint
+                machine._hop_matrix_cache = self.hops
+            except AttributeError:  # pragma: no cover - exotic subclasses
+                pass
+            self._machine = machine
+        return self._machine
+
+    # --- lifecycle --------------------------------------------------------
+    def acquire(self) -> "MachineArena":
+        """Take a reference; every holder pairs this with :meth:`release`."""
+        if self.closed:
+            raise FabricError(f"arena {self.name} is closed")
+        self.refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop a reference; the last one closes (and owner-unlinks)."""
+        if self.closed:
+            return
+        self.refs -= 1
+        if self.refs <= 0:
+            self._close()
+
+    def _close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._machine = None
+        self._capacities = None
+        _ARENAS.pop(self.fingerprint, None)
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - exported views
+            pass
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass  # another owner (or the tracker) got there first
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        role = "owner" if self.owner else "attached"
+        return (
+            f"MachineArena({self.fingerprint[:12]}, {role}, refs={self.refs})"
+        )
+
+
+def _offsets_for(header: dict, header_len: int) -> "dict[str, int]":
+    """Array offsets implied by the header (reader and writer agree)."""
+    offsets: dict[str, int] = {}
+    cursor = _align(8 + header_len)
+    for spec in header["arrays"]:
+        offsets[spec["name"]] = cursor
+        nbytes = int(np.dtype(spec["dtype"]).itemsize * np.prod(spec["shape"]))
+        cursor = _align(cursor + nbytes)
+    return offsets
+
+
+def publish(machine: Machine) -> MachineArena:
+    """Build ``machine``'s arena and publish it as a new segment.
+
+    Raises :class:`~repro.errors.FabricError` when the machine cannot be
+    represented (routing overrides), when the segment already exists
+    (use :func:`get_arena` for attach-or-publish), or when the platform
+    has no usable shared memory.
+    """
+    fingerprint = machine_fingerprint(machine)
+    if getattr(machine.routing, "_overrides", None):
+        raise FabricError(
+            f"machine {machine.name!r} has explicit routing overrides, "
+            f"which the serialized arena form cannot carry"
+        )
+    header, arrays = _pack_header(machine, fingerprint)
+    blob = json.dumps(header, sort_keys=True, default=str).encode("utf-8")
+    offsets = _offsets_for(header, len(blob))
+    last_name, last_arr = arrays[-1]
+    size = offsets[last_name] + last_arr.nbytes
+    try:
+        shm = _shared_memory().SharedMemory(
+            name=segment_name(fingerprint), create=True, size=size
+        )
+    except FileExistsError:
+        raise FabricError(
+            f"arena segment for {fingerprint[:12]} already exists"
+        ) from None
+    except OSError as exc:
+        raise FabricError(f"cannot create shared memory: {exc}") from exc
+    shm.buf[:8] = struct.pack("<Q", len(blob))
+    shm.buf[8:8 + len(blob)] = blob
+    for name, arr in arrays:
+        dest = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offsets[name]
+        )
+        dest[...] = arr
+    return MachineArena(shm, header, offsets, owner=True)
+
+
+def attach(fingerprint_or_segment: str) -> "MachineArena | None":
+    """Attach the published arena, or ``None`` when no process has one.
+
+    Accepts either a machine fingerprint or a raw segment name.  The
+    attachment is never registered with the resource tracker, so an
+    attaching process's exit can never destroy the shared segment.
+    """
+    name = fingerprint_or_segment
+    if not name.startswith(SEGMENT_PREFIX):
+        name = segment_name(name)
+    try:
+        with _untracked():
+            shm = _shared_memory().SharedMemory(name=name)
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise FabricError(f"cannot attach shared memory {name}: {exc}") from exc
+    (header_len,) = struct.unpack("<Q", bytes(shm.buf[:8]))
+    try:
+        header = json.loads(bytes(shm.buf[8:8 + header_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        shm.close()
+        raise FabricError(f"segment {name} holds no arena header") from exc
+    if header.get("magic") != _MAGIC:
+        shm.close()
+        raise FabricError(f"segment {name} is not a fabric arena")
+    if header.get("version", 0) > _VERSION:
+        shm.close()
+        raise FabricError(
+            f"arena {name} has version {header['version']}, newer than "
+            f"supported {_VERSION}"
+        )
+    return MachineArena(shm, header, _offsets_for(header, header_len), owner=False)
+
+
+def get_arena(machine: Machine) -> MachineArena:
+    """The process-wide arena for ``machine``: attach if published, else
+    build and publish.  The returned arena carries one reference for the
+    caller (pair with :meth:`MachineArena.release`)."""
+    fingerprint = machine_fingerprint(machine)
+    arena = _ARENAS.get(fingerprint)
+    if arena is None or arena.closed:
+        arena = attach(fingerprint)
+        if arena is None:
+            try:
+                arena = publish(machine)
+            except FabricError:
+                # Lost a publish race: someone else created it between
+                # our attach and create.  Re-raise anything else.
+                arena = attach(fingerprint)
+                if arena is None:
+                    raise
+        _ARENAS[fingerprint] = arena
+    return arena.acquire()
+
+
+def release_all() -> None:
+    """Force-close every arena this process holds (atexit sweep).
+
+    Ignores reference counts on purpose: the process is going away, so
+    any still-held reference is unreleasable.  Owners unlink their
+    segments; attachers just unmap.
+    """
+    for arena in list(_ARENAS.values()):
+        arena._close()
+    _ARENAS.clear()
+
+
+def live_segments() -> "list[str]":
+    """Arena segment names currently present in ``/dev/shm``.
+
+    The leak check used by tests and ``scripts/fabric_smoke.sh``; empty
+    where the platform exposes no ``/dev/shm`` directory.
+    """
+    import os
+
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+
+
+atexit.register(release_all)

@@ -1,0 +1,116 @@
+"""Worker-process telemetry: capture in the worker, graft in the parent.
+
+Telemetry recorders are process-global, so a worker's spans and counters
+would silently vanish at the process boundary.  This module closes that
+gap deterministically:
+
+* **Worker side** — :func:`begin_capture` / :func:`end_capture` bracket
+  one task with a fresh :class:`~repro.obs.recorder.TraceRecorder` over
+  a private metrics registry (a forked worker may have inherited the
+  parent's installed recorder; it is uninstalled first so worker spans
+  never write into a copied parent trace).  The captured payload is
+  plain data: the event list plus counter/gauge snapshots.
+* **Parent side** — :func:`graft` splices a captured payload into the
+  live parent recorder: a synthetic container span is appended, every
+  worker span is re-based under it (sequence numbers renumbered, depths
+  shifted, ``start_s`` offset to the container's start), and counters
+  are folded into the parent metrics registry.  Grafting payloads in
+  task order makes the merged trace — span names, counts, nesting, and
+  counter totals — deterministic and equal to a serial run's, leaving
+  only wall times to differ (manifests never gate on wall time).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import recorder as _obs
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["begin_capture", "end_capture", "graft"]
+
+
+def begin_capture(enabled: bool) -> "_obs.TraceRecorder | None":
+    """Start a worker-local recording for one task.
+
+    Any inherited recorder (fork copies the parent's module global) is
+    discarded first.  Returns the live recorder, or ``None`` when the
+    parent was not recording — the no-op fast path stays no-op.
+    """
+    _obs.uninstall()
+    if not enabled:
+        return None
+    recorder = _obs.TraceRecorder(MetricsRegistry())
+    _obs.install(recorder)
+    return recorder
+
+
+def end_capture(recorder: "_obs.TraceRecorder | None",
+                solver_baseline: "dict[str, int] | None" = None) -> "dict | None":
+    """Finish a worker capture and return its plain-data payload.
+
+    ``solver_baseline`` is the worker's pre-task
+    :func:`~repro.obs.stats.solver_totals` snapshot; the delta is folded
+    in as ``solver.*`` counters, mirroring what
+    :class:`~repro.obs.recorder.recording` does at process scope, so a
+    parent manifest still accounts solver work that ran in workers.
+    """
+    if recorder is None:
+        return None
+    _obs.uninstall()
+    if solver_baseline is not None:
+        from repro.obs.stats import solver_totals
+
+        for name, total in solver_totals().items():
+            delta = total - solver_baseline.get(name, 0)
+            if delta:
+                recorder.metrics.count(f"solver.{name}", delta)
+    snapshot = recorder.metrics.snapshot()
+    return {
+        "events": recorder.events,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+    }
+
+
+def graft(parent: "_obs.TraceRecorder", captured: "dict | None",
+          label: str = "fabric.worker", **tags) -> None:
+    """Splice one captured worker payload into the parent recorder.
+
+    Counters add into the parent metrics registry (name order, so
+    repeated grafts are deterministic); gauges last-write-win in graft
+    order.  Worker spans land under a synthetic ``label`` container
+    span at the parent's current nesting depth.
+    """
+    if parent is None or captured is None:
+        return
+    for name in sorted(captured["counters"]):
+        parent.metrics.count(name, captured["counters"][name])
+    for name in sorted(captured["gauges"]):
+        parent.metrics.gauge(name, captured["gauges"][name])
+    events = captured["events"]
+    if not events:
+        return
+    base = len(parent.events)
+    depth = len(parent._stack)
+    container = {
+        "name": label,
+        "tags": dict(tags),
+        "seq": base,
+        "parent": parent._stack[-1] if parent._stack else None,
+        "depth": depth,
+        "start_s": time.perf_counter() - parent._t0,
+        "wall_s": max(
+            e["start_s"] + e.get("wall_s", 0.0) for e in events
+        ),
+    }
+    parent.events.append(container)
+    for event in events:
+        grafted = dict(event)
+        grafted["seq"] = event["seq"] + base + 1
+        grafted["parent"] = (
+            base if event["parent"] is None else event["parent"] + base + 1
+        )
+        grafted["depth"] = event["depth"] + depth + 1
+        grafted["start_s"] = container["start_s"] + event["start_s"]
+        parent.events.append(grafted)

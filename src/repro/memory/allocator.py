@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.errors import AllocationError
 from repro.memory.numastat import NumaStat
 from repro.memory.policy import AllocPolicy, MemBinding
-from repro.topology.distance import hop_matrix
+from repro.topology.distance import hop_pairs
 from repro.topology.machine import Machine
 
 __all__ = ["Allocation", "PageAllocator"]
@@ -51,13 +51,9 @@ class PageAllocator:
         self.machine = machine
         self._free = {nid: machine.node(nid).free_bytes for nid in machine.node_ids}
         self.stats = NumaStat(node_ids=machine.node_ids)
-        hops = hop_matrix(machine)
-        index = {nid: i for i, nid in enumerate(machine.node_ids)}
-        self._hops = {
-            (a, b): int(hops[index[a], index[b]])
-            for a in machine.node_ids
-            for b in machine.node_ids
-        }
+        # Shared per-machine distance dict: allocators only read it, and
+        # characterization sweeps construct one allocator per probe.
+        self._hops = hop_pairs(machine)
 
     def free_bytes(self, node: int) -> int:
         """Currently free memory on ``node``."""

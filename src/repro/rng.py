@@ -173,6 +173,20 @@ class RngRegistry:
             np.random.Generator(np.random.PCG64(seq)), name, self._draws
         )
 
+    def absorb(self, counts: "dict[str, int]") -> None:
+        """Fold another registry's draw ledger into this one's counts.
+
+        The merge half of sharded execution: a worker process draws from
+        its own same-seed registry (streams are name-keyed and restart
+        per :meth:`stream` call, so identical names yield bit-identical
+        sequences), ships its :attr:`draw_counts` back, and the parent
+        absorbs them here so the combined ledger matches a serial run.
+        Counts only — no generator state crosses the process boundary.
+        """
+        draws = self._draws
+        for name, n in counts.items():
+            draws[name] = draws.get(name, 0) + int(n)
+
     def child(self, name: str) -> "RngRegistry":
         """A registry whose streams are independent of this one's.
 

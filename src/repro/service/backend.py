@@ -177,6 +177,12 @@ class AdvisoryBackend:
         Warm session pool (defaults to a fresh one).
     model_cache:
         LRU bound on cached characterizations.
+    solver_pool:
+        Optional :class:`~repro.fabric.FabricPool`: cold model builds
+        run in its worker processes (shared-memory arenas, no event-loop
+        stalls) instead of in-process.  Results are bit-identical either
+        way, so the tier is a latency knob, not a semantics knob; solver
+        failures keep their types so the breaker counts them unchanged.
     """
 
     def __init__(
@@ -186,12 +192,14 @@ class AdvisoryBackend:
         runs: int = 25,
         pool: SessionPool | None = None,
         model_cache: int = 32,
+        solver_pool=None,
     ) -> None:
         self.healthy_machine = machine
         self.machine = machine
         self.registry = registry if registry is not None else RngRegistry()
         self.runs = runs
         self.pool = pool if pool is not None else SessionPool()
+        self.solver_pool = solver_pool
         self._model_cache_size = model_cache
         self._models: OrderedDict[tuple[str, int, str], IOPerformanceModel]
         self._models = OrderedDict()
@@ -235,11 +243,17 @@ class AdvisoryBackend:
         key = (machine_fingerprint(self.machine), target, mode)
         model = self._models.get(key)
         if model is None:
-            builder = IOModelBuilder(
-                self.machine, registry=self.registry, runs=self.runs
-            )
-            builder.session = session  # reuse the pinned warm session
-            model = builder.build(target, mode)
+            if self.solver_pool is not None:
+                model = self.solver_pool.build_model(
+                    self.machine, target, mode,
+                    registry=self.registry, runs=self.runs,
+                )
+            else:
+                builder = IOModelBuilder(
+                    self.machine, registry=self.registry, runs=self.runs
+                )
+                builder.session = session  # reuse the pinned warm session
+                model = builder.build(target, mode)
             self._models[key] = model
             while len(self._models) > self._model_cache_size:
                 self._models.popitem(last=False)

@@ -118,8 +118,8 @@ class PlacementService:
         return error_response(req_id, exc)
 
     def health_payload(self) -> dict:
-        """The ``health`` result: breaker, pool, counters."""
-        return {
+        """The ``health`` result: breaker, pools, counters."""
+        payload = {
             "status": "degraded" if self.breaker.state != CircuitBreaker.CLOSED
             else "ok",
             "breaker": self.breaker.state,
@@ -131,6 +131,10 @@ class PlacementService:
             "errors": {k: self.errors[k] for k in sorted(self.errors)},
             "session_pool": self.backend.pool.stats(),
         }
+        solver_pool = getattr(self.backend, "solver_pool", None)
+        if solver_pool is not None:
+            payload["solver_pool"] = solver_pool.stats()
+        return payload
 
     def ready_payload(self) -> dict:
         """The ``ready`` result: warm and not draining."""
@@ -425,6 +429,12 @@ class AsyncPlacementServer:
             )
         except asyncio.TimeoutError:
             _obs.count("service.deadline_cancelled")
+            solver_pool = getattr(self.service.backend, "solver_pool", None)
+            if solver_pool is not None:
+                # The abandoned solve may still be running in a fabric
+                # worker; the future is dropped, the slot stays busy
+                # until that solve finishes, and the pool accounts it.
+                solver_pool.note_abandoned()
             return self._typed_line(
                 line, "deadline_exceeded",
                 f"deadline of {deadline_ms} ms expired mid-solve; "

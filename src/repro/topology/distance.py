@@ -16,9 +16,10 @@ from repro.errors import TopologyError
 from repro.routing.batch import bfs_layers
 from repro.topology.machine import Machine
 
-__all__ = ["hop_matrix", "distance_matrix"]
+__all__ = ["hop_matrix", "hop_pairs", "distance_matrix"]
 
 _HOP_CACHE_ATTR = "_hop_matrix_cache"
+_HOP_PAIRS_ATTR = "_hop_pairs_cache"
 
 
 def hop_matrix(machine: Machine) -> np.ndarray:
@@ -53,6 +54,32 @@ def hop_matrix(machine: Machine) -> np.ndarray:
     except AttributeError:  # pragma: no cover - exotic machine subclasses
         return dist
     return dist.copy()
+
+
+def hop_pairs(machine: Machine) -> "dict[tuple[int, int], int]":
+    """``(src, dst) -> hops`` for every node pair, cached on the machine.
+
+    The dict form of :func:`hop_matrix` that policy code indexes by node
+    id (e.g. :class:`~repro.memory.allocator.PageAllocator` ordering
+    nodes by distance).  Building it is O(N^2); per-probe consumers used
+    to rebuild it on every construction, which dominated whole-host
+    characterization sweeps.  Treat the returned dict as read-only — it
+    is shared by every caller for the machine's lifetime.
+    """
+    cached = getattr(machine, _HOP_PAIRS_ATTR, None)
+    if cached is not None:
+        return cached
+    hops = hop_matrix(machine)
+    ids = machine.node_ids
+    index = {nid: i for i, nid in enumerate(ids)}
+    pairs = {
+        (a, b): int(hops[index[a], index[b]]) for a in ids for b in ids
+    }
+    try:
+        setattr(machine, _HOP_PAIRS_ATTR, pairs)
+    except AttributeError:  # pragma: no cover - exotic machine subclasses
+        pass
+    return pairs
 
 
 def distance_matrix(machine: Machine, per_hop: int = 6, base: int = 10) -> np.ndarray:

@@ -63,6 +63,30 @@ if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
             signal.signal(signal.SIGALRM, old)
 
 
+def _shm_available() -> bool:
+    """Probe for usable POSIX shared memory (the ``fabric`` marker)."""
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=16)
+        segment.close()
+        segment.unlink()
+        return True
+    except (ImportError, OSError):  # pragma: no cover - sandboxed hosts
+        return False
+
+
+def pytest_collection_modifyitems(config, items):
+    if any(item.get_closest_marker("fabric") for item in items):
+        if not _shm_available():
+            skip = pytest.mark.skip(
+                reason="POSIX shared memory (/dev/shm) unavailable"
+            )
+            for item in items:
+                if item.get_closest_marker("fabric"):
+                    item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
 def host():
     """The calibrated reference host with devices attached."""

@@ -1,0 +1,149 @@
+"""Machine arenas: publish/attach round trips, refcounts, and no leaks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric import arena as arena_mod
+from repro.fabric.arena import attach, get_arena, live_segments, publish
+from repro.solver.capacity import build_capacities, machine_fingerprint
+from repro.topology.builders import scaled_host
+from repro.topology.distance import hop_matrix
+
+pytestmark = pytest.mark.fabric
+
+
+@pytest.fixture()
+def machine():
+    return scaled_host(3, seed=11)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """Every test starts and ends with zero live arena segments."""
+    arena_mod.release_all()
+    assert live_segments() == []
+    yield
+    arena_mod.release_all()
+    assert live_segments() == []
+
+
+def test_publish_attach_round_trip(machine):
+    fingerprint = machine_fingerprint(machine)
+    owner = publish(machine)
+    try:
+        assert owner.owner and owner.fingerprint == fingerprint
+        assert live_segments() == [owner.name]
+
+        attached = attach(fingerprint)
+        assert attached is not None and not attached.owner
+        assert attached.capacities() == build_capacities(machine)
+        assert np.array_equal(attached.hops, hop_matrix(machine))
+        rebuilt = attached.machine()
+        assert machine_fingerprint(rebuilt) == fingerprint
+        assert rebuilt.node_ids == machine.node_ids
+        attached._shm.close()
+    finally:
+        owner._close()
+
+
+def test_adjacency_matches_links(machine):
+    owner = publish(machine)
+    try:
+        ids = machine.node_ids
+        index = {nid: i for i, nid in enumerate(ids)}
+        for (src, dst), link in machine.links.items():
+            assert owner.adjacency[index[src], index[dst]] == link.dma_gbps
+    finally:
+        owner._close()
+
+
+def test_views_are_read_only(machine):
+    owner = publish(machine)
+    try:
+        with pytest.raises(ValueError):
+            owner.hops[0, 0] = 99
+    finally:
+        owner._close()
+
+
+def test_refcounting_unlinks_on_last_release(machine):
+    arena = get_arena(machine)
+    assert arena.refs == 1 and arena.owner
+    assert get_arena(machine) is arena and arena.refs == 2
+    arena.release()
+    assert not arena.closed and live_segments() == [arena.name]
+    arena.release()
+    assert arena.closed
+    assert live_segments() == []
+
+
+def test_attach_missing_returns_none():
+    assert attach("no-such-fingerprint-0123456789abcdef") is None
+
+
+def test_publish_twice_raises(machine):
+    owner = publish(machine)
+    try:
+        with pytest.raises(FabricError):
+            publish(machine)
+    finally:
+        owner._close()
+
+
+def test_publish_rejects_routing_overrides(machine):
+    from repro.topology.serialize import machine_from_dict, machine_to_dict
+
+    # A private copy so the fixture machine stays pristine.
+    copied = machine_from_dict(machine_to_dict(machine))
+    nodes = copied.node_ids
+    hops = copied.routing.route("dma", nodes[0], nodes[1])
+    copied.routing.set_route("dma", hops)
+    with pytest.raises(FabricError, match="overrides"):
+        publish(copied)
+
+
+def test_release_all_sweeps_everything(machine):
+    get_arena(machine)
+    get_arena(scaled_host(2, seed=3))
+    assert len(live_segments()) == 2
+    arena_mod.release_all()
+    assert live_segments() == []
+
+
+def test_session_eviction_releases_arena(machine):
+    """Satellite (c): sessions evicted from the LRU release their arena."""
+    from repro.solver import session as session_mod
+    from repro.solver.session import get_session, reset_sessions
+
+    reset_sessions()
+    arena = get_arena(machine)
+    session = get_session(machine)
+    session.attach_arena(arena)
+    arena.release()  # the session now holds the only reference
+    assert not arena.closed
+    # Arena-backed capacities come from the shared segment.
+    assert session.capacities() == build_capacities(machine)
+
+    # Flood the registry past its LRU bound; the arena-backed session is
+    # evicted, closed, and the segment disappears with its last ref.
+    for seed in range(session_mod._MAX_SESSIONS + 1):
+        get_session(scaled_host(2, seed=seed))
+    assert arena.closed
+    assert live_segments() == []
+    reset_sessions()
+
+
+def test_reset_sessions_releases_arena(machine):
+    from repro.solver.session import get_session, reset_sessions
+
+    reset_sessions()
+    arena = get_arena(machine)
+    session = get_session(machine)
+    session.attach_arena(arena)
+    arena.release()
+    reset_sessions()
+    assert arena.closed
+    assert live_segments() == []

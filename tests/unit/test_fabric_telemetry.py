@@ -1,0 +1,111 @@
+"""Worker telemetry capture and deterministic grafting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.telemetry import begin_capture, end_capture, graft
+from repro.obs import recorder as _obs
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    _obs.uninstall()
+    yield
+    _obs.uninstall()
+
+
+def _capture_task():
+    """One simulated worker task: nested spans plus counters."""
+    recorder = begin_capture(True)
+    with _obs.span("task.outer", shard=0):
+        _obs.count("task.items", 3)
+        with _obs.span("task.inner"):
+            _obs.count("task.items", 2)
+    _obs.gauge("task.depth", 2.0)
+    return end_capture(recorder)
+
+
+def test_begin_capture_disabled_is_noop():
+    assert begin_capture(False) is None
+    assert not _obs.enabled()
+    assert end_capture(None) is None
+
+
+def test_begin_capture_discards_inherited_recorder():
+    inherited = _obs.TraceRecorder(MetricsRegistry())
+    _obs.install(inherited)
+    recorder = begin_capture(True)
+    assert recorder is not inherited
+    assert _obs.get_recorder() is recorder
+    end_capture(recorder)
+    assert not _obs.enabled()
+
+
+def test_capture_payload_is_plain_data():
+    payload = _capture_task()
+    assert set(payload) == {"events", "counters", "gauges"}
+    assert payload["counters"]["task.items"] == 5
+    assert payload["gauges"]["task.depth"] == 2.0
+    names = [e["name"] for e in payload["events"]]
+    assert names == ["task.outer", "task.inner"]
+
+
+def test_end_capture_folds_solver_delta():
+    recorder = begin_capture(True)
+    baseline = {"solves": 2}
+    recorder.metrics.count("x", 1)
+    import repro.obs.stats as stats_mod
+
+    totals = dict(baseline)
+    totals["solves"] = 7
+
+    original = stats_mod.solver_totals
+    stats_mod.solver_totals = lambda: totals
+    try:
+        payload = end_capture(recorder, baseline)
+    finally:
+        stats_mod.solver_totals = original
+    assert payload["counters"]["solver.solves"] == 5
+
+
+def test_graft_rebases_spans_under_container():
+    payload = _capture_task()
+    parent = _obs.TraceRecorder(MetricsRegistry())
+    _obs.install(parent)
+    with _obs.span("parent.phase"):
+        graft(parent, payload, label="fabric.worker", shard=1)
+    _obs.uninstall()
+
+    names = [e["name"] for e in parent.events]
+    assert names == ["parent.phase", "fabric.worker", "task.outer", "task.inner"]
+    container = parent.events[1]
+    assert container["tags"] == {"shard": 1}
+    assert container["parent"] == 0 and container["depth"] == 1
+    outer, inner = parent.events[2], parent.events[3]
+    assert outer["parent"] == container["seq"]
+    assert inner["parent"] == outer["seq"]
+    assert inner["depth"] == outer["depth"] + 1 == container["depth"] + 2
+    seqs = [e["seq"] for e in parent.events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    assert parent.metrics.counter("task.items") == 5
+
+
+def test_graft_is_deterministic_across_orders():
+    """Counter totals are order-insensitive; spans follow graft order."""
+    payloads = [_capture_task(), _capture_task()]
+
+    def merged(order):
+        parent = _obs.TraceRecorder(MetricsRegistry())
+        for idx in order:
+            graft(parent, payloads[idx], shard=idx)
+        return parent.metrics.snapshot()["counters"]
+
+    assert merged([0, 1]) == merged([1, 0])
+
+
+def test_graft_none_payload_is_noop():
+    parent = _obs.TraceRecorder(MetricsRegistry())
+    graft(parent, None)
+    assert parent.events == []

@@ -1,0 +1,98 @@
+"""The process-pool solver tier behind the advisory service."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fabric import FabricPool, live_segments
+from repro.rng import RngRegistry
+from repro.service import AdvisoryBackend, CircuitBreaker, PlacementService
+
+pytestmark = pytest.mark.fabric
+
+
+def line(method, params=None, req_id=1):
+    msg = {"jsonrpc": "2.0", "id": req_id, "method": method}
+    if params is not None:
+        msg["params"] = params
+    return json.dumps(msg)
+
+
+@pytest.fixture()
+def pool():
+    with FabricPool(jobs=2) as shared:
+        yield shared
+    assert live_segments() == []
+
+
+def test_pooled_answers_match_inline(host, pool):
+    inline = AdvisoryBackend(host, registry=RngRegistry(7), runs=5)
+    pooled = AdvisoryBackend(
+        host, registry=RngRegistry(7), runs=5, solver_pool=pool
+    )
+    target = host.node_ids[-1]
+    for mode in ("write", "read"):
+        assert pooled.model(target, mode).values == inline.model(
+            target, mode
+        ).values
+    assert pooled.classify(target, "write") == inline.classify(target, "write")
+    assert pooled.advise(target, "write", tasks=4) == inline.advise(
+        target, "write", tasks=4
+    )
+    stats = pool.stats()
+    assert stats["completed"] == 2  # one build per mode; rest were cache hits
+
+
+def test_pooled_model_cache_draws_once(host, pool):
+    registry = RngRegistry(3)
+    backend = AdvisoryBackend(host, registry=registry, runs=5, solver_pool=pool)
+    target = host.node_ids[-1]
+    backend.model(target, "write")
+    first = dict(registry.draw_counts)
+    assert first, "a cold build must draw"
+    backend.model(target, "write")  # parent-side cache hit
+    assert registry.draw_counts == first
+
+
+def test_health_reports_solver_pool(host, pool):
+    backend = AdvisoryBackend(host, registry=RngRegistry(1), runs=5,
+                              solver_pool=pool)
+    service = PlacementService(backend, breaker=CircuitBreaker())
+    payload = service.health_payload()
+    assert payload["solver_pool"] == pool.stats()
+    assert set(payload["solver_pool"]) == {
+        "jobs", "dispatched", "completed", "retried", "abandoned", "arenas",
+    }
+
+    inline = PlacementService(
+        AdvisoryBackend(host, registry=RngRegistry(1), runs=5),
+        breaker=CircuitBreaker(),
+    )
+    assert "solver_pool" not in inline.health_payload()
+
+
+def test_note_abandoned_is_counted(host, pool):
+    pool.note_abandoned()
+    assert pool.stats()["abandoned"] == 1
+
+
+def test_worker_solver_failure_trips_breaker(host, pool):
+    """A failure inside a worker keeps its class; the breaker counts it."""
+    from repro.service.soak import build_soak_plan
+
+    backend = AdvisoryBackend(host, registry=RngRegistry(5), runs=5,
+                              solver_pool=pool)
+    service = PlacementService(
+        backend, breaker=CircuitBreaker(failure_threshold=1)
+    )
+    victim = 7
+    plan = build_soak_plan(host, victim, 0.0, 100.0)
+    backend.set_machine(plan.apply(host, at_s=1.0))
+
+    response = json.loads(
+        service.handle_line(line("classify", {"target": victim}))
+    )
+    assert response["error"]["kind"] == "solver_error"
+    assert service.breaker.state != CircuitBreaker.CLOSED

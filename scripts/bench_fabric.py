@@ -217,9 +217,9 @@ def main(argv: "list[str]") -> int:
         },
         "benchmarks": results,
     }
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.journal.atomic import atomic_write_json
+
+    atomic_write_json(out_path, payload, indent=2, sort_keys=True)
     print(f"wrote {out_path}")
     return 0
 

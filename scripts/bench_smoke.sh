@@ -142,3 +142,22 @@ if ratio > 1.05:
     raise SystemExit("FAIL: enabled telemetry adds >5% overhead")
 print("OK: enabled telemetry overhead within 5%")
 EOF
+
+# Span-driven phase triage: record the obs manifest of a fixed iomodel
+# sweep and flag per-phase wall-time shifts against the committed
+# BENCH_obs baseline beyond the noise band.  Advisory by default (wall
+# times vary across machines — the gates above own pass/fail); opt into
+# hard gating with `repro-numa obs report A B --phase-tolerance F
+# --gate-phases` (exit 4 on a shift).
+PHASE_TOLERANCE="${PHASE_TOLERANCE:-0.50}"
+PYTHONPATH=src python -m repro.cli.main iomodel --targets all --mode both \
+    --runs 10 --obs-dir "$TMPDIR_BENCH/obs" > /dev/null
+if [ -f BENCH_obs/manifest.json ]; then
+    echo ""
+    PYTHONPATH=src python -m repro.cli.main obs report BENCH_obs \
+        "$TMPDIR_BENCH/obs" --phase-tolerance "$PHASE_TOLERANCE"
+else
+    echo "no committed BENCH_obs baseline; recording a first snapshot"
+fi
+mkdir -p BENCH_obs
+cp "$TMPDIR_BENCH/obs/manifest.json" "$TMPDIR_BENCH/obs/trace.jsonl" BENCH_obs/

@@ -36,6 +36,7 @@ __all__ = [
     "cmd_chaos",
     "cmd_serve",
     "cmd_obs_report",
+    "cmd_recover",
 ]
 
 _MACHINES = {
@@ -57,6 +58,31 @@ def _machine(args: argparse.Namespace):
 
 def _registry(args: argparse.Namespace) -> RngRegistry:
     return RngRegistry(args.seed) if args.seed is not None else RngRegistry()
+
+
+def _open_journal(run_dir, meta: dict, total_units: int):
+    """Create-or-resume the run journal, with resume notes on stderr.
+
+    Notes go to stderr on purpose: a resumed run's *stdout* must stay
+    byte-identical to an uninterrupted run's.
+    """
+    import sys
+
+    from repro.journal import RunJournal
+
+    journal = RunJournal(run_dir, meta)
+    if journal.truncated_tail:
+        print(
+            f"journal: truncated a torn tail record in {journal.path}",
+            file=sys.stderr,
+        )
+    if journal.resumed_units:
+        print(
+            f"journal: {journal.resumed_units}/{total_units} unit(s) already "
+            f"completed, re-running the rest",
+            file=sys.stderr,
+        )
+    return journal
 
 
 def cmd_hardware(args: argparse.Namespace) -> int:
@@ -143,6 +169,10 @@ def cmd_iomodel(args: argparse.Namespace) -> int:
     worker fabric.  Output is byte-identical for any jobs value — the
     fabric's determinism contract — so the sharded path needs no
     separate golden files.
+
+    ``--resume RUN_DIR`` journals the sweep (one record per target):
+    interrupted anywhere and re-run, stdout is byte-identical to an
+    uninterrupted run and completed targets are never recomputed.
     """
     machine = _machine(args)
     registry = _registry(args)
@@ -150,16 +180,34 @@ def cmd_iomodel(args: argparse.Namespace) -> int:
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs < 1:
         raise ReproError(f"--jobs must be >= 1, got {jobs}")
+    resume = getattr(args, "resume", None)
+    journal = None
     pool = None
     try:
-        if jobs is not None and jobs > 1:
+        if resume:
+            # Journaled runs always dispatch through the fabric with
+            # per-target units, so resume granularity (and the journal's
+            # identity) is independent of the jobs count.
+            from repro.fabric import FabricPool
+
+            journal = _open_journal(resume, {
+                "command": "iomodel",
+                "machine": args.machine,
+                "seed": registry.seed,
+                "targets": [int(t) for t in targets],
+                "mode": args.mode,
+                "runs": args.runs,
+            }, len(targets))
+            pool = FabricPool(jobs=min(jobs or 1, max(len(targets), 1)))
+        elif jobs is not None and jobs > 1:
             from repro.fabric import FabricPool
 
             pool = FabricPool(jobs=min(jobs, max(len(targets), 1)))
         if args.mode == "both":
             if pool is not None:
                 results = pool.characterize_many(
-                    machine, targets, registry=registry, runs=args.runs
+                    machine, targets, registry=registry, journal=journal,
+                    runs=args.runs
                 )
             else:
                 characterizer = HostCharacterizer(
@@ -173,7 +221,8 @@ def cmd_iomodel(args: argparse.Namespace) -> int:
         else:
             if pool is not None:
                 models = pool.build_many(
-                    machine, targets, args.mode, registry=registry, runs=args.runs
+                    machine, targets, args.mode, registry=registry,
+                    journal=journal, runs=args.runs
                 )
             else:
                 builder = IOModelBuilder(machine, registry=registry, runs=args.runs)
@@ -192,6 +241,8 @@ def cmd_iomodel(args: argparse.Namespace) -> int:
     finally:
         if pool is not None:
             pool.close()
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -259,24 +310,24 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id, quick=args.quick)
     print(result.render())
     if getattr(args, "json_path", None):
-        import json
+        from repro.journal import atomic_write_json
 
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(
-                {
-                    "exp_id": result.exp_id,
-                    "title": result.title,
-                    "passed": result.passed,
-                    "data": result.data,
-                    "checks": [
-                        {"name": c.name, "ok": c.ok, "detail": c.detail}
-                        for c in result.checks
-                    ],
-                },
-                handle,
-                indent=2,
-                default=str,
-            )
+        atomic_write_json(
+            args.json_path,
+            {
+                "exp_id": result.exp_id,
+                "title": result.title,
+                "passed": result.passed,
+                "data": result.data,
+                "checks": [
+                    {"name": c.name, "ok": c.ok, "detail": c.detail}
+                    for c in result.checks
+                ],
+            },
+            indent=2,
+            sort_keys=False,
+            default=str,
+        )
     return 0 if result.passed else 1
 
 
@@ -312,6 +363,12 @@ def _run_all_experiments(args: argparse.Namespace) -> int:
     multiprocessing pool; results are merged back in registry order
     (deterministic regardless of completion order) and the report gains
     a per-experiment wall-time column.
+
+    With ``--resume RUN_DIR`` every experiment is one journal unit and
+    the report uses the wall-time-free serial format, so an interrupted
+    and resumed run prints byte-identical output to an uninterrupted
+    one (and to the serial path) while re-running only the experiments
+    the crash lost.
     """
     import pathlib
 
@@ -321,8 +378,36 @@ def _run_all_experiments(args: argparse.Namespace) -> int:
     if outdir is not None:
         outdir.mkdir(parents=True, exist_ok=True)
     jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {jobs}")
+    resume = getattr(args, "resume", None)
     failed = []
-    if jobs is None:
+    if resume:
+        from repro.fabric import FabricPool
+        from repro.journal import atomic_write_text
+
+        journal = _open_journal(resume, {
+            "command": "experiment",
+            "id": "all",
+            "quick": bool(args.quick),
+        }, len(EXPERIMENTS))
+        try:
+            with FabricPool(jobs=min(jobs or 1, len(EXPERIMENTS))) as pool:
+                outcomes = pool.run_experiments(
+                    list(EXPERIMENTS), quick=args.quick, journal=journal
+                )
+        finally:
+            journal.close()
+        for exp_id, passed, title, rendered, failed_lines, _wall_s in outcomes:
+            status = "CRASH" if passed is None else "PASS" if passed else "FAIL"
+            print(f"{exp_id:5s} {status}  {title}")
+            if not passed:
+                failed.append(exp_id)
+                for line in failed_lines:
+                    print(f"      {line}")
+            if outdir is not None:
+                atomic_write_text(outdir / f"{exp_id}.txt", rendered + "\n")
+    elif jobs is None:
         for exp_id in EXPERIMENTS:
             result = run_experiment(exp_id, quick=args.quick)
             status = "PASS" if result.passed else "FAIL"
@@ -332,12 +417,10 @@ def _run_all_experiments(args: argparse.Namespace) -> int:
                 for check in result.failed_checks():
                     print(f"      {check.render()}")
             if outdir is not None:
-                (outdir / f"{exp_id}.txt").write_text(
-                    result.render() + "\n", encoding="utf-8"
-                )
+                from repro.journal import atomic_write_text
+
+                atomic_write_text(outdir / f"{exp_id}.txt", result.render() + "\n")
     else:
-        if jobs < 1:
-            raise ReproError(f"--jobs must be >= 1, got {jobs}")
         import time
 
         tasks = [(exp_id, args.quick) for exp_id in EXPERIMENTS]
@@ -365,7 +448,9 @@ def _run_all_experiments(args: argparse.Namespace) -> int:
                 for line in failed_lines:
                     print(f"      {line}")
             if outdir is not None:
-                (outdir / f"{exp_id}.txt").write_text(rendered + "\n", encoding="utf-8")
+                from repro.journal import atomic_write_text
+
+                atomic_write_text(outdir / f"{exp_id}.txt", rendered + "\n")
         busy_s = sum(o[5] for o in outcomes)
         print(
             f"{len(outcomes)} experiments in {total_s:.2f} s wall "
@@ -596,22 +681,200 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     The machine-level scenarios run on ``--machine``; the
     ``flapping-uplink`` scenario always builds its own small cluster of
-    reference hosts.  Same seed, same report — bit for bit.
+    reference hosts.  Same seed, same report — bit for bit.  With
+    ``--resume RUN_DIR`` each scenario is one journal unit: a run
+    interrupted mid-soak resumes with completed scenarios replayed from
+    the journal and the same bit-for-bit report.
     """
     from repro.faults.chaos import SCENARIOS, run_chaos
 
     machine = _machine(args)
     registry = _registry(args)
     names = tuple(SCENARIOS) if args.scenario == "all" else (args.scenario,)
-    report = run_chaos(
-        machine=machine, registry=registry, scenarios=names, quick=args.quick
-    )
+    resume = getattr(args, "resume", None)
+    if resume:
+        from repro.journal import journaled_chaos
+
+        journal = _open_journal(resume, {
+            "command": "chaos",
+            "machine": args.machine,
+            "seed": registry.seed,
+            "scenarios": list(names),
+            "quick": bool(args.quick),
+        }, len(names))
+        try:
+            report = journaled_chaos(
+                machine, registry, names, args.quick, journal
+            )
+        finally:
+            journal.close()
+    else:
+        report = run_chaos(
+            machine=machine, registry=registry, scenarios=names, quick=args.quick
+        )
     if args.json:
         import json
 
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``repro-numa recover``: the seeded crash-recovery soak.
+
+    For each selected workload the soak runs a golden journaled run,
+    then ``--trials`` crash trials: SIGKILL the run at a seeded journal
+    record (half of them mid-write, leaving a torn tail), resume it,
+    and gate three invariants —
+
+    * resumed stdout is byte-identical to the golden run's,
+    * the ``--obs-dir`` manifests are deterministic twins,
+    * zero ``repro_fab_*`` segments are left in ``/dev/shm``,
+
+    all without any manual journal cleanup.  Exit 0 only when every
+    trial holds every invariant.
+    """
+    import os
+    import pathlib
+    import shutil
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.experiments import EXPERIMENTS
+    from repro.fabric.arena import live_segments
+    from repro.journal import CRASH_ENV, JOURNAL_FILENAME, scan_journal
+    from repro.obs import diff_manifests, load_manifest
+
+    if args.trials < 1:
+        raise ReproError(f"--trials must be >= 1, got {args.trials}")
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    machine = _machine(args)
+    registry = _registry(args)
+    points = registry.stream("recover/points")
+    base = [sys.executable, "-m", "repro.cli.main", "--machine", args.machine]
+    if args.seed is not None:
+        base += ["--seed", str(args.seed)]
+    workloads = []
+    if args.workload in ("iomodel", "both"):
+        workloads.append((
+            "iomodel",
+            ["iomodel", "--targets", "all", "--mode", "both",
+             "--runs", str(args.runs), "--jobs", str(args.jobs)],
+            len(machine.node_ids),
+        ))
+    if args.workload in ("experiment", "both"):
+        workloads.append((
+            "experiment",
+            ["experiment", "all", "--quick", "--jobs", str(args.jobs)],
+            len(EXPERIMENTS),
+        ))
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro_recover_"))
+    failures: list[str] = []
+    trials = 0
+    # Never let an ambient crash point leak into the golden/resume runs.
+    clean_env = {k: v for k, v in os.environ.items() if k != CRASH_ENV}
+    try:
+        for name, argv, units in workloads:
+            golden_dir = root / f"{name}_golden"
+            golden_obs = root / f"{name}_golden_obs"
+            golden = subprocess.run(
+                base + argv + ["--resume", str(golden_dir),
+                               "--obs-dir", str(golden_obs)],
+                capture_output=True, env=clean_env,
+            )
+            if golden.returncode != 0:
+                failures.append(
+                    f"{name}: golden journaled run exited {golden.returncode}"
+                )
+                continue
+            print(f"{name}: golden journaled run ok ({units} units)")
+            for trial in range(args.trials):
+                trials += 1
+                # Seeded kill point: any data record but the last, so
+                # the resume always has work left to prove itself on.
+                point = int(points.integers(1, max(units, 2)))
+                torn = bool(points.integers(0, 2))
+                run_dir = root / f"{name}_trial{trial}"
+                obs_dir = root / f"{name}_trial{trial}_obs"
+                trial_argv = base + argv + ["--resume", str(run_dir),
+                                            "--obs-dir", str(obs_dir)]
+                env = dict(clean_env)
+                env[CRASH_ENV] = f"{point}:torn" if torn else str(point)
+                # The SIGKILLed parent's pool workers inherit our pipes;
+                # use DEVNULL so their lingering exits can't stall us.
+                crash = subprocess.run(
+                    trial_argv, env=env,
+                    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                )
+                tag = (
+                    f"{name} trial {trial} (crash after record {point}"
+                    f"{', torn' if torn else ''})"
+                )
+                if crash.returncode == 0:
+                    failures.append(
+                        f"{tag}: crash run exited 0 — injection never fired"
+                    )
+                    continue
+                _, _, tail_torn = scan_journal(run_dir / JOURNAL_FILENAME)
+                if torn and not tail_torn:
+                    failures.append(
+                        f"{tag}: expected a torn journal tail, found none"
+                    )
+                resumed = subprocess.run(
+                    trial_argv, capture_output=True, env=clean_env
+                )
+                if resumed.returncode != 0:
+                    failures.append(f"{tag}: resume exited {resumed.returncode}")
+                    continue
+                if resumed.stdout != golden.stdout:
+                    failures.append(
+                        f"{tag}: resumed stdout differs from the golden run"
+                    )
+                    continue
+                manifest_a = load_manifest(golden_obs / "manifest.json")
+                manifest_b = load_manifest(obs_dir / "manifest.json")
+                diff = diff_manifests(manifest_a, manifest_b)
+                # Cache-effect counters (solver hit/miss splits) follow
+                # the task -> worker-process assignment, which a resume
+                # legitimately changes; the determinism evidence is the
+                # identity, the config, and the RNG draw ledger.
+                ledger_a = manifest_a["seed"]["streams"]
+                ledger_b = manifest_b["seed"]["streams"]
+                if diff["identity"] or diff["config"] or ledger_a != ledger_b:
+                    failures.append(
+                        f"{tag}: resumed manifest is not a deterministic twin "
+                        f"(identity {diff['identity']}, "
+                        f"config {diff['config']}, "
+                        f"ledger match {ledger_a == ledger_b})"
+                    )
+                    continue
+                leaked = live_segments()
+                if leaked:
+                    failures.append(
+                        f"{tag}: leaked /dev/shm segments: {', '.join(leaked)}"
+                    )
+                    continue
+                print(
+                    f"{tag}: resumed byte-identical, manifests are "
+                    f"deterministic twins, no leaked segments"
+                )
+    finally:
+        if args.keep:
+            print(f"soak artifacts kept in {root}")
+        else:
+            shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        return 1
+    print(
+        f"recovery soak passed: {len(workloads)} workload(s), "
+        f"{trials} crash trial(s)"
+    )
     return 0
 
 
@@ -632,6 +895,25 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
         return 0
     if len(args.dirs) > 1:
         print(render_diff(args.dirs[0], args.dirs[1]))
+        tolerance = getattr(args, "phase_tolerance", None)
+        if tolerance is not None:
+            import pathlib
+
+            from repro.obs import load_manifest, phase_regressions
+            from repro.obs.report import render_phase_triage
+
+            print()
+            print(render_phase_triage(
+                args.dirs[0], args.dirs[1], tolerance=tolerance
+            ))
+            if getattr(args, "gate_phases", False):
+                shifts = phase_regressions(
+                    load_manifest(pathlib.Path(args.dirs[0]) / "manifest.json"),
+                    load_manifest(pathlib.Path(args.dirs[1]) / "manifest.json"),
+                    tolerance=tolerance,
+                )
+                if shifts:
+                    return 4
     else:
         print(render_report(args.dirs[0], top=args.top))
     return 0

@@ -24,6 +24,18 @@ MACHINE_CHOICES = (
 )
 
 
+def _add_resume(parser: argparse.ArgumentParser, unit: str) -> None:
+    """Attach the checkpoint/resume flag to one subcommand parser."""
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_DIR",
+        help=f"journal the run into RUN_DIR (one record per {unit}); "
+             "re-running after a crash skips completed units and prints "
+             "byte-identical output to an uninterrupted run",
+    )
+
+
 def _add_obs_dir(parser: argparse.ArgumentParser) -> None:
     """Attach the telemetry opt-in flag to one subcommand parser."""
     parser.add_argument(
@@ -92,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="shard the target sweep over N fabric worker "
                         "processes (output is byte-identical for any N)")
+    _add_resume(p, "target node")
     _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_iomodel)
 
@@ -128,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="with 'all': run experiments in N worker processes "
                         "(deterministic merge order, per-experiment wall time)")
+    _add_resume(p, "experiment")
     _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_experiment)
 
@@ -180,8 +194,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the structured report as JSON")
     p.add_argument("--quick", action="store_true",
                    help="smaller transfers and fewer streams")
+    _add_resume(p, "scenario")
     _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_chaos)
+
+    p = sub.add_parser(
+        "recover",
+        help="seeded crash-recovery soak: SIGKILL journaled runs, resume, "
+             "gate bit-identity and /dev/shm hygiene",
+    )
+    p.add_argument("--workload", default="both",
+                   choices=("iomodel", "experiment", "both"),
+                   help="which journaled workload(s) to crash and resume")
+    p.add_argument("--trials", type=int, default=2, metavar="N",
+                   help="crash trials per workload (seeded kill points)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="fabric workers inside each run under test")
+    p.add_argument("--runs", type=int, default=10,
+                   help="Algorithm 1 copies per probe in the iomodel workload")
+    p.add_argument("--keep", action="store_true",
+                   help="keep the soak's journals and obs dirs for inspection")
+    p.set_defaults(func=commands.cmd_recover)
 
     p = sub.add_parser(
         "serve",
@@ -247,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument(
         "--top", type=int, default=10, help="slowest spans to list (default 10)"
     )
+    rp.add_argument(
+        "--phase-tolerance", dest="phase_tolerance", type=float, default=None,
+        metavar="FRAC",
+        help="with two dirs: flag spans whose wall time shifted by more "
+             "than FRAC (e.g. 0.5 = ±50%%) between A and B",
+    )
+    rp.add_argument(
+        "--gate-phases", dest="gate_phases", action="store_true",
+        help="exit 4 when --phase-tolerance flags any span",
+    )
     rp.set_defaults(func=commands.cmd_obs_report)
 
     return parser
@@ -254,10 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _obs_config(args: argparse.Namespace) -> dict:
     """The manifest ``config`` block: the run's plain-value options."""
+    # "resume" is excluded like "obs_dir": both are per-invocation paths
+    # that must not break the deterministic-twin verdict between a
+    # resumed run and its golden twin.
     return {
         key: value
         for key, value in sorted(vars(args).items())
-        if key not in ("func", "obs_dir")
+        if key not in ("func", "obs_dir", "resume")
         and isinstance(value, (str, int, float, bool, type(None)))
     }
 

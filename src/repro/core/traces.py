@@ -27,25 +27,26 @@ def save_trace(jobs: Iterable[StreamJob], path: str | Path) -> int:
     jobs = list(jobs)
     if not jobs:
         raise ModelError("refusing to write an empty trace")
-    target = Path(path)
-    with target.open("w", encoding="utf-8") as handle:
-        handle.write(
-            json.dumps({"format_version": _FORMAT_VERSION, "streams": len(jobs)})
-            + "\n"
+    lines = [
+        json.dumps({"format_version": _FORMAT_VERSION, "streams": len(jobs)})
+    ]
+    lines.extend(
+        json.dumps(
+            {
+                "name": job.name,
+                "arrival_s": job.arrival_s,
+                "size_bytes": job.size_bytes,
+                "direction": job.direction,
+            },
+            sort_keys=True,
         )
-        for job in jobs:
-            handle.write(
-                json.dumps(
-                    {
-                        "name": job.name,
-                        "arrival_s": job.arrival_s,
-                        "size_bytes": job.size_bytes,
-                        "direction": job.direction,
-                    },
-                    sort_keys=True,
-                )
-                + "\n"
-            )
+        for job in jobs
+    )
+    # Atomic so a crashed exporter never leaves a half-written trace
+    # that a later run would happily replay truncated.
+    from repro.journal.atomic import atomic_write_text
+
+    atomic_write_text(Path(path), "\n".join(lines) + "\n")
     return len(jobs)
 
 

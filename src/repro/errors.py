@@ -62,6 +62,17 @@ class FabricError(ReproError):
     """A shared-memory arena or worker-pool operation failed or is misused."""
 
 
+class JournalError(ReproError):
+    """A run journal is corrupt, incompatible, or misused.
+
+    Raised when a journal record fails its CRC (the message names the
+    record index), when a journal's run metadata does not match the
+    resuming invocation, or when a file is not a run journal at all.
+    A *torn tail* — the last record cut short by a crash mid-append —
+    is not an error: resume truncates it and re-runs that unit.
+    """
+
+
 class ServiceError(ReproError):
     """A placement-advisory request failed with a typed, wire-safe error.
 

@@ -34,7 +34,10 @@ from __future__ import annotations
 
 import atexit
 import json
+import os
 import struct
+import time
+import zlib
 
 import numpy as np
 
@@ -52,6 +55,7 @@ __all__ = [
     "get_arena",
     "release_all",
     "live_segments",
+    "reap_orphans",
 ]
 
 #: Prefix of every arena segment in /dev/shm (also the leak-scan key).
@@ -103,10 +107,21 @@ class _untracked:
                 self._original(name, rtype)
 
         resource_tracker.register = _skip_shared_memory
+        self._original_unregister = resource_tracker.unregister
+
+        def _skip_unregister(name, rtype):
+            if rtype != "shared_memory":
+                self._original_unregister(name, rtype)
+
+        # unlink() unregisters; for a segment this process never
+        # registered (orphan reaping) that underflows the tracker's
+        # cache and it prints KeyErrors at exit.
+        resource_tracker.unregister = _skip_unregister
         return self
 
     def __exit__(self, *exc) -> bool:
         self._module.register = self._original
+        self._module.unregister = self._original_unregister
         return False
 
 
@@ -130,12 +145,20 @@ def _pack_header(machine: Machine, fingerprint: str) -> "tuple[dict, list]":
         ("hops", hops),
         ("adjacency", adjacency),
     ]
+    payload_crc = 0
+    for _, arr in arrays:
+        payload_crc = zlib.crc32(arr.tobytes(), payload_crc)
     header = {
         "magic": _MAGIC,
         "version": _VERSION,
         "fingerprint": fingerprint,
         "machine": machine_to_dict(machine),
         "cap_names": cap_names,
+        # Publisher identity + integrity: pid lets a later process tell
+        # an orphaned segment from a live one (reap_orphans); the CRC
+        # over the packed arrays is re-verified on every attach.
+        "pid": os.getpid(),
+        "payload_crc": payload_crc,
         "arrays": [
             {"name": name, "dtype": str(arr.dtype), "shape": list(arr.shape)}
             for name, arr in arrays
@@ -354,7 +377,24 @@ def attach(fingerprint_or_segment: str) -> "MachineArena | None":
             f"arena {name} has version {header['version']}, newer than "
             f"supported {_VERSION}"
         )
-    return MachineArena(shm, header, _offsets_for(header, header_len), owner=False)
+    offsets = _offsets_for(header, header_len)
+    stored_crc = header.get("payload_crc")
+    if stored_crc is not None:
+        crc = 0
+        for spec in header["arrays"]:
+            nbytes = int(
+                np.dtype(spec["dtype"]).itemsize * np.prod(spec["shape"])
+            )
+            start = offsets[spec["name"]]
+            crc = zlib.crc32(bytes(shm.buf[start:start + nbytes]), crc)
+        if crc != stored_crc:
+            shm.close()
+            raise FabricError(
+                f"arena {name} failed its payload checksum "
+                f"(0x{crc:08x} != published 0x{stored_crc:08x}) — "
+                f"the segment is corrupt; remove it and re-publish"
+            )
+    return MachineArena(shm, header, offsets, owner=False)
 
 
 def get_arena(machine: Machine) -> MachineArena:
@@ -383,11 +423,16 @@ def release_all() -> None:
 
     Ignores reference counts on purpose: the process is going away, so
     any still-held reference is unreleasable.  Owners unlink their
-    segments; attachers just unmap.
+    segments; attachers just unmap.  Finishes with an orphan sweep so a
+    clean exit also clears segments a SIGKILLed sibling left behind.
     """
     for arena in list(_ARENAS.values()):
         arena._close()
     _ARENAS.clear()
+    try:
+        reap_orphans()
+    except Exception:  # pragma: no cover - never fail an exit path
+        pass
 
 
 def live_segments() -> "list[str]":
@@ -403,6 +448,77 @@ def live_segments() -> "list[str]":
     except OSError:
         return []
     return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but is not ours to signal
+    return True
+
+
+def reap_orphans(max_age_s: float = 60.0) -> "list[str]":
+    """Unlink arena segments whose publishing process is gone.
+
+    A SIGKILLed parent cannot run its :mod:`atexit` sweep, so the
+    segments it owned survive in ``/dev/shm``.  Every
+    :class:`~repro.fabric.pool.FabricPool` start (and the atexit sweep
+    itself) calls this: any ``repro_fab_*`` segment whose published pid
+    is dead is unlinked; segments this process holds open, or whose
+    publisher is alive, are left alone.  Segments with no readable
+    header (pre-checksum format, or scribbled over) are reaped only
+    once older than ``max_age_s`` seconds, so a publisher caught
+    mid-write is not destroyed under it.  Returns the reaped names.
+    """
+    ours = {a.name for a in _ARENAS.values() if not a.closed}
+    reaped: list[str] = []
+    for name in live_segments():
+        if name in ours:
+            continue
+        try:
+            with _untracked():
+                shm = _shared_memory().SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue  # raced with another reaper or the owner's exit
+        try:
+            owner_pid: int | None = None
+            try:
+                (header_len,) = struct.unpack("<Q", bytes(shm.buf[:8]))
+                if 0 < header_len <= len(shm.buf) - 8:
+                    header = json.loads(
+                        bytes(shm.buf[8:8 + header_len]).decode("utf-8")
+                    )
+                    if header.get("magic") == _MAGIC:
+                        pid = header.get("pid")
+                        if isinstance(pid, int) and pid > 0:
+                            owner_pid = pid
+            except (struct.error, UnicodeDecodeError, json.JSONDecodeError):
+                pass
+            if owner_pid is not None:
+                dead = not _pid_alive(owner_pid)
+            else:
+                # No trustworthy owner: only reap once clearly stale.
+                try:
+                    age = time.time() - os.stat(f"/dev/shm/{name}").st_mtime
+                except OSError:
+                    age = 0.0
+                dead = age > max_age_s
+            if dead:
+                try:
+                    with _untracked():
+                        shm.unlink()
+                    reaped.append(name)
+                except (FileNotFoundError, OSError):
+                    pass
+        finally:
+            try:
+                shm.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+    return reaped
 
 
 atexit.register(release_all)

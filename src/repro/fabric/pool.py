@@ -29,13 +29,25 @@ shards whose results were lost, up to ``retries`` times.  Experiment
 batches opt out of retry (``run_experiments``) and degrade to
 structured "crashed" rows instead, preserving the CLI's historical
 semantics.  Workers never own arena segments, so no crash can leak
-``/dev/shm``.
+``/dev/shm``; a SIGKILLed *parent* can, which is why pool startup reaps
+dead-owner orphans (:func:`repro.fabric.arena.reap_orphans`).
+
+Checkpoint/resume: the sweep methods accept a
+:class:`~repro.journal.RunJournal`.  Journaled dispatch is
+unit-granular (one target / one experiment per task, independent of
+``jobs``); each completed unit's envelope — result, RNG draw ledger,
+captured telemetry — is appended to the journal the moment it lands,
+and already-journaled units are replayed instead of re-run.  Because
+merge order is unit order, never completion order, a resumed run's
+merged results, absorbed ledgers, and grafted telemetry are identical
+to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
 import os
 import signal
+import time
 from collections import OrderedDict
 
 from repro.errors import FabricError
@@ -55,6 +67,10 @@ _WORKER_MODEL_LIMIT = 32
 #: Worker-side caches, living in each worker process.
 _WORKER_MACHINES: "OrderedDict[str, tuple]" = OrderedDict()
 _WORKER_MODELS: "OrderedDict[tuple, object]" = OrderedDict()
+
+#: Whether this worker already served its injected stall (one per
+#: process; armed by ``repro.faults.execution.WorkerStall``).
+_WORKER_STALLED = False
 
 
 def _worker_init() -> None:
@@ -179,6 +195,17 @@ def _worker_run(task: dict) -> dict:
     draw ledger, and (when the parent was recording) the captured
     telemetry payload.
     """
+    global _WORKER_STALLED
+    if not _WORKER_STALLED:
+        _WORKER_STALLED = True
+        # "REPRO_FABRIC_STALL" == repro.faults.execution.STALL_ENV, kept
+        # as a literal so workers never import the fault taxonomy.
+        stall = os.environ.get("REPRO_FABRIC_STALL")
+        if stall:
+            try:
+                time.sleep(min(60.0, float(stall)))
+            except ValueError:
+                pass
     marker = os.environ.get("REPRO_FABRIC_KILL_ONCE")
     if marker:
         try:
@@ -251,6 +278,12 @@ class FabricPool:
         self.retried = 0
         self.abandoned = 0
         self.closed = False
+        # A SIGKILLed predecessor never ran its atexit sweep; clear its
+        # dead-owner segments before publishing under the same names.
+        try:
+            _arena.reap_orphans()
+        except Exception:  # pragma: no cover - never fail pool startup
+            pass
 
     # --- lifecycle --------------------------------------------------------
     def _ensure_executor(self):
@@ -351,8 +384,14 @@ class FabricPool:
             "payload": payload,
         }
 
-    def _run_tasks(self, tasks: "list[dict]") -> "list[dict]":
-        """Dispatch tasks, retrying shards lost to a broken pool."""
+    def _run_tasks(self, tasks: "list[dict]", on_result=None) -> "list[dict]":
+        """Dispatch tasks, retrying shards lost to a broken pool.
+
+        ``on_result(index, envelope)`` fires exactly once per task, in
+        submission order, the moment its result is in hand — the
+        journal's append hook, so a completed unit is durable even if
+        the parent dies before the batch finishes.
+        """
         from concurrent.futures.process import BrokenProcessPool
 
         results: "list[dict | None]" = [None] * len(tasks)
@@ -368,6 +407,8 @@ class FabricPool:
                 try:
                     results[i] = future.result()
                     self.completed += 1
+                    if on_result is not None:
+                        on_result(i, results[i])
                 except BrokenProcessPool:
                     lost.append(i)
             if lost:
@@ -381,6 +422,44 @@ class FabricPool:
                 self.retried += len(lost)
             pending = lost
         return results  # type: ignore[return-value]
+
+    def _run_journaled(self, journal, keys: "list[tuple]",
+                       make_task) -> "list[dict]":
+        """Unit-granular dispatch against a :class:`RunJournal`.
+
+        ``keys[i]`` identifies unit ``i``; ``make_task(i)`` builds its
+        task envelope.  Journaled units are replayed from their stored
+        envelopes; the rest run, each appended — result, draw ledger,
+        telemetry — as soon as it completes.  The returned envelope
+        list is in unit order either way.
+        """
+        envelopes: "list[dict | None]" = [None] * len(keys)
+        missing: "list[int]" = []
+        for i, key in enumerate(keys):
+            record = journal.get(key)
+            if record is not None:
+                envelopes[i] = {
+                    "result": record["result"],
+                    "draws": record["draws"],
+                    "telemetry": record["telemetry"],
+                }
+            else:
+                missing.append(i)
+
+        def persist(j: int, env: dict) -> None:
+            journal.append(
+                keys[missing[j]],
+                result=env["result"],
+                draws=env["draws"],
+                telemetry=env["telemetry"],
+            )
+
+        fresh = self._run_tasks(
+            [make_task(i) for i in missing], on_result=persist
+        )
+        for j, env in zip(missing, fresh):
+            envelopes[j] = env
+        return envelopes  # type: ignore[return-value]
 
     def _merge(self, envelopes: "list[dict]", registry, label: str) -> None:
         """Fold draw ledgers and grafted telemetry back, in task order."""
@@ -397,43 +476,70 @@ class FabricPool:
     # --- sharded sweeps ---------------------------------------------------
     def build_many(self, machine, targets, mode: str,
                    registry: "RngRegistry | None" = None,
-                   **builder_kwargs) -> dict:
+                   journal=None, **builder_kwargs) -> dict:
         """Sharded :meth:`~repro.core.iomodel.IOModelBuilder.build_many`.
 
         Bit-identical to the serial call with the same registry seed;
         the caller's ``registry`` (when given) supplies the seed and
-        absorbs the merged draw ledger.
+        absorbs the merged draw ledger.  With ``journal``, dispatch is
+        one target per task (so resume granularity is independent of
+        ``jobs``) and completed targets are replayed, not re-run.
         """
         targets = tuple(targets)
         seed = registry.seed if registry is not None else self.seed
         ref = self._machine_ref(machine)
-        tasks = [
-            self._task("build_many", ref, seed, {
-                "targets": targets[start:stop],
-                "mode": mode,
-                "builder": dict(builder_kwargs),
-            })
-            for start, stop in plan_shards(len(targets), self.jobs)
-        ]
-        envelopes = self._run_tasks(tasks)
+        if journal is not None:
+            envelopes = self._run_journaled(
+                journal,
+                [("build_many", mode, int(t)) for t in targets],
+                lambda i: self._task("build_many", ref, seed, {
+                    "targets": (targets[i],),
+                    "mode": mode,
+                    "builder": dict(builder_kwargs),
+                }),
+            )
+        else:
+            tasks = [
+                self._task("build_many", ref, seed, {
+                    "targets": targets[start:stop],
+                    "mode": mode,
+                    "builder": dict(builder_kwargs),
+                })
+                for start, stop in plan_shards(len(targets), self.jobs)
+            ]
+            envelopes = self._run_tasks(tasks)
         self._merge(envelopes, registry, "fabric.build_many")
         return merge_in_order([env["result"] for env in envelopes])
 
     def characterize_many(self, machine, nodes,
                           registry: "RngRegistry | None" = None,
-                          **builder_kwargs) -> dict:
-        """Sharded :meth:`~repro.core.characterize.HostCharacterizer.characterize_many`."""
+                          journal=None, **builder_kwargs) -> dict:
+        """Sharded :meth:`~repro.core.characterize.HostCharacterizer.characterize_many`.
+
+        With ``journal``, one node per task and journal-replay of
+        completed nodes, exactly like :meth:`build_many`.
+        """
         nodes = tuple(nodes)
         seed = registry.seed if registry is not None else self.seed
         ref = self._machine_ref(machine)
-        tasks = [
-            self._task("characterize_many", ref, seed, {
-                "targets": nodes[start:stop],
-                "builder": dict(builder_kwargs),
-            })
-            for start, stop in plan_shards(len(nodes), self.jobs)
-        ]
-        envelopes = self._run_tasks(tasks)
+        if journal is not None:
+            envelopes = self._run_journaled(
+                journal,
+                [("characterize_many", int(n)) for n in nodes],
+                lambda i: self._task("characterize_many", ref, seed, {
+                    "targets": (nodes[i],),
+                    "builder": dict(builder_kwargs),
+                }),
+            )
+        else:
+            tasks = [
+                self._task("characterize_many", ref, seed, {
+                    "targets": nodes[start:stop],
+                    "builder": dict(builder_kwargs),
+                })
+                for start, stop in plan_shards(len(nodes), self.jobs)
+            ]
+            envelopes = self._run_tasks(tasks)
         self._merge(envelopes, registry, "fabric.characterize_many")
         return merge_in_order([env["result"] for env in envelopes])
 
@@ -456,39 +562,59 @@ class FabricPool:
         return out
 
     # --- experiments ------------------------------------------------------
-    def run_experiments(self, exp_ids, quick: bool = False) -> "list[tuple]":
+    def run_experiments(self, exp_ids, quick: bool = False,
+                        journal=None) -> "list[tuple]":
         """One experiment per worker task, merged in registry order.
 
         No transparent retry here: a dead worker degrades to structured
         "crashed" rows (every experiment still reported exactly once)
         and the executor is rebuilt for later dispatches, matching the
-        CLI's long-standing crash semantics.
+        CLI's long-standing crash semantics.  With ``journal``, passed
+        experiments are replayed from their records; crashed rows are
+        deliberately never journaled, so a resume retries them.
         """
         executor = self._ensure_executor()
-        futures = [
-            (exp_id, executor.submit(_worker_run, self._task(
+        exp_ids = list(exp_ids)
+        futures: "dict[str, object]" = {}
+        for exp_id in exp_ids:
+            if journal is not None and ("experiment", exp_id) in journal:
+                continue
+            futures[exp_id] = executor.submit(_worker_run, self._task(
                 "experiment", None, self.seed,
                 {"exp_id": exp_id, "quick": quick},
-            )))
-            for exp_id in exp_ids
-        ]
+            ))
         self.dispatched += len(futures)
         outcomes: "list[tuple]" = []
         crashed = False
-        for exp_id, future in futures:
-            try:
-                envelope = future.result()
-            except Exception as exc:  # worker died or pool broke
-                crashed = True
-                reason = (
-                    f'status="crashed": experiment {exp_id!r} worker '
-                    f"died before returning a result "
-                    f"({type(exc).__name__})"
-                )
-                outcomes.append((exp_id, None, "(worker crashed)",
-                                 reason, [reason], 0.0))
-                continue
-            self.completed += 1
+        for exp_id in exp_ids:
+            if exp_id not in futures:
+                record = journal.get(("experiment", exp_id))
+                envelope = {
+                    "result": record["result"],
+                    "draws": record["draws"],
+                    "telemetry": record["telemetry"],
+                }
+            else:
+                try:
+                    envelope = futures[exp_id].result()
+                except Exception as exc:  # worker died or pool broke
+                    crashed = True
+                    reason = (
+                        f'status="crashed": experiment {exp_id!r} worker '
+                        f"died before returning a result "
+                        f"({type(exc).__name__})"
+                    )
+                    outcomes.append((exp_id, None, "(worker crashed)",
+                                     reason, [reason], 0.0))
+                    continue
+                self.completed += 1
+                if journal is not None:
+                    journal.append(
+                        ("experiment", exp_id),
+                        result=envelope["result"],
+                        draws=envelope["draws"],
+                        telemetry=envelope["telemetry"],
+                    )
             self._merge([envelope], None, "fabric.experiment")
             outcomes.append(tuple(envelope["result"]))
         if crashed:

@@ -11,7 +11,10 @@ The package has three layers:
 * :mod:`repro.faults.degraded` — the degraded-mode flow simulator:
   re-route, seeded-backoff retry, or structured failure;
 * :mod:`repro.faults.chaos` — the seeded chaos scenarios behind the
-  ``repro-numa chaos`` CLI and their resilience report.
+  ``repro-numa chaos`` CLI and their resilience report;
+* :mod:`repro.faults.execution` — execution-layer faults (crash points,
+  torn journal writes, stalled workers) armed through the environment
+  and exercised by the ``repro-numa recover`` soak.
 """
 
 from repro.faults.chaos import (
@@ -28,6 +31,13 @@ from repro.faults.degraded import (
     RetryPolicy,
     machine_rerouter,
     reroute_resources,
+)
+from repro.faults.execution import (
+    STALL_ENV,
+    CrashPoint,
+    ExecutionFault,
+    TornWrite,
+    WorkerStall,
 )
 from repro.faults.events import (
     Fault,
@@ -50,6 +60,11 @@ __all__ = [
     "IrqStorm",
     "NicPortFlap",
     "SsdWearThrottle",
+    "ExecutionFault",
+    "CrashPoint",
+    "TornWrite",
+    "WorkerStall",
+    "STALL_ENV",
     "FaultPlan",
     "FaultedMachine",
     "RetryPolicy",

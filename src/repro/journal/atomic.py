@@ -1,0 +1,89 @@
+"""Atomic file writes: temp file + fsync + rename, never a torn artifact.
+
+Every artifact the pipeline byte-compares or re-reads after a crash —
+run manifests, JSONL traces, experiment text outputs, bench snapshots,
+journal sidecars — goes through these helpers.  The contract: a reader
+(or a resumed run) sees either the complete previous content or the
+complete new content, never a prefix.  ``kill -9`` between any two
+instructions leaves at worst an orphaned ``*.tmp.<pid>`` file beside
+the target, which the next atomic write of the same path sweeps up.
+
+POSIX ``rename(2)`` within one filesystem is atomic; the temp file is
+created in the target's directory so the rename never crosses a mount.
+The file is fsynced before the rename and the directory after it, so
+the new name survives power loss, not just process death.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def _sweep_stale_temps(target: pathlib.Path) -> None:
+    """Remove temp files a crashed writer of ``target`` left behind."""
+    prefix = target.name + ".tmp."
+    try:
+        for entry in target.parent.iterdir():
+            if entry.name.startswith(prefix):
+                try:
+                    entry.unlink()
+                except OSError:  # pragma: no cover - concurrent sweep
+                    pass
+    except OSError:  # pragma: no cover - directory vanished
+        pass
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename)."""
+    target = pathlib.Path(path)
+    _sweep_stale_temps(target)
+    temp = target.parent / f"{target.name}.tmp.{os.getpid()}"
+    fd = os.open(temp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(temp, target)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(target.parent)
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Flush a directory entry table (best effort on exotic filesystems)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - O_RDONLY on dirs unsupported
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path, data, *, indent: int | None = 2,
+                      sort_keys: bool = True, default=None) -> None:
+    """Serialize ``data`` as JSON and write it to ``path`` atomically.
+
+    Serialization happens **before** the temp file is created, so an
+    unserializable object can never leave a partial artifact behind.
+    """
+    text = json.dumps(data, indent=indent, sort_keys=sort_keys, default=default)
+    atomic_write_text(path, text + "\n")

@@ -1,0 +1,252 @@
+"""The crash-consistent execution journal: append-only, per-record CRC.
+
+A :class:`RunJournal` is the checkpoint store of one interruptible run
+(``experiment all --resume DIR``, ``iomodel --resume DIR``, ``chaos
+--resume DIR``).  The file format is deliberately dumb:
+
+* a 6-byte magic (``RPJL`` + format version + newline),
+* then records, each ``[u32 length][u32 crc32(payload)][payload]``
+  little-endian, the payload being a pickled plain-data object.
+
+Record 0 is the **run metadata** (command, machine, seed, targets, …);
+every later record is one completed *unit* of work — a shard's results
+plus its RNG draw ledger and captured telemetry.  Appends are flushed
+and fsynced one record at a time, so after ``kill -9`` the file is a
+valid journal with at most one *torn tail*: a final record whose bytes
+were cut short.  :func:`scan_journal` classifies every failure mode:
+
+* torn tail (header or payload shorter than declared, or a cut magic)
+  → the complete prefix is returned and resume truncates the tail;
+* CRC mismatch or an unpicklable payload on a *complete* record →
+  :class:`~repro.errors.JournalError` naming the record index — real
+  corruption is never silently dropped and never yields wrong results;
+* wrong magic → :class:`~repro.errors.JournalError` (not a journal).
+
+Crash points for the recovery soak are injected here: the environment
+variable named by :data:`CRASH_ENV` (see
+:mod:`repro.faults.execution`) makes :meth:`RunJournal.append` SIGKILL
+the process after — or, in torn mode, halfway through — the Nth data
+record, which is how ``repro-numa recover`` produces deterministic
+kill-anywhere coverage without timing races.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import signal
+import struct
+import zlib
+
+from repro.errors import JournalError
+
+__all__ = [
+    "JOURNAL_MAGIC",
+    "JOURNAL_FILENAME",
+    "CRASH_ENV",
+    "scan_journal",
+    "RunJournal",
+]
+
+#: File magic: identifies a run journal and pins the record format.
+JOURNAL_MAGIC = b"RPJL\x01\n"
+
+#: The journal's filename inside a run directory.
+JOURNAL_FILENAME = "journal.bin"
+
+#: Environment variable carrying an injected crash point
+#: (``"<n>"`` = SIGKILL after the n-th data append, ``"<n>:torn"`` =
+#: SIGKILL halfway through it, leaving a torn tail).
+CRASH_ENV = "REPRO_JOURNAL_CRASH"
+
+_HEADER = struct.Struct("<II")
+
+#: Pickle protocol pinned so journals are readable across minor Python
+#: bumps within one machine's lifetime.
+_PICKLE_PROTOCOL = 4
+
+
+def _record_bytes(payload_obj) -> bytes:
+    payload = pickle.dumps(payload_obj, protocol=_PICKLE_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_journal(path) -> "tuple[list, int, bool]":
+    """Parse the journal at ``path``.
+
+    Returns ``(records, good_end, torn)``: the complete records in
+    append order, the byte offset just past the last complete record,
+    and whether a torn tail follows it.  Raises
+    :class:`~repro.errors.JournalError` on real corruption (a complete
+    record whose CRC or payload is bad), naming the record index.
+    """
+    data = pathlib.Path(path).read_bytes()
+    if len(data) < len(JOURNAL_MAGIC):
+        # A crash during creation can leave a cut magic; treat the
+        # whole file as a torn tail and start over.
+        return [], 0, bool(data)
+    if data[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+        raise JournalError(f"{path} is not a run journal (bad magic)")
+    records: list = []
+    offset = len(JOURNAL_MAGIC)
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            return records, offset, True  # torn header
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if start + length > len(data):
+            return records, offset, True  # torn payload
+        payload = data[start : start + length]
+        index = len(records)
+        if zlib.crc32(payload) != crc:
+            raise JournalError(
+                f"{path}: record {index} is corrupt "
+                f"(crc 0x{zlib.crc32(payload):08x} != stored 0x{crc:08x})"
+            )
+        try:
+            records.append(pickle.loads(payload))
+        except Exception as exc:
+            raise JournalError(
+                f"{path}: record {index} passed its checksum but does not "
+                f"deserialize ({type(exc).__name__}: {exc})"
+            ) from exc
+        offset = start + length
+    return records, offset, False
+
+
+def _meta_mismatch(stored: dict, current: dict) -> "list[str]":
+    keys = sorted(set(stored) | set(current))
+    return [
+        f"{key}: journal has {stored.get(key)!r}, run has {current.get(key)!r}"
+        for key in keys
+        if stored.get(key) != current.get(key)
+    ]
+
+
+class RunJournal:
+    """Checkpoint store for one resumable run (create or resume).
+
+    Parameters
+    ----------
+    run_dir:
+        Directory holding ``journal.bin`` (created if missing).
+    meta:
+        Plain-data identity of the run: everything that determines its
+        results (command, machine, seed, targets, mode, …).  Resuming
+        with different metadata raises — a journal can only continue
+        the run that wrote it.
+
+    Completed units are exposed via :meth:`get`/:attr:`completed`; new
+    completions are persisted with :meth:`append` (one fsynced record
+    each, so a crash between appends loses at most the in-flight unit).
+    """
+
+    def __init__(self, run_dir, meta: dict) -> None:
+        self.run_dir = pathlib.Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / JOURNAL_FILENAME
+        self.meta = dict(meta)
+        self.resumed_units = 0
+        self.truncated_tail = False
+        self._completed: dict = {}
+        self._appends = 0
+        self._crash_spec = self._parse_crash_spec(os.environ.get(CRASH_ENV))
+        if self.path.exists():
+            records, good_end, torn = scan_journal(self.path)
+            if records and _meta_mismatch(records[0], self.meta):
+                problems = "; ".join(_meta_mismatch(records[0], self.meta))
+                raise JournalError(
+                    f"{self.path} belongs to a different run: {problems}"
+                )
+            self._handle = open(self.path, "r+b")
+            if torn:
+                self.truncated_tail = True
+                self._handle.truncate(good_end)
+            self._handle.seek(0, os.SEEK_END)
+            if not records:  # cut magic / torn meta record: start over
+                self._handle.truncate(0)
+                self._handle.seek(0)  # truncate() does not move the cursor
+                self._write(JOURNAL_MAGIC + _record_bytes(self.meta))
+            for record in records[1:]:
+                self._completed[record["key"]] = record
+            self.resumed_units = len(self._completed)
+        else:
+            self._handle = open(self.path, "w+b")
+            self._write(JOURNAL_MAGIC + _record_bytes(self.meta))
+
+    # --- reads ------------------------------------------------------------
+    @property
+    def completed(self) -> dict:
+        """Unit key -> journal record, for every completed unit."""
+        return dict(self._completed)
+
+    def get(self, key):
+        """The journal record for unit ``key``, or ``None``."""
+        return self._completed.get(key)
+
+    def __contains__(self, key) -> bool:
+        return key in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    # --- writes -----------------------------------------------------------
+    def _write(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    @staticmethod
+    def _parse_crash_spec(raw: "str | None") -> "tuple[int, bool] | None":
+        if not raw:
+            return None
+        torn = raw.endswith(":torn")
+        number = raw[: -len(":torn")] if torn else raw
+        try:
+            return int(number), torn
+        except ValueError:
+            raise JournalError(
+                f"cannot parse {CRASH_ENV}={raw!r} (want '<n>' or '<n>:torn')"
+            ) from None
+
+    def append(self, key, **payload) -> dict:
+        """Persist one completed unit: ``key`` plus its payload fields.
+
+        The record is written, flushed, and fsynced before this
+        returns, so a crash after :meth:`append` never loses the unit.
+        An injected crash point (:data:`CRASH_ENV`) fires here.
+        """
+        if key in self._completed:
+            raise JournalError(f"unit {key!r} is already journaled")
+        record = {"key": key, **payload}
+        data = _record_bytes(record)
+        self._appends += 1
+        if self._crash_spec is not None and self._appends == self._crash_spec[0]:
+            if self._crash_spec[1]:  # torn write: half the record, then die
+                self._write(data[: max(_HEADER.size + 1, len(data) // 2)])
+            else:
+                self._write(data)
+            os.kill(os.getpid(), signal.SIGKILL)
+        self._write(data)
+        self._completed[key] = record
+        return record
+
+    # --- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RunJournal({str(self.path)!r}, {len(self._completed)} units, "
+            f"resumed={self.resumed_units})"
+        )

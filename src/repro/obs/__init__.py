@@ -44,7 +44,14 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.stats import SolverStats, solver_totals
-from repro.obs.report import load_trace, render_diff, render_report, report_json
+from repro.obs.report import (
+    load_trace,
+    phase_regressions,
+    render_diff,
+    render_phase_triage,
+    render_report,
+    report_json,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -70,6 +77,8 @@ __all__ = [
     "render_report",
     "render_diff",
     "report_json",
+    "phase_regressions",
+    "render_phase_triage",
     "SolverStats",
     "solver_totals",
 ]

@@ -154,11 +154,15 @@ def validate_manifest(data: dict) -> None:
 
 
 def write_manifest(data: dict, path) -> None:
-    """Validate ``data`` and write it as pretty JSON to ``path``."""
+    """Validate ``data`` and write it as pretty JSON to ``path``.
+
+    The write is atomic (temp + fsync + rename): a reader — or a
+    crash-recovery byte-compare — never sees a torn manifest.
+    """
     validate_manifest(data)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.journal.atomic import atomic_write_json
+
+    atomic_write_json(path, data, indent=2, sort_keys=True)
 
 
 def load_manifest(path) -> dict:

@@ -158,10 +158,17 @@ class TraceRecorder:
         return {name: totals[name] for name in sorted(totals)}
 
     def write_trace(self, path) -> None:
-        """Write the event list as JSONL (one span per line, seq order)."""
-        with open(path, "w", encoding="utf-8") as handle:
-            for event in self.events:
-                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        """Write the event list as JSONL (one span per line, seq order).
+
+        Atomic: the full trace is serialized first and lands via
+        temp + fsync + rename, so a crash never leaves a torn JSONL.
+        """
+        from repro.journal.atomic import atomic_write_text
+
+        atomic_write_text(
+            path,
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in self.events),
+        )
 
 
 #: The installed recorder, or ``None`` (the off-by-default fast path).

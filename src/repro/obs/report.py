@@ -15,7 +15,14 @@ import pathlib
 from repro.errors import ObsError
 from repro.obs.manifest import diff_manifests, load_manifest
 
-__all__ = ["load_trace", "render_report", "render_diff", "report_json"]
+__all__ = [
+    "load_trace",
+    "render_report",
+    "render_diff",
+    "report_json",
+    "phase_regressions",
+    "render_phase_triage",
+]
 
 
 def load_trace(obs_dir) -> list[dict]:
@@ -148,6 +155,58 @@ def render_diff(dir_a, dir_b) -> str:
         if diff["deterministic"]
         else "verdict: runs differ beyond wall time"
     )
+    return "\n".join(lines)
+
+
+def phase_regressions(a: dict, b: dict, tolerance: float = 0.5,
+                      min_wall_s: float = 0.005) -> "dict[str, dict]":
+    """Per-phase wall-time shifts beyond a noise band, A -> B.
+
+    A phase is flagged when its wall time in either manifest reaches
+    ``min_wall_s`` (ignoring spans too short to measure) and the B/A
+    ratio leaves ``[1 - tolerance, 1 + tolerance]``.  A phase present
+    only in B reports ``ratio == inf``; only in A, ``ratio == 0``.
+    This is span-driven triage: the bench gate says *that* a run got
+    slower, this says *which* span did it.
+    """
+    shifts: dict[str, dict] = {}
+    phases_a = a.get("phases") or {}
+    phases_b = b.get("phases") or {}
+    for name in sorted(set(phases_a) | set(phases_b)):
+        wall_a = float(phases_a.get(name, {}).get("wall_s", 0.0))
+        wall_b = float(phases_b.get(name, {}).get("wall_s", 0.0))
+        if max(wall_a, wall_b) < min_wall_s:
+            continue
+        ratio = wall_b / wall_a if wall_a > 0.0 else float("inf")
+        if abs(ratio - 1.0) > tolerance:
+            shifts[name] = {"wall_s": (wall_a, wall_b), "ratio": ratio}
+    return shifts
+
+
+def render_phase_triage(dir_a, dir_b, tolerance: float = 0.5,
+                        min_wall_s: float = 0.005) -> str:
+    """Human-readable :func:`phase_regressions` for two obs dirs."""
+    a = load_manifest(pathlib.Path(dir_a) / "manifest.json")
+    b = load_manifest(pathlib.Path(dir_b) / "manifest.json")
+    shifts = phase_regressions(a, b, tolerance=tolerance, min_wall_s=min_wall_s)
+    band = f"±{tolerance * 100:g}%"
+    floor = f"{min_wall_s * 1e3:g} ms"
+    if not shifts:
+        return (
+            f"phase triage: no span shifted beyond the {band} noise band "
+            f"(spans under {floor} ignored)"
+        )
+    lines = [
+        f"phase triage ({band} noise band, spans under {floor} ignored): "
+        f"{len(shifts)} span(s) shifted"
+    ]
+    for name, entry in shifts.items():
+        wall_a, wall_b = entry["wall_s"]
+        ratio = entry["ratio"]
+        tag = "new" if ratio == float("inf") else f"x{ratio:.2f}"
+        lines.append(
+            f"  {name:40s} {_fmt_ms(wall_a)} -> {_fmt_ms(wall_b)} ms  ({tag})"
+        )
     return "\n".join(lines)
 
 

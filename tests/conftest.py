@@ -76,6 +76,11 @@ def _shm_available() -> bool:
         return False
 
 
+def _sigkill_available() -> bool:
+    """Probe for real SIGKILL delivery (the ``recovery`` marker)."""
+    return hasattr(signal, "SIGKILL")
+
+
 def pytest_collection_modifyitems(config, items):
     if any(item.get_closest_marker("fabric") for item in items):
         if not _shm_available():
@@ -84,6 +89,14 @@ def pytest_collection_modifyitems(config, items):
             )
             for item in items:
                 if item.get_closest_marker("fabric"):
+                    item.add_marker(skip)
+    if any(item.get_closest_marker("recovery") for item in items):
+        if not _sigkill_available():
+            skip = pytest.mark.skip(
+                reason="SIGKILL unavailable on this platform"
+            )
+            for item in items:
+                if item.get_closest_marker("recovery"):
                     item.add_marker(skip)
 
 

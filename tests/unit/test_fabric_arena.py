@@ -147,3 +147,109 @@ def test_reset_sessions_releases_arena(machine):
     reset_sessions()
     assert arena.closed
     assert live_segments() == []
+
+
+# --- integrity and orphan hygiene (PR 7) ----------------------------------
+
+
+def _raw_segment(name):
+    from multiprocessing import shared_memory
+
+    with arena_mod._untracked():
+        return shared_memory.SharedMemory(name=name)
+
+
+def test_attach_verifies_payload_checksum(machine):
+    fingerprint = machine_fingerprint(machine)
+    owner = publish(machine)
+    raw = _raw_segment(owner.name)
+    try:
+        raw.buf[-1] ^= 0xFF  # scribble on the last array's payload
+        with pytest.raises(FabricError, match="payload checksum"):
+            attach(fingerprint)
+        raw.buf[-1] ^= 0xFF  # restore; the segment is intact again
+        attached = attach(fingerprint)
+        assert attached is not None
+        attached._shm.close()
+    finally:
+        raw.close()
+        owner._close()
+
+
+def test_header_publishes_owner_pid_and_crc(machine):
+    import os
+
+    owner = publish(machine)
+    try:
+        assert owner._header["pid"] == os.getpid()
+        assert isinstance(owner._header["payload_crc"], int)
+    finally:
+        owner._close()
+
+
+_CHILD_PUBLISH = """
+import os, sys, time
+from repro.fabric import arena
+from repro.topology.builders import scaled_host
+
+with arena._untracked():  # keep the tracker from reaping after SIGKILL
+    owner = arena.publish(scaled_host(3, seed=11))
+print(owner.name, flush=True)
+if "--sleep" in sys.argv:
+    time.sleep(60)
+"""
+
+
+def test_reap_orphans_unlinks_dead_owner_segments():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_PUBLISH],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    name = proc.stdout.strip()
+    assert name in live_segments()  # orphan survived the child's exit
+    assert name in arena_mod.reap_orphans()
+    assert name not in live_segments()
+
+
+def test_reap_orphans_spares_live_owners():
+    import signal
+    import subprocess
+    import sys
+
+    if not hasattr(signal, "SIGKILL"):
+        pytest.skip("SIGKILL unavailable on this platform")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _CHILD_PUBLISH, "--sleep"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        assert name in live_segments()
+        assert name not in arena_mod.reap_orphans()  # owner is alive
+        assert name in live_segments()
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+    assert name in arena_mod.reap_orphans()  # owner is dead now
+    assert name not in live_segments()
+
+
+def test_reap_orphans_age_gates_unreadable_segments():
+    from multiprocessing import shared_memory
+
+    name = "repro_fab_test_junk_header"
+    with arena_mod._untracked():
+        shm = shared_memory.SharedMemory(name=name, create=True, size=64)
+    try:
+        shm.buf[:8] = b"\xff" * 8  # absurd header length: unparsable
+        # A fresh unreadable segment might be a publisher mid-write.
+        assert name not in arena_mod.reap_orphans(max_age_s=3600.0)
+        assert name in live_segments()
+        assert name in arena_mod.reap_orphans(max_age_s=0.0)
+        assert name not in live_segments()
+    finally:
+        shm.close()

@@ -1,0 +1,61 @@
+"""Execution-layer faults: env arming, validation, no capacity footprint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import STALL_ENV, CrashPoint, ExecutionFault, TornWrite, WorkerStall
+from repro.journal import CRASH_ENV
+
+
+def test_crash_point_arms_journal_env():
+    fault = CrashPoint(record=3)
+    assert fault.env() == (CRASH_ENV, "3")
+    assert fault.kind == "crash-point"
+    assert fault.describe() == "crash@3"
+
+
+def test_torn_write_arms_torn_mode():
+    fault = TornWrite(record=2)
+    assert fault.env() == (CRASH_ENV, "2:torn")
+    assert fault.describe() == "torn@2"
+
+
+def test_worker_stall_arms_pool_env():
+    fault = WorkerStall(seconds=0.25)
+    assert fault.env() == (STALL_ENV, "0.25")
+    assert fault.describe() == "stall:0.25s"
+
+
+def test_env_values_round_trip_through_the_journal_parser():
+    from repro.journal.store import RunJournal
+
+    for fault, expected in [
+        (CrashPoint(record=5), (5, False)),
+        (TornWrite(record=5), (5, True)),
+    ]:
+        _, value = fault.env()
+        assert RunJournal._parse_crash_spec(value) == expected
+
+
+def test_record_indices_validated():
+    with pytest.raises(FaultError, match=">= 1"):
+        CrashPoint(record=0)
+    with pytest.raises(FaultError, match=">= 1"):
+        TornWrite(record=-2)
+
+
+def test_worker_stall_bounds():
+    with pytest.raises(FaultError, match=r"\(0, 60\]"):
+        WorkerStall(seconds=0.0)
+    with pytest.raises(FaultError, match=r"\(0, 60\]"):
+        WorkerStall(seconds=61.0)
+    WorkerStall(seconds=60.0)  # inclusive upper bound
+
+
+def test_no_capacity_footprint():
+    for fault in (CrashPoint(record=1), TornWrite(record=1), WorkerStall(seconds=1.0)):
+        assert isinstance(fault, ExecutionFault)
+        with pytest.raises(FaultError, match="no capacity footprint"):
+            fault.capacity_factors()

@@ -1,0 +1,213 @@
+"""The crash-consistent journal: atomic writes, scanning, and resume."""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.errors import JournalError
+from repro.journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_MAGIC,
+    RunJournal,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    scan_journal,
+)
+from repro.journal.store import _HEADER, _record_bytes
+
+META = {"command": "test", "machine": "reference", "seed": 42}
+
+
+# --- atomic writers -------------------------------------------------------
+
+
+def test_atomic_write_text_round_trip(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "hello\n")
+    assert path.read_text() == "hello\n"
+    atomic_write_text(path, "replaced\n")
+    assert path.read_text() == "replaced\n"
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "artifact.json"
+    atomic_write_json(path, {"a": 1})
+    assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+
+def test_atomic_write_json_format(tmp_path):
+    """Sorted keys, 2-space indent, trailing newline: json.dump parity."""
+    path = tmp_path / "m.json"
+    atomic_write_json(path, {"b": 2, "a": 1})
+    text = path.read_text()
+    assert text == json.dumps({"a": 1, "b": 2}, indent=2, sort_keys=True) + "\n"
+    assert json.loads(text) == {"a": 1, "b": 2}
+
+
+def test_atomic_write_sweeps_stale_temps(tmp_path):
+    path = tmp_path / "snap.json"
+    stale = tmp_path / "snap.json.tmp.99999"
+    stale.write_text("half-written")
+    atomic_write_json(path, [1, 2, 3])
+    assert not stale.exists()
+    assert json.loads(path.read_text()) == [1, 2, 3]
+
+
+def test_atomic_write_json_unserializable_leaves_nothing(tmp_path):
+    path = tmp_path / "bad.json"
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"handle": object()})
+    assert list(tmp_path.iterdir()) == []  # no target, no temp
+
+
+def test_atomic_write_failure_cleans_temp(tmp_path, monkeypatch):
+    path = tmp_path / "out.bin"
+
+    def boom(fd, data):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "write", boom)
+    with pytest.raises(OSError):
+        atomic_write_bytes(path, b"payload")
+    monkeypatch.undo()
+    assert list(tmp_path.iterdir()) == []
+
+
+# --- scan_journal ---------------------------------------------------------
+
+
+def _journal_with_units(tmp_path, n=3):
+    with RunJournal(tmp_path, META) as journal:
+        for i in range(n):
+            journal.append(("unit", i), result={"value": i * 10})
+    return tmp_path / JOURNAL_FILENAME
+
+
+def test_scan_round_trip(tmp_path):
+    path = _journal_with_units(tmp_path, n=3)
+    records, good_end, torn = scan_journal(path)
+    assert not torn
+    assert good_end == path.stat().st_size
+    assert records[0] == META
+    assert [r["key"] for r in records[1:]] == [("unit", i) for i in range(3)]
+    assert records[2]["result"] == {"value": 10}
+
+
+def test_scan_empty_and_cut_magic(tmp_path):
+    path = tmp_path / JOURNAL_FILENAME
+    path.write_bytes(b"")
+    assert scan_journal(path) == ([], 0, False)
+    path.write_bytes(JOURNAL_MAGIC[:3])  # crash during creation
+    assert scan_journal(path) == ([], 0, True)
+
+
+def test_scan_rejects_foreign_file(tmp_path):
+    path = tmp_path / JOURNAL_FILENAME
+    path.write_bytes(b"not a journal at all")
+    with pytest.raises(JournalError, match="bad magic"):
+        scan_journal(path)
+
+
+def test_scan_torn_header_and_payload(tmp_path):
+    path = _journal_with_units(tmp_path, n=2)
+    whole = path.read_bytes()
+    _, good_end, _ = scan_journal(path)
+
+    path.write_bytes(whole + b"\x07\x00")  # torn header
+    records, end, torn = scan_journal(path)
+    assert torn and end == good_end and len(records) == 3
+
+    path.write_bytes(whole + _HEADER.pack(100, 0) + b"short")  # torn payload
+    records, end, torn = scan_journal(path)
+    assert torn and end == good_end and len(records) == 3
+
+
+def test_scan_names_corrupt_record(tmp_path):
+    path = _journal_with_units(tmp_path, n=2)
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a byte inside the last record's payload
+    path.write_bytes(bytes(data))
+    with pytest.raises(JournalError, match="record 2 is corrupt"):
+        scan_journal(path)
+
+
+def test_scan_names_unpicklable_record(tmp_path):
+    path = tmp_path / JOURNAL_FILENAME
+    payload = b"\x00\x01not pickle"
+    record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    path.write_bytes(JOURNAL_MAGIC + _record_bytes(META) + record)
+    with pytest.raises(JournalError, match="record 1 passed its checksum"):
+        scan_journal(path)
+
+
+# --- RunJournal lifecycle -------------------------------------------------
+
+
+def test_create_then_resume(tmp_path):
+    _journal_with_units(tmp_path, n=2)
+    with RunJournal(tmp_path, META) as journal:
+        assert journal.resumed_units == 2
+        assert not journal.truncated_tail
+        assert ("unit", 0) in journal and ("unit", 1) in journal
+        assert journal.get(("unit", 0))["result"] == {"value": 0}
+        assert journal.get(("unit", 9)) is None
+        journal.append(("unit", 2), result={"value": 20})
+        assert len(journal) == 3
+    records, _, torn = scan_journal(tmp_path / JOURNAL_FILENAME)
+    assert not torn and len(records) == 4
+
+
+def test_resume_truncates_torn_tail(tmp_path):
+    path = _journal_with_units(tmp_path, n=2)
+    intact = path.stat().st_size
+    with open(path, "ab") as handle:
+        handle.write(_record_bytes({"key": ("unit", 2)})[: _HEADER.size + 3])
+    with RunJournal(tmp_path, META) as journal:
+        assert journal.truncated_tail
+        assert journal.resumed_units == 2
+        journal.append(("unit", 2), result={"value": 20})
+    assert path.stat().st_size > intact
+    records, _, torn = scan_journal(path)
+    assert not torn and [r["key"] for r in records[1:]] == [
+        ("unit", 0), ("unit", 1), ("unit", 2)
+    ]
+
+
+def test_meta_mismatch_names_differing_keys(tmp_path):
+    _journal_with_units(tmp_path, n=1)
+    with pytest.raises(JournalError, match="different run.*seed"):
+        RunJournal(tmp_path, {**META, "seed": 7})
+
+
+def test_duplicate_unit_rejected(tmp_path):
+    with RunJournal(tmp_path, META) as journal:
+        journal.append(("unit", 0), result=1)
+        with pytest.raises(JournalError, match="already journaled"):
+            journal.append(("unit", 0), result=2)
+
+
+def test_torn_meta_record_starts_over(tmp_path):
+    path = tmp_path / JOURNAL_FILENAME
+    path.write_bytes(JOURNAL_MAGIC + _record_bytes(META)[:5])
+    with RunJournal(tmp_path, META) as journal:
+        assert journal.resumed_units == 0
+        journal.append(("unit", 0), result=1)
+    records, _, torn = scan_journal(path)
+    assert not torn and records[0] == META and len(records) == 2
+
+
+def test_crash_spec_parsing(tmp_path, monkeypatch):
+    from repro.journal import CRASH_ENV
+
+    monkeypatch.setenv(CRASH_ENV, "gibberish")
+    with pytest.raises(JournalError, match="cannot parse"):
+        RunJournal(tmp_path, META)
+    monkeypatch.delenv(CRASH_ENV)
+    assert RunJournal._parse_crash_spec(None) is None
+    assert RunJournal._parse_crash_spec("3") == (3, False)
+    assert RunJournal._parse_crash_spec("3:torn") == (3, True)

@@ -126,3 +126,92 @@ def test_experiment_id_aliases():
     assert normalize_experiment_id("f10") == "f10"
     assert normalize_experiment_id("fw1") == "fw1"  # never rewritten
     assert normalize_experiment_id("bogus") == "bogus"
+
+
+# --- span-driven phase triage (PR 7) --------------------------------------
+
+
+def _manifest_with_phases(phases):
+    return {"phases": {n: {"wall_s": w} for n, w in phases.items()}}
+
+
+class TestPhaseRegressions:
+    def test_flags_shifts_outside_the_band(self):
+        from repro.obs import phase_regressions
+
+        a = _manifest_with_phases({"solve": 0.10, "build": 0.10})
+        b = _manifest_with_phases({"solve": 0.30, "build": 0.11})
+        shifts = phase_regressions(a, b, tolerance=0.5)
+        assert list(shifts) == ["solve"]
+        assert shifts["solve"]["wall_s"] == (0.10, 0.30)
+        assert shifts["solve"]["ratio"] == pytest.approx(3.0)
+
+    def test_band_is_symmetric(self):
+        from repro.obs import phase_regressions
+
+        a = _manifest_with_phases({"solve": 0.30})
+        b = _manifest_with_phases({"solve": 0.10})
+        assert "solve" in phase_regressions(a, b, tolerance=0.5)
+        assert phase_regressions(a, b, tolerance=0.9) == {}
+
+    def test_min_wall_floor_ignores_noise_spans(self):
+        from repro.obs import phase_regressions
+
+        a = _manifest_with_phases({"tiny": 0.0001})
+        b = _manifest_with_phases({"tiny": 0.0009})
+        assert phase_regressions(a, b) == {}  # 9x shift, but sub-floor
+        assert "tiny" in phase_regressions(a, b, min_wall_s=0.0005)
+
+    def test_phase_only_in_one_manifest(self):
+        from repro.obs import phase_regressions
+
+        a = _manifest_with_phases({"old": 0.10})
+        b = _manifest_with_phases({"new": 0.10})
+        shifts = phase_regressions(a, b)
+        assert shifts["new"]["ratio"] == float("inf")
+        assert shifts["old"]["ratio"] == 0.0
+
+    def test_missing_phases_section(self):
+        from repro.obs import phase_regressions
+
+        assert phase_regressions({}, {}) == {}
+
+
+def test_render_phase_triage_between_recorded_runs(tmp_path):
+    from repro.obs import render_phase_triage
+
+    _record_run(tmp_path / "a", seed=1)
+    _record_run(tmp_path / "b", seed=1)
+    text = render_phase_triage(tmp_path / "a", tmp_path / "b", tolerance=1e9)
+    assert text.startswith("phase triage: no span shifted")
+
+    flagged = render_phase_triage(tmp_path / "a", tmp_path / "b",
+                                  tolerance=-1.0, min_wall_s=0.0)
+    assert "span(s) shifted" in flagged  # every measurable span flagged
+
+
+def test_cli_obs_report_phase_tolerance_and_gate(tmp_path, capsys):
+    _record_run(tmp_path / "a", seed=1)
+    # Dir B is dir A with one phase blown up 100x past the floor, so
+    # the gate's verdict does not depend on live solver-cache timings.
+    (tmp_path / "b").mkdir()
+    manifest = json.loads((tmp_path / "a" / "manifest.json").read_text())
+    phase = next(iter(manifest["phases"]))
+    manifest["phases"][phase]["wall_s"] = max(
+        0.1, manifest["phases"][phase]["wall_s"] * 100
+    )
+    (tmp_path / "b" / "manifest.json").write_text(json.dumps(manifest))
+    (tmp_path / "b" / "trace.jsonl").write_text(
+        (tmp_path / "a" / "trace.jsonl").read_text()
+    )
+
+    assert main(["obs", "report", str(tmp_path / "a"), str(tmp_path / "b"),
+                 "--phase-tolerance", "1e9"]) == 0
+    out = capsys.readouterr().out
+    assert "phase triage: no span shifted" in out
+
+    rc = main(["obs", "report", str(tmp_path / "a"), str(tmp_path / "b"),
+               "--phase-tolerance", "0.5", "--gate-phases"])
+    assert rc == 4
+    out = capsys.readouterr().out
+    assert "span(s) shifted" in out and phase in out

@@ -1,13 +1,17 @@
 #!/usr/bin/env sh
 # Benchmark smoke with regression gating.
 #
-# Runs the solver-layer, routing-engine, and per-figure experiment
-# benchmark suites under pytest-benchmark, compares the fresh means
+# Runs the solver-layer, routing-engine, per-figure experiment, and
+# service tiered-answer-path benchmark suites, compares the fresh means
 # against the committed BENCH_solver.json / BENCH_routing.json /
-# BENCH_experiments.json baselines (scripts/bench_gate.py, tolerance
-# +25%), and only installs the fresh snapshots at the repo root once
-# every gate passes.  A benchmark whose mean regressed by more than the
-# tolerance fails the script; improvements and new benchmarks pass.
+# BENCH_experiments.json / BENCH_service.json baselines
+# (scripts/bench_gate.py, tolerance +25%), and only installs the fresh
+# snapshots at the repo root once every gate passes.  A benchmark whose
+# mean regressed by more than the tolerance fails the script;
+# improvements and new benchmarks pass.  The service suite additionally
+# hard-asserts its own ISSUE 8 bar (>= 50x the solve-every-request
+# baseline, tier-1 p99 < 1 ms, analytic tier within the documented
+# error bound) on every run.
 #
 # Pass BENCH_TOLERANCE=0.40 (etc.) in the environment to loosen the gate
 # on noisy machines.
@@ -38,8 +42,12 @@ PYTHONPATH=src python -m pytest \
     benchmarks/bench_table5_read_model.py \
     -q --benchmark-only --benchmark-json="$TMPDIR_BENCH/experiments.json" "$@"
 
+# The service suite writes the same pytest-benchmark JSON shape and
+# enforces its own hard acceptance asserts as it runs.
+PYTHONPATH=src python scripts/bench_service.py "$TMPDIR_BENCH/service.json"
+
 # Gate each fresh run against its committed baseline before snapshotting.
-for suite in solver routing experiments; do
+for suite in solver routing experiments service; do
     baseline="BENCH_${suite}.json"
     fresh="$TMPDIR_BENCH/${suite}.json"
     if [ -f "$baseline" ]; then
@@ -53,11 +61,13 @@ done
 cp "$TMPDIR_BENCH/solver.json" BENCH_solver.json
 cp "$TMPDIR_BENCH/routing.json" BENCH_routing.json
 cp "$TMPDIR_BENCH/experiments.json" BENCH_experiments.json
+cp "$TMPDIR_BENCH/service.json" BENCH_service.json
 
 PYTHONPATH=src python - <<'EOF'
 import json
 
-for path in ("BENCH_solver.json", "BENCH_routing.json", "BENCH_experiments.json"):
+for path in ("BENCH_solver.json", "BENCH_routing.json", "BENCH_experiments.json",
+             "BENCH_service.json"):
     with open(path) as fh:
         data = json.load(fh)
     print(f"\n{path} snapshot:")

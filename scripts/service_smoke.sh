@@ -4,7 +4,12 @@
 # deterministic-twin contract: same seed -> byte-identical response
 # streams, every request answered exactly once, breaker tripped and
 # recovered.  Then drive the stdio transport with a scripted session
-# and check it, too, answers identically across runs.
+# and check it, too, answers identically across runs.  Finally the
+# tier drill: a cold question is answered by a full solve (tier 3), its
+# repeat by the analytic fast tier (tier 1) within the documented error
+# bound, the class model serves tier 2, and with the breaker forced
+# open the service degrades to last-good tier-2 answers instead of
+# failing.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -68,3 +73,65 @@ if [ "$RESPONSES" != "7" ]; then
     exit 1
 fi
 echo "OK: stdio session answered 7/7 requests, bit-identical across runs"
+
+echo
+echo "== tier drill: cold -> 3, repeat -> 1, class -> 2, breaker open -> degraded 2"
+PYTHONPATH=src python - <<'EOF'
+import json
+
+from repro.rng import RngRegistry
+from repro.service import AdvisoryBackend, PlacementService
+from repro.service.soak import LogicalClock
+from repro.topology.builders import reference_host
+
+backend = AdvisoryBackend(reference_host(), registry=RngRegistry(), runs=3)
+service = PlacementService(backend, clock=LogicalClock())
+
+
+def call(method, params):
+    line = json.dumps({"jsonrpc": "2.0", "id": 1,
+                       "method": method, "params": params})
+    response = json.loads(service.handle_line(line))
+    assert "result" in response, response
+    return response["result"]
+
+
+cold = call("predict_eq1", {"target": 7, "mode": "write", "streams": [0, 1]})
+assert cold["tier"] == 3 and cold["staleness_s"] == 0.0, cold
+warm = call("predict_eq1", {"target": 7, "mode": "write", "streams": [0, 1]})
+assert warm["tier"] == 1, warm
+drift = abs(warm["predicted_gbps"] - cold["predicted_gbps"]) / cold["predicted_gbps"]
+assert drift <= 0.05, f"analytic tier drifted {drift:.4f} from the solve"
+assert warm["fit_rel_err_bound"] <= 0.05, warm
+classed = call("classify", {"target": 7, "mode": "write"})
+assert classed["tier"] == 2, classed
+# Force the breaker open: the solver is untouchable, yet covered
+# questions still get last-good class-model answers, honestly marked.
+for _ in range(service.breaker.failure_threshold):
+    service.breaker.record_failure()
+assert not service.breaker.allow()
+degraded = call("advise", {"target": 7, "mode": "write", "tasks": 4})
+assert degraded["tier"] == 2 and degraded["degraded"] is True, degraded
+assert degraded["source"] == "last-good-characterization", degraded
+print("OK: tier drill — cold solve 3, analytic repeat 1 "
+      f"(drift {drift:.4f} <= 0.05), class model 2, degraded tier 2")
+EOF
+
+echo
+echo "== faulted soak serves every tier and degrades, never drops"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak \
+    --requests 120 --runs 3 --json > "$A"
+PYTHONPATH=src python - "$A" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+tiers = {int(k): v for k, v in report["tiers"].items()}
+assert report["requests"] == 120, report["requests"]
+assert tiers.get(1, 0) > 0, f"no analytic answers: {tiers}"
+assert tiers.get(2, 0) > 0, f"no class-model answers: {tiers}"
+assert tiers.get(3, 0) > 0, f"no solves: {tiers}"
+assert report["degraded"] > 0, "fault plan never forced a degraded answer"
+print(f"OK: tiers {tiers}, degraded {report['degraded']}, "
+      f"ok {report['ok']} of {report['requests']}")
+EOF

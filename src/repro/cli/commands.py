@@ -484,16 +484,48 @@ def _serve_machine(args: argparse.Namespace):
     return _machine(args)
 
 
+def _warm_targets(machine, spec: "str | None") -> "tuple[int, ...] | None":
+    """Parse ``--warm``: ``None`` (device nodes), ``'all'``, or id list."""
+    if spec is None:
+        return None
+    text = spec.strip().lower()
+    if text == "all":
+        return tuple(machine.node_ids)
+    try:
+        targets = tuple(
+            int(part) for part in text.split(",") if part.strip()
+        )
+    except ValueError:
+        raise ReproError(
+            f"--warm must be 'all' or comma-separated node ids, got {spec!r}"
+        ) from None
+    if not targets:
+        raise ReproError(
+            f"--warm must name at least one node, got {spec!r}"
+        )
+    unknown = [t for t in targets if t not in machine.node_ids]
+    if unknown:
+        raise ReproError(
+            f"--warm names nodes {unknown} not on {machine.name!r} "
+            f"(nodes {list(machine.node_ids)})"
+        )
+    return targets
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro-numa serve``: the placement-advisory JSON-RPC service.
 
     Three modes: ``--soak`` runs the deterministic chaos soak and exits
     nonzero unless every request was answered exactly once (and, with
     the fault window on, the breaker recovered); ``--stdio`` answers
-    line requests serially on stdin/stdout; the default binds the
-    asyncio TCP transport and serves until interrupted.
+    line requests serially on stdin/stdout (on a logical clock, so the
+    response stream — tier and staleness tags included — is a pure
+    function of the request stream); the default binds the asyncio TCP
+    transport, warms tiers 1–2 in the background (``ready`` stays false
+    until warmup completes), and serves until interrupted.
     """
     import asyncio
+    import sys
 
     from repro.rng import DEFAULT_SEED
     from repro.service import (
@@ -505,6 +537,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         run_soak,
         serve_stdio,
     )
+    from repro.service.soak import LogicalClock
 
     if args.soak:
         import json
@@ -536,22 +569,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         solver_pool = FabricPool(jobs=args.solver_pool)
     try:
+        warm = _warm_targets(machine, getattr(args, "warm", None))
         backend = AdvisoryBackend(
             machine,
             registry=_registry(args),
             runs=args.runs,
             solver_pool=solver_pool,
+            tier_max_staleness_s=getattr(args, "tier_max_staleness", None),
         )
+
+        if args.stdio:
+            # A logical clock ticking once per answered line keeps the
+            # response stream (staleness tags included) byte-stable.
+            service = PlacementService(
+                backend,
+                breaker=CircuitBreaker(
+                    failure_threshold=args.failure_threshold
+                ),
+                clock=LogicalClock(),
+            )
+            backend.warm(warm)
+            serve_stdio(service)
+            return 0
+
         service = PlacementService(
             backend,
             breaker=CircuitBreaker(failure_threshold=args.failure_threshold),
         )
-        backend.warm()
-
-        if args.stdio:
-            serve_stdio(service)
-            return 0
-
         config = ServiceConfig(
             host=args.host,
             port=args.port,
@@ -562,6 +606,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         async def _run() -> None:
             server = AsyncPlacementServer(service, config)
+            # Warm off-loop so the listener binds immediately; 'ready'
+            # answers false until the warmup thread completes.
+            warm_task = asyncio.create_task(
+                asyncio.to_thread(backend.warm, warm)
+            )
+
+            def _warm_done(task: "asyncio.Task") -> None:
+                if task.cancelled():
+                    return
+                exc = task.exception()
+                if exc is not None:
+                    print(
+                        f"warmup failed: {type(exc).__name__}: {exc}",
+                        file=sys.stderr, flush=True,
+                    )
+
+            warm_task.add_done_callback(_warm_done)
             await server.start()
             print(
                 f"serving {machine.name} on {config.host}:{server.port} "
@@ -571,6 +632,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             try:
                 await server.serve_forever()
             finally:
+                if not warm_task.done():
+                    warm_task.cancel()
                 await server.drain()
 
         try:

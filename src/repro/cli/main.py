@@ -239,6 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--solver-pool", type=int, default=None, metavar="N",
                    help="build cold models in N fabric worker processes "
                         "(shared-memory arenas) instead of in-process")
+    p.add_argument("--tier-max-staleness", dest="tier_max_staleness",
+                   type=float, default=None, metavar="S",
+                   help="re-characterize when tier 1-2 cache entries are "
+                        "older than S seconds (default: never stale)")
+    p.add_argument("--warm", default=None, metavar="TARGETS",
+                   help="pre-characterize at startup: 'all' or "
+                        "comma-separated node ids (default: device nodes); "
+                        "'ready' stays false until warmup completes")
     p.add_argument("--soak", action="store_true",
                    help="run the deterministic chaos soak instead of serving")
     p.add_argument("--requests", type=int, default=120,

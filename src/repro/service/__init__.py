@@ -7,6 +7,13 @@ Stdlib-only asyncio JSON-RPC over TCP or stdio, backed by the warm
 :class:`~repro.solver.session.SolverSession` registry so repeated
 placement queries amortise capacity and allocation caches.
 
+Answers flow through a **three-tier answer path**
+(:mod:`repro.service.tiers`): an analytic closed-form fit (tier 1,
+microseconds), memoized class snapshots (tier 2, bit-identical to the
+solver path), and the full Algorithm 1 solve (tier 3) that refreshes
+the fast tiers — every response tagged ``{"tier", "staleness_s"}``,
+identical in-flight solves coalesced onto one pending build.
+
 The robustness machinery is the point:
 
 * schema-validated requests with **typed errors** (never a traceback
@@ -26,11 +33,21 @@ from repro.service.breaker import CircuitBreaker
 from repro.service.protocol import (
     ERROR_CODES,
     METHODS,
+    TIER_NAMES,
     decode_request,
     encode_message,
     error_response,
     result_response,
     validate_params,
+)
+from repro.service.tiers import (
+    TIER_ANALYTIC,
+    TIER_CLASS,
+    TIER_SOLVE,
+    AnalyticFit,
+    TierEntry,
+    TierStore,
+    stamp_tier,
 )
 from repro.service.server import (
     AsyncPlacementServer,
@@ -47,6 +64,14 @@ __all__ = [
     "CircuitBreaker",
     "ERROR_CODES",
     "METHODS",
+    "TIER_NAMES",
+    "TIER_ANALYTIC",
+    "TIER_CLASS",
+    "TIER_SOLVE",
+    "AnalyticFit",
+    "TierEntry",
+    "TierStore",
+    "stamp_tier",
     "decode_request",
     "encode_message",
     "error_response",

@@ -1,4 +1,4 @@
-"""The advisory backend: models, warm sessions, and last-good answers.
+"""The advisory backend: tiers, warm sessions, and coalesced solves.
 
 The backend owns everything behind the wire protocol:
 
@@ -10,12 +10,30 @@ The backend owns everything behind the wire protocol:
   ``(fingerprint, target, mode)``; a faulted machine view has a new
   fingerprint, so fault injection naturally invalidates models without
   touching the healthy entries;
-* the **last-good snapshot** — every successful characterization
-  records its class-level summary (:class:`ClassSnapshot`).  When the
-  circuit breaker is open, the service answers *from these snapshots*:
-  class-level placement, classification and Eq. 1 prediction that need
-  no solver at all.  That is the Dynamo-style contract: always
-  answerable, possibly degraded.
+* the **tier store** (:class:`~repro.service.tiers.TierStore`) — every
+  successful characterization refreshes an always-warm cache holding
+  the class snapshot, the exact per-node values, and the tier-1
+  analytic fit.  Live answers come from the fastest tier that can
+  serve them honestly:
+
+  - **tier 1** — ``predict_eq1`` from the analytic per-class fit
+    (pure arithmetic, microseconds);
+  - **tier 2** — ``advise``/``classify`` from the memoized snapshot
+    (bit-identical to the solver path, no solver touched) and ``plan``
+    from the per-weight memo;
+  - **tier 3** — a full Algorithm 1 solve, which refreshes tiers 1–2.
+
+  When the circuit breaker is open the *same* store serves last-good
+  answers (fingerprint- and staleness-blind, marked ``degraded:
+  true``).  That is the Dynamo-style contract: always answerable,
+  possibly degraded — and every answer carries ``{"tier", "staleness_s"}``
+  so callers can see which contract they got.
+
+* **single-flight coalescing** — identical in-flight
+  ``(fingerprint, target, mode)`` solves collapse onto one pending
+  build: one leader solves, every waiter blocks on the same flight and
+  receives the same model (or re-raises the same typed failure).
+  ``coalesced`` counts the waiters (obs: ``service.coalesced``).
 
 Backend calls raise :class:`~repro.errors.ServiceError` for caller
 mistakes (unknown node, bad stream list) and let solver-layer errors
@@ -24,6 +42,8 @@ mistakes (unknown node, bad stream list) and let solver-layer errors
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -33,12 +53,24 @@ from repro.core.model import IOPerformanceModel
 from repro.core.scheduler_advisor import PlacementAdvisor
 from repro.errors import (
     FaultError,
+    ModelError,
     RoutingError,
     ServiceError,
     SimulationError,
     TopologyError,
 )
+from repro.obs import recorder as _obs
 from repro.rng import RngRegistry
+from repro.service.protocol import encode_wire
+from repro.service.tiers import (
+    TIER_CLASS,
+    TIER_SOLVE,
+    TIER_ANALYTIC,
+    TierStore,
+    WireAnswer,
+    stamp_tier,
+    wire_gbps,
+)
 from repro.solver.capacity import machine_fingerprint
 from repro.solver.session import SolverSession, get_session
 from repro.topology.machine import Machine
@@ -97,7 +129,7 @@ class SessionPool:
 
 @dataclass(frozen=True)
 class ClassSnapshot:
-    """Class-level summary of one characterization — the degraded answer.
+    """Class-level summary of one characterization — the tier-2 answer.
 
     ``classes`` rows are ``(rank, node_ids, avg, lo, hi)`` in rank
     order: everything a class-level placement, classification or Eq. 1
@@ -143,7 +175,7 @@ class ClassSnapshot:
         )
 
     def to_dict(self) -> dict:
-        """JSON-able form (the ``classify`` degraded payload)."""
+        """JSON-able form (the ``classify`` payload body)."""
         return {
             "machine": self.machine_name,
             "target": self.target_node,
@@ -152,17 +184,28 @@ class ClassSnapshot:
                 {
                     "rank": rank,
                     "node_ids": list(node_ids),
-                    "avg_gbps": avg,
-                    "lo_gbps": lo,
-                    "hi_gbps": hi,
+                    "avg_gbps": wire_gbps(avg),
+                    "lo_gbps": wire_gbps(lo),
+                    "hi_gbps": wire_gbps(hi),
                 }
                 for rank, node_ids, avg, lo, hi in self.classes
             ],
         }
 
 
+class _Flight:
+    """One in-flight solve: a leader builds, waiters share the outcome."""
+
+    __slots__ = ("event", "model", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.model: IOPerformanceModel | None = None
+        self.error: BaseException | None = None
+
+
 class AdvisoryBackend:
-    """Placement answers over one host, fault-swappable, degradable.
+    """Placement answers over one host, tiered, fault-swappable, degradable.
 
     Parameters
     ----------
@@ -183,6 +226,15 @@ class AdvisoryBackend:
         stalls) instead of in-process.  Results are bit-identical either
         way, so the tier is a latency knob, not a semantics knob; solver
         failures keep their types so the breaker counts them unchanged.
+    clock:
+        Monotonic seconds for staleness accounting.  The service
+        transport overwrites this with its own clock, so the chaos
+        soak's logical clock flows through with no extra plumbing.
+    tier_max_staleness_s:
+        Entries older than this stop serving tiers 1–2 and the next
+        request re-characterizes (tier 3).  ``None`` (the default)
+        means entries never go stale — only a fingerprint change
+        (fault injection) bypasses the fast tiers.
     """
 
     def __init__(
@@ -193,18 +245,34 @@ class AdvisoryBackend:
         pool: SessionPool | None = None,
         model_cache: int = 32,
         solver_pool=None,
+        clock=time.monotonic,
+        tier_max_staleness_s: "float | None" = None,
     ) -> None:
         self.healthy_machine = machine
         self.machine = machine
+        self._node_set = frozenset(machine.node_ids)
         self.registry = registry if registry is not None else RngRegistry()
         self.runs = runs
         self.pool = pool if pool is not None else SessionPool()
         self.solver_pool = solver_pool
+        self.clock = clock
+        self.tier_max_staleness_s = tier_max_staleness_s
         self._model_cache_size = model_cache
         self._models: OrderedDict[tuple[str, int, str], IOPerformanceModel]
         self._models = OrderedDict()
-        self._last_good: dict[tuple[int, str], ClassSnapshot] = {}
-        self._last_good_plans: dict[float, dict] = {}
+        self.tiers = TierStore()
+        # fingerprint -> (per-node AttachmentScores, refreshed_at): the
+        # weight-independent base every plan answer is arithmetic over.
+        self._plan_base_memo: OrderedDict[str, tuple[tuple, float]]
+        self._plan_base_memo = OrderedDict()
+        self._plan_base_size = 8
+        self._last_good_plans: OrderedDict[float, tuple[dict, float]]
+        self._last_good_plans = OrderedDict()
+        self._last_good_plans_size = 64
+        self._flight_lock = threading.Lock()
+        self._inflight: dict[tuple[str, int, str], _Flight] = {}
+        self.solves = 0
+        self.coalesced = 0
         self.warmed = False
 
     # --- machine lifecycle -------------------------------------------------
@@ -212,7 +280,7 @@ class AdvisoryBackend:
         """Swap the live machine view (fault injection / recovery).
 
         Model and session caches are fingerprint-keyed so nothing is
-        dropped; last-good snapshots survive by design — they are the
+        dropped; tier-store entries survive by design — they are the
         degraded answers served while the new view is unsolvable.
         """
         self.machine = machine
@@ -223,7 +291,7 @@ class AdvisoryBackend:
 
     # --- characterization --------------------------------------------------
     def _check_node(self, node: int, what: str) -> None:
-        if node not in self.healthy_machine.node_ids:
+        if node not in self._node_set:
             raise ServiceError(
                 "invalid_params",
                 f"{what} {node} is not a node of "
@@ -232,35 +300,90 @@ class AdvisoryBackend:
                 data={"param": what},
             )
 
+    def _solve_model(self, target: int, mode: str) -> IOPerformanceModel:
+        """One genuine tier-3 solve (in-process or via the fabric pool)."""
+        self.solves += 1
+        session = self.pool.acquire(self.machine)  # warm the capacity cache
+        if self.solver_pool is not None:
+            return self.solver_pool.build_model(
+                self.machine, target, mode,
+                registry=self.registry, runs=self.runs,
+            )
+        builder = IOModelBuilder(
+            self.machine, registry=self.registry, runs=self.runs
+        )
+        builder.session = session  # reuse the pinned warm session
+        return builder.build(target, mode)
+
+    def _refresh_tiers(self, model: IOPerformanceModel, fingerprint: str) -> None:
+        """Fold a completed solve into the tier store (tiers 1–2 warm)."""
+        self.tiers.refresh(
+            ClassSnapshot.from_model(model), model, self.machine,
+            fingerprint, self.clock(),
+        )
+
+    def _stale(self, target: int, mode: str, fingerprint: str) -> bool:
+        if self.tier_max_staleness_s is None:
+            return False
+        entry = self.tiers.entries.get((target, mode))
+        return (
+            entry is not None
+            and entry.fingerprint == fingerprint
+            and entry.staleness(self.clock()) > self.tier_max_staleness_s
+        )
+
     def model(self, target: int, mode: str) -> IOPerformanceModel:
         """The (cached) Algorithm 1 model for ``(target, mode)``.
 
-        A successful build refreshes the last-good snapshot; a solver
-        failure propagates for the breaker to count.
+        Single-flight: identical concurrent builds collapse onto one
+        pending solve — the leader builds and refreshes tiers 1–2,
+        waiters share the model (or re-raise the same typed failure,
+        which the breaker counts per request, honestly).  A stale tier
+        entry evicts the cached model first, so ``tier_max_staleness_s``
+        forces a genuine re-characterization.
         """
         self._check_node(target, "target")
-        session = self.pool.acquire(self.machine)  # warm the capacity cache
-        key = (machine_fingerprint(self.machine), target, mode)
-        model = self._models.get(key)
-        if model is None:
-            if self.solver_pool is not None:
-                model = self.solver_pool.build_model(
-                    self.machine, target, mode,
-                    registry=self.registry, runs=self.runs,
-                )
-            else:
-                builder = IOModelBuilder(
-                    self.machine, registry=self.registry, runs=self.runs
-                )
-                builder.session = session  # reuse the pinned warm session
-                model = builder.build(target, mode)
-            self._models[key] = model
-            while len(self._models) > self._model_cache_size:
-                self._models.popitem(last=False)
+        fingerprint = machine_fingerprint(self.machine)
+        key = (fingerprint, target, mode)
+        with self._flight_lock:
+            model = self._models.get(key)
+            if model is not None:
+                if self._stale(target, mode, fingerprint):
+                    del self._models[key]
+                    self.tiers.stale_evictions += 1
+                else:
+                    self._models.move_to_end(key)
+                    return model
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+        if not leader:
+            self.coalesced += 1
+            _obs.count("service.coalesced")
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.model is not None
+            return flight.model
+        try:
+            model = self._solve_model(target, mode)
+        except BaseException as exc:
+            flight.error = exc
+            raise
         else:
-            self._models.move_to_end(key)
-        self._last_good[(target, mode)] = ClassSnapshot.from_model(model)
-        return model
+            flight.model = model
+            with self._flight_lock:
+                self._models[key] = model
+                while len(self._models) > self._model_cache_size:
+                    self._models.popitem(last=False)
+            self._refresh_tiers(model, fingerprint)
+            return model
+        finally:
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
 
     def warm(self, targets: "tuple[int, ...] | None" = None) -> None:
         """Pre-build both models for ``targets`` (device nodes by default)."""
@@ -275,6 +398,13 @@ class AdvisoryBackend:
         self.warmed = True
 
     # --- live answers ------------------------------------------------------
+    def _entry(self, target: int, mode: str):
+        """The fresh tier entry for live answers, or ``None``."""
+        return self.tiers.fresh(
+            target, mode, machine_fingerprint(self.machine),
+            self.clock(), self.tier_max_staleness_s,
+        )
+
     def advise(
         self,
         target: int,
@@ -283,11 +413,18 @@ class AdvisoryBackend:
         avoid_irq_node: bool = False,
         tolerance: float = 0.05,
     ) -> dict:
-        """Full class-aware placement over the live machine."""
+        """Class-aware placement: tier 2 from the snapshot, else tier 3."""
+        self._check_node(target, "target")
+        entry = self._entry(target, mode)
+        if entry is not None:
+            return stamp_tier(
+                entry.advise_payload(tasks, avoid_irq_node, tolerance),
+                TIER_CLASS, entry.staleness(self.clock()),
+            )
         model = self.model(target, mode)
         advisor = PlacementAdvisor(self.machine, model, tolerance=tolerance)
         plan = advisor.advise(tasks, avoid_irq_node=avoid_irq_node)
-        return {
+        return stamp_tier({
             "degraded": False,
             "source": "characterization",
             "machine": self.machine.name,
@@ -298,36 +435,125 @@ class AdvisoryBackend:
             },
             "classes_used": list(plan.classes_used),
             "stream_nodes": plan.stream_nodes(),
-        }
+        }, TIER_SOLVE, 0.0)
+
+    def _plan_base(self) -> tuple[tuple, float, bool, str]:
+        """The weight-independent per-node plan scores for the live machine.
+
+        Returns ``(rows, staleness_s, fresh, header)`` where each row is
+        ``(node, write_mean, read_mean, wire_template, wire_tail)`` —
+        full-precision means for the weight blend, a pre-rounded wire
+        dict, and that dict's encoding minus its leading brace (ranking
+        rows on the wire lead with the weight-blended ``combined_gbps``,
+        the one varying value, so a warm answer is spliced from these
+        constant tails).  ``header`` is the constant result prefix up to
+        the ranking list.  Memoized per fingerprint (the per-node
+        DMA-path means are pure topology, no weight in them), so every
+        plan answer after the first is arithmetic over precomputed
+        coefficients — tier 1.
+        """
+        fingerprint = machine_fingerprint(self.machine)
+        now = self.clock()
+        memo = self._plan_base_memo.get(fingerprint)
+        if memo is not None:
+            rows, at, header = memo
+            if (
+                self.tier_max_staleness_s is None
+                or now - at <= self.tier_max_staleness_s
+            ):
+                self._plan_base_memo.move_to_end(fingerprint)
+                return rows, now - at, False, header
+        planner = DeviceAttachmentPlanner(self.machine)
+        rows = []
+        for s in (planner.score(n) for n in self.machine.node_ids):
+            template = {
+                "node": s.node,
+                "write_mean_gbps": wire_gbps(s.write_mean_gbps),
+                "read_mean_gbps": wire_gbps(s.read_mean_gbps),
+            }
+            rows.append((
+                s.node,
+                s.write_mean_gbps,
+                s.read_mean_gbps,
+                template,
+                # '{"combined_gbps":<v>' + this tail = one ranking row.
+                "," + encode_wire(template)[1:],
+            ))
+        rows = tuple(rows)
+        header = (
+            ',"degraded":false,"machine":'
+            + encode_wire(self.machine.name) + ',"ranking":['
+        )
+        self._plan_base_memo[fingerprint] = (rows, now, header)
+        while len(self._plan_base_memo) > self._plan_base_size:
+            self._plan_base_memo.popitem(last=False)
+        return rows, 0.0, True, header
 
     def plan(self, write_weight: float = 0.5) -> dict:
-        """Analytic device-attachment ranking over the live machine."""
-        planner = DeviceAttachmentPlanner(self.machine, write_weight=write_weight)
-        scores = [planner.score(n) for n in self.machine.node_ids]
-        scores.sort(key=lambda s: (-s.combined_gbps, s.node))
+        """Analytic device-attachment ranking: tier 1 once the base is warm."""
+        weight = float(write_weight)
+        if not 0 <= weight <= 1:
+            raise ModelError(f"write_weight must be in [0, 1], got {write_weight}")
+        base, staleness, fresh, header = self._plan_base()
+        scored = [
+            (weight * write + (1.0 - weight) * read, node, template, tail)
+            for node, write, read, template, tail in base
+        ]
+        scored.sort(key=lambda row: (-row[0], row[1]))
+        ranking = [
+            (wire_gbps(combined), template, tail)
+            for combined, _node, template, tail in scored
+        ]
         result = {
             "degraded": False,
-            "source": "characterization",
+            "source": "characterization" if fresh else "analytic-base",
             "machine": self.machine.name,
             "write_weight": write_weight,
-            "best_node": scores[0].node,
+            "best_node": scored[0][1],
             "ranking": [
-                {
-                    "node": s.node,
-                    "combined_gbps": s.combined_gbps,
-                    "write_mean_gbps": s.write_mean_gbps,
-                    "read_mean_gbps": s.read_mean_gbps,
-                }
-                for s in scores
+                dict(template, combined_gbps=combined)
+                for combined, template, _tail in ranking
             ],
         }
-        self._last_good_plans[round(float(write_weight), 9)] = result
-        return result
+        self._last_good_plans[round(weight, 9)] = (result, self.clock())
+        while len(self._last_good_plans) > self._last_good_plans_size:
+            self._last_good_plans.popitem(last=False)
+        if fresh:
+            return stamp_tier(dict(result), TIER_SOLVE, staleness)
+        # Warm answers splice pre-encoded fragments: the only varying
+        # bytes are best_node, the blended combined_gbps per row, the
+        # echoed weight and the staleness the server splices in.
+        answer = WireAnswer(result)
+        answer.wire_pre = (
+            '{"best_node":' + str(scored[0][1]) + header
+            + ",".join(
+                '{"combined_gbps":' + repr(combined) + tail
+                for combined, _template, tail in ranking
+            )
+            + '],"source":"analytic-base","staleness_s":'
+        )
+        answer.wire_post = (
+            ',"tier":1,"write_weight":' + repr(write_weight) + "}"
+        )
+        return stamp_tier(answer, TIER_ANALYTIC, staleness)
 
     def predict_eq1(self, target: int, mode: str, streams: list[int]) -> dict:
-        """Eq. 1 aggregate prediction from the memcpy class model."""
+        """Eq. 1 aggregate prediction: tier 1 analytic, else tier 3 exact.
+
+        The analytic answer carries ``fit_rel_err_bound`` — the fit's
+        measured worst-case relative deviation from the exact Eq. 1
+        class coefficients it was fitted from.
+        """
         for node in streams:
             self._check_node(node, "stream node")
+        self._check_node(target, "target")
+        entry = self._entry(target, mode)
+        if entry is not None:
+            payload = entry.analytic_predict(streams)
+            if payload is not None:
+                return stamp_tier(
+                    payload, TIER_ANALYTIC, entry.staleness(self.clock())
+                )
         model = self.model(target, mode)
         alpha: dict[int, float] = {}
         for node in streams:
@@ -338,109 +564,86 @@ class AdvisoryBackend:
         predicted = sum(
             (share / total) * avgs[rank] for rank, share in alpha.items()
         )
-        return {
+        return stamp_tier({
             "degraded": False,
             "source": "characterization",
             "machine": self.machine.name,
             "target": target,
             "mode": mode,
             "streams": list(streams),
-            "predicted_gbps": predicted,
+            "predicted_gbps": wire_gbps(predicted),
             "class_fractions": {
-                str(rank): share / total for rank, share in sorted(alpha.items())
+                str(rank): wire_gbps(share / total)
+                for rank, share in sorted(alpha.items())
             },
-        }
+        }, TIER_SOLVE, 0.0)
 
     def classify(self, target: int, mode: str) -> dict:
-        """The class structure for ``(target, mode)`` on the live machine."""
+        """The class structure for ``(target, mode)``: tier 2, else tier 3."""
+        self._check_node(target, "target")
+        entry = self._entry(target, mode)
+        if entry is not None:
+            return stamp_tier(
+                entry.classify_payload(), TIER_CLASS,
+                entry.staleness(self.clock()),
+            )
         model = self.model(target, mode)
         payload = ClassSnapshot.from_model(model).to_dict()
-        payload["values"] = {str(n): v for n, v in sorted(model.values.items())}
+        payload["values"] = {
+            str(n): wire_gbps(v) for n, v in sorted(model.values.items())
+        }
         payload["degraded"] = False
         payload["source"] = "characterization"
-        return payload
+        return stamp_tier(payload, TIER_SOLVE, 0.0)
 
     # --- degraded answers --------------------------------------------------
     def snapshot(self, target: int, mode: str) -> "ClassSnapshot | None":
         """The last-good snapshot for ``(target, mode)``, if any."""
-        return self._last_good.get((target, mode))
+        entry = self.tiers.last_good(target, mode)
+        return entry.snapshot if entry is not None else None
 
     def degraded_answer(self, method: str, params: dict) -> "dict | None":
-        """A class-level answer from the last-good characterization.
+        """A class-level answer from the last-good tier entry.
 
-        Returns ``None`` when no snapshot covers the request — the
+        Returns ``None`` when no entry covers the request — the
         dispatcher then refuses with a typed ``unavailable`` error.
-        Every answer is marked ``degraded: true`` with its provenance.
+        Every answer is marked ``degraded: true`` with its provenance,
+        tagged tier 2 with its true (possibly large) staleness; the
+        lookup is fingerprint- and staleness-blind on purpose — while
+        the breaker is open, the freshest snapshot we ever had *is*
+        the answer.
         """
+        now = self.clock()
         if method == "plan":
             cached = self._last_good_plans.get(
                 round(float(params["write_weight"]), 9)
             )
             if cached is None:
                 return None
-            return dict(
-                cached, degraded=True, source="last-good-characterization"
+            payload, at = cached
+            return stamp_tier(
+                dict(payload, degraded=True,
+                     source="last-good-characterization"),
+                TIER_CLASS, now - at,
             )
         if method not in ("advise", "predict_eq1", "classify"):
             return None
-        snapshot = self.snapshot(params["target"], params["mode"])
-        if snapshot is None:
+        entry = self.tiers.last_good(params["target"], params["mode"])
+        if entry is None:
             return None
         if method == "classify":
-            payload = snapshot.to_dict()
-            payload["degraded"] = True
-            payload["source"] = "last-good-characterization"
-            return payload
-        if method == "advise":
-            ranks = set(snapshot.equivalent_classes(params["tolerance"]))
-            avgs = snapshot.class_avgs()
-            nodes: list[int] = []
-            for rank, node_ids, _avg, _lo, _hi in sorted(
-                snapshot.classes, key=lambda row: -avgs[row[0]]
-            ):
-                if rank in ranks:
-                    nodes.extend(node_ids)
-            if params["avoid_irq_node"] and len(nodes) > 1:
-                nodes = [n for n in nodes if n != snapshot.target_node]
-            placement = {n: 0 for n in nodes}
-            for i in range(params["tasks"]):
-                placement[nodes[i % len(nodes)]] += 1
-            stream_nodes: list[int] = []
-            for node in sorted(placement):
-                stream_nodes.extend([node] * placement[node])
-            return {
-                "degraded": True,
-                "source": "last-good-characterization",
-                "machine": snapshot.machine_name,
-                "target": params["target"],
-                "mode": params["mode"],
-                "tasks_per_node": {
-                    str(n): c for n, c in sorted(placement.items()) if c
-                },
-                "classes_used": list(ranks and sorted(ranks)),
-                "stream_nodes": stream_nodes,
-            }
-        # predict_eq1
-        alpha: dict[int, float] = {}
-        for node in params["streams"]:
-            rank = snapshot.rank_of(node)
-            if rank is None:
+            payload = entry.classify_payload()
+        elif method == "advise":
+            payload = entry.advise_payload(
+                params["tasks"], params["avoid_irq_node"], params["tolerance"]
+            )
+        else:  # predict_eq1: the exact snapshot mixture, not the fit
+            payload = entry.predict_payload(params["streams"])
+            if payload is None:
                 return None
-            alpha[rank] = alpha.get(rank, 0.0) + 1.0
-        avgs = snapshot.class_avgs()
-        total = sum(alpha.values())
-        predicted = sum(
-            (share / total) * avgs[rank] for rank, share in alpha.items()
-        )
-        return {
-            "degraded": True,
-            "source": "last-good-characterization",
-            "machine": snapshot.machine_name,
-            "target": params["target"],
-            "mode": params["mode"],
-            "streams": list(params["streams"]),
-            "predicted_gbps": predicted,
-            "class_fractions": {
-                str(rank): share / total for rank, share in sorted(alpha.items())
-            },
-        }
+        # Plain-dict copy: the degraded markers invalidate the entry's
+        # pre-encoded wire form, so this must take the full-encode path.
+        payload = dict(payload)
+        payload["degraded"] = True
+        payload["source"] = "last-good-characterization"
+        return stamp_tier(payload, TIER_CLASS, entry.staleness(now))

@@ -24,6 +24,30 @@ kind                 code    meaning
 ``unavailable``      -32003  breaker open and no last-good degraded answer
 ``shutting_down``    -32004  server is draining; retry elsewhere
 ===================  ======  =================================================
+
+Response tiering
+----------------
+
+Every method result (``health``/``ready`` excepted — they are meta)
+carries two extra fields, the tier contract:
+
+=================  ===========================================================
+field              meaning
+=================  ===========================================================
+``tier``           ``1`` analytic fit, ``2`` memoized class model, ``3`` full
+                   Algorithm 1 solve (:data:`TIER_NAMES`)
+``staleness_s``    seconds since the characterization behind the answer was
+                   last refreshed by a completed solve (``0.0`` for tier 3)
+=================  ===========================================================
+
+Degraded answers (breaker open) are tier ``2`` with ``degraded: true``
+and their true — possibly large — staleness; tier-1 answers addition-
+ally carry ``fit_rel_err_bound``, the fit's measured worst-case
+relative deviation from the exact Eq. 1 coefficients.
+
+Bandwidths and ratios on the wire carry six decimals (µGbps /
+micro-fraction precision — far below the characterization noise), so
+responses stay compact and byte-stable across the fast and slow tiers.
 """
 
 from __future__ import annotations
@@ -38,12 +62,16 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ERROR_CODES",
     "METHODS",
+    "TIER_NAMES",
     "Field",
     "decode_request",
     "validate_params",
     "result_response",
     "error_response",
     "encode_message",
+    "wire_fragments",
+    "encode_wire",
+    "encode_result_line",
 ]
 
 PROTOCOL_VERSION = "2.0"
@@ -65,6 +93,9 @@ ERROR_CODES = {
 
 #: Reserved request param understood by the transport, not the methods.
 DEADLINE_PARAM = "deadline_ms"
+
+#: tier tag -> human name, for reports and operator tooling.
+TIER_NAMES = {1: "analytic", 2: "class-model", 3: "solve"}
 
 
 @dataclass(frozen=True)
@@ -113,11 +144,22 @@ def _is_bool(value) -> bool:
     return isinstance(value, bool)
 
 
+#: types tuple -> the same tuple minus ``bool`` (bool subclasses int, so
+#: the non-bool check must exclude it); cached — schemas are static and
+#: this sits on the per-request validation path.
+_NONBOOL_TYPES: dict[tuple, tuple] = {}
+
+
 def _type_ok(value, types: tuple) -> bool:
     """Type check that never lets ``True`` pass as an int (or vice versa)."""
     if _is_bool(value):
         return bool in types
-    return isinstance(value, tuple(t for t in types if t is not bool))
+    nonbool = _NONBOOL_TYPES.get(types)
+    if nonbool is None:
+        nonbool = _NONBOOL_TYPES[types] = tuple(
+            t for t in types if t is not bool
+        )
+    return isinstance(value, nonbool)
 
 
 def _type_names(types: tuple) -> str:
@@ -172,6 +214,35 @@ def _check_field(method: str, name: str, spec: Field, value):
         )
 
 
+def _needs_full_check(spec: Field) -> bool:
+    return (
+        spec.choices is not None
+        or spec.minimum is not None
+        or spec.maximum is not None
+        or spec.below is not None
+        or spec.item_types is not None
+        or spec.nonempty
+    )
+
+
+#: method -> (allowed param names incl. ``deadline_ms``,
+#:            ((name, spec, has-constraints-beyond-type), ...)).
+#: Precompiled once — schemas are static and validation sits on the
+#: per-request path; type-only fields skip the full constraint walk.
+_COMPILED: dict[str, tuple[frozenset, tuple]] = {
+    method: (
+        frozenset(schema) | {DEADLINE_PARAM},
+        tuple(
+            (name, spec, _needs_full_check(spec))
+            for name, spec in schema.items()
+        ),
+    )
+    for method, schema in METHODS.items()
+}
+
+_NO_PARAMS: dict = {}
+
+
 def validate_params(method: str, params: Mapping | None) -> dict:
     """Schema-validate ``params`` for ``method``; returns a filled dict.
 
@@ -179,37 +250,39 @@ def validate_params(method: str, params: Mapping | None) -> dict:
     every violation raises :class:`~repro.errors.ServiceError` of kind
     ``invalid_params`` (or ``method_not_found`` for an unknown method).
     """
-    try:
-        schema = METHODS[method]
-    except KeyError:
+    compiled = _COMPILED.get(method)
+    if compiled is None:
         raise ServiceError(
             "method_not_found",
             f"unknown method {method!r}; choose from {sorted(METHODS)}",
-        ) from None
-    params = dict(params) if params else {}
-    params.pop(DEADLINE_PARAM, None)
-    unknown = [k for k in params if k not in schema]
-    if unknown:
-        raise ServiceError(
-            "invalid_params",
-            f"method {method!r}: unknown param {unknown[0]!r} "
-            f"(accepts {sorted(schema) + [DEADLINE_PARAM]})",
-            data={"param": unknown[0]},
         )
-    out: dict = {}
-    for name, spec in schema.items():
-        if name not in params:
-            if spec.required:
+    allowed, fields = compiled
+    if params:
+        for key in params:
+            if key not in allowed:
                 raise ServiceError(
                     "invalid_params",
-                    f"method {method!r}: missing required param {name!r}",
-                    data={"param": name},
+                    f"method {method!r}: unknown param {key!r} "
+                    f"(accepts {sorted(METHODS[method]) + [DEADLINE_PARAM]})",
+                    data={"param": key},
                 )
+    else:
+        params = _NO_PARAMS
+    out: dict = {}
+    for name, spec, constrained in fields:
+        if name in params:
+            value = params[name]
+            if constrained or not _type_ok(value, spec.types):
+                _check_field(method, name, spec, value)
+            out[name] = value
+        elif spec.required:
+            raise ServiceError(
+                "invalid_params",
+                f"method {method!r}: missing required param {name!r}",
+                data={"param": name},
+            )
+        else:
             out[name] = spec.default
-            continue
-        value = params[name]
-        _check_field(method, name, spec, value)
-        out[name] = value
     return out
 
 
@@ -266,8 +339,15 @@ def decode_request(line: str) -> tuple[Any, str, dict, "float | None"]:
 
 
 def result_response(req_id, result: Mapping) -> dict:
-    """A JSON-RPC success envelope."""
-    return {"jsonrpc": PROTOCOL_VERSION, "id": req_id, "result": dict(result)}
+    """A JSON-RPC success envelope.
+
+    A ``dict`` result (including the pre-encoded answers from the warm
+    tiers) is embedded as-is — the dispatch layer always hands over a
+    fresh payload; other mappings are copied.
+    """
+    if not isinstance(result, dict):
+        result = dict(result)
+    return {"jsonrpc": PROTOCOL_VERSION, "id": req_id, "result": result}
 
 
 def error_response(req_id, exc: ServiceError) -> dict:
@@ -282,6 +362,66 @@ def error_response(req_id, exc: ServiceError) -> dict:
     return {"jsonrpc": PROTOCOL_VERSION, "id": req_id, "error": error}
 
 
+#: The one wire encoder, built once — ``json.dumps`` with keyword
+#: arguments constructs a fresh ``JSONEncoder`` per call, a measurable
+#: cost at tier-1 answer rates.
+_WIRE_ENCODE = json.JSONEncoder(sort_keys=True, separators=(",", ":")).encode
+
+
 def encode_message(message: Mapping) -> str:
     """One wire line (sorted keys, compact separators — byte-stable)."""
-    return json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    return _WIRE_ENCODE(message) + "\n"
+
+
+#: Key token the fragment splitter splices the live staleness around.
+_STALENESS_TOKEN = '"staleness_s":'
+
+#: Envelope glue between the encoded id and the result fragments; the
+#: envelope keys ``id`` < ``jsonrpc`` < ``result`` are spelled in the
+#: sorted order the wire encoder itself would emit.
+_ENVELOPE_MID = ',"jsonrpc":"' + PROTOCOL_VERSION + '","result":'
+
+
+def wire_fragments(payload: Mapping, tier: int) -> tuple[str, str]:
+    """Pre-encode a memoized result, split around the staleness value.
+
+    ``(pre, post)`` is the payload — stamped at ``tier`` — run through
+    the wire encoder once, with the staleness digits excised;
+    :func:`encode_result_line` splices a live staleness (and request
+    id) back in, byte-identical to encoding the stamped dict afresh.
+    Only sound for service payloads: no string value in them ever
+    contains the staleness key token.
+    """
+    stamped = dict(payload)
+    stamped["tier"] = tier
+    stamped["staleness_s"] = 0.0
+    encoded = _WIRE_ENCODE(stamped)
+    start = encoded.index(_STALENESS_TOKEN) + len(_STALENESS_TOKEN)
+    end = start
+    while encoded[end] not in ",}":
+        end += 1
+    return encoded[:start], encoded[end:]
+
+
+def encode_wire(value) -> str:
+    """One value through the wire encoder (no framing newline).
+
+    For pre-computing fragments that splice into
+    :func:`encode_result_line` — same encoder, same bytes.
+    """
+    return _WIRE_ENCODE(value)
+
+
+def encode_result_line(req_id, pre: str, staleness_s: float, post: str) -> str:
+    """A success wire line spliced from pre-encoded result fragments.
+
+    Byte-identical to ``encode_message(result_response(req_id, ...))``
+    for the stamped payload behind ``pre``/``post``: ``repr`` of the
+    (already rounded) staleness float matches the encoder's float
+    formatting, and the envelope glue carries the sorted key order.
+    """
+    rid = str(req_id) if type(req_id) is int else _WIRE_ENCODE(req_id)
+    return (
+        '{"id":' + rid + _ENVELOPE_MID
+        + pre + repr(staleness_s) + post + "}\n"
+    )

@@ -48,10 +48,12 @@ from repro.service.breaker import CircuitBreaker
 from repro.service.protocol import (
     decode_request,
     encode_message,
+    encode_result_line,
     error_response,
     result_response,
     validate_params,
 )
+from repro.service.tiers import WireAnswer
 
 __all__ = [
     "ServiceConfig",
@@ -59,6 +61,10 @@ __all__ = [
     "AsyncPlacementServer",
     "serve_stdio",
 ]
+
+#: Pre-built per-tier counter names — an f-string per answered request
+#: is measurable at tier-1 rates.
+_TIER_COUNTERS = {t: f"service.tier.{t}.answers" for t in (1, 2, 3)}
 
 
 @dataclass(frozen=True)
@@ -106,9 +112,14 @@ class PlacementService:
         self.backend = backend
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.clock = clock
+        # One clock rules the whole stack: staleness tags on tiered
+        # answers tick on the service clock, so the soak's logical
+        # clock makes same-seed twins byte-identical.
+        backend.clock = clock
         self.draining = False
         self.requests = 0
         self.degraded_served = 0
+        self.tier_answers: dict[int, int] = {1: 0, 2: 0, 3: 0}
         self.errors: dict[str, int] = {}
 
     # --- bookkeeping -------------------------------------------------------
@@ -116,6 +127,13 @@ class PlacementService:
         self.errors[exc.kind] = self.errors.get(exc.kind, 0) + 1
         _obs.count(f"service.error.{exc.kind}")
         return error_response(req_id, exc)
+
+    def _note_tier(self, result: dict) -> None:
+        """Account which tier answered (live and degraded results alike)."""
+        tier = result.get("tier")
+        if tier in self.tier_answers:
+            self.tier_answers[tier] += 1
+            _obs.count(_TIER_COUNTERS[tier])
 
     def health_payload(self) -> dict:
         """The ``health`` result: breaker, pools, counters."""
@@ -130,6 +148,16 @@ class PlacementService:
             "degraded_served": self.degraded_served,
             "errors": {k: self.errors[k] for k in sorted(self.errors)},
             "session_pool": self.backend.pool.stats(),
+            "tiers": {
+                "answers": {
+                    str(t): self.tier_answers[t]
+                    for t in sorted(self.tier_answers)
+                },
+                "coalesced": self.backend.coalesced,
+                "solves": self.backend.solves,
+                "max_staleness_s": self.backend.tier_max_staleness_s,
+                "store": self.backend.tiers.stats(self.clock()),
+            },
         }
         solver_pool = getattr(self.backend, "solver_pool", None)
         if solver_pool is not None:
@@ -159,75 +187,82 @@ class PlacementService:
         if answer is not None:
             self.degraded_served += 1
             _obs.count("service.degraded_served")
+            self._note_tier(answer)
             return result_response(req_id, answer)
         return self._error(req_id, exc)
 
     def handle_request(self, req_id, method: str, params, deadline_ms) -> dict:
         """Dispatch one decoded request; always returns a response dict."""
         self.requests += 1
-        _obs.count("service.requests")
-        with _obs.span("service.request", method=method):
-            try:
-                filled = validate_params(method, params)
-            except ServiceError as exc:
-                return self._error(req_id, exc)
-            if method == "health":
-                return result_response(req_id, self.health_payload())
-            if method == "ready":
-                return result_response(req_id, self.ready_payload())
-            if self.draining:
-                return self._error(
-                    req_id,
-                    ServiceError(
-                        "shutting_down", "server is draining; not accepting work"
-                    ),
-                )
-            if deadline_ms is not None and deadline_ms <= 0:
-                return self._error(
-                    req_id,
-                    ServiceError(
-                        "deadline_exceeded",
-                        f"deadline of {deadline_ms} ms expired before dispatch",
-                        data={"deadline_ms": deadline_ms},
-                    ),
-                )
-            if not self.breaker.allow():
+        if _obs.enabled():
+            _obs.count("service.requests")
+            with _obs.span("service.request", method=method):
+                return self._dispatch(req_id, method, params, deadline_ms)
+        return self._dispatch(req_id, method, params, deadline_ms)
+
+    def _dispatch(self, req_id, method: str, params, deadline_ms) -> dict:
+        try:
+            filled = validate_params(method, params)
+        except ServiceError as exc:
+            return self._error(req_id, exc)
+        if method == "health":
+            return result_response(req_id, self.health_payload())
+        if method == "ready":
+            return result_response(req_id, self.ready_payload())
+        if self.draining:
+            return self._error(
+                req_id,
+                ServiceError(
+                    "shutting_down", "server is draining; not accepting work"
+                ),
+            )
+        if deadline_ms is not None and deadline_ms <= 0:
+            return self._error(
+                req_id,
+                ServiceError(
+                    "deadline_exceeded",
+                    f"deadline of {deadline_ms} ms expired before dispatch",
+                    data={"deadline_ms": deadline_ms},
+                ),
+            )
+        if not self.breaker.allow():
+            return self._degraded_or_error(
+                req_id, method, filled,
+                ServiceError(
+                    "unavailable",
+                    f"circuit breaker is {self.breaker.state} and no "
+                    f"last-good characterization covers this request",
+                    data={"breaker": self.breaker.state},
+                ),
+            )
+        try:
+            result = self._execute(method, filled)
+        except ServiceError as exc:
+            # Caller mistake (e.g. unknown node): not a solver failure.
+            return self._error(req_id, exc)
+        except SOLVER_FAILURES as exc:
+            self.breaker.record_failure()
+            _obs.count("service.solver_failures")
+            if self.breaker.state != CircuitBreaker.CLOSED:
                 return self._degraded_or_error(
                     req_id, method, filled,
-                    ServiceError(
-                        "unavailable",
-                        f"circuit breaker is {self.breaker.state} and no "
-                        f"last-good characterization covers this request",
-                        data={"breaker": self.breaker.state},
-                    ),
-                )
-            try:
-                result = self._execute(method, filled)
-            except ServiceError as exc:
-                # Caller mistake (e.g. unknown node): not a solver failure.
-                return self._error(req_id, exc)
-            except SOLVER_FAILURES as exc:
-                self.breaker.record_failure()
-                _obs.count("service.solver_failures")
-                if self.breaker.state != CircuitBreaker.CLOSED:
-                    return self._degraded_or_error(
-                        req_id, method, filled,
-                        ServiceError(
-                            "solver_error",
-                            f"{type(exc).__name__}: {exc}",
-                            data={"breaker": self.breaker.state},
-                        ),
-                    )
-                return self._error(
-                    req_id,
                     ServiceError(
                         "solver_error",
                         f"{type(exc).__name__}: {exc}",
                         data={"breaker": self.breaker.state},
                     ),
                 )
-            self.breaker.record_success()
-            return result_response(req_id, result)
+            return self._error(
+                req_id,
+                ServiceError(
+                    "solver_error",
+                    f"{type(exc).__name__}: {exc}",
+                    data={"breaker": self.breaker.state},
+                ),
+            )
+        self.breaker.record_success()
+        self._note_tier(result)
+        return result_response(req_id, result)
 
     def handle_line(self, line: str) -> str:
         """One wire line in, one wire line out — never a traceback."""
@@ -244,6 +279,15 @@ class PlacementService:
                 req_id,
                 ServiceError("internal_error", f"internal error: {type(exc).__name__}"),
             )
+        result = response.get("result")
+        if type(result) is WireAnswer:
+            # Warm tiers carry their pre-encoded wire form: splice the
+            # request id and live staleness instead of re-encoding —
+            # byte-identical to encode_message on the same envelope.
+            return encode_result_line(
+                response["id"], result.wire_pre,
+                result["staleness_s"], result.wire_post,
+            )
         return encode_message(response)
 
 
@@ -252,10 +296,14 @@ def serve_stdio(service: PlacementService, stdin=None, stdout=None) -> int:
 
     Blank lines are skipped; EOF ends the loop.  Returns the number of
     requests answered.  Strictly serial, so the response stream is a
-    deterministic function of the request stream.
+    deterministic function of the request stream — and when the service
+    runs on a :class:`~repro.service.soak.LogicalClock` (the CLI's
+    stdio mode does), the clock ticks once per answered line, so the
+    ``staleness_s`` tags are a pure function of the request stream too.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    advance = getattr(service.clock, "advance", None)
     answered = 0
     for raw in stdin:
         line = raw.strip()
@@ -264,6 +312,8 @@ def serve_stdio(service: PlacementService, stdin=None, stdout=None) -> int:
         stdout.write(service.handle_line(line))
         stdout.flush()
         answered += 1
+        if advance is not None:
+            advance()
     return answered
 
 

@@ -32,7 +32,7 @@ from repro.retrying import RetryPolicy
 from repro.rng import DEFAULT_SEED, RngRegistry
 from repro.service.backend import AdvisoryBackend
 from repro.service.breaker import CircuitBreaker
-from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.protocol import PROTOCOL_VERSION, TIER_NAMES
 from repro.service.server import PlacementService
 from repro.topology.builders import reference_host
 from repro.topology.machine import Machine
@@ -147,6 +147,7 @@ class SoakReport:
     responses: list[str] = field(default_factory=list)
     ok: int = 0
     degraded: int = 0
+    tiers: dict[int, int] = field(default_factory=dict)
     errors: dict[str, int] = field(default_factory=dict)
     breaker_transitions: list[tuple[float, str]] = field(default_factory=list)
     final_breaker_state: str = CircuitBreaker.CLOSED
@@ -174,6 +175,7 @@ class SoakReport:
             "answered": self.answered,
             "ok": self.ok,
             "degraded": self.degraded,
+            "tiers": {str(t): self.tiers[t] for t in sorted(self.tiers)},
             "errors": {k: self.errors[k] for k in sorted(self.errors)},
             "fault_window": list(self.fault_window) if self.fault_window else None,
             "plan": self.plan_text,
@@ -196,6 +198,9 @@ class SoakReport:
             f"  answered      : {self.answered} "
             f"(ok {self.ok}, degraded {self.degraded}, "
             f"errors {sum(self.errors.values())})",
+            "  tiers         : " + ", ".join(
+                f"{TIER_NAMES[t]} {self.tiers.get(t, 0)}" for t in (1, 2, 3)
+            ),
         ]
         for kind in sorted(self.errors):
             out.append(f"    error[{kind:18s}]: {self.errors[kind]}")
@@ -272,10 +277,14 @@ def run_soak(
         if "error" in payload:
             kind = payload["error"]["kind"]
             report.errors[kind] = report.errors.get(kind, 0) + 1
-        elif payload["result"].get("degraded"):
-            report.degraded += 1
         else:
-            report.ok += 1
+            tier = payload["result"].get("tier")
+            if tier is not None:
+                report.tiers[tier] = report.tiers.get(tier, 0) + 1
+            if payload["result"].get("degraded"):
+                report.degraded += 1
+            else:
+                report.ok += 1
         clock.advance()
     report.breaker_transitions = list(breaker.transitions)
     report.final_breaker_state = breaker.state

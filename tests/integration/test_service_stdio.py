@@ -74,9 +74,13 @@ class TestStdioSession:
         assert "result" in replies[-1]
 
     def test_responses_identical_across_sessions(self, host):
+        from repro.service.soak import LogicalClock
+
         def session():
             backend = AdvisoryBackend(host, registry=RngRegistry(), runs=3)
-            service = PlacementService(backend)
+            # Staleness tags tick on the service clock; a logical clock
+            # makes the stream a pure function of the requests.
+            service = PlacementService(backend, clock=LogicalClock())
             backend.warm((7,))
             return StdioClient(service).call(
                 request(1, "classify", {"target": 7, "mode": "read"}),

@@ -57,13 +57,30 @@ class TestLiveAnswers:
             backend.predict_eq1(target=7, mode="read", streams=[0, 42])
         assert exc.value.kind == "invalid_params"
 
-    def test_predict_matches_class_mixture(self, backend):
+    def test_cold_predict_is_exact_class_mixture(self, backend):
+        # A cold request solves (tier 3) and answers with the exact
+        # Eq. 1 mixture over the freshly built class model.
+        out = backend.predict_eq1(target=7, mode="read", streams=[0, 1])
+        model = backend.model(7, "read")
+        avg = {c.rank: c.avg for c in model.classes}
+        ranks = [model.class_of(n).rank for n in (0, 1)]
+        expected = sum(avg[r] for r in ranks) / 2
+        assert out["tier"] == 3
+        assert out["predicted_gbps"] == pytest.approx(expected)
+
+    def test_warm_predict_matches_mixture_within_fit_bound(self, backend):
         model = backend.model(7, "read")
         out = backend.predict_eq1(target=7, mode="read", streams=[0, 1])
         avg = {c.rank: c.avg for c in model.classes}
         ranks = [model.class_of(n).rank for n in (0, 1)]
         expected = sum(avg[r] for r in ranks) / 2
-        assert out["predicted_gbps"] == pytest.approx(expected)
+        # Warm entry -> the analytic tier answers, within its own
+        # documented error bound of the exact Eq. 1 mixture.
+        assert out["tier"] == 1
+        assert 0.0 <= out["fit_rel_err_bound"] < 0.05
+        assert out["predicted_gbps"] == pytest.approx(
+            expected, rel=max(out["fit_rel_err_bound"], 1e-12)
+        )
 
 
 class TestDegradedAnswers:

@@ -28,9 +28,15 @@ def pool():
 
 
 def test_pooled_answers_match_inline(host, pool):
-    inline = AdvisoryBackend(host, registry=RngRegistry(7), runs=5)
+    from repro.service.soak import LogicalClock
+
+    # Logical clocks pin the staleness tags so the dicts compare equal.
+    inline = AdvisoryBackend(
+        host, registry=RngRegistry(7), runs=5, clock=LogicalClock()
+    )
     pooled = AdvisoryBackend(
-        host, registry=RngRegistry(7), runs=5, solver_pool=pool
+        host, registry=RngRegistry(7), runs=5, solver_pool=pool,
+        clock=LogicalClock(),
     )
     target = host.node_ids[-1]
     for mode in ("write", "read"):

@@ -10,9 +10,11 @@ from repro.service.protocol import (
     METHODS,
     decode_request,
     encode_message,
+    encode_result_line,
     error_response,
     result_response,
     validate_params,
+    wire_fragments,
 )
 
 
@@ -131,3 +133,33 @@ class TestEnvelopes:
         assert set(METHODS) == {
             "advise", "plan", "predict_eq1", "classify", "health", "ready",
         }
+
+
+class TestWireFragments:
+    """The spliced fast path must be byte-identical to full encoding."""
+
+    PAYLOAD = {
+        "machine": "ref-host",
+        "predicted_gbps": 12.345678,
+        "ranking": [{"node": 1, "combined_gbps": 0.1}],
+        "degraded": False,
+    }
+
+    @pytest.mark.parametrize("staleness", [0.0, 0.125, 3.5, 1234.567891])
+    @pytest.mark.parametrize("req_id", [1, 0, -7, "abc-123"])
+    def test_spliced_line_matches_encode_message(self, staleness, req_id):
+        pre, post = wire_fragments(self.PAYLOAD, tier=1)
+        stamped = dict(self.PAYLOAD, tier=1, staleness_s=staleness)
+        expected = encode_message(result_response(req_id, stamped))
+        assert encode_result_line(req_id, pre, staleness, post) == expected
+
+    def test_fragments_do_not_mutate_the_payload(self):
+        payload = dict(self.PAYLOAD)
+        wire_fragments(payload, tier=2)
+        assert payload == self.PAYLOAD
+
+    def test_fragments_split_around_the_staleness_digits(self):
+        pre, post = wire_fragments(self.PAYLOAD, tier=3)
+        assert pre.endswith('"staleness_s":')
+        assert post[0] in ",}"
+        assert '"tier":3' in pre + post

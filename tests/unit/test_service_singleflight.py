@@ -1,0 +1,139 @@
+"""Single-flight coalescing: one solve per identical in-flight request."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.rng import RngRegistry
+from repro.service import AdvisoryBackend
+from repro.service.soak import LogicalClock
+
+
+@pytest.fixture()
+def backend(host):
+    return AdvisoryBackend(
+        host, registry=RngRegistry(), runs=3, clock=LogicalClock()
+    )
+
+
+def _gate_solver(backend):
+    """Make the solver block on an event, reporting when it starts."""
+    started = threading.Event()
+    release = threading.Event()
+    real = backend._solve_model
+
+    def gated(target, mode):
+        started.set()
+        assert release.wait(timeout=30), "test gate never released"
+        return real(target, mode)
+
+    backend._solve_model = gated
+    return started, release
+
+
+def _spin_until(predicate, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.002)
+
+
+def test_identical_requests_share_one_solve(backend):
+    started, release = _gate_solver(backend)
+    results, errors = [], []
+
+    def call():
+        try:
+            results.append(backend.advise(target=7, mode="write", tasks=4))
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    leader = threading.Thread(target=call)
+    leader.start()
+    assert started.wait(timeout=30)
+    followers = [threading.Thread(target=call) for _ in range(4)]
+    for t in followers:
+        t.start()
+    # Every follower must be parked on the leader's flight before the
+    # solve completes — coalesced counts them as they arrive.
+    _spin_until(lambda: backend.coalesced == 4)
+    release.set()
+    leader.join(timeout=30)
+    for t in followers:
+        t.join(timeout=30)
+    assert not errors
+    assert backend.solves == 1
+    assert backend.coalesced == 4
+    assert all(r == results[0] for r in results)
+    assert results[0]["tier"] == 3
+
+
+def test_distinct_requests_do_not_cross_contaminate(backend):
+    started, release = _gate_solver(backend)
+    out = {}
+
+    def call(mode):
+        out[mode] = backend.predict_eq1(target=7, mode=mode, streams=[0, 1])
+
+    writers = threading.Thread(target=call, args=("write",))
+    readers = threading.Thread(target=call, args=("read",))
+    writers.start()
+    assert started.wait(timeout=30)
+    readers.start()
+    _spin_until(lambda: len(backend._inflight) == 2)
+    release.set()
+    writers.join(timeout=30)
+    readers.join(timeout=30)
+    assert backend.solves == 2
+    assert backend.coalesced == 0
+    assert out["write"]["mode"] == "write"
+    assert out["read"]["mode"] == "read"
+    assert out["write"]["predicted_gbps"] != out["read"]["predicted_gbps"]
+
+
+def test_coalesced_failure_propagates_to_every_waiter(backend):
+    started = threading.Event()
+    release = threading.Event()
+
+    def exploding(target, mode):
+        started.set()
+        assert release.wait(timeout=30)
+        raise RoutingError("fabric partitioned mid-characterization")
+
+    backend._solve_model = exploding
+    caught = []
+
+    def call():
+        try:
+            backend.classify(7, "write")
+        except RoutingError as exc:
+            caught.append(exc)
+
+    threads = [threading.Thread(target=call) for _ in range(3)]
+    threads[0].start()
+    assert started.wait(timeout=30)
+    for t in threads[1:]:
+        t.start()
+    _spin_until(lambda: backend.coalesced == 2)
+    release.set()
+    for t in threads:
+        t.join(timeout=30)
+    # Every caller — leader and waiters — got the same typed failure,
+    # so the breaker counts each request honestly.
+    assert len(caught) == 3
+    assert all(c is caught[0] for c in caught)
+
+
+def test_flight_bookkeeping_is_clean_after_both_outcomes(backend):
+    backend.classify(7, "write")
+    assert backend._inflight == {}
+
+    def boom(target, mode):
+        raise RoutingError("no route")
+
+    backend._solve_model = boom
+    with pytest.raises(RoutingError):
+        backend.classify(7, "read")
+    assert backend._inflight == {}

@@ -14,16 +14,31 @@ path (``PlacementService.handle_line``):
 * ``service_tier2_advise`` — warmed ``advise`` answered from the
   memoized class snapshot;
 * ``service_soak_trace`` — per-request latency sustained over the
-  healthy chaos-soak traffic mix (requests/sec in ``extra_info``).
+  healthy chaos-soak traffic mix (requests/sec in ``extra_info``),
+  with the always-on live metrics plane recording (the shipped
+  configuration);
+* ``service_soak_trace_null`` — the same trace through a twin service
+  with a disabled (``NullLivePlane``) plane: the A/B that isolates
+  exactly what always-on recording costs per request (``metrics``
+  requests are filtered out of the throughput trace — serving an
+  exposition call is a feature, not overhead, and is measured on its
+  own as ``service_metrics_call``).
 
-Hard acceptance asserts (the ISSUE 8 bar), checked on every run:
+Hard acceptance asserts (the ISSUE 8 + ISSUE 9 bar), on every run:
 
 * tiered throughput on the soak trace >= 50x the solve-every-request
   baseline;
 * tier-1 p99 latency < 1 ms;
 * analytic-tier predictions within the documented 5% error bound of
   the exact tier-3 Eq. 1 answers on the fig10/table4 targets
-  (reference host, node 7, write and read).
+  (reference host, node 7, write and read);
+* live-plane overhead (null-plane rps vs live-plane rps, same
+  process, interleaved passes) under ``LIVE_OVERHEAD_TOLERANCE``
+  (default 5%);
+* live-metrics-enabled throughput within ``BENCH_BASELINE_TOLERANCE``
+  (default 25%, the bench_gate tolerance) of the committed
+  ``BENCH_service.json`` — the cross-run guard that the metrics plane
+  did not regress serving throughput.
 
 Writes a pytest-benchmark-shaped JSON (``benchmarks[].stats``) so
 ``scripts/bench_gate.py`` can gate regressions; ``bench_smoke.sh``
@@ -38,11 +53,13 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import statistics
 import sys
 import time
 
+from repro.obs.live import NullLivePlane
 from repro.rng import RngRegistry
 from repro.service import AdvisoryBackend, PlacementService
 from repro.service.soak import LogicalClock, build_traffic
@@ -107,24 +124,56 @@ def bench_handle_line(service, line: str, rounds: int) -> list[float]:
     return times
 
 
-def bench_soak_trace(service, traffic: list[str], passes: int = 3) -> list[float]:
+def _trace_pass(service, traffic: list[str]) -> list[float]:
+    times = []
+    for line in traffic:
+        t0 = time.perf_counter()
+        service.handle_line(line)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def _elementwise_min(
+    best: "list[float] | None", times: list[float]
+) -> list[float]:
+    if best is None:
+        return times
+    return [a if a < b else b for a, b in zip(best, times)]
+
+
+def bench_soak_trace(service, traffic: list[str], passes: int = 5) -> list[float]:
     """The same soak traffic mix through the warmed tiered service.
 
-    Runs the full trace ``passes`` times and keeps the fastest pass —
-    the sustained steady state, insulated from one-off scheduler noise
-    (the cold baseline needs no such care: its cost is real work, three
-    orders of magnitude above the jitter).
+    Runs the full trace ``passes`` times and keeps each line's fastest
+    observation.  The per-line minimum is the structural cost of that
+    request; a per-pass sum is hostage to whichever pass caught a
+    scheduler preemption, which on a shared box swings whole passes by
+    tens of percent.  (The cold baseline needs no such care: its cost
+    is real work, three orders of magnitude above the jitter.)
     """
     best: list[float] | None = None
     for _ in range(passes):
-        times = []
-        for line in traffic:
-            t0 = time.perf_counter()
-            service.handle_line(line)
-            times.append(time.perf_counter() - t0)
-        if best is None or sum(times) < sum(best):
-            best = times
+        best = _elementwise_min(best, _trace_pass(service, traffic))
     return best
+
+
+def bench_soak_trace_ab(
+    live_service, null_service, traffic: list[str], passes: int = 9
+) -> tuple[list[float], list[float]]:
+    """Per-line-fastest soak passes for the live/null twin pair.
+
+    Passes are interleaved (live, null, live, null, ...) so a machine
+    load transient cannot systematically favour either side of the
+    overhead A/B, and each side keeps its per-line minimum across
+    passes — the same noise-rejecting estimator as
+    :func:`bench_soak_trace`, applied symmetrically.
+    """
+    best_live: list[float] | None = None
+    best_null: list[float] | None = None
+    for _ in range(passes):
+        best_live = _elementwise_min(best_live, _trace_pass(live_service, traffic))
+        best_null = _elementwise_min(best_null, _trace_pass(null_service, traffic))
+    return best_live, best_null
 
 
 def check_analytic_accuracy(machine) -> dict:
@@ -163,9 +212,32 @@ def check_analytic_accuracy(machine) -> dict:
 
 def main(argv: list[str]) -> int:
     out_path = argv[1] if len(argv) > 1 else "BENCH_service.json"
+    live_tolerance = float(os.environ.get("LIVE_OVERHEAD_TOLERANCE", "0.05"))
+    baseline_tolerance = float(
+        os.environ.get("BENCH_BASELINE_TOLERANCE", "0.25")
+    )
+    # The committed baseline this run must not regress; read it before
+    # the output write below replaces it.
+    committed_rps = None
+    if os.path.exists(out_path):
+        try:
+            with open(out_path, "r", encoding="utf-8") as handle:
+                committed_rps = json.load(handle)["extra_info"][
+                    "soak_trace_rps"
+                ]
+        except (ValueError, KeyError):
+            committed_rps = None
     machine = reference_host()
 
-    traffic = build_traffic(RngRegistry(42), machine, TARGET, 500)
+    # The soak mix now deals a few `metrics` requests; drop them from
+    # the throughput trace so the numbers stay apples-to-apples with
+    # the committed (pre-metrics-method) baseline, and so the live/null
+    # A/B isolates the per-request *recording* tax — the cost of
+    # serving a metrics request is measured separately below.
+    traffic = [
+        line for line in build_traffic(RngRegistry(42), machine, TARGET, 500)
+        if '"method":"metrics"' not in line
+    ]
     solve_times = bench_solve_baseline(machine, traffic)
     solve_mean = statistics.fmean(solve_times)
     baseline_rps = len(solve_times) / sum(solve_times)
@@ -174,15 +246,29 @@ def main(argv: list[str]) -> int:
     service = PlacementService(backend, clock=LogicalClock())
     backend.warm((TARGET,))
 
+    # The overhead twin: identical warm state, disabled metrics plane.
+    null_backend = AdvisoryBackend(machine, registry=RngRegistry(), runs=RUNS)
+    null_service = PlacementService(
+        null_backend, clock=LogicalClock(), live=NullLivePlane()
+    )
+    null_backend.warm((TARGET,))
+
     predict_line = _request(1, "predict_eq1", {
         "target": TARGET, "mode": "read", "streams": [0, 1, 2, 3],
     })
     advise_line = _request(2, "advise", {"target": TARGET, "tasks": 8})
     bench_handle_line(service, predict_line, 200)  # warm the dispatch path
+    bench_handle_line(null_service, predict_line, 200)
     tier1_times = bench_handle_line(service, predict_line, 2000)
     tier2_times = bench_handle_line(service, advise_line, 2000)
-    trace_times = bench_soak_trace(service, traffic)
+    metrics_line = _request(3, "metrics", {})
+    metrics_times = bench_handle_line(service, metrics_line, 500)
+    trace_times, null_trace_times = bench_soak_trace_ab(
+        service, null_service, traffic
+    )
     trace_rps = len(trace_times) / sum(trace_times)
+    null_trace_rps = len(null_trace_times) / sum(null_trace_times)
+    overhead_frac = max(0.0, (null_trace_rps - trace_rps) / null_trace_rps)
     tier1_p99 = _p99(tier1_times)
 
     accuracy = check_analytic_accuracy(machine)
@@ -197,6 +283,18 @@ def main(argv: list[str]) -> int:
         raise SystemExit(
             f"FAIL: tier-1 p99 {tier1_p99 * 1e6:.0f} us >= 1 ms"
         )
+    if overhead_frac > live_tolerance:
+        raise SystemExit(
+            f"FAIL: live metrics plane costs {overhead_frac:.1%} of soak "
+            f"throughput (null {null_trace_rps:.0f} rps vs live "
+            f"{trace_rps:.0f} rps; tolerance {live_tolerance:.0%})"
+        )
+    if committed_rps and trace_rps < committed_rps * (1.0 - baseline_tolerance):
+        raise SystemExit(
+            f"FAIL: live-metrics soak throughput {trace_rps:.0f} rps fell "
+            f"more than {baseline_tolerance:.0%} below the committed "
+            f"baseline {committed_rps:.0f} rps"
+        )
 
     payload = {
         "benchmarks": [
@@ -204,13 +302,21 @@ def main(argv: list[str]) -> int:
             {"name": "service_tier1_predict", "stats": _stats(tier1_times)},
             {"name": "service_tier2_advise", "stats": _stats(tier2_times)},
             {"name": "service_soak_trace", "stats": _stats(trace_times)},
+            {"name": "service_soak_trace_null",
+             "stats": _stats(null_trace_times)},
+            {"name": "service_metrics_call", "stats": _stats(metrics_times)},
         ],
         "extra_info": {
             "baseline_rps": round(baseline_rps, 2),
             "soak_trace_rps": round(trace_rps, 2),
+            "null_soak_trace_rps": round(null_trace_rps, 2),
+            "live_overhead_frac": round(overhead_frac, 4),
+            "live_overhead_tolerance": live_tolerance,
+            "committed_soak_trace_rps": committed_rps,
             "speedup_vs_solve_every_request": round(speedup, 1),
             "tier1_p99_s": tier1_p99,
             "tier2_p99_s": _p99(tier2_times),
+            "metrics_call_p99_s": _p99(metrics_times),
             "analytic_accuracy": accuracy,
             "documented_err_bound": ERR_BOUND,
             "runs_per_probe": RUNS,
@@ -235,11 +341,22 @@ def main(argv: list[str]) -> int:
           f"p99 {_p99(tier2_times) * 1e6:7.1f} us")
     print(f"  soak trace          : {trace_rps:8.1f} req/s "
           f"({speedup:.0f}x the solve-every-request baseline)")
+    print(f"  live-plane overhead : {overhead_frac:7.2%} "
+          f"(null plane {null_trace_rps:8.1f} req/s; "
+          f"tolerance {live_tolerance:.0%})")
+    print(f"  metrics call        : mean "
+          f"{statistics.fmean(metrics_times) * 1e6:7.1f} us, "
+          f"p99 {_p99(metrics_times) * 1e6:7.1f} us")
+    if committed_rps:
+        print(f"  vs committed bench  : {trace_rps / committed_rps:7.2%} "
+              f"of {committed_rps:.1f} req/s "
+              f"(floor {1.0 - baseline_tolerance:.0%})")
     for mode, acc in accuracy.items():
         print(f"  analytic err ({mode:5s}): max {acc['max_rel_err']:.4f}, "
               f"fit bound {acc['fit_rel_err_bound']:.4f} "
               f"(documented <= {ERR_BOUND})")
-    print("OK: >= 50x throughput, tier-1 p99 < 1 ms, analytic within bound")
+    print("OK: >= 50x throughput, tier-1 p99 < 1 ms, analytic within "
+          "bound, live metrics within tolerance")
     return 0
 
 

@@ -63,5 +63,29 @@ if ! grep -q "deterministic twins" "$WORK/diff.txt"; then
     exit 1
 fi
 
+echo "== scrape: deterministic session's exposition matches the golden copy"
+# A scripted stdio session on the logical clock ends with a `metrics`
+# request; its result payload is a pure function of the request stream,
+# so the rendered scrape must be byte-identical to the committed golden.
+TRACE='{"jsonrpc":"2.0","id":1,"method":"classify","params":{"target":7}}
+{"jsonrpc":"2.0","id":2,"method":"advise","params":{"target":7,"tasks":4}}
+{"jsonrpc":"2.0","id":3,"method":"classify","params":{"target":7,"mode":"read"}}
+{"jsonrpc":"2.0","id":4,"method":"advise","params":{"target":99,"tasks":1}}
+{"jsonrpc":"2.0","id":5,"method":"health"}
+{"jsonrpc":"2.0","id":6,"method":"metrics"}'
+printf '%s\n' "$TRACE" | PYTHONPATH=src python -m repro.cli.main --seed 7 \
+    serve --stdio --runs 3 | tail -1 \
+    | PYTHONPATH=src python -c \
+        'import json,sys; print(json.dumps(json.loads(sys.stdin.read())["result"]))' \
+    > "$WORK/metrics.json"
+PYTHONPATH=src python -m repro.cli.main obs scrape \
+    --from-json "$WORK/metrics.json" > "$WORK/scrape.txt"
+if ! cmp -s "$WORK/scrape.txt" scripts/golden/obs_scrape.golden; then
+    echo "FAIL: obs scrape output diverged from scripts/golden/obs_scrape.golden" >&2
+    diff scripts/golden/obs_scrape.golden "$WORK/scrape.txt" >&2 || true
+    exit 1
+fi
+echo "scrape exposition byte-identical to the golden copy"
+
 echo
 echo "obs smoke passed"

@@ -132,6 +132,80 @@ assert tiers.get(1, 0) > 0, f"no analytic answers: {tiers}"
 assert tiers.get(2, 0) > 0, f"no class-model answers: {tiers}"
 assert tiers.get(3, 0) > 0, f"no solves: {tiers}"
 assert report["degraded"] > 0, "fault plan never forced a degraded answer"
+
+# The live plane's counters must agree exactly with the report's own
+# accounting (they ride the same dispatch path on the same clock).
+counters = report["counters"]
+for tier, answered in tiers.items():
+    key = f"service.tier.{tier}.answers"
+    assert counters.get(key, 0) == answered, (key, counters, tiers)
+trips = sum(1 for _, s in report["breaker_transitions"] if s == "open")
+assert counters.get("service.breaker.trips", 0) == trips, counters
+# Mid-fault solves fail outright (LinkFail partitions the fabric), so
+# no faulted characterization ever lands: drift events stay at zero —
+# deterministically — in the soak.  The drift drill below uses a
+# degraded (still solvable) fabric to prove the detector does fire.
+assert report["drift"] is not None and report["drift"]["events"] == 0, (
+    report["drift"]
+)
+assert counters.get("service.drift.events", 0) == 0, counters
 print(f"OK: tiers {tiers}, degraded {report['degraded']}, "
-      f"ok {report['ok']} of {report['requests']}")
+      f"ok {report['ok']} of {report['requests']}; live counters agree "
+      f"(trips {trips}, drift events 0)")
+EOF
+
+echo
+echo "== drift drill: derated fabric past threshold fires the drift watch"
+PYTHONPATH=src python - <<'EOF'
+import json
+
+from repro.faults.events import LinkDegrade
+from repro.faults.plan import FaultedMachine
+from repro.rng import RngRegistry
+from repro.service import AdvisoryBackend, PlacementService
+from repro.service.soak import LogicalClock
+from repro.topology.builders import reference_host
+
+host = reference_host()
+backend = AdvisoryBackend(host, registry=RngRegistry(), runs=3)
+service = PlacementService(backend, clock=LogicalClock())
+backend.warm((7,))  # the reference characterization
+
+
+def call(method, params):
+    line = json.dumps({"jsonrpc": "2.0", "id": 1,
+                       "method": method, "params": params})
+    response = json.loads(service.handle_line(line))
+    assert "result" in response, response
+    return response["result"]
+
+
+for _ in range(4):  # fast-tier answers served off the healthy model
+    call("classify", {"target": 7, "mode": "write"})
+assert service.drift.events == 0
+
+# Derate every cable touching the device node (both directions) to
+# 40%: solves still succeed, but the class bandwidths collapse far
+# past the 10% drift threshold.
+cables = sorted({tuple(sorted(ends)) for ends in host.links if 7 in ends})
+faults = [LinkDegrade(src, dst, 0.4)
+          for a, b in cables for src, dst in ((a, b), (b, a))]
+backend.set_machine(FaultedMachine(host, faults))
+faulted = call("classify", {"target": 7, "mode": "write"})
+assert faulted["tier"] == 3, faulted  # the derated solve itself lands
+
+stats = service.drift.stats()
+assert stats["events"] == 1, stats
+event = stats["last"]
+assert event["target"] == 7 and event["mode"] == "write", event
+assert event["deviation"] > 0.10, event
+assert event["regime"] in ("bandwidth-bound", "contention-bound",
+                           "latency-bound", "reclassified"), event
+assert event["served_answers"] == 4, event
+assert service.live.counters["service.drift.events"] == 1
+flight = [e for e in service.live.flight.events() if e["kind"] == "drift"]
+assert len(flight) == 1 and flight[0]["tags"] == event, flight
+print(f"OK: drift drill — deviation {event['deviation']:.3f} > 0.10, "
+      f"regime {event['regime']}, {event['served_answers']} answers "
+      "exposed, flight-recorder event present")
 EOF

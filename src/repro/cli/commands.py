@@ -596,6 +596,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             backend,
             breaker=CircuitBreaker(failure_threshold=args.failure_threshold),
         )
+        # Black-box evidence on the two paths that need it most: a
+        # breaker trip streams the flight recorder to stderr, and an
+        # unexpected transport crash dumps it on the way down.
+        service.flight_dump_sink = _print_flight_dump
         config = ServiceConfig(
             host=args.host,
             port=args.port,
@@ -640,10 +644,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             asyncio.run(_run())
         except KeyboardInterrupt:
             pass
+        except Exception:
+            service._drain_obs()  # the dump must show the final lines
+            _print_flight_dump(service.live.flight.dump())
+            raise
         return 0
     finally:
         if solver_pool is not None:
             solver_pool.close()
+
+
+def _print_flight_dump(dump: dict) -> None:
+    """Stream a flight-recorder dump to stderr as one JSON document."""
+    import json
+    import sys
+
+    print("--- flight recorder dump ---", file=sys.stderr, flush=True)
+    print(json.dumps(dump, sort_keys=True), file=sys.stderr, flush=True)
 
 
 def cmd_numademo(args: argparse.Namespace) -> int:
@@ -979,6 +996,159 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                     return 4
     else:
         print(render_report(args.dirs[0], top=args.top))
+    return 0
+
+
+def _metrics_call(host: str, port: int, flight: bool = False) -> dict:
+    """Fetch one ``metrics`` result from a live server over TCP."""
+    import json
+    import socket
+
+    from repro.service.protocol import encode_message
+
+    request = encode_message({
+        "jsonrpc": "2.0",
+        "id": 1,
+        "method": "metrics",
+        "params": {"flight": flight} if flight else {},
+    })
+    try:
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(request.encode("utf-8"))
+            with sock.makefile("r", encoding="utf-8") as stream:
+                line = stream.readline()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach a server on {host}:{port}: {exc}"
+        ) from exc
+    if not line:
+        raise ReproError(f"server on {host}:{port} closed without answering")
+    response = json.loads(line)
+    if "error" in response:
+        err = response["error"]
+        raise ReproError(
+            f"metrics call failed: {err.get('kind')}: {err.get('message')}"
+        )
+    return response["result"]
+
+
+def cmd_obs_scrape(args: argparse.Namespace) -> int:
+    """``repro-numa obs scrape``: Prometheus-style text exposition."""
+    import json
+    import sys
+
+    from repro.obs.live import render_scrape
+
+    if getattr(args, "from_json", None):
+        if args.from_json == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.from_json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+    else:
+        payload = _metrics_call(args.host, args.port)
+    sys.stdout.write(render_scrape(payload))
+    return 0
+
+
+def _render_top(payload: dict) -> str:
+    """One ``obs top`` frame: tier mix, percentiles, breaker, pool."""
+    lines = [
+        f"{payload['machine']}  up {payload['uptime_s']:.1f}s  "
+        f"requests {payload['requests']}  "
+        f"degraded {payload['degraded_served']}",
+        f"  breaker : {payload['breaker']['state']} "
+        f"(trips {payload['breaker']['trips']})",
+    ]
+    tiers = payload.get("tiers", {})
+    total = sum(tiers.values()) or 1
+    mix = ", ".join(
+        f"tier {t} {tiers[t]} ({100.0 * tiers[t] / total:.0f}%)"
+        for t in sorted(tiers)
+    )
+    lines.append(f"  tiers   : {mix or '(none answered yet)'}")
+    hists = payload.get("histograms", {})
+    shown = [
+        name for name in sorted(hists)
+        if name.startswith("service.latency.") or "/" not in name
+    ]
+    for name in shown:
+        h = hists[name]
+        lines.append(
+            f"  {name:34s} n={h['count']:<7d} "
+            f"p50={h['p50']:.6f}s p90={h['p90']:.6f}s p99={h['p99']:.6f}s"
+        )
+    drift = payload.get("drift")
+    if drift is not None:
+        lines.append(
+            f"  drift   : {drift['events']} event(s), "
+            f"{drift['watched']} watched, threshold {drift['threshold']}"
+        )
+    pool = payload.get("gauges", {}).get("fabric_pool")
+    if pool:
+        busy = pool["dispatched"] - pool["completed"]
+        lines.append(
+            f"  pool    : {pool['jobs']} worker(s), {busy} in flight, "
+            f"{pool['completed']} completed, {pool['retried']} retried, "
+            f"{pool['abandoned']} abandoned"
+        )
+    occ = payload.get("flight_recorder", {})
+    if occ:
+        lines.append(
+            f"  flight  : {occ['spans']}/{occ['span_capacity']} spans, "
+            f"{occ['events']}/{occ['event_capacity']} events"
+        )
+    return "\n".join(lines)
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """``repro-numa obs top``: poll a live server and render tier mix,
+    latency percentiles, breaker and pool state."""
+    import time as _time
+
+    polls = 0
+    while True:
+        print(_render_top(_metrics_call(args.host, args.port)), flush=True)
+        polls += 1
+        if args.count and polls >= args.count:
+            return 0
+        print(flush=True)
+        try:
+            _time.sleep(max(args.interval, 0.0))
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+
+
+def cmd_obs_tail(args: argparse.Namespace) -> int:
+    """``repro-numa obs tail``: dump a live server's flight recorder."""
+    import json
+
+    payload = _metrics_call(args.host, args.port, flight=True)
+    dump = payload["flight"]
+    if args.json:
+        print(json.dumps(dump, indent=2, sort_keys=True))
+        return 0
+    occ = dump["occupancy"]
+    print(
+        f"flight recorder: {occ['spans']}/{occ['span_capacity']} spans "
+        f"({occ['span_total']} total), "
+        f"{occ['events']}/{occ['event_capacity']} events "
+        f"({occ['event_total']} total)"
+    )
+    spans = dump["spans"][-max(args.spans, 0):]
+    if spans:
+        print("spans (oldest first):")
+        for s in spans:
+            print(
+                f"  #{s['seq']:<6d} t={s['t']:<12.6f} {s['name']:12s} "
+                f"tier={s['tag']}  wall={s['wall_s']:.6f}s"
+            )
+    events = dump["events"][-max(args.events, 0):]
+    if events:
+        print("events (oldest first):")
+        for e in events:
+            tags = json.dumps(e.get("tags"), sort_keys=True)
+            print(f"  #{e['seq']:<6d} t={e['t']:<12.6f} {e['kind']:12s} {tags}")
     return 0
 
 

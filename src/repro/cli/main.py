@@ -300,6 +300,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rp.set_defaults(func=commands.cmd_obs_report)
 
+    def _add_endpoint(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--host", default="127.0.0.1",
+                        help="serve transport address")
+        sp.add_argument("--port", type=int, default=8713,
+                        help="serve transport port")
+
+    sp = obs_sub.add_parser(
+        "scrape",
+        help="Prometheus-style text exposition of a live server's metrics",
+    )
+    _add_endpoint(sp)
+    sp.add_argument(
+        "--from-json", dest="from_json", metavar="FILE",
+        help="render a saved `metrics` result payload instead of polling "
+             "a server ('-' reads stdin)",
+    )
+    sp.set_defaults(func=commands.cmd_obs_scrape)
+
+    sp = obs_sub.add_parser(
+        "top", help="live tier mix / latency percentiles / breaker state"
+    )
+    _add_endpoint(sp)
+    sp.add_argument("--interval", type=float, default=2.0,
+                    help="seconds between polls")
+    sp.add_argument("--count", type=int, default=1,
+                    help="polls before exiting (0 = until interrupted)")
+    sp.set_defaults(func=commands.cmd_obs_top)
+
+    sp = obs_sub.add_parser(
+        "tail", help="dump the flight recorder (recent spans and events)"
+    )
+    _add_endpoint(sp)
+    sp.add_argument("--spans", type=int, default=16,
+                    help="most recent spans to show")
+    sp.add_argument("--events", type=int, default=16,
+                    help="most recent events to show")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the raw flight-recorder dump as JSON")
+    sp.set_defaults(func=commands.cmd_obs_tail)
+
     return parser
 
 

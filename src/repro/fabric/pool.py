@@ -278,6 +278,10 @@ class FabricPool:
         self.retried = 0
         self.abandoned = 0
         self.closed = False
+        #: Optional :class:`repro.obs.live.LivePlane` — when the
+        #: placement service grafts one on, ``build_model`` records its
+        #: wall-clock dispatch latency into ``fabric.dispatch``.
+        self.live = None
         # A SIGKILLed predecessor never ran its atexit sweep; clear its
         # dead-owner segments before publishing under the same names.
         try:
@@ -641,6 +645,13 @@ class FabricPool:
             "mode": mode,
             "builder": dict(builder_kwargs),
         })
-        envelopes = self._run_tasks([task])
+        if self.live is not None:
+            started = time.perf_counter()
+            envelopes = self._run_tasks([task])
+            self.live.record(
+                "fabric.dispatch", time.perf_counter() - started
+            )
+        else:
+            envelopes = self._run_tasks([task])
         self._merge(envelopes, registry, "fabric.build_model")
         return envelopes[0]["result"]

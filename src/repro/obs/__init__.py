@@ -16,11 +16,27 @@ computation).  Three pieces:
   registry state, per-phase timings, metric snapshot) that
   ``repro-numa obs report`` renders and diffs.
 
+The *online* complement lives in :mod:`repro.obs.live`: always-on
+streaming histograms (:class:`Hist`), the bounded
+:class:`FlightRecorder`, the per-process :class:`LivePlane` registry,
+the :class:`DriftWatch` model-drift detector, and
+:func:`render_scrape` — the Prometheus-style exposition behind
+``repro-numa obs scrape`` / ``obs top`` / ``obs tail``.
+
 :class:`SolverStats` lives here too: the solver layer's counter surface
 is an obs-backed view (its phases emit spans), re-exported from
 :mod:`repro.solver.stats` for compatibility.
 """
 
+from repro.obs.live import (
+    DriftWatch,
+    FlightRecorder,
+    Hist,
+    LivePlane,
+    NullLivePlane,
+    classify_regime,
+    render_scrape,
+)
 from repro.obs.metrics import MetricsRegistry, metrics
 from repro.obs.recorder import (
     NullRecorder,
@@ -54,6 +70,13 @@ from repro.obs.report import (
 )
 
 __all__ = [
+    "Hist",
+    "FlightRecorder",
+    "LivePlane",
+    "NullLivePlane",
+    "DriftWatch",
+    "classify_regime",
+    "render_scrape",
     "MetricsRegistry",
     "metrics",
     "NullRecorder",

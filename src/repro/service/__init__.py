@@ -25,7 +25,12 @@ The robustness machinery is the point:
   from the most recent characterization) until half-open probes succeed;
 * graceful **drain** on shutdown;
 * a deterministic **chaos soak** that drives scripted traffic while a
-  :class:`~repro.faults.plan.FaultPlan` fires mid-stream.
+  :class:`~repro.faults.plan.FaultPlan` fires mid-stream;
+* an always-on **live metrics plane** (:mod:`repro.obs.live`): per
+  method/tier latency histograms, a bounded flight recorder dumped on
+  breaker trips and crashes, a model **drift watch** over every tier-3
+  solve, all served by the ``metrics`` method and ``repro-numa obs
+  scrape`` / ``obs top`` / ``obs tail``.
 """
 
 from repro.service.backend import AdvisoryBackend, ClassSnapshot, SessionPool

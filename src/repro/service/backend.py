@@ -60,6 +60,7 @@ from repro.errors import (
     TopologyError,
 )
 from repro.obs import recorder as _obs
+from repro.obs.live import NullLivePlane
 from repro.rng import RngRegistry
 from repro.service.protocol import encode_wire
 from repro.service.tiers import (
@@ -85,6 +86,11 @@ __all__ = [
 #: Exception classes the circuit breaker counts as solver failures.
 #: (:class:`~repro.errors.RouteLostError` is a :class:`FaultError`.)
 SOLVER_FAILURES = (RoutingError, TopologyError, SimulationError, FaultError)
+
+#: The shared no-op plane a standalone backend writes into; the serving
+#: transport overwrites :attr:`AdvisoryBackend.live` (and ``drift``)
+#: with its own, exactly like it overwrites the clock.
+_NULL_PLANE = NullLivePlane()
 
 
 class SessionPool:
@@ -274,6 +280,17 @@ class AdvisoryBackend:
         self.solves = 0
         self.coalesced = 0
         self.warmed = False
+        self.warm_targets: tuple[int, ...] = ()
+        # Live metrics plane + drift watch: no-op/absent until a
+        # PlacementService adopts this backend and assigns its own.
+        self.live = _NULL_PLANE
+        self.drift = None
+        # Pre-bound DriftWatch.note_fast (None while no watch is
+        # attached): the fast-tier serving paths call this once per
+        # answer with one (target, mode, model_mean) triple, so the
+        # attribute walk and the Python call frame are paid at attach
+        # time, not per answer.
+        self._drift_note = None
 
     # --- machine lifecycle -------------------------------------------------
     def set_machine(self, machine: Machine) -> None:
@@ -304,23 +321,38 @@ class AdvisoryBackend:
         """One genuine tier-3 solve (in-process or via the fabric pool)."""
         self.solves += 1
         session = self.pool.acquire(self.machine)  # warm the capacity cache
+        started = self.clock()
         if self.solver_pool is not None:
-            return self.solver_pool.build_model(
+            model = self.solver_pool.build_model(
                 self.machine, target, mode,
                 registry=self.registry, runs=self.runs,
             )
-        builder = IOModelBuilder(
-            self.machine, registry=self.registry, runs=self.runs
-        )
-        builder.session = session  # reuse the pinned warm session
-        return builder.build(target, mode)
+        else:
+            builder = IOModelBuilder(
+                self.machine, registry=self.registry, runs=self.runs
+            )
+            builder.session = session  # reuse the pinned warm session
+            model = builder.build(target, mode)
+        # Service-clock solve time: 0.0 on the soak's logical clock, so
+        # the histogram stays a pure function of the request stream.
+        self.live.record("service.solve", self.clock() - started)
+        return model
 
     def _refresh_tiers(self, model: IOPerformanceModel, fingerprint: str) -> None:
-        """Fold a completed solve into the tier store (tiers 1–2 warm)."""
+        """Fold a completed solve into the tier store (tiers 1–2 warm).
+
+        Also the drift watch's observation point: every landed solve is
+        compared against what the fast tiers served since the last one.
+        """
+        snapshot = ClassSnapshot.from_model(model)
         self.tiers.refresh(
-            ClassSnapshot.from_model(model), model, self.machine,
-            fingerprint, self.clock(),
+            snapshot, model, self.machine, fingerprint, self.clock(),
         )
+        if self.drift is not None:
+            self.drift.note_solve(
+                model.target_node, model.mode,
+                snapshot.class_avgs(), self.clock(),
+            )
 
     def _stale(self, target: int, mode: str, fingerprint: str) -> bool:
         if self.tier_max_staleness_s is None:
@@ -395,6 +427,7 @@ class AdvisoryBackend:
         for target in targets:
             for mode in ("write", "read"):
                 self.model(target, mode)
+        self.warm_targets = tuple(targets)
         self.warmed = True
 
     # --- live answers ------------------------------------------------------
@@ -417,6 +450,9 @@ class AdvisoryBackend:
         self._check_node(target, "target")
         entry = self._entry(target, mode)
         if entry is not None:
+            note = self._drift_note
+            if note is not None:
+                note(entry.drift_note)
             return stamp_tier(
                 entry.advise_payload(tasks, avoid_irq_node, tolerance),
                 TIER_CLASS, entry.staleness(self.clock()),
@@ -551,6 +587,9 @@ class AdvisoryBackend:
         if entry is not None:
             payload = entry.analytic_predict(streams)
             if payload is not None:
+                note = self._drift_note
+                if note is not None:
+                    note(entry.drift_note)
                 return stamp_tier(
                     payload, TIER_ANALYTIC, entry.staleness(self.clock())
                 )
@@ -583,6 +622,9 @@ class AdvisoryBackend:
         self._check_node(target, "target")
         entry = self._entry(target, mode)
         if entry is not None:
+            note = self._drift_note
+            if note is not None:
+                note(entry.drift_note)
             return stamp_tier(
                 entry.classify_payload(), TIER_CLASS,
                 entry.staleness(self.clock()),
@@ -631,6 +673,10 @@ class AdvisoryBackend:
         entry = self.tiers.last_good(params["target"], params["mode"])
         if entry is None:
             return None
+        if self._drift_note is not None:
+            # Degraded answers are served off the last-good model too:
+            # the drift watch must account them against the next solve.
+            self._drift_note(entry.drift_note)
         if method == "classify":
             payload = entry.classify_payload()
         elif method == "advise":

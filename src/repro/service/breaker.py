@@ -78,6 +78,11 @@ class CircuitBreaker:
         self._probe_in_flight = False
         #: ``(time, state)`` transition log, for reports and tests.
         self.transitions: list[tuple[float, str]] = []
+        #: Optional zero-arg callback fired after every trip, once the
+        #: breaker is already ``open`` — the service hooks its flight
+        #: recorder here.  Must not raise and must not call back into
+        #: the breaker.
+        self.on_trip = None
 
     @property
     def state(self) -> str:
@@ -143,3 +148,5 @@ class CircuitBreaker:
         self._open_until = self._clock() + window
         self._transition(self.OPEN)
         _obs.count("service.breaker_trips")
+        if self.on_trip is not None:
+            self.on_trip()

@@ -28,7 +28,8 @@ kind                 code    meaning
 Response tiering
 ----------------
 
-Every method result (``health``/``ready`` excepted — they are meta)
+Every method result (``health``/``ready``/``metrics`` excepted — they
+are meta)
 carries two extra fields, the tier contract:
 
 =================  ===========================================================
@@ -137,6 +138,9 @@ METHODS: dict[str, dict[str, Field]] = {
     },
     "health": {},
     "ready": {},
+    "metrics": {
+        "flight": Field((bool,), default=False),
+    },
 }
 
 

@@ -120,7 +120,8 @@ def build_traffic(
                 "write_weight": round(float(rng.random()), 3),
             }))
         elif roll < 80:
-            lines.append(_request(i, "health" if int(rng.integers(2)) else "ready"))
+            meta = ("health", "ready", "metrics")[int(rng.integers(3))]
+            lines.append(_request(i, meta))
         elif roll < 86:  # schema violation: bad mode / zero tasks
             lines.append(_request(i, "advise", {
                 "target": target, "mode": "sideways", "tasks": 0,
@@ -151,6 +152,10 @@ class SoakReport:
     errors: dict[str, int] = field(default_factory=dict)
     breaker_transitions: list[tuple[float, str]] = field(default_factory=list)
     final_breaker_state: str = CircuitBreaker.CLOSED
+    #: Live-plane counter snapshot at end of run (sorted keys).
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Drift-watch summary (``DriftWatch.stats()``), ``None`` if disabled.
+    drift: "dict | None" = None
 
     @property
     def answered(self) -> int:
@@ -185,6 +190,8 @@ class SoakReport:
             "final_breaker_state": self.final_breaker_state,
             "tripped": self.tripped,
             "recovered": self.recovered,
+            "counters": self.counters,
+            "drift": self.drift,
             # The wire-level response stream itself: the twin-run smoke
             # diff compares these byte-for-byte.
             "responses": [r.rstrip("\n") for r in self.responses],
@@ -211,6 +218,11 @@ class SoakReport:
             f"(tripped={str(self.tripped).lower()}, "
             f"recovered={str(self.recovered).lower()})"
         )
+        if self.drift is not None:
+            out.append(
+                f"  drift watch   : {self.drift['events']} event(s) across "
+                f"{self.drift['watched']} watched (target,mode) pair(s)"
+            )
         return "\n".join(out)
 
 
@@ -288,4 +300,10 @@ def run_soak(
         clock.advance()
     report.breaker_transitions = list(breaker.transitions)
     report.final_breaker_state = breaker.state
+    service._drain_obs()  # fold the tail of the trace before reading
+    report.counters = {
+        k: service.live.counters[k] for k in sorted(service.live.counters)
+    }
+    if service.drift is not None:
+        report.drift = service.drift.stats()
     return report

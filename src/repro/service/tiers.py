@@ -220,6 +220,14 @@ class TierEntry:
     fingerprint: str
     refreshed_at: float
     solves: int = 1
+    #: Mean of the class averages (Gbps) — the one-number summary of
+    #: the model behind every answer this entry serves, precomputed so
+    #: the drift watch can fold a served answer in at dict-update cost.
+    model_mean: float = 0.0
+    #: The ``(target, mode, model_mean)`` triple the drift watch is
+    #: fed per served answer — constant for the entry's lifetime, so
+    #: prebuilt here and handed over without a per-answer tuple alloc.
+    drift_note: tuple = ()
     _advise_memo: OrderedDict = field(
         default_factory=OrderedDict, repr=False, compare=False
     )
@@ -403,6 +411,8 @@ class TierStore:
     ) -> TierEntry:
         """Fold one completed tier-3 solve into the store."""
         previous = self.entries.get((model.target_node, model.mode))
+        avgs = snapshot.class_avgs()
+        mean = sum(avgs.values()) / len(avgs) if avgs else 0.0
         entry = TierEntry(
             snapshot=snapshot,
             fit=AnalyticFit.fit(model),
@@ -413,6 +423,8 @@ class TierStore:
             fingerprint=fingerprint,
             refreshed_at=now,
             solves=(previous.solves + 1) if previous is not None else 1,
+            model_mean=mean,
+            drift_note=(model.target_node, model.mode, mean),
         )
         self.entries[(model.target_node, model.mode)] = entry
         self.refreshes += 1

@@ -1,0 +1,120 @@
+"""Merge laws and ring invariants of the live metrics plane.
+
+The exposition layer folds per-``(method, tier)`` histograms into
+per-method/per-tier views by merging, so the merge laws are
+load-bearing: ``merge(a, b)`` must be indistinguishable (buckets,
+count, min, max; sum up to float addition order) from one histogram
+fed the concatenated stream.  The flight recorder's ring must retain
+exactly the newest records, oldest-first, across any wraparound.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.live import HIST_BASE, FlightRecorder, Hist
+
+#: Observed values: durations (tiny to huge) plus the zero-bucket edge
+#: cases the logical clock produces.
+VALUES = st.one_of(
+    st.floats(1e-9, 1e9, allow_nan=False, allow_infinity=False),
+    st.just(0.0),
+    st.floats(-10.0, 0.0, allow_nan=False),
+)
+STREAMS = st.lists(VALUES, min_size=0, max_size=200)
+
+
+def fed(values) -> Hist:
+    h = Hist()
+    for v in values:
+        h.record(v)
+    return h
+
+
+class TestMergeLaws:
+    @given(left=STREAMS, right=STREAMS)
+    @settings(max_examples=150, deadline=None)
+    def test_merge_equals_concatenated_stream(self, left, right):
+        merged = fed(left).merge(fed(right))
+        concat = fed(left + right)
+        assert merged.counts == concat.counts
+        assert merged.count == concat.count
+        assert merged.min == concat.min
+        assert merged.max == concat.max
+        assert merged.sum == pytest.approx(concat.sum, rel=1e-9, abs=1e-12)
+
+    @given(values=STREAMS)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_with_empty_is_identity(self, values):
+        base = fed(values)
+        merged = fed(values).merge(Hist())
+        assert merged.counts == base.counts
+        assert merged.count == base.count
+        other = Hist().merge(fed(values))
+        assert other.counts == base.counts
+
+    @given(a=STREAMS, b=STREAMS)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_commutative_on_buckets(self, a, b):
+        ab = fed(a).merge(fed(b))
+        ba = fed(b).merge(fed(a))
+        assert ab.counts == ba.counts
+        assert ab.count == ba.count
+        assert ab.min == ba.min and ab.max == ba.max
+
+
+class TestBucketLaws:
+    @given(value=st.floats(1e-12, 1e12, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_bucket_contains_value(self, value):
+        idx = Hist.bucket_index(value)
+        upper = Hist.bucket_upper(idx)
+        lower = upper / HIST_BASE
+        assert value <= upper * (1 + 1e-12)
+        assert value >= lower * (1 - 1e-12)
+
+    @given(
+        a=st.floats(1e-12, 1e12, allow_nan=False),
+        b=st.floats(1e-12, 1e12, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bucket_index_is_monotone(self, a, b):
+        if a > b:
+            a, b = b, a
+        assert Hist.bucket_index(a) <= Hist.bucket_index(b)
+
+    @given(values=st.lists(st.floats(1e-9, 1e9, allow_nan=False),
+                           min_size=1, max_size=100),
+           q=st.sampled_from([0.5, 0.9, 0.99]))
+    @settings(max_examples=150, deadline=None)
+    def test_quantile_within_one_bucket_width(self, values, q):
+        h = fed(values)
+        got = h.quantile(q)
+        ordered = sorted(values)
+        true = ordered[min(max(math.ceil(q * len(values)), 1),
+                           len(values)) - 1]
+        # The reported quantile is a bucket upper bound: at least the
+        # true empirical quantile, at most one bucket width above it.
+        assert got >= true * (1 - 1e-12)
+        assert got <= true * HIST_BASE * (1 + 1e-12)
+
+
+class TestFlightRing:
+    @given(capacity=st.integers(1, 16), total=st.integers(0, 64))
+    @settings(max_examples=150, deadline=None)
+    def test_ring_retains_newest_oldest_first(self, capacity, total):
+        fr = FlightRecorder(span_capacity=capacity, event_capacity=capacity)
+        for i in range(total):
+            fr.note_span(float(i), f"m{i}", i * 0.5, tag=i % 3)
+            fr.note_event(float(i), "error", {"i": i})
+        spans = fr.spans()
+        events = fr.events()
+        expected = list(range(max(0, total - capacity), total))
+        assert [s["seq"] for s in spans] == expected
+        assert [e["seq"] for e in events] == expected
+        assert [s["name"] for s in spans] == [f"m{i}" for i in expected]
+        occ = fr.occupancy()
+        assert occ["spans"] == min(total, capacity)
+        assert occ["span_total"] == total

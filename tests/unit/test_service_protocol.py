@@ -132,6 +132,7 @@ class TestEnvelopes:
     def test_schema_covers_all_methods(self):
         assert set(METHODS) == {
             "advise", "plan", "predict_eq1", "classify", "health", "ready",
+            "metrics",
         }
 
 

@@ -254,3 +254,147 @@ class TestAsyncTransport:
 
         first = asyncio.run(run())
         assert "result" in first
+
+
+class TestLiveMetrics:
+    """The always-on live plane: metrics method, flight recorder, drift."""
+
+    def test_health_reports_uptime_and_flight_occupancy(self, service):
+        before = json.loads(service.handle_line(line("health")))["result"]
+        assert before["uptime_s"] == 0.0  # logical clock has not ticked
+        assert before["flight_recorder"]["span_capacity"] > 0
+        service.clock.advance(3.0)
+        after = json.loads(service.handle_line(line("health")))["result"]
+        assert after["uptime_s"] == 3.0
+        # The first health answer became a completed span.
+        assert after["flight_recorder"]["span_total"] == 1
+
+    def test_ready_reports_warm_target_count(self, service):
+        ready = json.loads(service.handle_line(line("ready")))["result"]
+        assert ready["warm_targets"] == 0
+        service.backend.warm((7,))
+        ready = json.loads(service.handle_line(line("ready")))["result"]
+        assert ready["warm_targets"] == 1
+
+    def test_metrics_method_round_trip(self, service):
+        service.backend.warm((7,))
+        service.handle_line(line("advise", {"target": 7, "tasks": 4}))
+        service.handle_line(line("classify", {"target": 7}))
+        out = json.loads(service.handle_line(line("metrics")))
+        result = out["result"]
+        assert result["requests"] == 3
+        assert result["tiers"]["2"] == 2
+        assert result["counters"]["service.tier.2.answers"] == 2
+        hist = result["histograms"]["service.latency.method.advise"]
+        assert hist["count"] == 1
+        assert hist["p99"] == 0.0  # logical clock: every duration is 0
+        assert result["drift"]["watched"] == 2  # write + read models
+        assert "flight" not in result
+
+    def test_metrics_flight_param_dumps_recorder(self, service):
+        service.backend.warm((7,))
+        service.handle_line(line("advise", {"target": 7, "tasks": 4}))
+        out = json.loads(service.handle_line(
+            line("metrics", {"flight": True})
+        ))
+        flight = out["result"]["flight"]
+        assert flight["spans"][0]["name"] == "advise"
+        assert flight["spans"][0]["tag"] == 2
+
+    def test_metrics_answered_while_draining(self, service):
+        service.draining = True
+        out = json.loads(service.handle_line(line("metrics")))
+        assert "result" in out
+
+    def test_typed_errors_become_flight_events(self, service):
+        service.handle_line(line("classify", {"target": 99}))
+        # Error events are buffered; any plane read (here the public
+        # metrics method) drains them into the ring.
+        out = json.loads(service.handle_line(line("metrics", {"flight": True})))
+        events = out["result"]["flight"]["events"]
+        assert events[-1]["kind"] == "error"
+        assert events[-1]["tags"] == {"kind": "invalid_params"}
+
+    def test_breaker_trip_fires_event_counter_and_dump_sink(
+        self, service, host
+    ):
+        dumps = []
+        service.flight_dump_sink = dumps.append
+        service.backend.warm((7,))
+        plan = build_soak_plan(host, 7, 0.0, 100.0)
+        service.backend.set_machine(plan.apply(host, at_s=1.0))
+        service.handle_line(line("classify", {"target": 7}))
+        service.handle_line(line("classify", {"target": 7}))
+        assert service.breaker.state == CircuitBreaker.OPEN
+        assert service.live.counters["service.breaker.trips"] == 1
+        trip_events = [
+            e for e in service.live.flight.events()
+            if e["kind"] == "breaker-trip"
+        ]
+        assert len(trip_events) == 1
+        assert trip_events[0]["tags"]["state"] == CircuitBreaker.OPEN
+        assert len(dumps) == 1 and "spans" in dumps[0]
+
+    def test_drift_drill_degraded_fabric_fires_event(self, service, host):
+        from repro.faults.events import LinkDegrade
+        from repro.faults.plan import FaultedMachine
+        from repro.obs.live import REGIME_BANDWIDTH, REGIME_CONTENTION
+
+        backend = service.backend
+        backend.warm((7,))  # reference characterization
+        # Serve a few fast-tier answers off the healthy model.
+        for i in range(3):
+            service.handle_line(line("classify", {"target": 7}, req_id=i))
+        assert service.drift.events == 0
+
+        # Derate every cable touching the device node, both directions:
+        # solves still succeed, but the class bandwidths drop far past
+        # the 10% drift threshold.
+        cables = sorted(
+            {tuple(sorted(ends)) for ends in host.links if 7 in ends}
+        )
+        faults = [
+            LinkDegrade(src, dst, 0.4)
+            for a, b in cables for src, dst in ((a, b), (b, a))
+        ]
+        backend.set_machine(FaultedMachine(host, faults))
+        out = json.loads(service.handle_line(line("classify", {"target": 7})))
+        assert "result" in out  # the faulted solve lands (tier 3)
+        assert out["result"]["tier"] == 3
+
+        assert service.drift.events == 1
+        event = service.drift.last
+        assert event["target"] == 7 and event["mode"] == "write"
+        assert event["deviation"] > 0.10
+        assert event["served_answers"] == 3
+        assert event["regime"] in (REGIME_BANDWIDTH, REGIME_CONTENTION)
+        assert service.live.counters["service.drift.events"] == 1
+        drift_events = [
+            e for e in service.live.flight.events() if e["kind"] == "drift"
+        ]
+        assert len(drift_events) == 1 and drift_events[0]["tags"] == event
+
+    def test_queue_wait_histogram_fills_over_tcp(self, service):
+        async def run():
+            server = AsyncPlacementServer(
+                service, ServiceConfig(port=0, queue_limit=8, workers=2)
+            )
+            await server.start()
+            await _client(server.port, [line("health", req_id=1)])
+            await server.drain()
+
+        asyncio.run(run())
+        assert service.live.hists["service.queue_wait"].count == 1
+
+    def test_null_plane_disables_recording(self, host):
+        from repro.obs.live import NullLivePlane
+
+        backend = AdvisoryBackend(host, registry=RngRegistry(), runs=3)
+        service = PlacementService(
+            backend, clock=LogicalClock(), live=NullLivePlane()
+        )
+        assert service.drift is None
+        service.handle_line(line("advise", {"target": 7, "tasks": 4}))
+        assert service.live.hists == {}
+        assert service.live.counters == {}
+        assert service.live.flight.span_total == 0

@@ -86,6 +86,57 @@ def test_perf_routing_populate_64_nodes(benchmark, host64):
     benchmark(populate_both)
 
 
+def test_perf_routing_incremental_reroute_64_nodes(benchmark, host64):
+    """Single-cable-failure re-route vs the full repopulate it replaces.
+
+    Fails a leaf die's only (SRI) cable on the 64-node host — the
+    dominant chaos fault shape, a node isolation — and derives the
+    faulted table incrementally.  Hard-asserts the self-healing
+    acceptance bar: the incremental re-route is >= 5x faster than
+    repopulating all pairs, and bit-identical to it.
+    """
+    import time
+
+    table = RoutingTable(host64.links)
+    table.populate("pio")
+    table.populate("dma")
+    adj = table.adjacency
+    leaf = min(n for n, nbrs in adj.items() if len(nbrs) == 1)
+    sib = adj[leaf][0]
+    faulted = {
+        ends: link
+        for ends, link in host64.links.items()
+        if set(ends) != {leaf, sib}
+    }
+    table.derive(faulted)  # warm the usage/per-plane route caches
+
+    derived = benchmark(table.derive, faulted)
+    assert derived.last_reroute["dma"].pairs_rerouted == 0  # drop-only path
+
+    def full_rebuild():
+        fresh = RoutingTable(faulted)
+        fresh.populate("pio", strict=False)
+        fresh.populate("dma", strict=False)
+        return fresh
+
+    def best_of(fn, n=5):
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    fresh = full_rebuild()
+    assert derived._cache == fresh._cache
+    t_inc = best_of(lambda: table.derive(faulted))
+    t_full = best_of(full_rebuild)
+    assert t_full >= 5.0 * t_inc, (
+        f"incremental re-route only {t_full / t_inc:.1f}x faster than a "
+        f"full repopulate (need >= 5x)"
+    )
+
+
 def test_perf_iomodel_sweep_32_nodes(benchmark, blade32):
     """Vectorized Algorithm 1: both modes for two targets in one sweep."""
 

@@ -209,3 +209,44 @@ print(f"OK: drift drill — deviation {event['deviation']:.3f} > 0.10, "
       f"regime {event['regime']}, {event['served_answers']} answers "
       "exposed, flight-recorder event present")
 EOF
+
+echo
+echo "== convergence soak: derate -> drift -> quarantine -> repair -> promote"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak --converge \
+    --requests 120 --runs 3 --json > "$A"
+PYTHONPATH=src python -m repro.cli.main --seed 7 serve --soak --converge \
+    --requests 120 --runs 3 --json > "$B"
+if ! cmp -s "$A" "$B"; then
+    echo "FAIL: convergence soak report is not bit-identical across runs" >&2
+    diff "$A" "$B" >&2 || true
+    exit 1
+fi
+PYTHONPATH=src python - "$A" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+assert report["answered"] == report["requests"], report
+assert report["converged"] is True, report
+assert report["converged_during_fault"] is True, report
+assert report["reconverged_after_clear"] is True, report
+assert report["unlabelled_stale"] == 0, report
+assert report["final_quarantined"] == 0, report
+repair = report["repair"]
+assert repair["jobs"] == 0 and repair["failed"] == 0, repair
+assert repair["promoted"] >= 2, repair  # fault window + clearance
+counters = report["counters"]
+assert counters["service.repair.started"] == repair["started"], counters
+assert counters["service.repair.promoted"] == repair["promoted"], counters
+assert counters["service.repair.failed"] == 0, counters
+assert counters["routing.rerouted_pairs"] > 0, counters
+assert report["drift"]["events"] >= 1, report["drift"]
+phases = [e["tags"].get("phase") for e in report["flight_events"]
+          if e["kind"] == "repair"]
+for phase in ("quarantine", "start", "promote"):
+    assert phase in phases, phases
+print(f"OK: convergence soak — {repair['promoted']} promotions "
+      f"({repair['started']} repair solves, 0 failed), "
+      f"{report['drift']['events']} drift events, "
+      f"0 unlabelled stale answers, byte-identical twins")
+EOF

@@ -539,6 +539,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.service.soak import LogicalClock
 
+    if args.soak and getattr(args, "converge", False):
+        import json
+
+        from repro.service.soak import run_convergence_soak
+
+        report = run_convergence_soak(
+            machine=_serve_machine(args),
+            requests=args.requests,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            runs=min(args.runs, 10),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        total = report.answered == report.requests
+        return 0 if total and report.converged else 1
+
     if args.soak:
         import json
 
@@ -767,10 +785,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     the journal and the same bit-for-bit report.
     """
     from repro.faults.chaos import SCENARIOS, run_chaos
+    from repro.retrying import RetryPolicy
 
     machine = _machine(args)
     registry = _registry(args)
     names = tuple(SCENARIOS) if args.scenario == "all" else (args.scenario,)
+    budget = getattr(args, "retry_budget", 4)
+    base = getattr(args, "retry_base", 0.25)
+    if budget < 0:
+        raise ReproError(f"--retry-budget must be >= 0, got {budget}")
+    if base <= 0:
+        raise ReproError(f"--retry-base must be > 0, got {base}")
+    retry = RetryPolicy(max_retries=budget, base_delay_s=base)
     resume = getattr(args, "resume", None)
     if resume:
         from repro.journal import journaled_chaos
@@ -781,16 +807,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             "seed": registry.seed,
             "scenarios": list(names),
             "quick": bool(args.quick),
+            "retry_budget": budget,
+            "retry_base": base,
         }, len(names))
         try:
             report = journaled_chaos(
-                machine, registry, names, args.quick, journal
+                machine, registry, names, args.quick, journal, retry=retry
             )
         finally:
             journal.close()
     else:
         report = run_chaos(
-            machine=machine, registry=registry, scenarios=names, quick=args.quick
+            machine=machine, registry=registry, scenarios=names,
+            quick=args.quick, retry=retry,
         )
     if args.json:
         import json

@@ -194,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the structured report as JSON")
     p.add_argument("--quick", action="store_true",
                    help="smaller transfers and fewer streams")
+    p.add_argument("--retry-budget", dest="retry_budget", type=int,
+                   default=4, metavar="N",
+                   help="retries a blocked stream may spend before it "
+                        "fails structurally (default: 4)")
+    p.add_argument("--retry-base", dest="retry_base", type=float,
+                   default=0.25, metavar="S",
+                   help="base backoff delay in seconds, doubled per "
+                        "retry with seeded jitter (default: 0.25)")
     _add_resume(p, "scenario")
     _add_obs_dir(p)
     p.set_defaults(func=commands.cmd_chaos)
@@ -249,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "'ready' stays false until warmup completes")
     p.add_argument("--soak", action="store_true",
                    help="run the deterministic chaos soak instead of serving")
+    p.add_argument("--converge", action="store_true",
+                   help="with --soak: run the self-healing convergence "
+                        "drill (derate window, drift, quarantine, repair) "
+                        "instead of the breaker-tripping partition soak")
     p.add_argument("--requests", type=int, default=120,
                    help="scripted requests in the soak trace")
     p.add_argument("--no-fault", dest="fault", action="store_false",

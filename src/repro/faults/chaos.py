@@ -138,6 +138,17 @@ class ScenarioResult:
             tally[row.status] = tally.get(row.status, 0) + 1
         return tally
 
+    @property
+    def retry_exhausted(self) -> tuple[OutcomeRow, ...]:
+        """Streams that burned their whole retry budget and failed.
+
+        These are the structured ``"failed"`` outcomes — the runner
+        only fails a stream once its retries are spent — surfaced as
+        their own report section so a tightened ``--retry-budget`` is
+        immediately visible.
+        """
+        return tuple(r for r in self.rows if r.status == "failed")
+
     def render(self) -> str:
         counts = self.counts()
         lines = [
@@ -175,6 +186,17 @@ class ScenarioResult:
                 f"  {row.name:<16s} {row.status:<10s} {row.avg_gbps:7.2f} Gbps"
                 f"  retries {row.retries}  reroutes {row.reroutes}{suffix}"
             )
+        exhausted = self.retry_exhausted
+        if exhausted:
+            lines.append(
+                f"retry-exhausted ({len(exhausted)} stream"
+                f"{'s' if len(exhausted) != 1 else ''}):"
+            )
+            for row in exhausted:
+                lines.append(
+                    f"  {row.name:<16s} gave up after {row.retries} "
+                    f"retries  [{row.reason or 'no reason recorded'}]"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -207,6 +229,10 @@ class ScenarioResult:
                     "reason": r.reason,
                 }
                 for r in self.rows
+            ],
+            "retry_exhausted": [
+                {"name": r.name, "retries": r.retries, "reason": r.reason}
+                for r in self.retry_exhausted
             ],
         }
 
@@ -281,6 +307,7 @@ def _run_dma_scenario(
     registry: RngRegistry,
     plan_builder,
     quick: bool,
+    retry: RetryPolicy | None = None,
 ) -> ScenarioResult:
     """Shared driver for the two machine-level scenarios.
 
@@ -300,7 +327,7 @@ def _run_dma_scenario(
         capacities,
         plan=plan,
         rng=registry.stream(f"chaos/{name}/backoff"),
-        retry=RetryPolicy(),
+        retry=retry if retry is not None else RetryPolicy(),
         rerouter=machine_rerouter(machine, plan, endpoints),
     )
     degraded = runner.simulate(flows)
@@ -362,7 +389,8 @@ def _survivable_cables(machine: Machine) -> list[tuple[int, int]]:
 # --- scenarios --------------------------------------------------------------
 
 def _scenario_single_link_loss(
-    machine: Machine, registry: RngRegistry, quick: bool
+    machine: Machine, registry: RngRegistry, quick: bool,
+    retry: RetryPolicy | None = None,
 ) -> ScenarioResult:
     def build_plan(m, rng, duration):
         cables = _survivable_cables(m)
@@ -380,11 +408,13 @@ def _scenario_single_link_loss(
         registry,
         build_plan,
         quick,
+        retry,
     )
 
 
 def _scenario_cascading_isolation(
-    machine: Machine, registry: RngRegistry, quick: bool
+    machine: Machine, registry: RngRegistry, quick: bool,
+    retry: RetryPolicy | None = None,
 ) -> ScenarioResult:
     def build_plan(m, rng, duration):
         target = m.node_ids[-1]
@@ -405,11 +435,13 @@ def _scenario_cascading_isolation(
         registry,
         build_plan,
         quick,
+        retry,
     )
 
 
 def _scenario_flapping_uplink(
-    machine: Machine, registry: RngRegistry, quick: bool
+    machine: Machine, registry: RngRegistry, quick: bool,
+    retry: RetryPolicy | None = None,
 ) -> ScenarioResult:
     n_hosts = 4
     hosts = {f"h{i}": reference_host() for i in range(n_hosts)}
@@ -436,7 +468,7 @@ def _scenario_flapping_uplink(
         for f0, f1 in ((0.15, 0.30), (0.45, 0.60), (0.75, 0.90))
     ])
 
-    degraded = cluster.run(transfers, fault_plan=plan)
+    degraded = cluster.run(transfers, fault_plan=plan, retry=retry)
     rows = tuple(
         OutcomeRow(
             name=o.name,
@@ -475,8 +507,14 @@ def run_scenario(
     machine: Machine | None = None,
     registry: RngRegistry | None = None,
     quick: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> ScenarioResult:
-    """Run one named scenario (see :data:`SCENARIOS`)."""
+    """Run one named scenario (see :data:`SCENARIOS`).
+
+    ``retry`` overrides the default backoff policy for blocked streams
+    — the knob behind ``repro-numa chaos --retry-budget/--retry-base``;
+    ``None`` keeps :class:`~repro.retrying.RetryPolicy` defaults.
+    """
     try:
         runner = SCENARIOS[name]
     except KeyError as exc:
@@ -485,7 +523,7 @@ def run_scenario(
         ) from exc
     machine = machine if machine is not None else reference_host()
     registry = registry if registry is not None else RngRegistry()
-    return runner(machine, registry, quick)
+    return runner(machine, registry, quick, retry)
 
 
 def run_chaos(
@@ -493,13 +531,16 @@ def run_chaos(
     registry: RngRegistry | None = None,
     scenarios: tuple[str, ...] | None = None,
     quick: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> ChaosReport:
     """Run the requested scenarios and assemble the resilience report."""
     machine = machine if machine is not None else reference_host()
     registry = registry if registry is not None else RngRegistry()
     names = scenarios if scenarios is not None else tuple(SCENARIOS)
     results = tuple(
-        run_scenario(name, machine=machine, registry=registry, quick=quick)
+        run_scenario(
+            name, machine=machine, registry=registry, quick=quick, retry=retry
+        )
         for name in names
     )
     return ChaosReport(

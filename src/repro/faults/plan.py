@@ -167,6 +167,12 @@ class FaultedMachine(Machine):
         data["name"] = name
         _, nodes, packages, links, params = components_from_dict(data)
         Machine.__init__(self, name, nodes, packages, links, params)
+        if base.routing.populated_planes:
+            # Incremental re-route: only sources the fault delta can
+            # actually have changed re-run BFS + Pareto-DP; the result
+            # is bit-identical to the fresh table the constructor just
+            # made, populated from scratch.
+            self._routing = base.routing.derive(self._links)
         self.devices = dict(base.devices)
         #: The healthy host this view was derived from.
         self.base = base
@@ -187,5 +193,9 @@ class FaultedMachine(Machine):
         machine = Machine(
             self._healthy_description["name"], nodes, packages, links, params
         )
+        if self.base.routing.populated_planes:
+            # The healthy link map is byte-identical to the base's, so
+            # the delta is empty and every route is carried over.
+            machine._routing = self.base.routing.derive(machine._links)
         machine.devices = dict(self.base.devices)
         return machine

@@ -1,0 +1,14 @@
+"""Self-healing control plane: quarantine, repair, promote.
+
+Closes the detect→repair loop over the rest of the stack: the fault
+layer and the drift watch *detect* that the machine moved; this package
+*repairs* the service's tiered answer path — targeted quarantine of the
+affected ``(target, mode)`` tier entries, bounded background
+re-characterization with seeded backoff, verification, and atomic
+promotion back into tiers 1–2.  See
+:class:`~repro.healing.repair.RepairSupervisor`.
+"""
+
+from repro.healing.repair import BACKOFF_STREAM, RepairJob, RepairSupervisor
+
+__all__ = ["BACKOFF_STREAM", "RepairJob", "RepairSupervisor"]

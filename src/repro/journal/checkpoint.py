@@ -69,7 +69,7 @@ def _draw_delta(before: "dict[str, int]", after: "dict[str, int]") -> dict:
 
 
 def journaled_chaos(machine, registry, scenarios: "tuple[str, ...]",
-                    quick: bool, journal):
+                    quick: bool, journal, retry=None):
     """``run_chaos`` with scenario-granular checkpoint/resume.
 
     Each scenario is one journal unit: its :class:`ScenarioResult`, the
@@ -96,7 +96,8 @@ def journaled_chaos(machine, registry, scenarios: "tuple[str, ...]",
         before = registry.draw_counts
         with unit_capture() as capture:
             result = run_scenario(
-                name, machine=machine, registry=registry, quick=quick
+                name, machine=machine, registry=registry, quick=quick,
+                retry=retry,
             )
         journal.append(
             key,

@@ -10,7 +10,23 @@ whose BIOS programs something the heuristic would not pick.
 """
 
 from repro.routing.batch import batch_routes
+from repro.routing.incremental import (
+    LinkDelta,
+    RerouteStats,
+    incremental_routes,
+    link_delta,
+)
 from repro.routing.paths import Path
 from repro.routing.table import RoutingTable, enumerate_min_hop_routes, select_route
 
-__all__ = ["Path", "RoutingTable", "batch_routes", "enumerate_min_hop_routes", "select_route"]
+__all__ = [
+    "Path",
+    "RoutingTable",
+    "batch_routes",
+    "enumerate_min_hop_routes",
+    "select_route",
+    "LinkDelta",
+    "RerouteStats",
+    "link_delta",
+    "incremental_routes",
+]

@@ -90,9 +90,15 @@ def routes_from_source(
     adj: Mapping[int, Sequence[int]],
     weights: Mapping[tuple[int, int], tuple[float, float]],
     src: int,
+    bfs: "tuple[dict[int, int], list[list[int]]] | None" = None,
 ) -> dict[int, tuple[int, ...]]:
-    """Selected minimal-hop route from ``src`` to every reachable node."""
-    dist, layers = bfs_layers(adj, src)
+    """Selected minimal-hop route from ``src`` to every reachable node.
+
+    Callers that already ran :func:`bfs_layers` for ``src`` (the
+    incremental re-router probes reachability first) pass its result as
+    ``bfs`` to skip the second sweep.
+    """
+    dist, layers = bfs_layers(adj, src) if bfs is None else bfs
     labels: dict[int, list[Label]] = {src: [(float("inf"), 0.0, (src,))]}
     for d in range(len(layers) - 1):
         candidates: dict[int, list[Label]] = {}

@@ -1,0 +1,377 @@
+"""Incremental re-routing under a fault delta.
+
+A fault changes the link map in one of two directions per link:
+
+* **worsened** — the link disappeared (:class:`~repro.faults.events.
+  LinkFail`) or its plane weight got strictly worse (a
+  :class:`~repro.faults.events.LinkDegrade` shrinks the bottleneck
+  and/or raises the latency);
+* **improved** — the link (re)appeared or its weight got strictly
+  better (the restore direction of a fault-then-restore round trip).
+
+Given the previously selected all-pairs routes, most sources provably
+cannot change under such a delta, so only the rest re-run the
+BFS + Pareto-DP of :func:`~repro.routing.batch.routes_from_source`:
+
+* a **worsened or removed** link can only shrink the candidate set or
+  worsen candidates that traverse it.  If none of a source's *selected*
+  routes traverses the link, every selected route survives with an
+  unchanged score — hop distances cannot decrease when links only
+  vanish or worsen, the surviving winner is still a minimal-hop route,
+  and every other candidate either kept its old score (and already
+  lost) or got worse.  So the source's whole row is carried over
+  verbatim.  The same argument holds *per pair*: a source whose crossed
+  pairs all became **unreachable** (the fault partitioned them away)
+  only drops those pairs — one BFS confirms the partition and the
+  Pareto-DP is skipped entirely.  That is the dominant chaos case
+  (a :class:`~repro.faults.events.LinkFail` isolating the victim node),
+  which is why re-routing around a partition costs BFS probes, not a
+  rebuild.
+* an **improved or added** link ``a -> b`` can only enter routes of
+  sources that can reach ``a`` at all.  A reverse BFS from the heads of
+  all improved links over the union (old ∪ new) adjacency marks every
+  such source; the rest are carried over.
+
+Recomputed sources run the *same* per-source DP as
+:func:`~repro.routing.batch.batch_routes`, so the merged result is
+bit-identical to a from-scratch rebuild — the property suite asserts
+exactly that across random topologies × random fault sequences,
+including fault-then-restore round trips.
+
+The :class:`RerouteStats` returned alongside the routes feeds the
+``routing.rerouted_pairs`` / ``routing.reroute_skipped_pairs`` counters
+and names the **touched nodes** — endpoints of pairs whose route
+changed *or* whose route traverses a re-weighted link (a derate keeps
+the hop sequence but not the bandwidth).  The self-healing control
+plane quarantines exactly the tier entries of those nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.interconnect.planes import Plane, validate_plane
+from repro.obs import recorder as _obs
+from repro.routing.batch import bfs_layers, plane_weights, routes_from_source
+
+__all__ = [
+    "LinkDelta",
+    "RerouteStats",
+    "link_delta",
+    "route_usage",
+    "incremental_routes",
+]
+
+Routes = Mapping[tuple[int, int], tuple[int, ...]]
+#: link ends -> pairs whose selected route traverses that link.
+Usage = Mapping[tuple[int, int], Sequence[tuple[int, int]]]
+
+
+@dataclass(frozen=True)
+class LinkDelta:
+    """One plane's link changes between two link maps."""
+
+    #: Links removed, or with a strictly worse ``(bottleneck, latency)``.
+    worsened: tuple[tuple[int, int], ...]
+    #: Links added, or with a strictly better weight.  A mixed change
+    #: (bottleneck down, latency down) appears in both tuples.
+    improved: tuple[tuple[int, int], ...]
+
+    def __bool__(self) -> bool:
+        return bool(self.worsened or self.improved)
+
+
+@dataclass(frozen=True)
+class RerouteStats:
+    """What one incremental re-route did, for counters and quarantine."""
+
+    plane: Plane
+    #: Sources the new link map routes for (``len(sorted(adj))``).
+    sources_total: int
+    #: Sources that could not be carried over verbatim.
+    sources_rerouted: int
+    #: Pairs recomputed by the per-source Pareto-DP.
+    pairs_rerouted: int
+    #: Pairs carried over verbatim from the old routes.
+    pairs_kept: int
+    #: Pairs whose answer changed: different hops, dropped, added, or
+    #: same hops over a re-weighted link.
+    pairs_changed: int
+    #: Sorted endpoints of the changed pairs — the nodes whose class
+    #: models the fault can have invalidated.
+    touched_nodes: tuple[int, ...]
+
+
+def link_delta(
+    old_links: Mapping[tuple[int, int], object],
+    new_links: Mapping[tuple[int, int], object],
+    plane: Plane,
+) -> LinkDelta:
+    """Classify every link change between two maps for one plane."""
+    validate_plane(plane)
+    old_w = plane_weights(old_links, plane)
+    new_w = plane_weights(new_links, plane)
+    worsened: list[tuple[int, int]] = []
+    improved: list[tuple[int, int]] = []
+    for ends, (b0, l0) in old_w.items():
+        weight = new_w.get(ends)
+        if weight is None:
+            worsened.append(ends)
+            continue
+        b1, l1 = weight
+        if b1 == b0 and l1 == l0:
+            continue
+        if b1 <= b0 and l1 >= l0:
+            worsened.append(ends)
+        elif b1 >= b0 and l1 <= l0:
+            improved.append(ends)
+        else:  # mixed: worse on one axis, better on the other
+            worsened.append(ends)
+            improved.append(ends)
+    for ends in new_w:
+        if ends not in old_w:
+            improved.append(ends)
+    return LinkDelta(worsened=tuple(worsened), improved=tuple(improved))
+
+
+def route_usage(routes: Routes) -> dict[tuple[int, int], list[tuple[int, int]]]:
+    """Invert selected routes into ``link ends -> pairs crossing it``.
+
+    One pass over every route's hop pairs; built lazily (and cached by
+    :meth:`~repro.routing.table.RoutingTable.derive`) so a populated
+    table pays for the index only when the first fault delta arrives,
+    and every later delta is a handful of dict lookups.
+    """
+    usage: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for pair, hops in routes.items():
+        for ends in zip(hops, hops[1:]):
+            usage.setdefault(ends, []).append(pair)
+    return usage
+
+
+def _components(adj: Mapping[int, Sequence[int]]) -> dict[int, int] | None:
+    """Connected-component ids, or ``None`` if adjacency is asymmetric.
+
+    On a symmetric adjacency (every cable contributes both directions —
+    what every builder produces) directed reachability collapses to
+    component membership, so one O(E) sweep answers every "is this pair
+    partitioned?" question the re-router asks, instead of one BFS per
+    affected source.
+    """
+    sets = {node: set(nbrs) for node, nbrs in adj.items()}
+    for node, nbrs in sets.items():
+        for there in nbrs:
+            if node not in sets.get(there, ()):
+                return None
+    comp: dict[int, int] = {}
+    cid = 0
+    for start in adj:
+        if start in comp:
+            continue
+        comp[start] = cid
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for there in adj[node]:
+                    if there not in comp:
+                        comp[there] = cid
+                        nxt.append(there)
+            frontier = nxt
+        cid += 1
+    return comp
+
+
+def _reaches_heads(
+    heads: set[int],
+    old_links: Mapping[tuple[int, int], object],
+    new_links: Mapping[tuple[int, int], object],
+) -> set[int]:
+    """Nodes with a directed path to any head in the old ∪ new graph."""
+    reverse: dict[int, list[int]] = {}
+    for src, dst in set(old_links) | set(new_links):
+        reverse.setdefault(dst, []).append(src)
+    seen = set(heads)
+    frontier = list(heads)
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for prev in reverse.get(node, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    nxt.append(prev)
+        frontier = nxt
+    return seen
+
+
+def incremental_routes(
+    old_links: Mapping[tuple[int, int], object],
+    new_links: Mapping[tuple[int, int], object],
+    plane: Plane,
+    old_routes: Routes,
+    new_adj: Mapping[int, Sequence[int]] | None = None,
+    usage: Usage | None = None,
+) -> tuple[dict[tuple[int, int], tuple[int, ...]], RerouteStats]:
+    """All-pairs routes for ``new_links``, reusing ``old_routes``.
+
+    ``old_routes`` must be the full non-strict
+    :func:`~repro.routing.batch.batch_routes` result for ``old_links``
+    over every node with a link (the state a populated
+    :class:`~repro.routing.table.RoutingTable` plane holds);
+    ``usage`` is its :func:`route_usage` index (rebuilt here when not
+    supplied).  The returned dict is bit-identical to
+    ``batch_routes(new_links, plane, strict=False)``; unreachable pairs
+    are omitted, so lookups on them keep raising
+    :class:`~repro.errors.RoutingError` lazily, as before.
+    """
+    validate_plane(plane)
+    if new_adj is None:
+        from repro.routing.table import _adjacency
+
+        new_adj = _adjacency(new_links)
+    delta = link_delta(old_links, new_links, plane)
+
+    # Pairs whose selected route crosses a worsened link, per source.
+    crossed: dict[int, set[int]] = {}
+    worse = set(delta.worsened)
+    if delta and usage is None:
+        usage = route_usage(old_routes)
+    for ends in worse:
+        for src, dst in usage.get(ends, ()):
+            crossed.setdefault(src, set()).add(dst)
+    # Pairs whose *unchanged* hop sequence still runs over a re-weighted
+    # link (a derate keeps the route but not the bandwidth) — they count
+    # as touched for quarantine even though the answer's hops match.
+    delta_pairs: set[tuple[int, int]] = set()
+    if delta:
+        for ends in worse | set(delta.improved):
+            delta_pairs.update(usage.get(ends, ()))
+    # Sources an improved/added link could newly serve must re-run the
+    # full DP — a better candidate may beat a surviving winner.
+    full_dp: set[int] = set()
+    if delta.improved:
+        heads = {ends[0] for ends in delta.improved}
+        full_dp = _reaches_heads(heads, old_links, new_links)
+    affected = full_dp | set(crossed)
+
+    node_list = tuple(sorted(new_adj))
+    touched: set[tuple[int, int]] = set()
+    rerouted = 0
+    kept = 0
+
+    # Classify each affected source before touching any routes.  A
+    # source whose crossed pairs were all partitioned away only *drops*
+    # those pairs — the rest of its row survives verbatim by the same
+    # winner-survival argument, so no DP runs for it.  On a symmetric
+    # adjacency one component sweep decides that for every source at
+    # once; asymmetric maps (never produced by the builders) fall back
+    # to a per-source BFS probe.
+    gone: set[int] = set()        # lost their last link: whole row drops
+    drop_only: dict[int, set[int]] = {}
+    defer: set[int] = set()       # need a BFS probe and possibly the DP
+    comp: dict[int, int] | None = None
+    comp_built = False
+    for src in affected:
+        if src not in new_adj:
+            gone.add(src)
+            continue
+        if src in full_dp:
+            defer.add(src)
+            continue
+        if not comp_built:
+            comp = _components(new_adj)
+            comp_built = True
+        if comp is None:
+            defer.add(src)  # probe reachability per source below
+            continue
+        cid = comp[src]
+        dsts = crossed[src]
+        if all(comp.get(dst, -1) != cid for dst in dsts):
+            drop_only[src] = dsts
+        else:
+            defer.add(src)
+
+    result: dict[tuple[int, int], tuple[int, ...]]
+    by_src: dict[int, list[int]] = {}
+    if not affected:
+        result = dict(old_routes)
+        kept = len(result)
+    elif not defer:
+        # Pure drop delta (the dominant chaos case: a LinkFail
+        # isolating a node).  Clone the whole route map at C speed and
+        # delete exactly the partitioned pairs — zero BFS, zero DP.
+        result = dict(old_routes)
+        for src, dsts in drop_only.items():
+            for dst in dsts:
+                if result.pop((src, dst), None) is not None:
+                    touched.add((src, dst))
+        for src in gone:
+            for dst in crossed.get(src, ()):
+                if result.pop((src, dst), None) is not None:
+                    touched.add((src, dst))
+            # The self-route carries no links, so it is not in any
+            # usage bucket — but a node without links has no row at
+            # all in a fresh populate.
+            if result.pop((src, src), None) is not None:
+                touched.add((src, src))
+        kept = len(result)
+    else:
+        result = {}
+        for pair, hops in old_routes.items():
+            src = pair[0]
+            dsts = drop_only.get(src)
+            if dsts is not None:
+                if pair[1] in dsts:
+                    touched.add(pair)
+                else:
+                    result[pair] = hops
+                    kept += 1
+            elif src in defer or src in gone:
+                by_src.setdefault(src, []).append(pair[1])
+            else:
+                result[pair] = hops
+                kept += 1
+        for src in gone:
+            touched.update((src, dst) for dst in by_src.pop(src, ()))
+
+    weights = plane_weights(new_links, plane)
+    with _obs.span("routing.reroute", plane=plane, sources=len(affected)):
+        for src in sorted(defer):
+            stale_dsts = by_src.get(src, ())
+            bfs = bfs_layers(new_adj, src)
+            crossed_dsts = crossed.get(src, ())
+            if src not in full_dp and all(
+                dst not in bfs[0] for dst in crossed_dsts
+            ):
+                # Asymmetric-map probe confirmed a pure drop for this
+                # source: keep the row, drop the partitioned pairs.
+                for dst in stale_dsts:
+                    if dst in crossed_dsts:
+                        touched.add((src, dst))
+                    else:
+                        result[(src, dst)] = old_routes[(src, dst)]
+                        kept += 1
+                continue
+            routes = routes_from_source(new_adj, weights, src, bfs=bfs)
+            for dst, hops in routes.items():
+                pair = (src, dst)
+                result[pair] = hops
+                rerouted += 1
+                if hops != old_routes.get(pair) or pair in delta_pairs:
+                    touched.add(pair)
+            for dst in stale_dsts:
+                if (src, dst) not in result:
+                    touched.add((src, dst))  # partitioned away
+    stats = RerouteStats(
+        plane=plane,
+        sources_total=len(node_list),
+        sources_rerouted=len(affected),
+        pairs_rerouted=rerouted,
+        pairs_kept=kept,
+        pairs_changed=len(touched),
+        touched_nodes=tuple(sorted({n for pair in touched for n in pair})),
+    )
+    _obs.count("routing.rerouted_pairs", rerouted)
+    _obs.count("routing.reroute_skipped_pairs", kept)
+    return result, stats

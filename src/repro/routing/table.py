@@ -23,6 +23,11 @@ from repro.interconnect.link import DirectedLink
 from repro.interconnect.planes import PLANE_DMA, PLANE_PIO, Plane, validate_plane
 from repro.obs import recorder as _obs
 from repro.routing.batch import batch_routes
+from repro.routing.incremental import (
+    RerouteStats,
+    incremental_routes,
+    route_usage,
+)
 
 __all__ = ["RoutingTable", "enumerate_min_hop_routes", "select_route"]
 
@@ -150,6 +155,22 @@ class RoutingTable:
         self._cache: dict[tuple[Plane, int, int], tuple[int, ...]] = {}
         self._adj: dict[int, list[int]] | None = None
         self._populated: set[Plane] = set()
+        # Derive-time caches, built lazily by the first derive() and
+        # dropped whenever the cached routes change: the per-plane
+        # pair-keyed route view and its usage index (link ends -> pairs
+        # whose selected route crosses it).
+        self._plane_routes: dict[
+            Plane, dict[tuple[int, int], tuple[int, ...]]
+        ] = {}
+        self._usage: dict[Plane, dict[tuple[int, int], list[tuple[int, int]]]] = {}
+        #: Per-plane :class:`~repro.routing.incremental.RerouteStats`
+        #: when this table was built by :meth:`derive`; empty otherwise.
+        self.last_reroute: dict[Plane, RerouteStats] = {}
+
+    @property
+    def populated_planes(self) -> tuple[Plane, ...]:
+        """Planes whose all-pairs routes are fully cached."""
+        return tuple(sorted(self._populated))
 
     @property
     def adjacency(self) -> dict[int, list[int]]:
@@ -194,8 +215,64 @@ class RoutingTable:
             key = (plane, src, dst)
             if key not in self._overrides:
                 self._cache[key] = hops
+        self._plane_routes.pop(plane, None)
+        self._usage.pop(plane, None)
         if nodes is None:
             self._populated.add(plane)
+
+    def derive(self, links: LinkMap) -> "RoutingTable":
+        """A table over ``links``, re-routed incrementally from this one.
+
+        For every fully populated plane the new table's cache is filled
+        through :func:`~repro.routing.incremental.incremental_routes`:
+        only sources whose selected routes a removed/worsened link
+        actually crossed — or that an added/improved link could newly
+        serve — re-run BFS + Pareto-DP; everything else is carried over
+        verbatim.  The result is bit-identical to constructing a fresh
+        table and populating it non-strict, so lookups on partitioned
+        pairs keep raising :class:`~repro.errors.RoutingError` lazily.
+
+        Partially cached planes (never fully populated) start empty and
+        re-populate lazily, as a fresh table would.  Explicit overrides
+        are carried over when every link they use still exists (exactly
+        the overrides :meth:`set_route` would accept on the new map);
+        the rest are dropped.
+
+        The per-plane :class:`~repro.routing.incremental.RerouteStats`
+        land on the new table's :attr:`last_reroute` — the self-healing
+        control plane reads the touched nodes from there.
+        """
+        table = RoutingTable(links)
+        for plane in self.populated_planes:
+            old_routes = self._plane_routes.get(plane)
+            if old_routes is None:
+                old_routes = {
+                    (src, dst): hops
+                    for (cached_plane, src, dst), hops in self._cache.items()
+                    if cached_plane == plane
+                }
+                self._plane_routes[plane] = old_routes
+            usage = self._usage.get(plane)
+            if usage is None:
+                usage = route_usage(old_routes)
+                self._usage[plane] = usage
+            routes, stats = incremental_routes(
+                self._links, links, plane, old_routes,
+                new_adj=table.adjacency, usage=usage,
+            )
+            cache = table._cache
+            for (src, dst), hops in routes.items():
+                cache[(plane, src, dst)] = hops
+            table._populated.add(plane)
+            table.last_reroute[plane] = stats
+        for key, hops in self._overrides.items():
+            try:
+                _route_links(links, hops)
+            except RoutingError:
+                continue
+            table._overrides[key] = hops
+            table._cache.pop(key, None)
+        return table
 
     def set_route(self, plane: Plane, hops: Iterable[int]) -> None:
         """Install an explicit route (overrides the heuristic).
@@ -211,6 +288,8 @@ class RoutingTable:
         key = (plane, hop_seq[0], hop_seq[-1])
         self._overrides[key] = hop_seq
         self._cache.pop(key, None)
+        self._plane_routes.pop(plane, None)
+        self._usage.pop(plane, None)
 
     def route(self, plane: Plane, src: int, dst: int) -> tuple[int, ...]:
         """The node sequence traffic takes from ``src`` to ``dst``.

@@ -60,7 +60,14 @@ from repro.service.server import (
     ServiceConfig,
     serve_stdio,
 )
-from repro.service.soak import SoakReport, build_soak_plan, run_soak
+from repro.service.soak import (
+    ConvergenceReport,
+    SoakReport,
+    build_derate_plan,
+    build_soak_plan,
+    run_convergence_soak,
+    run_soak,
+)
 
 __all__ = [
     "AdvisoryBackend",
@@ -86,7 +93,10 @@ __all__ = [
     "PlacementService",
     "ServiceConfig",
     "serve_stdio",
+    "ConvergenceReport",
     "SoakReport",
+    "build_derate_plan",
     "build_soak_plan",
+    "run_convergence_soak",
     "run_soak",
 ]

@@ -291,6 +291,13 @@ class AdvisoryBackend:
         # attribute walk and the Python call frame are paid at attach
         # time, not per answer.
         self._drift_note = None
+        # Self-healing hooks, assigned by a RepairSupervisor when one
+        # adopts this backend (None otherwise): ``on_machine_change``
+        # fires after every machine swap with the new view;
+        # ``on_repair_drift`` fires with the event dict whenever a
+        # landed solve trips the drift watch.
+        self.on_machine_change = None
+        self.on_repair_drift = None
 
     # --- machine lifecycle -------------------------------------------------
     def set_machine(self, machine: Machine) -> None:
@@ -301,10 +308,14 @@ class AdvisoryBackend:
         degraded answers served while the new view is unsolvable.
         """
         self.machine = machine
+        if self.on_machine_change is not None:
+            self.on_machine_change(machine)
 
     def restore_machine(self) -> None:
         """Swap back to the healthy host."""
         self.machine = self.healthy_machine
+        if self.on_machine_change is not None:
+            self.on_machine_change(self.healthy_machine)
 
     # --- characterization --------------------------------------------------
     def _check_node(self, node: int, what: str) -> None:
@@ -343,16 +354,23 @@ class AdvisoryBackend:
 
         Also the drift watch's observation point: every landed solve is
         compared against what the fast tiers served since the last one.
+        A landed solve under the live fingerprint *is* tier-3 truth, so
+        it lifts any quarantine on its key; a fired drift event is
+        handed to the repair supervisor (when one is attached) so the
+        sibling keys it implicates get re-characterized too.
         """
         snapshot = ClassSnapshot.from_model(model)
         self.tiers.refresh(
             snapshot, model, self.machine, fingerprint, self.clock(),
         )
+        self.tiers.promote(model.target_node, model.mode)
         if self.drift is not None:
-            self.drift.note_solve(
+            event = self.drift.note_solve(
                 model.target_node, model.mode,
                 snapshot.class_avgs(), self.clock(),
             )
+            if event is not None and self.on_repair_drift is not None:
+                self.on_repair_drift(event)
 
     def _stale(self, target: int, mode: str, fingerprint: str) -> bool:
         if self.tier_max_staleness_s is None:
@@ -417,6 +435,24 @@ class AdvisoryBackend:
                 self._inflight.pop(key, None)
             flight.event.set()
 
+    def recharacterize(self, target: int, mode: str):
+        """The repair loop's solve: model + tier refresh, returns the entry.
+
+        Same single-flight tier-3 path as :meth:`model`, with one extra
+        guarantee: the resulting :class:`~repro.service.tiers.TierEntry`
+        is refreshed under the *live* fingerprint even when the model
+        came from the cache — after a fault clears, the healthy model
+        is usually still cached, so the repair is a re-fit and a
+        promotion, not a genuine re-solve.
+        """
+        model = self.model(target, mode)
+        fingerprint = machine_fingerprint(self.machine)
+        entry = self.tiers.entries.get((target, mode))
+        if entry is None or entry.fingerprint != fingerprint:
+            self._refresh_tiers(model, fingerprint)
+            entry = self.tiers.entries.get((target, mode))
+        return entry
+
     def warm(self, targets: "tuple[int, ...] | None" = None) -> None:
         """Pre-build both models for ``targets`` (device nodes by default)."""
         if targets is None:
@@ -446,8 +482,23 @@ class AdvisoryBackend:
         avoid_irq_node: bool = False,
         tolerance: float = 0.05,
     ) -> dict:
-        """Class-aware placement: tier 2 from the snapshot, else tier 3."""
+        """Class-aware placement: tier 2 from the snapshot, else tier 3.
+
+        A quarantined ``(target, mode)`` serves the labelled
+        ``repairing`` last-good answer instead — requests never
+        stampede the solver while the repair supervisor is already
+        re-characterizing the key, and never get an unlabelled stale
+        answer.  With no last-good cover it falls through to tier 3
+        (whose landed solve lifts the quarantine).
+        """
         self._check_node(target, "target")
+        if self.tiers.quarantine_reason(target, mode) is not None:
+            payload = self.repairing_answer("advise", {
+                "target": target, "mode": mode, "tasks": tasks,
+                "avoid_irq_node": avoid_irq_node, "tolerance": tolerance,
+            })
+            if payload is not None:
+                return payload
         entry = self._entry(target, mode)
         if entry is not None:
             note = self._drift_note
@@ -583,6 +634,13 @@ class AdvisoryBackend:
         for node in streams:
             self._check_node(node, "stream node")
         self._check_node(target, "target")
+        if self.tiers.quarantine_reason(target, mode) is not None:
+            payload = self.repairing_answer(
+                "predict_eq1",
+                {"target": target, "mode": mode, "streams": streams},
+            )
+            if payload is not None:
+                return payload
         entry = self._entry(target, mode)
         if entry is not None:
             payload = entry.analytic_predict(streams)
@@ -620,6 +678,12 @@ class AdvisoryBackend:
     def classify(self, target: int, mode: str) -> dict:
         """The class structure for ``(target, mode)``: tier 2, else tier 3."""
         self._check_node(target, "target")
+        if self.tiers.quarantine_reason(target, mode) is not None:
+            payload = self.repairing_answer(
+                "classify", {"target": target, "mode": mode}
+            )
+            if payload is not None:
+                return payload
         entry = self._entry(target, mode)
         if entry is not None:
             note = self._drift_note
@@ -668,6 +732,29 @@ class AdvisoryBackend:
                      source="last-good-characterization"),
                 TIER_CLASS, now - at,
             )
+        return self._last_good_answer(
+            method, params, "last-good-characterization"
+        )
+
+    def repairing_answer(self, method: str, params: dict) -> "dict | None":
+        """The answer for a quarantined ``(target, mode)`` under repair.
+
+        Same last-good store as :meth:`degraded_answer`, but labelled
+        ``repairing: true`` with ``source: "last-good-repairing"`` —
+        the key was pulled from live serving by the self-healing plane
+        (fault blast radius or a drift event) and the supervisor has
+        not yet promoted a fresh characterization back.  Never silently
+        stale: the true staleness and the repair label ride on every
+        response.  Returns ``None`` when no entry covers the request
+        (the caller then falls through to a genuine tier-3 solve).
+        """
+        return self._last_good_answer(
+            method, params, "last-good-repairing", repairing=True
+        )
+
+    def _last_good_answer(
+        self, method: str, params: dict, source: str, repairing: bool = False
+    ) -> "dict | None":
         if method not in ("advise", "predict_eq1", "classify"):
             return None
         entry = self.tiers.last_good(params["target"], params["mode"])
@@ -691,5 +778,7 @@ class AdvisoryBackend:
         # pre-encoded wire form, so this must take the full-encode path.
         payload = dict(payload)
         payload["degraded"] = True
-        payload["source"] = "last-good-characterization"
-        return stamp_tier(payload, TIER_CLASS, entry.staleness(now))
+        payload["source"] = source
+        if repairing:
+            payload["repairing"] = True
+        return stamp_tier(payload, TIER_CLASS, entry.staleness(self.clock()))

@@ -91,6 +91,16 @@ _OBS_BATCH = 4 * 4096
 #: hot-path tier lookup branch-free.
 _NO_RESULT: dict = {}
 
+#: Self-healing counters pre-seeded at zero so `metrics`/`obs scrape`
+#: always expose the repair plane, active or not.
+_HEALING_COUNTERS = (
+    "routing.rerouted_pairs",
+    "routing.reroute_skipped_pairs",
+    "service.repair.started",
+    "service.repair.promoted",
+    "service.repair.failed",
+)
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -174,6 +184,14 @@ class PlacementService:
         # is wired — the TCP CLI wires stderr — dump it immediately).
         self.breaker.on_trip = self._on_breaker_trip
         self.flight_dump_sink = None
+        # The self-healing repair loop, assigned by
+        # RepairSupervisor.attach (None = no supervision, the pre-PR-10
+        # behavior: fingerprint mismatches bypass the fast tiers and
+        # nothing re-characterizes in the background).
+        self.repair = None
+        if self.live.enabled:
+            for name in _HEALING_COUNTERS:
+                self.live.count(name, 0)
         solver_pool = getattr(backend, "solver_pool", None)
         if solver_pool is not None:
             # Graft the fabric pool: utilization gauges read live at
@@ -273,6 +291,8 @@ class PlacementService:
         solver_pool = getattr(self.backend, "solver_pool", None)
         if solver_pool is not None:
             payload["solver_pool"] = solver_pool.stats()
+        if self.repair is not None:
+            payload["repair"] = self.repair.stats()
         return payload
 
     def ready_payload(self) -> dict:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.faults.events import FaultEvent, LinkFail
+from repro.faults.events import FaultEvent, LinkDegrade, LinkFail
 from repro.faults.plan import FaultPlan
 from repro.retrying import RetryPolicy
 from repro.rng import DEFAULT_SEED, RngRegistry
@@ -37,7 +37,15 @@ from repro.service.server import PlacementService
 from repro.topology.builders import reference_host
 from repro.topology.machine import Machine
 
-__all__ = ["LogicalClock", "SoakReport", "build_soak_plan", "run_soak"]
+__all__ = [
+    "LogicalClock",
+    "SoakReport",
+    "ConvergenceReport",
+    "build_soak_plan",
+    "build_derate_plan",
+    "run_soak",
+    "run_convergence_soak",
+]
 
 #: Logical seconds between consecutive scripted requests.
 TICK_S = 0.1
@@ -71,6 +79,28 @@ def build_soak_plan(
     return FaultPlan([
         FaultEvent(LinkFail(a, b), at_s=at_s, until_s=until_s)
         for a, b in cables
+    ])
+
+
+def build_derate_plan(
+    machine: Machine, victim: int, at_s: float, until_s: float,
+    factor: float = 0.4,
+) -> FaultPlan:
+    """Derate every cable touching ``victim`` (both directions).
+
+    Unlike :func:`build_soak_plan` the fabric stays connected:
+    characterization still *succeeds* on the derated machine — it just
+    measures collapsed bandwidths — which is exactly the fault shape
+    that exercises the drift watch and the repair loop rather than the
+    circuit breaker.
+    """
+    cables = sorted(
+        {tuple(sorted(ends)) for ends in machine.links if victim in ends}
+    )
+    return FaultPlan([
+        FaultEvent(LinkDegrade(src, dst, factor), at_s=at_s, until_s=until_s)
+        for a, b in cables
+        for src, dst in ((a, b), (b, a))
     ])
 
 
@@ -306,4 +336,257 @@ def run_soak(
     }
     if service.drift is not None:
         report.drift = service.drift.stats()
+    return report
+
+
+@dataclass
+class ConvergenceReport:
+    """What the self-healing convergence soak observed, JSON-able.
+
+    The story the numbers must tell: derate fires → the supervisor
+    quarantines the blast radius → requests get labelled ``repairing``
+    answers → background repair re-characterizes and promotes → the
+    service is back on tiers 1–2 *under the faulted machine* → the
+    fault clears → the faulted-era entries are re-quarantined, repaired
+    again, and the service re-converges on the healthy model — with
+    zero unlabelled stale answers anywhere in the trace.
+    """
+
+    seed: int
+    requests: int
+    fault_window: tuple[float, float]
+    plan_text: str
+    responses: list[str] = field(default_factory=list)
+    ok: int = 0
+    degraded: int = 0
+    repairing: int = 0
+    tiers: dict[int, int] = field(default_factory=dict)
+    errors: dict[str, int] = field(default_factory=dict)
+    #: Responses that were served off a quarantined or stale model
+    #: without carrying their ``degraded``/``repairing`` label — the
+    #: hard robustness contract; must be zero.
+    unlabelled_stale: int = 0
+    #: A tier-1/2 non-degraded answer was served while the fault was
+    #: live (i.e. repair promoted a faulted-fingerprint entry).
+    converged_during_fault: bool = False
+    #: Same, after the fault cleared (re-repair promoted again).
+    reconverged_after_clear: bool = False
+    repair: dict = field(default_factory=dict)
+    final_quarantined: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
+    drift: "dict | None" = None
+    flight_events: list[dict] = field(default_factory=list)
+
+    @property
+    def answered(self) -> int:
+        return self.ok + self.degraded + sum(self.errors.values())
+
+    @property
+    def converged(self) -> bool:
+        """Did the loop close, honestly, both ways?"""
+        return (
+            self.converged_during_fault
+            and self.reconverged_after_clear
+            and self.unlabelled_stale == 0
+            and self.final_quarantined == 0
+            and self.repair.get("jobs", 1) == 0
+            and (self.drift or {}).get("events", 0) >= 1
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "answered": self.answered,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "repairing": self.repairing,
+            "tiers": {str(t): self.tiers[t] for t in sorted(self.tiers)},
+            "errors": {k: self.errors[k] for k in sorted(self.errors)},
+            "fault_window": list(self.fault_window),
+            "plan": self.plan_text,
+            "unlabelled_stale": self.unlabelled_stale,
+            "converged_during_fault": self.converged_during_fault,
+            "reconverged_after_clear": self.reconverged_after_clear,
+            "converged": self.converged,
+            "repair": self.repair,
+            "final_quarantined": self.final_quarantined,
+            "counters": self.counters,
+            "drift": self.drift,
+            "flight_events": self.flight_events,
+            "responses": [r.rstrip("\n") for r in self.responses],
+        }
+
+    def render(self) -> str:
+        out = [
+            f"convergence soak: {self.requests} scripted requests, "
+            f"seed {self.seed}",
+            f"  fault plan    : {self.plan_text}",
+            f"  answered      : {self.answered} "
+            f"(ok {self.ok}, degraded {self.degraded} "
+            f"of which repairing {self.repairing}, "
+            f"errors {sum(self.errors.values())})",
+            "  tiers         : " + ", ".join(
+                f"{TIER_NAMES[t]} {self.tiers.get(t, 0)}" for t in (1, 2, 3)
+            ),
+            f"  repair        : started {self.repair.get('started', 0)}, "
+            f"promoted {self.repair.get('promoted', 0)}, "
+            f"failed {self.repair.get('failed', 0)}, "
+            f"jobs left {self.repair.get('jobs', 0)}",
+            f"  drift events  : {(self.drift or {}).get('events', 0)}",
+            f"  unlabelled    : {self.unlabelled_stale} stale answers "
+            "without their label (must be 0)",
+            f"  converged     : during fault "
+            f"{str(self.converged_during_fault).lower()}, after clearance "
+            f"{str(self.reconverged_after_clear).lower()} "
+            f"-> {str(self.converged).lower()}",
+        ]
+        for event in self.flight_events:
+            tags = event.get("tags", {})
+            what = tags.get("phase", tags.get("regime", ""))
+            out.append(
+                f"    flight @ {event['t']:7.2f} s {event['kind']:<8s} "
+                f"{what}"
+            )
+        return "\n".join(out)
+
+
+def run_convergence_soak(
+    machine: Machine | None = None,
+    requests: int = 160,
+    seed: int = DEFAULT_SEED,
+    runs: int = 5,
+    derate_factor: float = 0.4,
+) -> ConvergenceReport:
+    """The end-to-end self-healing drill on the production dispatch path.
+
+    Scripted traffic runs while a derate window (still solvable, unlike
+    :func:`run_soak`'s partition) covers the middle of the trace; a
+    :class:`~repro.healing.repair.RepairSupervisor` is attached and
+    pumped once per line.  The report asserts the full loop both ways
+    — derate → drift → quarantine → repair → promote → tier-1/2
+    serving, then fault-clears → re-repair → re-converge — and counts
+    any answer served off a quarantined key without its label
+    (``unlabelled_stale``, which must be zero).
+
+    Deterministic end to end: logical clock, named RNG streams (traffic,
+    breaker jitter, repair backoff), so same-seed twins are
+    byte-identical, repair schedule included.
+    """
+    from repro.healing.repair import RepairSupervisor
+
+    if machine is None:
+        machine = reference_host()
+    # Populate the routing planes up front so every fault-window swap
+    # re-routes incrementally (RerouteStats bound the quarantine).
+    for plane in ("pio", "dma"):
+        machine.routing.populate(plane, strict=False)
+    registry = RngRegistry(seed)
+    device_nodes = sorted({d.node_id for d in machine.devices.values()})
+    target = device_nodes[0] if device_nodes else machine.node_ids[-1]
+
+    clock = LogicalClock()
+    backend = AdvisoryBackend(machine, registry=registry, runs=runs)
+    breaker = CircuitBreaker(
+        failure_threshold=2,
+        backoff=RetryPolicy(
+            max_retries=0, base_delay_s=0.8, multiplier=2.0, jitter=0.25
+        ),
+        rng=registry.stream("service/soak/breaker-jitter"),
+        clock=clock,
+    )
+    service = PlacementService(backend, breaker=breaker, clock=clock)
+    supervisor = RepairSupervisor(
+        backend,
+        retry=RetryPolicy(
+            max_retries=3, base_delay_s=0.4, multiplier=2.0, jitter=0.25
+        ),
+    ).attach(service)
+    backend.warm((target,))
+
+    duration = requests * TICK_S
+    window = (round(0.25 * duration, 3), round(0.55 * duration, 3))
+    plan = build_derate_plan(
+        machine, target, *window, factor=derate_factor
+    )
+    report = ConvergenceReport(
+        seed=seed,
+        requests=requests,
+        fault_window=window,
+        plan_text=plan.describe(),
+    )
+
+    traffic = build_traffic(registry, machine, target, requests)
+    active: frozenset = frozenset()
+    for i, line in enumerate(traffic):
+        now = clock()
+        live_faults = frozenset(
+            f.describe() for f in plan.topology_faults_at(now)
+        )
+        if live_faults != active:
+            if live_faults:
+                backend.set_machine(plan.apply(machine, at_s=now))
+            else:
+                backend.restore_machine()
+            active = live_faults
+        # The robustness contract is judged against the quarantine
+        # state the request was served under.
+        try:
+            request = json.loads(line)
+        except ValueError:
+            request = {}
+        params = request.get("params") or {}
+        quarantined_key = (
+            params.get("target"), params.get("mode", "write")
+        ) in backend.tiers.quarantined
+        response = service.handle_line(line)
+        report.responses.append(response)
+        payload = json.loads(response)
+        if "error" in payload:
+            kind = payload["error"]["kind"]
+            report.errors[kind] = report.errors.get(kind, 0) + 1
+        else:
+            result = payload["result"]
+            tier = result.get("tier")
+            if tier is not None:
+                report.tiers[tier] = report.tiers.get(tier, 0) + 1
+                if result.get("degraded"):
+                    report.degraded += 1
+                    if result.get("repairing"):
+                        report.repairing += 1
+                else:
+                    report.ok += 1
+                    if tier in (1, 2):
+                        if active:
+                            report.converged_during_fault = True
+                        elif report.converged_during_fault:
+                            report.reconverged_after_clear = True
+                if (
+                    quarantined_key
+                    and tier != 3
+                    and not result.get("degraded")
+                ):
+                    report.unlabelled_stale += 1
+                if "staleness_s" not in result:
+                    report.unlabelled_stale += 1
+            else:
+                report.ok += 1  # health/ready/metrics
+        # The TCP transport pumps on an interval, not per request —
+        # mirror that (every 3rd tick) so quarantined keys genuinely
+        # serve labelled `repairing` answers before repair lands.
+        if i % 3 == 2:
+            supervisor.pump(clock())
+        clock.advance()
+    report.repair = supervisor.stats()
+    report.final_quarantined = len(backend.tiers.quarantined)
+    service._drain_obs()
+    report.counters = {
+        k: service.live.counters[k] for k in sorted(service.live.counters)
+    }
+    if service.drift is not None:
+        report.drift = service.drift.stats()
+    report.flight_events = [
+        event for event in service.live.flight.dump()["events"]
+        if event["kind"] in ("drift", "repair", "breaker-trip")
+    ]
     return report

@@ -400,6 +400,11 @@ class TierStore:
     entries: dict[tuple[int, str], TierEntry] = field(default_factory=dict)
     refreshes: int = 0
     stale_evictions: int = 0
+    #: ``(target, mode) -> reason`` — keys the self-healing control
+    #: plane pulled out of live serving (fault blast radius or a fired
+    #: drift event).  Quarantined keys never serve tiers 1–2; requests
+    #: either solve (tier 3) or get a labelled ``repairing`` answer.
+    quarantined: dict[tuple[int, str], str] = field(default_factory=dict)
 
     def refresh(
         self,
@@ -430,6 +435,23 @@ class TierStore:
         self.refreshes += 1
         return entry
 
+    def quarantine(self, target: int, mode: str, reason: str) -> None:
+        """Pull ``(target, mode)`` out of live tier-1/2 serving.
+
+        The entry itself stays — it is the honest last-good answer the
+        ``repairing`` path serves — but :meth:`fresh` refuses it until
+        :meth:`promote` restores the key.
+        """
+        self.quarantined[(target, mode)] = reason
+
+    def promote(self, target: int, mode: str) -> bool:
+        """Lift the quarantine on ``(target, mode)``; True if it was set."""
+        return self.quarantined.pop((target, mode), None) is not None
+
+    def quarantine_reason(self, target: int, mode: str) -> "str | None":
+        """Why ``(target, mode)`` is quarantined, or ``None`` if live."""
+        return self.quarantined.get((target, mode))
+
     def fresh(
         self,
         target: int,
@@ -439,7 +461,10 @@ class TierStore:
         max_staleness_s: "float | None",
     ) -> "TierEntry | None":
         """The live-answer entry, or ``None`` when tiers 1–2 must defer."""
-        entry = self.entries.get((target, mode))
+        key = (target, mode)
+        if key in self.quarantined:
+            return None
+        entry = self.entries.get(key)
         if entry is None or entry.fingerprint != fingerprint:
             return None
         if (
@@ -462,6 +487,7 @@ class TierStore:
             "entries": len(self.entries),
             "refreshes": self.refreshes,
             "stale_evictions": self.stale_evictions,
+            "quarantined": len(self.quarantined),
             "staleness_s": {
                 "min": round(staleness[0], 6) if staleness else None,
                 "max": round(staleness[-1], 6) if staleness else None,

@@ -1,0 +1,218 @@
+"""Incremental re-routing vs a from-scratch rebuild.
+
+The self-healing control plane leans on
+:meth:`~repro.routing.table.RoutingTable.derive` being **bit-identical**
+to constructing a fresh table over the faulted link map and populating
+it — same routes, same omitted (partitioned) pairs, same lazy
+:class:`~repro.errors.RoutingError` behavior.  These properties sweep
+random connected topologies × random fault *sequences* (cable failures,
+derates, restores, applied cumulatively) and compare the derived cache
+against the rebuild at every step, then pin the machine-level contract:
+a :class:`~repro.faults.plan.FaultedMachine` re-routes incrementally to
+the same routes, hop matrix, and fingerprint a fresh construction gets,
+and fault-then-restore round trips carry every route over verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError, TopologyError
+from repro.faults import FaultedMachine, LinkDegrade, LinkFail
+from repro.interconnect.link import DirectedLink
+from repro.interconnect.planes import ALL_PLANES, PLANE_DMA
+from repro.routing.table import RoutingTable
+from repro.solver.capacity import machine_fingerprint
+from repro.topology.builders import reference_host
+from repro.topology.distance import hop_matrix
+
+NS = 1e-9
+
+
+@st.composite
+def link_maps(draw):
+    """A connected directed link map with asymmetric attributes.
+
+    Same shape as the batch-routing property strategy: spanning tree
+    plus random chords, every direction drawing its own attributes from
+    small sets so routes frequently tie and the tie-break chain decides.
+    """
+    n = draw(st.integers(min_value=3, max_value=8))
+    nodes = list(range(n))
+    perm = draw(st.permutations(nodes))
+    edges = set()
+    for i in range(1, n):
+        j = draw(st.integers(min_value=0, max_value=i - 1))
+        a, b = perm[i], perm[j]
+        edges.add((min(a, b), max(a, b)))
+    spare = [
+        (a, b) for a in nodes for b in nodes if a < b and (a, b) not in edges
+    ]
+    if spare:
+        extras = draw(
+            st.lists(st.sampled_from(spare), min_size=0, max_size=min(len(spare), n))
+        )
+        edges.update(extras)
+    links = {}
+    for a, b in sorted(edges):
+        for s, d in ((a, b), (b, a)):
+            links[(s, d)] = DirectedLink(
+                src=s,
+                dst=d,
+                width_bits=draw(st.sampled_from([8, 16])),
+                gts=3.2,
+                dma_credit=draw(st.sampled_from([0.5, 0.9, 1.0])),
+                pio_cap_gbps=draw(st.sampled_from([10.0, 20.0, 25.0])),
+                pio_latency_s=draw(
+                    st.sampled_from([5 * NS, 12.5 * NS, 40 * NS, 130 * NS])
+                ),
+            )
+    return links
+
+
+def _populated(links):
+    table = RoutingTable(links)
+    for plane in ALL_PLANES:
+        table.populate(plane, strict=False)
+    return table
+
+
+def _fault_step(draw, healthy, current):
+    """One mutation of ``current``: fail a cable, derate one, or restore."""
+    op = draw(st.sampled_from(["fail", "derate", "restore"]))
+    if op == "restore":
+        return dict(healthy)
+    cables = sorted({(min(a, b), max(a, b)) for a, b in current})
+    if not cables:
+        return dict(healthy)
+    a, b = draw(st.sampled_from(cables))
+    links = dict(current)
+    if op == "fail":
+        del links[(a, b)]
+        del links[(b, a)]
+        return links
+    factor = draw(st.sampled_from([0.3, 0.6]))
+    for ends in ((a, b), (b, a)):
+        link = links[ends]
+        links[ends] = dataclasses.replace(
+            link,
+            dma_credit=link.dma_credit * factor,
+            pio_cap_gbps=link.pio_cap_gbps * factor,
+        )
+    return links
+
+
+@given(link_maps(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_derive_equals_full_rebuild_across_fault_sequences(links, data):
+    """Stacked fail/derate/restore deltas stay bit-identical to rebuilds."""
+    table = _populated(links)
+    current = dict(links)
+    steps = data.draw(st.integers(min_value=1, max_value=3))
+    for _ in range(steps):
+        current = _fault_step(data.draw, links, current)
+        derived = table.derive(current)
+        fresh = _populated(current)
+        assert derived._cache == fresh._cache
+        table = derived  # next delta derives from the derived table
+
+
+@given(link_maps(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_partitioned_pairs_raise_lazily_after_derive(link_map, data):
+    """Pairs a failure partitioned raise RoutingError on lookup, lazily."""
+    table = _populated(link_map)
+    cables = sorted({(min(a, b), max(a, b)) for a, b in link_map})
+    doomed = data.draw(
+        st.lists(st.sampled_from(cables), min_size=1, max_size=len(cables), unique=True)
+    )
+    current = dict(link_map)
+    for a, b in doomed:
+        del current[(a, b)]
+        del current[(b, a)]
+    derived = table.derive(current)
+    fresh = _populated(current)
+    assert derived._cache == fresh._cache
+    nodes = sorted({n for ends in link_map for n in ends})
+    for plane in ALL_PLANES:
+        for src in nodes:
+            for dst in nodes:
+                try:
+                    expected = fresh.route(plane, src, dst)
+                except RoutingError:
+                    with pytest.raises(RoutingError):
+                        derived.route(plane, src, dst)
+                else:
+                    assert derived.route(plane, src, dst) == expected
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_faulted_machine_reroutes_like_fresh_construction(data):
+    """FaultedMachine routes/hop matrix/fingerprint match a rebuild."""
+    host = reference_host(with_devices=False)
+    for plane in ALL_PLANES:
+        host.routing.populate(plane, strict=False)
+    cables = sorted({(min(a, b), max(a, b)) for a, b in host.links})
+    picks = data.draw(
+        st.lists(st.sampled_from(cables), min_size=1, max_size=2, unique=True)
+    )
+    kind = data.draw(st.sampled_from(["fail", "derate"]))
+    if kind == "fail":
+        faults = tuple(LinkFail(a, b) for a, b in picks)
+    else:
+        faults = tuple(LinkDegrade(a, b, 0.4) for a, b in picks)
+    faulted = FaultedMachine(host, faults)
+
+    rebuilt = FaultedMachine(
+        reference_host(with_devices=False), faults, name=faulted.name
+    )
+    assert machine_fingerprint(faulted) == machine_fingerprint(rebuilt)
+    fresh = _populated(faulted._links)
+    assert faulted.routing._cache == fresh._cache
+    try:
+        expected = hop_matrix(rebuilt)
+    except TopologyError:
+        expected = None  # partitioned fabric: hop matrix undefined
+    if expected is not None:
+        np.testing.assert_array_equal(hop_matrix(faulted), expected)
+
+    # Fault-then-restore round trip: byte-identical fingerprint and a
+    # pure carry-over (zero sources re-routed on the empty delta).
+    restored = faulted.restore()
+    assert machine_fingerprint(restored) == machine_fingerprint(host)
+    assert restored.routing._cache == host.routing._cache
+    for stats in restored.routing.last_reroute.values():
+        assert stats.sources_rerouted == 0
+        assert stats.pairs_changed == 0
+
+
+def test_derive_carries_surviving_overrides_only():
+    host = reference_host(with_devices=False)
+    table = host.routing
+    for plane in ALL_PLANES:
+        table.populate(plane, strict=False)
+    adj = table.adjacency
+    # One 2-hop override through node 1 (dies with node 1's cables)
+    # and one avoiding node 1 entirely (survives the derive).
+    mid = 1
+    n1, n2 = sorted(adj[mid])[:2]
+    doomed = (n1, mid, n2)
+    other = next(
+        n for n, outs in sorted(adj.items())
+        if n != mid and mid not in outs and len([o for o in outs if o != mid]) >= 2
+    )
+    o1, o2 = [o for o in sorted(adj[other]) if o != mid][:2]
+    survivor = (o1, other, o2)
+    table.set_route(PLANE_DMA, doomed)
+    table.set_route(PLANE_DMA, survivor)
+    cut = {(a, b) for a, b in host.links if mid in (a, b)}
+    current = {ends: link for ends, link in host.links.items() if ends not in cut}
+    derived = table.derive(current)
+    assert derived._overrides == {(PLANE_DMA, o1, o2): survivor}
+    assert derived.route(PLANE_DMA, o1, o2) == survivor

@@ -87,3 +87,51 @@ class TestApi:
         assert "CHAOS RESILIENCE REPORT" in text
         assert "fault plan:" in text
         assert "classes (healthy):" in text
+
+
+class TestRetryBudget:
+    """--retry-budget/--retry-base thread a RetryPolicy into every scenario."""
+
+    def test_zero_budget_fails_streams_immediately(self):
+        from repro.retrying import RetryPolicy
+
+        result = run_scenario(
+            "cascading-node-isolation",
+            registry=RngRegistry(3),
+            quick=True,
+            retry=RetryPolicy(max_retries=0, base_delay_s=0.1),
+        )
+        exhausted = result.retry_exhausted
+        assert exhausted, "isolation must exhaust a zero retry budget"
+        assert all(r.status == "failed" for r in exhausted)
+        assert all(r.retries == 0 for r in exhausted)
+
+    def test_retry_exhausted_in_render_and_dict(self):
+        from repro.retrying import RetryPolicy
+
+        result = run_scenario(
+            "cascading-node-isolation",
+            registry=RngRegistry(3),
+            quick=True,
+            retry=RetryPolicy(max_retries=1, base_delay_s=0.1),
+        )
+        payload = result.to_dict()
+        names = [r["name"] for r in payload["retry_exhausted"]]
+        assert names == [r.name for r in result.retry_exhausted]
+        if names:
+            assert "retry-exhausted" in result.render()
+
+    def test_default_policy_unchanged(self):
+        """No retry argument reproduces the pre-knob report exactly."""
+        from repro.retrying import RetryPolicy
+
+        a = run_scenario(
+            "cascading-node-isolation", registry=RngRegistry(5), quick=True
+        )
+        b = run_scenario(
+            "cascading-node-isolation",
+            registry=RngRegistry(5),
+            quick=True,
+            retry=RetryPolicy(max_retries=4, base_delay_s=0.25),
+        )
+        assert a.to_dict() == b.to_dict()

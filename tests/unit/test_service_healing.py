@@ -1,0 +1,236 @@
+"""The self-healing control plane: quarantine, repair loop, labelling.
+
+Pins the PR-10 robustness contract:
+
+* quarantined ``(target, mode)`` keys never serve an *unlabelled* stale
+  answer — every response still carries ``tier``/``staleness_s`` and,
+  when served from the last-good store under quarantine, ``repairing``;
+* the supervisor closes the loop end to end: fault → quarantine →
+  labelled serving → background re-characterization → verify → promote
+  → tier-1/2 serving again, and the same again when the fault clears;
+* with solves genuinely failing the retry budget is honoured and the
+  key *stays* quarantined (honest) instead of flapping.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.faults import FaultedMachine, LinkDegrade, LinkFail
+from repro.healing import RepairJob, RepairSupervisor
+from repro.interconnect.planes import ALL_PLANES
+from repro.retrying import RetryPolicy
+from repro.rng import RngRegistry
+from repro.service.backend import AdvisoryBackend
+from repro.service.breaker import CircuitBreaker
+from repro.service.server import PlacementService
+from repro.service.soak import LogicalClock
+from repro.service.tiers import TierStore
+from repro.solver.capacity import machine_fingerprint
+from repro.topology.builders import reference_host
+
+TARGET = 7
+
+
+def _cables_of(machine, node):
+    return sorted({tuple(sorted(ends)) for ends in machine.links if node in ends})
+
+
+@pytest.fixture()
+def rig():
+    """A supervised service over a routed reference host, warm on node 7."""
+    machine = reference_host()
+    for plane in ALL_PLANES:
+        machine.routing.populate(plane, strict=False)
+    registry = RngRegistry(11)
+    clock = LogicalClock()
+    backend = AdvisoryBackend(machine, registry=registry, runs=3)
+    breaker = CircuitBreaker(
+        failure_threshold=2,
+        rng=registry.stream("test/breaker"),
+        clock=clock,
+    )
+    service = PlacementService(backend, breaker=breaker, clock=clock)
+    supervisor = RepairSupervisor(
+        backend,
+        retry=RetryPolicy(max_retries=2, base_delay_s=0.1, jitter=0.0),
+    ).attach(service)
+    backend.warm((TARGET,))
+    clock.advance()
+    return machine, backend, service, supervisor, clock
+
+
+class TestTierStoreQuarantine:
+    def test_quarantine_blocks_fresh_and_promote_restores(self, rig):
+        machine, backend, _service, _sup, clock = rig
+        store = backend.tiers
+        fingerprint = machine_fingerprint(machine)
+        assert store.fresh(TARGET, "write", fingerprint, clock(), None)
+        store.quarantine(TARGET, "write", "test")
+        assert store.quarantine_reason(TARGET, "write") == "test"
+        assert store.fresh(TARGET, "write", fingerprint, clock(), None) is None
+        assert store.stats(clock())["quarantined"] == 1
+        assert store.promote(TARGET, "write") is True
+        assert store.promote(TARGET, "write") is False  # idempotent
+        assert store.fresh(TARGET, "write", fingerprint, clock(), None)
+
+    def test_empty_store_stats_count_zero(self):
+        assert TierStore().stats(0.0)["quarantined"] == 0
+
+
+class TestQuarantinedServing:
+    def test_quarantined_answers_are_labelled_repairing(self, rig):
+        _machine, backend, _service, _sup, _clock = rig
+        backend.tiers.quarantine(TARGET, "write", "test")
+        for method, result in [
+            ("advise", backend.advise(TARGET, "write", tasks=4)),
+            ("predict_eq1", backend.predict_eq1(TARGET, "write", [0, 1])),
+            ("classify", backend.classify(TARGET, "write")),
+        ]:
+            assert result["repairing"] is True, method
+            assert result["degraded"] is True, method
+            assert result["source"] == "last-good-repairing", method
+            assert result["tier"] == 2, method
+            assert result["staleness_s"] >= 0.0, method
+
+    def test_uncovered_quarantine_falls_through_and_promotes(self, rig):
+        _machine, backend, _service, _sup, _clock = rig
+        # No last-good entry for (read at node 3): the quarantined key
+        # falls through to a genuine tier-3 solve, which promotes it.
+        backend.tiers.quarantine(3, "read", "test")
+        result = backend.classify(3, "read")
+        assert result["tier"] == 3
+        assert "repairing" not in result
+        assert backend.tiers.quarantine_reason(3, "read") is None
+
+    def test_zero_staleness_plus_quarantine_never_unlabelled(self, rig):
+        """--tier-max-staleness 0 + active quarantine: every wire
+        response carries tier/staleness_s; stale answers carry their
+        degraded/repairing labels — never a silently stale answer."""
+        _machine, backend, service, _sup, clock = rig
+        backend.tier_max_staleness_s = 0.0
+        backend.tiers.quarantine(TARGET, "write", "test")
+        lines = [
+            json.dumps({"jsonrpc": "2.0", "id": i, "method": method,
+                        "params": params})
+            for i, (method, params) in enumerate([
+                ("advise", {"target": TARGET, "mode": "write", "tasks": 4}),
+                ("predict_eq1",
+                 {"target": TARGET, "mode": "write", "streams": [0, 1]}),
+                ("classify", {"target": TARGET, "mode": "write"}),
+                ("classify", {"target": TARGET, "mode": "read"}),
+                ("plan", {"write_weight": 0.5}),
+            ])
+        ]
+        for line in lines:
+            payload = json.loads(service.handle_line(line))
+            result = payload["result"]
+            assert "tier" in result and "staleness_s" in result, line
+            if result.get("degraded"):
+                # Labelled: provenance plus the repairing marker when
+                # the self-healing plane pulled the key.
+                assert result["source"].startswith("last-good")
+                assert result["repairing"] is True
+            elif result["staleness_s"] > 0.0:
+                pytest.fail(f"unlabelled stale answer: {result}")
+            clock.advance()
+
+
+class TestRepairCycle:
+    def test_derate_quarantines_only_the_blast_radius(self, rig):
+        machine, backend, _service, sup, _clock = rig
+        # Characterize a second target so the store holds keys outside
+        # the blast radius of a fault that never touches them.
+        backend.model(0, "write")
+        a, b = _cables_of(machine, TARGET)[0]
+        faulted = FaultedMachine(machine, [LinkDegrade(a, b, 0.4)])
+        touched = set()
+        for stats in faulted.routing.last_reroute.values():
+            touched.update(stats.touched_nodes)
+        backend.set_machine(faulted)
+        for (target, mode) in backend.tiers.quarantined:
+            assert target in touched
+        assert (TARGET, "write") in backend.tiers.quarantined
+        if 0 not in touched:
+            assert (0, "write") not in backend.tiers.quarantined
+
+    def test_fault_repair_restore_rerepair_converges(self, rig):
+        machine, backend, service, sup, clock = rig
+        faulted = FaultedMachine(
+            machine,
+            [LinkDegrade(a, b, 0.4) for a, b in _cables_of(machine, TARGET)],
+        )
+        backend.set_machine(faulted)
+        assert backend.tiers.quarantined
+        assert backend.advise(TARGET, "write", tasks=4)["repairing"] is True
+        for _ in range(6):
+            clock.advance()
+            sup.pump()
+            if not sup.jobs:
+                break
+        assert not backend.tiers.quarantined
+        repaired = backend.advise(TARGET, "write", tasks=4)
+        assert repaired["tier"] == 2 and "repairing" not in repaired
+
+        backend.restore_machine()  # fault clears: faulted-era entries suspect
+        assert backend.tiers.quarantined
+        for _ in range(6):
+            clock.advance()
+            sup.pump()
+            if not sup.jobs:
+                break
+        assert not backend.tiers.quarantined
+        assert sup.failed == 0
+        healthy = backend.predict_eq1(TARGET, "write", [0, 1, 2])
+        assert healthy["tier"] == 1 and "repairing" not in healthy
+        assert sup.stats()["promoted"] == service.health_payload()[
+            "repair"]["promoted"] >= 2
+        counters = service.live.counters
+        assert counters["service.repair.started"] >= 2
+        assert counters["service.repair.promoted"] == sup.promoted
+        kinds = [e["kind"] for e in service.live.flight.dump()["events"]]
+        assert "repair" in kinds
+
+    def test_unsolvable_fault_exhausts_budget_and_stays_quarantined(self, rig):
+        machine, backend, _service, sup, clock = rig
+        faulted = FaultedMachine(
+            machine,
+            [LinkFail(a, b) for a, b in _cables_of(machine, TARGET)],
+        )
+        backend.set_machine(faulted)
+        assert (TARGET, "write") in backend.tiers.quarantined
+        with pytest.raises((RoutingError, TopologyError)):
+            backend.model(TARGET, "write")
+        for _ in range(12):
+            clock.advance()
+            sup.pump()
+        assert sup.failed >= 1
+        assert not sup.jobs  # budget exhausted, no flapping
+        # Still quarantined and still honestly labelled.
+        assert backend.tiers.quarantine_reason(TARGET, "write")
+        assert backend.advise(TARGET, "write", tasks=2)["repairing"] is True
+        # Fault clearance revalidates the untouched healthy entries.
+        backend.restore_machine()
+        assert backend.tiers.quarantine_reason(TARGET, "write") is None
+        assert backend.advise(TARGET, "write", tasks=2)["tier"] == 2
+
+    def test_drift_event_quarantines_stale_siblings(self, rig):
+        _machine, backend, _service, sup, clock = rig
+        sup.on_drift({"target": TARGET, "mode": "write", "deviation": 0.2})
+        # The fired key itself is skipped; the sibling (read) entry was
+        # characterized a tick ago, so it is quarantined and queued.
+        assert (TARGET, "write") not in backend.tiers.quarantined
+        assert (TARGET, "read") in backend.tiers.quarantined
+        assert sup.jobs[(TARGET, "read")].reason == f"drift:{TARGET}/write"
+        clock.advance()
+        sup.pump()
+        assert not backend.tiers.quarantined
+        assert sup.promoted >= 1
+
+
+class TestRepairJob:
+    def test_key_property(self):
+        assert RepairJob(3, "read", "test").key == (3, "read")

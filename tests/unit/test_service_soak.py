@@ -70,3 +70,46 @@ class TestRecovery:
 
     def test_render_is_deterministic(self, report):
         assert report.render() == report.render()
+
+
+class TestConvergenceSoak:
+    """The self-healing drill: derate -> drift -> repair -> re-converge."""
+
+    @pytest.fixture(scope="class")
+    def converged(self):
+        from repro.service.soak import run_convergence_soak
+
+        return run_convergence_soak(requests=100, runs=3)
+
+    def test_loop_closes_both_ways(self, converged):
+        assert converged.answered == converged.requests
+        assert converged.converged_during_fault
+        assert converged.reconverged_after_clear
+        assert converged.converged
+
+    def test_never_serves_unlabelled_stale(self, converged):
+        assert converged.unlabelled_stale == 0
+        assert converged.final_quarantined == 0
+
+    def test_repair_accounting_agrees_with_counters(self, converged):
+        repair = converged.repair
+        assert repair["jobs"] == 0 and repair["failed"] == 0
+        assert repair["promoted"] >= 2  # fault window, then clearance
+        counters = converged.counters
+        assert counters["service.repair.started"] == repair["started"]
+        assert counters["service.repair.promoted"] == repair["promoted"]
+        assert counters["routing.rerouted_pairs"] > 0
+        assert (converged.drift or {}).get("events", 0) >= 1
+
+    def test_twin_runs_are_byte_identical(self, converged):
+        from repro.service.soak import run_convergence_soak
+
+        twin = run_convergence_soak(requests=100, runs=3)
+        assert json.dumps(twin.to_dict(), sort_keys=True) == json.dumps(
+            converged.to_dict(), sort_keys=True
+        )
+
+    def test_render_mentions_the_verdict(self, converged):
+        text = converged.render()
+        assert "-> true" in text
+        assert "0 stale answers" in text
